@@ -1,0 +1,32 @@
+# Paper-reproduction benches (one binary per table/figure) print the
+# paper-style rows; micro benches use google-benchmark.
+
+set(EDR_PAPER_BENCHES
+  bench_table1_clustering.cc
+  bench_table2_classification.cc
+  bench_fig7_8_qgram.cc
+  bench_table3_near_triangle.cc
+  bench_fig9_10_histogram.cc
+  bench_fig11_order.cc
+  bench_fig12_13_combined.cc
+  bench_ablation.cc
+)
+
+foreach(src ${EDR_PAPER_BENCHES})
+  get_filename_component(name ${src} NAME_WE)
+  add_executable(${name} ${CMAKE_CURRENT_LIST_DIR}/${src})
+  set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+  target_link_libraries(${name} PRIVATE edr)
+endforeach()
+
+set(EDR_MICRO_BENCHES
+  bench_micro_distance.cc
+  bench_micro_structures.cc
+)
+
+foreach(src ${EDR_MICRO_BENCHES})
+  get_filename_component(name ${src} NAME_WE)
+  add_executable(${name} ${CMAKE_CURRENT_LIST_DIR}/${src})
+  set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+  target_link_libraries(${name} PRIVATE edr benchmark::benchmark)
+endforeach()

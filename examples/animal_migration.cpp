@@ -1,0 +1,108 @@
+// Animal migration mining: the paper's remote-sensing motivation.
+//
+// A wildlife agency tracks animals with GPS collars that sample at
+// different rates and occasionally glitch. The question: which animals
+// follow the same migration route? This example clusters collar tracks
+// with complete-linkage hierarchical clustering under EDR and shows that
+// the discovered groups recover the true herds despite sampling-rate
+// differences (local time shifting) and sensor glitches (outliers) —
+// exactly the data imperfections EDR is designed for.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/noise.h"
+#include "distance/distance.h"
+#include "eval/linkage.h"
+
+namespace {
+
+/// Builds `count` collar tracks following one of three migration routes
+/// (south-bound coastal, south-bound inland, resident circling), with
+/// per-animal speed variation, sampling rate, and collar glitches.
+edr::TrajectoryDataset MakeHerds(int per_route, uint64_t seed) {
+  edr::Rng rng(seed);
+  edr::TrajectoryDataset db("collar_tracks");
+  for (int route = 0; route < 3; ++route) {
+    for (int animal = 0; animal < per_route; ++animal) {
+      const int samples = static_cast<int>(rng.UniformInt(80, 160));
+      const double speed = rng.Uniform(0.8, 1.2);
+      edr::Trajectory t;
+      for (int i = 0; i < samples; ++i) {
+        const double u =
+            speed * static_cast<double>(i) / static_cast<double>(samples);
+        edr::Point2 p;
+        switch (route) {
+          case 0:  // Coastal: south with a seaward bow.
+            p = {0.3 * std::sin(3.14159 * u), -2.0 * u};
+            break;
+          case 1:  // Inland: south-east diagonal.
+            p = {1.2 * u, -1.8 * u};
+            break;
+          default:  // Resident: circling a home range.
+            p = {0.5 * std::cos(6.28318 * u), 0.5 * std::sin(6.28318 * u)};
+        }
+        p.x += rng.Gaussian(0.0, 0.02);
+        p.y += rng.Gaussian(0.0, 0.02);
+        t.Append(p);
+      }
+      t.set_label(route);
+      db.Add(std::move(t));
+    }
+  }
+  return db;
+}
+
+}  // namespace
+
+int main() {
+  edr::TrajectoryDataset db = MakeHerds(/*per_route=*/6, /*seed=*/2026);
+
+  // Corrupt every track with collar glitches, as raw field data would be.
+  edr::Rng rng(17);
+  edr::NoiseOptions glitches;
+  edr::TrajectoryDataset raw("raw_tracks");
+  for (const edr::Trajectory& t : db) {
+    raw.Add(edr::AddInterpolatedGaussianNoise(t, glitches, rng));
+  }
+  raw.NormalizeAll();
+
+  std::printf("%zu collar tracks from 3 true herds, with glitches\n",
+              raw.size());
+
+  // Cluster all tracks into 3 groups under EDR.
+  edr::DistanceOptions options;
+  options.epsilon = raw.SuggestedEpsilon();
+  const edr::DistanceFn edr_fn =
+      edr::MakeDistance(edr::DistanceKind::kEdr, options);
+
+  std::vector<const edr::Trajectory*> items;
+  for (const edr::Trajectory& t : raw) items.push_back(&t);
+  const edr::DistanceMatrix matrix = edr::ComputeDistanceMatrix(items, edr_fn);
+  const std::vector<int> clusters = edr::CompleteLinkageClusters(matrix, 3);
+
+  // Report cluster composition against the true herds.
+  std::printf("\ncluster composition (rows: discovered cluster, columns: "
+              "true herd):\n");
+  int table[3][3] = {};
+  for (size_t i = 0; i < raw.size(); ++i) {
+    table[clusters[i]][raw[i].label()]++;
+  }
+  std::printf("          coastal  inland  resident\n");
+  for (int c = 0; c < 3; ++c) {
+    std::printf("cluster %d %7d %7d %9d\n", c, table[c][0], table[c][1],
+                table[c][2]);
+  }
+
+  // A perfect recovery has one nonzero cell per row.
+  bool pure = true;
+  for (int c = 0; c < 3; ++c) {
+    int nonzero = 0;
+    for (int h = 0; h < 3; ++h) nonzero += table[c][h] > 0 ? 1 : 0;
+    if (nonzero > 1) pure = false;
+  }
+  std::printf("\nEDR clustering recovered the herds %s\n",
+              pure ? "exactly" : "with some confusion");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Pattern search inside continuous streams: the approximate-matching form
+// of EDR (the setting the paper's Q-gram machinery originally comes
+// from). A fleet of delivery vehicles records one long GPS stream each;
+// the analyst wants every place where a vehicle performed a particular
+// maneuver — here, a U-turn — even though the streams carry GPS glitches
+// and every driver executes the maneuver at a slightly different speed.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/features.h"
+#include "query/subtrajectory.h"
+
+namespace {
+
+/// Appends a straight drive segment heading (dx, dy) per sample.
+void Drive(edr::Trajectory& t, edr::Point2& pos, edr::Point2 heading,
+           int samples, edr::Rng& rng) {
+  for (int i = 0; i < samples; ++i) {
+    pos = pos + heading;
+    t.Append(pos.x + rng.Gaussian(0.0, 0.01),
+             pos.y + rng.Gaussian(0.0, 0.01));
+  }
+}
+
+/// Appends a U-turn: half circle of the given radius, at a per-driver
+/// speed (number of samples).
+void UTurn(edr::Trajectory& t, edr::Point2& pos, double radius, int samples,
+           edr::Rng& rng) {
+  const edr::Point2 center{pos.x, pos.y + radius};
+  for (int i = 1; i <= samples; ++i) {
+    const double angle = -1.5707963 + 3.14159265 * i / samples;
+    pos = {center.x + radius * std::cos(angle),
+           center.y + radius * std::sin(angle)};
+    t.Append(pos.x + rng.Gaussian(0.0, 0.01),
+             pos.y + rng.Gaussian(0.0, 0.01));
+  }
+}
+
+}  // namespace
+
+int main() {
+  edr::Rng rng(2025);
+
+  // The query pattern: a canonical U-turn (half circle, ~24 samples).
+  edr::Trajectory pattern;
+  {
+    edr::Point2 pos{0.0, 0.0};
+    UTurn(pattern, pos, 1.0, 24, rng);
+  }
+
+  // Three vehicle streams; streams 0 and 2 contain U-turns at known spots,
+  // executed at different speeds; stream 1 only drives around corners.
+  std::vector<edr::Trajectory> streams(3);
+  std::vector<std::pair<size_t, size_t>> planted;  // (stream, position)
+  for (int v = 0; v < 3; ++v) {
+    edr::Point2 pos{0.0, 0.0};
+    edr::Trajectory& s = streams[static_cast<size_t>(v)];
+    Drive(s, pos, {0.08, 0.0}, 120, rng);
+    if (v != 1) {
+      planted.push_back({static_cast<size_t>(v), s.size()});
+      UTurn(s, pos, 1.0, v == 0 ? 20 : 30, rng);  // Different speeds.
+    } else {
+      Drive(s, pos, {0.0, 0.08}, 40, rng);  // A corner, not a U-turn.
+    }
+    Drive(s, pos, {-0.08, 0.0}, 120, rng);
+    // A GPS glitch somewhere in every stream.
+    s[s.size() / 3] = {50.0, 50.0};
+  }
+
+  std::printf("query: %zu-sample U-turn pattern; %zu streams of ~280 "
+              "samples each\n\n",
+              pattern.size(), streams.size());
+
+  // Match in displacement space (translation invariance) with a
+  // threshold below the drive-step size, so "turning" displacements
+  // cannot match "driving straight" ones.
+  const double epsilon = 0.06;
+  // Displacement space: translation-invariant maneuver search
+  // (data/features.h).
+  const edr::Trajectory pattern_deltas = edr::ToDisplacements(pattern);
+  const int radius = static_cast<int>(pattern_deltas.size()) / 2;
+  for (size_t v = 0; v < streams.size(); ++v) {
+    const edr::Trajectory stream_deltas = edr::ToDisplacements(streams[v]);
+    const edr::SubtrajectoryMatch best =
+        edr::BestSubtrajectoryMatch(pattern_deltas, stream_deltas, epsilon);
+    const auto occurrences = edr::NonOverlappingMatches(
+        edr::SubtrajectoryMatchesWithin(pattern_deltas, stream_deltas,
+                                        radius, epsilon));
+    std::printf("stream %zu: best match EDR=%d at [%zu, %zu); %zu "
+                "occurrence(s) within radius %d\n",
+                v, best.distance, best.begin, best.end,
+                occurrences.size(), radius);
+  }
+
+  std::printf("\nplanted maneuvers:\n");
+  for (const auto& [stream, position] : planted) {
+    const edr::SubtrajectoryMatch best = edr::BestSubtrajectoryMatch(
+        edr::ToDisplacements(pattern), edr::ToDisplacements(streams[stream]), epsilon);
+    const bool found = best.begin <= position + 5 && position <= best.end;
+    std::printf("  stream %zu at sample %zu -> %s (matched [%zu, %zu), "
+                "EDR=%d)\n",
+                stream, position, found ? "FOUND" : "missed", best.begin,
+                best.end, best.distance);
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+#include "core/dataset.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "core/normalize.h"
+
+namespace edr {
+
+uint32_t TrajectoryDataset::Add(Trajectory t) {
+  const uint32_t id = static_cast<uint32_t>(trajectories_.size());
+  t.set_id(id);
+  trajectories_.push_back(std::move(t));
+  return id;
+}
+
+size_t TrajectoryDataset::NumClasses() const {
+  std::set<int> labels;
+  for (const Trajectory& t : trajectories_) {
+    if (t.label() >= 0) labels.insert(t.label());
+  }
+  return labels.size();
+}
+
+std::vector<uint32_t> TrajectoryDataset::IdsWithLabel(int label) const {
+  std::vector<uint32_t> ids;
+  for (const Trajectory& t : trajectories_) {
+    if (t.label() == label) ids.push_back(t.id());
+  }
+  return ids;
+}
+
+void TrajectoryDataset::NormalizeAll() {
+  for (Trajectory& t : trajectories_) NormalizeInPlace(t);
+}
+
+DatasetStats TrajectoryDataset::Stats() const {
+  DatasetStats stats;
+  stats.count = trajectories_.size();
+  if (trajectories_.empty()) return stats;
+
+  stats.min_length = std::numeric_limits<size_t>::max();
+  stats.max_length = 0;
+  stats.min_xy = {std::numeric_limits<double>::infinity(),
+                  std::numeric_limits<double>::infinity()};
+  stats.max_xy = {-std::numeric_limits<double>::infinity(),
+                  -std::numeric_limits<double>::infinity()};
+  double total_length = 0.0;
+  for (const Trajectory& t : trajectories_) {
+    stats.min_length = std::min(stats.min_length, t.size());
+    stats.max_length = std::max(stats.max_length, t.size());
+    total_length += static_cast<double>(t.size());
+    const Point2 sigma = t.StdDev();
+    stats.max_std_dev =
+        std::max(stats.max_std_dev, std::max(sigma.x, sigma.y));
+    for (const Point2& p : t) {
+      stats.min_xy.x = std::min(stats.min_xy.x, p.x);
+      stats.min_xy.y = std::min(stats.min_xy.y, p.y);
+      stats.max_xy.x = std::max(stats.max_xy.x, p.x);
+      stats.max_xy.y = std::max(stats.max_xy.y, p.y);
+    }
+  }
+  stats.mean_length = total_length / static_cast<double>(trajectories_.size());
+  return stats;
+}
+
+}  // namespace edr

@@ -1,0 +1,23 @@
+#include "core/normalize.h"
+
+namespace edr {
+
+void NormalizeInPlace(Trajectory& s) {
+  if (s.empty()) return;
+  const Point2 mu = s.Mean();
+  const Point2 sigma = s.StdDev();
+  const double inv_x = sigma.x > 0.0 ? 1.0 / sigma.x : 1.0;
+  const double inv_y = sigma.y > 0.0 ? 1.0 / sigma.y : 1.0;
+  for (Point2& p : s.mutable_points()) {
+    p.x = (p.x - mu.x) * inv_x;
+    p.y = (p.y - mu.y) * inv_y;
+  }
+}
+
+Trajectory Normalize(const Trajectory& s) {
+  Trajectory out = s;
+  NormalizeInPlace(out);
+  return out;
+}
+
+}  // namespace edr

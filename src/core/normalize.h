@@ -1,0 +1,24 @@
+#ifndef EDR_CORE_NORMALIZE_H_
+#define EDR_CORE_NORMALIZE_H_
+
+#include "core/trajectory.h"
+
+namespace edr {
+
+/// Returns the z-score normalization Norm(S) of a trajectory (Section 2):
+/// each dimension is shifted by its mean and scaled by its standard
+/// deviation, making distances invariant to spatial scaling and shifting.
+///
+///   Norm(S) = [((s1.x - mu_x)/sigma_x, (s1.y - mu_y)/sigma_y), ...]
+///
+/// Dimensions with zero standard deviation (a coordinate that never moves)
+/// are only mean-shifted; dividing by zero would be meaningless. Labels and
+/// ids are preserved.
+Trajectory Normalize(const Trajectory& s);
+
+/// Normalizes a trajectory in place; see Normalize().
+void NormalizeInPlace(Trajectory& s);
+
+}  // namespace edr
+
+#endif  // EDR_CORE_NORMALIZE_H_

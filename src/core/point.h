@@ -1,0 +1,52 @@
+#ifndef EDR_CORE_POINT_H_
+#define EDR_CORE_POINT_H_
+
+#include <cmath>
+
+namespace edr {
+
+/// A two-dimensional sample of a moving-object trajectory.
+///
+/// The paper (Section 2) assumes, without loss of generality, objects moving
+/// in the x-y plane; all definitions extend to higher dimensions. Timestamps
+/// are dropped from the similarity computation (only the sequence of sampled
+/// vectors matters), so a trajectory element reduces to this point type.
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend Point2 operator+(Point2 a, Point2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend Point2 operator-(Point2 a, Point2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend Point2 operator*(Point2 a, double s) { return {a.x * s, a.y * s}; }
+  friend Point2 operator*(double s, Point2 a) { return a * s; }
+  friend bool operator==(const Point2& a, const Point2& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Squared L2 distance between two elements, the `dist(ri, si)` used by the
+/// paper's Euclidean / DTW / ERP formulas (Figure 2, Formula 1):
+///   dist(r, s) = (r.x - s.x)^2 + (r.y - s.y)^2.
+inline double SquaredDist(Point2 a, Point2 b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Euclidean (L2) distance between two elements.
+inline double L2Dist(Point2 a, Point2 b) { return std::sqrt(SquaredDist(a, b)); }
+
+/// L1 distance between two elements.
+inline double L1Dist(Point2 a, Point2 b) {
+  return std::fabs(a.x - b.x) + std::fabs(a.y - b.y);
+}
+
+/// Chebyshev (L-infinity) distance between two elements. Two elements match
+/// under EDR/LCSS exactly when their Chebyshev distance is at most epsilon.
+inline double LInfDist(Point2 a, Point2 b) {
+  return std::fmax(std::fabs(a.x - b.x), std::fabs(a.y - b.y));
+}
+
+}  // namespace edr
+
+#endif  // EDR_CORE_POINT_H_

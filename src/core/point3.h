@@ -1,0 +1,50 @@
+#ifndef EDR_CORE_POINT3_H_
+#define EDR_CORE_POINT3_H_
+
+#include <cmath>
+
+namespace edr {
+
+/// A three-dimensional trajectory sample (the x-y-z case the paper
+/// mentions in Section 1; all definitions extend unchanged).
+struct Point3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  friend Point3 operator+(Point3 a, Point3 b) {
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+  }
+  friend Point3 operator-(Point3 a, Point3 b) {
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+  }
+  friend Point3 operator*(Point3 a, double s) {
+    return {a.x * s, a.y * s, a.z * s};
+  }
+  friend Point3 operator*(double s, Point3 a) { return a * s; }
+  friend bool operator==(const Point3& a, const Point3& b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+};
+
+/// Squared L2 distance between two 3-D elements.
+inline double SquaredDist(Point3 a, Point3 b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  const double dz = a.z - b.z;
+  return dx * dx + dy * dy + dz * dz;
+}
+
+/// Euclidean (L2) distance between two 3-D elements.
+inline double L2Dist(Point3 a, Point3 b) { return std::sqrt(SquaredDist(a, b)); }
+
+/// Definition 1 lifted to three dimensions: elements match iff every
+/// coordinate is within the threshold.
+inline bool Match(Point3 a, Point3 b, double epsilon) {
+  return std::fabs(a.x - b.x) <= epsilon && std::fabs(a.y - b.y) <= epsilon &&
+         std::fabs(a.z - b.z) <= epsilon;
+}
+
+}  // namespace edr
+
+#endif  // EDR_CORE_POINT3_H_

@@ -1,0 +1,111 @@
+#ifndef EDR_CORE_STATUS_H_
+#define EDR_CORE_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace edr {
+
+/// Error codes for library operations that can fail (I/O, malformed input,
+/// invalid arguments). The library does not use C++ exceptions; fallible
+/// entry points return `Status` or `Result<T>`.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kOutOfRange,
+  kFailedPrecondition,
+};
+
+/// A success-or-error value in the style of absl::Status.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders e.g. "INVALID_ARGUMENT: epsilon must be positive".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+      case StatusCode::kNotFound: return "NOT_FOUND";
+      case StatusCode::kIoError: return "IO_ERROR";
+      case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+      case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    }
+    return "UNKNOWN";
+  }
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error wrapper in the style of absl::StatusOr.
+///
+/// Callers must check `ok()` before dereferencing; accessing the value of a
+/// non-OK result is undefined behaviour (checked by assertion in debug
+/// builds via std::get).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or an error keeps call sites terse:
+  ///   if (bad) return Status::InvalidArgument(...);
+  ///   return value;
+  Result(T value) : data_(std::move(value)) {}           // NOLINT
+  Result(Status status) : data_(std::move(status)) {}    // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    if (ok()) return kOkStatus;
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace edr
+
+#endif  // EDR_CORE_STATUS_H_

@@ -1,0 +1,40 @@
+#include "core/trajectory.h"
+
+#include <cmath>
+#include <string>
+
+namespace edr {
+
+Point2 Trajectory::Mean() const {
+  if (points_.empty()) return {0.0, 0.0};
+  double sx = 0.0;
+  double sy = 0.0;
+  for (const Point2& p : points_) {
+    sx += p.x;
+    sy += p.y;
+  }
+  const double n = static_cast<double>(points_.size());
+  return {sx / n, sy / n};
+}
+
+Point2 Trajectory::StdDev() const {
+  if (points_.empty()) return {0.0, 0.0};
+  const Point2 mu = Mean();
+  double vx = 0.0;
+  double vy = 0.0;
+  for (const Point2& p : points_) {
+    vx += (p.x - mu.x) * (p.x - mu.x);
+    vy += (p.y - mu.y) * (p.y - mu.y);
+  }
+  const double n = static_cast<double>(points_.size());
+  return {std::sqrt(vx / n), std::sqrt(vy / n)};
+}
+
+std::string ToString(const Trajectory& t) {
+  std::string out = "Trajectory(len=" + std::to_string(t.size());
+  if (t.label() >= 0) out += ", label=" + std::to_string(t.label());
+  out += ")";
+  return out;
+}
+
+}  // namespace edr

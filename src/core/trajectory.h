@@ -1,0 +1,79 @@
+#ifndef EDR_CORE_TRAJECTORY_H_
+#define EDR_CORE_TRAJECTORY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/point.h"
+
+namespace edr {
+
+/// The trajectory of a moving object: the sequence of sampled positions
+/// S = [s_1, ..., s_n].
+///
+/// The paper defines S = [(t_1, s_1), ..., (t_n, s_n)] but observes that for
+/// similarity-based retrieval only the movement shape matters, so timestamps
+/// are dropped (Section 1). `n` is the *length* of the trajectory.
+///
+/// A trajectory optionally carries a class label (used by the efficacy
+/// experiments, Tables 1 and 2) and an id assigned by its containing
+/// `TrajectoryDataset`.
+class Trajectory {
+ public:
+  Trajectory() = default;
+  explicit Trajectory(std::vector<Point2> points, int label = -1)
+      : points_(std::move(points)), label_(label) {}
+
+  /// Number of sampled elements (the paper's `n`).
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  const Point2& operator[](size_t i) const { return points_[i]; }
+  Point2& operator[](size_t i) { return points_[i]; }
+
+  const std::vector<Point2>& points() const { return points_; }
+  std::vector<Point2>& mutable_points() { return points_; }
+
+  void Append(Point2 p) { points_.push_back(p); }
+  void Append(double x, double y) { points_.push_back({x, y}); }
+
+  std::vector<Point2>::const_iterator begin() const { return points_.begin(); }
+  std::vector<Point2>::const_iterator end() const { return points_.end(); }
+
+  int label() const { return label_; }
+  void set_label(int label) { label_ = label; }
+
+  uint32_t id() const { return id_; }
+  void set_id(uint32_t id) { id_ = id; }
+
+  /// Per-dimension mean of the sampled positions. Returns {0,0} when empty.
+  Point2 Mean() const;
+
+  /// Per-dimension (population) standard deviation. Returns {0,0} when empty.
+  Point2 StdDev() const;
+
+  friend bool operator==(const Trajectory& a, const Trajectory& b) {
+    return a.points_ == b.points_;
+  }
+
+ private:
+  std::vector<Point2> points_;
+  int label_ = -1;
+  uint32_t id_ = 0;
+};
+
+/// True iff elements `a` and `b` match under matching threshold `epsilon`
+/// (Definition 1): |a.x - b.x| <= epsilon and |a.y - b.y| <= epsilon.
+inline bool Match(Point2 a, Point2 b, double epsilon) {
+  return std::fabs(a.x - b.x) <= epsilon && std::fabs(a.y - b.y) <= epsilon;
+}
+
+/// Renders a short human-readable description, e.g. "Trajectory(len=64,
+/// label=3)". Intended for logging and test failure messages.
+std::string ToString(const Trajectory& t);
+
+}  // namespace edr
+
+#endif  // EDR_CORE_TRAJECTORY_H_

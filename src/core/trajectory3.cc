@@ -1,0 +1,49 @@
+#include "core/trajectory3.h"
+
+#include <cmath>
+
+namespace edr {
+
+Point3 Trajectory3::Mean() const {
+  if (points_.empty()) return {0.0, 0.0, 0.0};
+  Point3 sum{0.0, 0.0, 0.0};
+  for (const Point3& p : points_) sum = sum + p;
+  return sum * (1.0 / static_cast<double>(points_.size()));
+}
+
+Point3 Trajectory3::StdDev() const {
+  if (points_.empty()) return {0.0, 0.0, 0.0};
+  const Point3 mu = Mean();
+  Point3 var{0.0, 0.0, 0.0};
+  for (const Point3& p : points_) {
+    const Point3 d = p - mu;
+    var.x += d.x * d.x;
+    var.y += d.y * d.y;
+    var.z += d.z * d.z;
+  }
+  const double inv_n = 1.0 / static_cast<double>(points_.size());
+  return {std::sqrt(var.x * inv_n), std::sqrt(var.y * inv_n),
+          std::sqrt(var.z * inv_n)};
+}
+
+void NormalizeInPlace(Trajectory3& s) {
+  if (s.empty()) return;
+  const Point3 mu = s.Mean();
+  const Point3 sigma = s.StdDev();
+  const double inv_x = sigma.x > 0.0 ? 1.0 / sigma.x : 1.0;
+  const double inv_y = sigma.y > 0.0 ? 1.0 / sigma.y : 1.0;
+  const double inv_z = sigma.z > 0.0 ? 1.0 / sigma.z : 1.0;
+  for (Point3& p : s.mutable_points()) {
+    p.x = (p.x - mu.x) * inv_x;
+    p.y = (p.y - mu.y) * inv_y;
+    p.z = (p.z - mu.z) * inv_z;
+  }
+}
+
+Trajectory3 Normalize(const Trajectory3& s) {
+  Trajectory3 out = s;
+  NormalizeInPlace(out);
+  return out;
+}
+
+}  // namespace edr

@@ -1,0 +1,65 @@
+#ifndef EDR_CORE_TRAJECTORY3_H_
+#define EDR_CORE_TRAJECTORY3_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/point3.h"
+
+namespace edr {
+
+/// A three-dimensional moving-object trajectory (e.g. aircraft tracks or
+/// the hand-position-in-space motion data the paper alludes to). Mirrors
+/// the 2-D `Trajectory` API; the elastic distance kernels in
+/// `distance/distance3.h` operate on it through the same dimension-generic
+/// templates.
+class Trajectory3 {
+ public:
+  Trajectory3() = default;
+  explicit Trajectory3(std::vector<Point3> points, int label = -1)
+      : points_(std::move(points)), label_(label) {}
+
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  const Point3& operator[](size_t i) const { return points_[i]; }
+  Point3& operator[](size_t i) { return points_[i]; }
+
+  const std::vector<Point3>& points() const { return points_; }
+  std::vector<Point3>& mutable_points() { return points_; }
+
+  void Append(Point3 p) { points_.push_back(p); }
+  void Append(double x, double y, double z) { points_.push_back({x, y, z}); }
+
+  std::vector<Point3>::const_iterator begin() const { return points_.begin(); }
+  std::vector<Point3>::const_iterator end() const { return points_.end(); }
+
+  int label() const { return label_; }
+  void set_label(int label) { label_ = label; }
+  uint32_t id() const { return id_; }
+  void set_id(uint32_t id) { id_ = id; }
+
+  /// Per-dimension mean; zero when empty.
+  Point3 Mean() const;
+  /// Per-dimension population standard deviation; zero when empty.
+  Point3 StdDev() const;
+
+  friend bool operator==(const Trajectory3& a, const Trajectory3& b) {
+    return a.points_ == b.points_;
+  }
+
+ private:
+  std::vector<Point3> points_;
+  int label_ = -1;
+  uint32_t id_ = 0;
+};
+
+/// Z-score normalization per dimension (the Section 2 Norm(S) in 3-D);
+/// constant dimensions are only mean-shifted.
+Trajectory3 Normalize(const Trajectory3& s);
+void NormalizeInPlace(Trajectory3& s);
+
+}  // namespace edr
+
+#endif  // EDR_CORE_TRAJECTORY3_H_

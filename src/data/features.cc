@@ -1,0 +1,53 @@
+#include "data/features.h"
+
+#include <cmath>
+
+namespace edr {
+
+Trajectory ToDisplacements(const Trajectory& t) {
+  Trajectory out;
+  for (size_t i = 1; i < t.size(); ++i) {
+    out.Append(t[i].x - t[i - 1].x, t[i].y - t[i - 1].y);
+  }
+  out.set_label(t.label());
+  out.set_id(t.id());
+  return out;
+}
+
+Trajectory ToHeadings(const Trajectory& t) {
+  Trajectory out;
+  for (size_t i = 1; i < t.size(); ++i) {
+    const double dx = t[i].x - t[i - 1].x;
+    const double dy = t[i].y - t[i - 1].y;
+    const double len = std::sqrt(dx * dx + dy * dy);
+    if (len > 0.0) {
+      out.Append(dx / len, dy / len);
+    } else {
+      out.Append(0.0, 0.0);  // Stationary step: no heading.
+    }
+  }
+  out.set_label(t.label());
+  out.set_id(t.id());
+  return out;
+}
+
+Trajectory ToCumulativeLength(const Trajectory& t) {
+  Trajectory out;
+  double total = 0.0;
+  if (!t.empty()) out.Append(0.0, 0.0);
+  for (size_t i = 1; i < t.size(); ++i) {
+    total += L2Dist(t[i], t[i - 1]);
+    out.Append(total, 0.0);
+  }
+  out.set_label(t.label());
+  out.set_id(t.id());
+  return out;
+}
+
+double PathLength(const Trajectory& t) {
+  double total = 0.0;
+  for (size_t i = 1; i < t.size(); ++i) total += L2Dist(t[i], t[i - 1]);
+  return total;
+}
+
+}  // namespace edr

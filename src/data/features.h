@@ -1,0 +1,39 @@
+#ifndef EDR_DATA_FEATURES_H_
+#define EDR_DATA_FEATURES_H_
+
+#include "core/trajectory.h"
+
+namespace edr {
+
+/// Motion-feature transforms. Similarity in raw coordinates is
+/// location-sensitive; many retrieval tasks instead want invariance to
+/// *where* the motion happened (maneuver mining, gesture search). These
+/// transforms re-express a trajectory so that the existing distance
+/// functions and subtrajectory search gain those invariances:
+///
+///  - displacement sequence: translation invariance,
+///  - heading sequence: translation + speed-magnitude invariance
+///    (cf. the rotation-invariant angle representations of Vlachos et
+///    al., which the paper discusses in related work),
+///  - cumulative path length: a 1-D profile of progress over time.
+
+/// Per-step displacement vectors [(s2 - s1), ..., (sn - s(n-1))]; length
+/// n-1. Matching displacements under EDR makes subtrajectory search
+/// translation invariant.
+Trajectory ToDisplacements(const Trajectory& t);
+
+/// Per-step unit headings (displacement normalized to length 1; zero
+/// steps produce a zero vector); length n-1. Matching headings is
+/// invariant to translation and to speed magnitude.
+Trajectory ToHeadings(const Trajectory& t);
+
+/// Cumulative path length profile as a 1-D trajectory [(L1, 0), ...] with
+/// L1 = 0; length n. Encodes the speed profile irrespective of direction.
+Trajectory ToCumulativeLength(const Trajectory& t);
+
+/// Total polyline length of the trajectory.
+double PathLength(const Trajectory& t);
+
+}  // namespace edr
+
+#endif  // EDR_DATA_FEATURES_H_

@@ -1,0 +1,444 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/noise.h"
+
+namespace edr {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+size_t DrawLength(Rng& rng, size_t min_length, size_t max_length,
+                  LengthDistribution distribution) {
+  if (max_length <= min_length) return min_length;
+  if (distribution == LengthDistribution::kUniform) {
+    return static_cast<size_t>(rng.UniformInt(
+        static_cast<int64_t>(min_length), static_cast<int64_t>(max_length)));
+  }
+  // Normal: centered between the bounds, sigma = range/6 (3-sigma rule),
+  // clamped into the valid range.
+  const double mean =
+      0.5 * (static_cast<double>(min_length) + static_cast<double>(max_length));
+  const double sigma =
+      (static_cast<double>(max_length) - static_cast<double>(min_length)) / 6.0;
+  const double drawn = rng.Gaussian(mean, sigma);
+  return static_cast<size_t>(std::clamp(
+      drawn, static_cast<double>(min_length), static_cast<double>(max_length)));
+}
+
+/// Catmull-Rom interpolation through control points at parameter u in
+/// [0, 1] over the whole chain; endpoints are duplicated.
+Point2 CatmullRom(const std::vector<Point2>& control, double u) {
+  const size_t segments = control.size() - 1;
+  const double scaled = u * static_cast<double>(segments);
+  size_t seg = std::min(static_cast<size_t>(scaled), segments - 1);
+  const double t = scaled - static_cast<double>(seg);
+
+  const auto at = [&control](long i) {
+    i = std::clamp<long>(i, 0, static_cast<long>(control.size()) - 1);
+    return control[static_cast<size_t>(i)];
+  };
+  const Point2 p0 = at(static_cast<long>(seg) - 1);
+  const Point2 p1 = at(static_cast<long>(seg));
+  const Point2 p2 = at(static_cast<long>(seg) + 1);
+  const Point2 p3 = at(static_cast<long>(seg) + 2);
+
+  const double t2 = t * t;
+  const double t3 = t2 * t;
+  const auto blend = [&](double a0, double a1, double a2, double a3) {
+    return 0.5 * ((2.0 * a1) + (-a0 + a2) * t +
+                  (2.0 * a0 - 5.0 * a1 + 4.0 * a2 - a3) * t2 +
+                  (-a0 + 3.0 * a1 - 3.0 * a2 + a3) * t3);
+  };
+  return {blend(p0.x, p1.x, p2.x, p3.x), blend(p0.y, p1.y, p2.y, p3.y)};
+}
+
+}  // namespace
+
+TrajectoryDataset GenRandomWalk(const RandomWalkOptions& options) {
+  TrajectoryDataset db("random_walk");
+  Rng rng(options.seed);
+  for (size_t i = 0; i < options.count; ++i) {
+    const size_t length = DrawLength(rng, options.min_length,
+                                     options.max_length,
+                                     options.length_distribution);
+    Trajectory t;
+    Point2 pos{rng.Gaussian(0.0, options.step_sigma),
+               rng.Gaussian(0.0, options.step_sigma)};
+    for (size_t j = 0; j < length; ++j) {
+      t.Append(pos);
+      pos.x += rng.Gaussian(0.0, options.step_sigma);
+      pos.y += rng.Gaussian(0.0, options.step_sigma);
+    }
+    db.Add(std::move(t));
+  }
+  return db;
+}
+
+TrajectoryDataset GenCameraMouseLike(size_t per_class, uint64_t seed) {
+  TrajectoryDataset db("cameramouse_like");
+  constexpr size_t kClasses = 5;
+  Rng class_rng(seed);
+
+  // Per-class stroke skeletons: 6-9 control points of a "written word".
+  std::vector<std::vector<Point2>> skeletons;
+  for (size_t c = 0; c < kClasses; ++c) {
+    const size_t n_control = static_cast<size_t>(class_rng.UniformInt(6, 9));
+    std::vector<Point2> control;
+    double x = 0.0;
+    for (size_t i = 0; i < n_control; ++i) {
+      // Writing advances left-to-right with vertical excursions.
+      x += class_rng.Uniform(0.5, 1.5);
+      control.push_back({x, class_rng.Uniform(-1.5, 1.5)});
+    }
+    skeletons.push_back(std::move(control));
+  }
+
+  // The duration of writing a word is a property of the word: instances
+  // of one class share a base length (with small per-instance variation),
+  // as in the real finger-tracking data.
+  std::vector<int64_t> base_lengths;
+  for (size_t c = 0; c < kClasses; ++c) {
+    base_lengths.push_back(class_rng.UniformInt(120, 160));
+  }
+
+  Rng rng(seed ^ 0xC0FFEEULL);
+  for (size_t c = 0; c < kClasses; ++c) {
+    for (size_t i = 0; i < per_class; ++i) {
+      const size_t length = static_cast<size_t>(
+          base_lengths[c] + rng.UniformInt(-10, 10));
+      // Per-instance variation: slight spatial jitter of the skeleton and
+      // a nonlinear pen speed introducing local time shifting.
+      std::vector<Point2> control = skeletons[c];
+      for (Point2& p : control) {
+        p.x += rng.Gaussian(0.0, 0.06);
+        p.y += rng.Gaussian(0.0, 0.06);
+      }
+      const double speed_phase = rng.Uniform(0.0, kTwoPi);
+      const double speed_depth = rng.Uniform(0.1, 0.35);
+      Trajectory t;
+      for (size_t j = 0; j < length; ++j) {
+        double u = static_cast<double>(j) / static_cast<double>(length - 1);
+        // Monotone time warp: u + depth * sin-modulation.
+        u += speed_depth / kTwoPi *
+             (std::sin(kTwoPi * u + speed_phase) - std::sin(speed_phase));
+        u = std::clamp(u, 0.0, 1.0);
+        Point2 p = CatmullRom(control, u);
+        p.x += rng.Gaussian(0.0, 0.015);
+        p.y += rng.Gaussian(0.0, 0.015);
+        t.Append(p);
+      }
+      t.set_label(static_cast<int>(c));
+      db.Add(std::move(t));
+    }
+  }
+  return db;
+}
+
+TrajectoryDataset GenAslLike(size_t classes, size_t per_class,
+                             uint64_t seed) {
+  TrajectoryDataset db("asl_like");
+  Rng class_rng(seed);
+
+  struct SignShape {
+    double fx, fy;      // Lissajous frequencies
+    double phx, phy;    // phases
+    double ax, ay;      // amplitudes
+    double drift_x, drift_y;
+  };
+  std::vector<SignShape> shapes;
+  for (size_t c = 0; c < classes; ++c) {
+    SignShape s;
+    s.fx = class_rng.Uniform(0.8, 2.6);
+    s.fy = class_rng.Uniform(0.8, 2.6);
+    s.phx = class_rng.Uniform(0.0, kTwoPi);
+    s.phy = class_rng.Uniform(0.0, kTwoPi);
+    s.ax = class_rng.Uniform(0.6, 1.4);
+    s.ay = class_rng.Uniform(0.6, 1.4);
+    s.drift_x = class_rng.Uniform(-0.4, 0.4);
+    s.drift_y = class_rng.Uniform(-0.4, 0.4);
+    shapes.push_back(s);
+  }
+  // Signing a given sign takes a characteristic time: the length is a
+  // class property with small per-instance variation, as in the UCI data.
+  std::vector<int64_t> base_lengths;
+  for (size_t c = 0; c < classes; ++c) {
+    base_lengths.push_back(class_rng.UniformInt(68, 132));
+  }
+
+  Rng rng(seed ^ 0xA51A51ULL);
+  for (size_t c = 0; c < classes; ++c) {
+    const SignShape& s = shapes[c];
+    for (size_t i = 0; i < per_class; ++i) {
+      const size_t length = static_cast<size_t>(
+          base_lengths[c] + rng.UniformInt(-8, 8));
+      const double amp_jitter = rng.Uniform(0.9, 1.1);
+      const double phase_jitter = rng.Gaussian(0.0, 0.35);
+      const double speed = rng.Uniform(0.75, 1.25);
+      Trajectory t;
+      for (size_t j = 0; j < length; ++j) {
+        const double u =
+            speed * static_cast<double>(j) / static_cast<double>(length - 1);
+        Point2 p;
+        p.x = amp_jitter * s.ax * std::sin(kTwoPi * s.fx * u + s.phx +
+                                           phase_jitter) +
+              s.drift_x * u;
+        p.y = amp_jitter * s.ay * std::sin(kTwoPi * s.fy * u + s.phy +
+                                           phase_jitter) +
+              s.drift_y * u;
+        p.x += rng.Gaussian(0.0, 0.02);
+        p.y += rng.Gaussian(0.0, 0.02);
+        t.Append(p);
+      }
+      t.set_label(static_cast<int>(c));
+      db.Add(std::move(t));
+    }
+  }
+  return db;
+}
+
+TrajectoryDataset GenKungfuLike(size_t count, size_t length, uint64_t seed) {
+  TrajectoryDataset db("kungfu_like");
+  Rng rng(seed);
+
+  // Motion-capture corpora are highly clustered: the same moves recur many
+  // times. Draw a pool of prototype moves (multi-harmonic joint motions)
+  // and emit each trajectory as a jittered, locally time-warped instance
+  // of one prototype, keeping the fixed capture length.
+  struct Move {
+    double fx[3], fy[3], ax[3], ay[3], ph[3];
+  };
+  const size_t num_moves = std::max<size_t>(1, count / 32);
+  std::vector<Move> moves(num_moves);
+  for (Move& m : moves) {
+    for (int h = 0; h < 3; ++h) {
+      m.fx[h] = rng.Uniform(0.5, 4.0);
+      m.fy[h] = rng.Uniform(0.5, 4.0);
+      m.ax[h] = rng.Uniform(0.2, 1.0) / (h + 1);
+      m.ay[h] = rng.Uniform(0.2, 1.0) / (h + 1);
+      m.ph[h] = rng.Uniform(0.0, kTwoPi);
+    }
+  }
+
+  for (size_t i = 0; i < count; ++i) {
+    const Move& m = moves[i % num_moves];
+    const double warp_phase = rng.Uniform(0.0, kTwoPi);
+    const double warp_depth = rng.Uniform(0.05, 0.2);
+    const double amp_jitter = rng.Uniform(0.95, 1.05);
+    const double phase_jitter = rng.Gaussian(0.0, 0.05);
+    Trajectory t;
+    for (size_t j = 0; j < length; ++j) {
+      double u = static_cast<double>(j) / static_cast<double>(length);
+      // Monotone local time warp: each performance of the move speeds up
+      // and slows down differently.
+      u += warp_depth / kTwoPi *
+           (std::sin(kTwoPi * u + warp_phase) - std::sin(warp_phase));
+      Point2 p{0.0, 0.0};
+      for (int h = 0; h < 3; ++h) {
+        p.x += amp_jitter * m.ax[h] *
+               std::sin(kTwoPi * m.fx[h] * u + m.ph[h] + phase_jitter);
+        p.y += amp_jitter * m.ay[h] *
+               std::cos(kTwoPi * m.fy[h] * u + m.ph[h] + phase_jitter);
+      }
+      p.x += rng.Gaussian(0.0, 0.01);
+      p.y += rng.Gaussian(0.0, 0.01);
+      t.Append(p);
+    }
+    db.Add(std::move(t));
+  }
+  return db;
+}
+
+TrajectoryDataset GenSlipLike(size_t count, size_t length, uint64_t seed) {
+  TrajectoryDataset db("slip_like");
+  Rng rng(seed);
+
+  // Prototype slip-and-recover motions; instances jitter the fall moment,
+  // depth, and recovery speed slightly, as repeated captures of the same
+  // staged fall would.
+  struct Slip {
+    double at, depth, recover, drift;
+  };
+  const size_t num_protos = std::max<size_t>(1, count / 32);
+  std::vector<Slip> protos(num_protos);
+  for (Slip& p : protos) {
+    p.at = rng.Uniform(0.2, 0.5);
+    p.depth = rng.Uniform(1.0, 2.5);
+    p.recover = rng.Uniform(1.5, 4.0);
+    p.drift = rng.Uniform(-0.5, 0.5);
+  }
+
+  for (size_t i = 0; i < count; ++i) {
+    const Slip& proto = protos[i % num_protos];
+    const double at = proto.at + rng.Gaussian(0.0, 0.01);
+    const double depth = proto.depth * rng.Uniform(0.95, 1.05);
+    const double recover = proto.recover * rng.Uniform(0.95, 1.05);
+    Trajectory t;
+    for (size_t j = 0; j < length; ++j) {
+      const double u = static_cast<double>(j) / static_cast<double>(length);
+      double y = 1.0;
+      if (u >= at) {
+        const double since = u - at;
+        y = 1.0 - depth * std::exp(-recover * since * 4.0) *
+                      (1.0 - std::exp(-40.0 * since));
+      }
+      const double x = proto.drift * u + rng.Gaussian(0.0, 0.01);
+      t.Append({x, y + rng.Gaussian(0.0, 0.01)});
+    }
+    db.Add(std::move(t));
+  }
+  return db;
+}
+
+namespace {
+
+/// One rink-bounded skating run (shared by prototypes and fresh walks).
+Trajectory SkateRun(Rng& rng, size_t length) {
+  constexpr double kRinkX = 200.0;
+  constexpr double kRinkY = 85.0;
+  Trajectory t;
+  Point2 pos{rng.Uniform(0.0, kRinkX), rng.Uniform(0.0, kRinkY)};
+  Point2 vel{rng.Gaussian(0.0, 2.0), rng.Gaussian(0.0, 1.5)};
+  for (size_t j = 0; j < length; ++j) {
+    t.Append(pos);
+    // Skating: momentum plus random acceleration, reflected at boards.
+    vel.x = 0.9 * vel.x + rng.Gaussian(0.0, 0.8);
+    vel.y = 0.9 * vel.y + rng.Gaussian(0.0, 0.6);
+    pos.x += vel.x;
+    pos.y += vel.y;
+    if (pos.x < 0.0) {
+      pos.x = -pos.x;
+      vel.x = -vel.x;
+    }
+    if (pos.x > kRinkX) {
+      pos.x = 2.0 * kRinkX - pos.x;
+      vel.x = -vel.x;
+    }
+    if (pos.y < 0.0) {
+      pos.y = -pos.y;
+      vel.y = -vel.y;
+    }
+    if (pos.y > kRinkY) {
+      pos.y = 2.0 * kRinkY - pos.y;
+      vel.y = -vel.y;
+    }
+  }
+  return t;
+}
+
+/// A noisy, locally time-shifted replay of a prototype run, clamped to the
+/// rink and to the configured length range.
+Trajectory SkateVariant(const Trajectory& proto, Rng& rng, size_t min_length,
+                        size_t max_length) {
+  const double scale = rng.Uniform(0.85, 1.18);
+  size_t new_len = static_cast<size_t>(std::llround(
+      scale * static_cast<double>(proto.size())));
+  new_len = std::clamp(new_len, min_length, max_length);
+  Trajectory t = ResampleLinear(proto, new_len);
+  for (Point2& p : t.mutable_points()) {
+    p.x = std::clamp(p.x + rng.Gaussian(0.0, 1.0), 0.0, 200.0);
+    p.y = std::clamp(p.y + rng.Gaussian(0.0, 1.0), 0.0, 85.0);
+  }
+  return t;
+}
+
+}  // namespace
+
+TrajectoryDataset GenNhlLike(size_t count, size_t min_length,
+                             size_t max_length, uint64_t seed) {
+  TrajectoryDataset db("nhl_like");
+  Rng rng(seed);
+  // Players repeat characteristic shifts: a pool of prototype runs, each
+  // instanced several times with tracking noise and small speed changes.
+  const size_t num_protos = std::max<size_t>(1, count / 25);
+  std::vector<Trajectory> protos;
+  protos.reserve(num_protos);
+  for (size_t i = 0; i < num_protos; ++i) {
+    protos.push_back(SkateRun(
+        rng, DrawLength(rng, min_length, max_length,
+                        LengthDistribution::kUniform)));
+  }
+  for (size_t i = 0; i < count; ++i) {
+    db.Add(SkateVariant(protos[i % num_protos], rng, min_length, max_length));
+  }
+  return db;
+}
+
+TrajectoryDataset GenMixedLike(size_t count, size_t min_length,
+                               size_t max_length, uint64_t seed) {
+  TrajectoryDataset db("mixed_like");
+  Rng rng(seed);
+
+  // Prototype pool spanning three families (random walks, Lissajous
+  // curves, piecewise-linear drifts), each instanced with jitter and a
+  // mild length change, mirroring the clustered nature of the SIGKDD'03
+  // mixed corpus.
+  const size_t num_protos = std::max<size_t>(1, count / 25);
+  std::vector<Trajectory> protos;
+  protos.reserve(num_protos);
+  for (size_t i = 0; i < num_protos; ++i) {
+    const size_t length = DrawLength(rng, min_length, max_length,
+                                     LengthDistribution::kUniform);
+    Trajectory t;
+    switch (i % 3) {
+      case 0: {  // Random walk.
+        Point2 pos{0.0, 0.0};
+        for (size_t j = 0; j < length; ++j) {
+          t.Append(pos);
+          pos.x += rng.Gaussian(0.0, 1.0);
+          pos.y += rng.Gaussian(0.0, 1.0);
+        }
+        break;
+      }
+      case 1: {  // Lissajous curve.
+        const double fx = rng.Uniform(0.5, 3.0);
+        const double fy = rng.Uniform(0.5, 3.0);
+        const double ph = rng.Uniform(0.0, kTwoPi);
+        for (size_t j = 0; j < length; ++j) {
+          const double u =
+              static_cast<double>(j) / static_cast<double>(length);
+          t.Append({std::sin(kTwoPi * fx * u + ph) + rng.Gaussian(0.0, 0.02),
+                    std::sin(kTwoPi * fy * u) + rng.Gaussian(0.0, 0.02)});
+        }
+        break;
+      }
+      default: {  // Piecewise-linear drift.
+        Point2 pos{0.0, 0.0};
+        Point2 dir{rng.Uniform(-1.0, 1.0), rng.Uniform(-1.0, 1.0)};
+        for (size_t j = 0; j < length; ++j) {
+          if (j % 50 == 0) {
+            dir = {rng.Uniform(-1.0, 1.0), rng.Uniform(-1.0, 1.0)};
+          }
+          t.Append(pos);
+          pos.x += dir.x + rng.Gaussian(0.0, 0.05);
+          pos.y += dir.y + rng.Gaussian(0.0, 0.05);
+        }
+        break;
+      }
+    }
+    protos.push_back(std::move(t));
+  }
+
+  for (size_t i = 0; i < count; ++i) {
+    const Trajectory& proto = protos[i % num_protos];
+    const double scale = rng.Uniform(0.9, 1.12);
+    size_t new_len = static_cast<size_t>(std::llround(
+        scale * static_cast<double>(proto.size())));
+    new_len = std::clamp(new_len, min_length, max_length);
+    Trajectory t = ResampleLinear(proto, new_len);
+    const Point2 sigma = t.StdDev();
+    for (Point2& p : t.mutable_points()) {
+      p.x += rng.Gaussian(0.0, 0.02 * std::max(sigma.x, 1e-3));
+      p.y += rng.Gaussian(0.0, 0.02 * std::max(sigma.y, 1e-3));
+    }
+    db.Add(std::move(t));
+  }
+  return db;
+}
+
+}  // namespace edr

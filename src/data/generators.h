@@ -1,0 +1,72 @@
+#ifndef EDR_DATA_GENERATORS_H_
+#define EDR_DATA_GENERATORS_H_
+
+#include <cstdint>
+
+#include "core/dataset.h"
+
+namespace edr {
+
+/// Length distributions for the random-walk sets of Section 5.2 ("RandU"
+/// uniform, "RandN" normal).
+enum class LengthDistribution { kUniform, kNormal };
+
+/// Parameters for GenRandomWalk.
+struct RandomWalkOptions {
+  size_t count = 1000;
+  size_t min_length = 30;
+  size_t max_length = 256;
+  LengthDistribution length_distribution = LengthDistribution::kUniform;
+  /// Standard deviation of each step.
+  double step_sigma = 1.0;
+  uint64_t seed = 1;
+};
+
+/// Two-dimensional Gaussian random walks, the synthetic workload used for
+/// the near-triangle experiments (Table 3) and the large combined-method
+/// sweep (Figures 12-13).
+TrajectoryDataset GenRandomWalk(const RandomWalkOptions& options);
+
+/// Stand-in for the Cameramouse data set (Gips et al.): 5 "word" classes,
+/// `per_class` finger-track instances each, built from per-class control
+/// point strokes with per-instance speed/jitter variation. Lengths
+/// ~110-170. Labels are 0..4.
+TrajectoryDataset GenCameraMouseLike(size_t per_class = 3, uint64_t seed = 7);
+
+/// Stand-in for the UCI Australian Sign Language set: `classes` sign
+/// classes, `per_class` instances, Lissajous-family base shapes with
+/// per-instance phase/speed/amplitude jitter and varying sampling rates.
+/// Lengths 60-140. Labels are 0..classes-1. The paper's efficacy tests use
+/// 10 x 5; its pruning tests use the 710-trajectory concatenation
+/// (use classes=10, per_class=71).
+TrajectoryDataset GenAslLike(size_t classes = 10, size_t per_class = 5,
+                             uint64_t seed = 11);
+
+/// Stand-in for the Kungfu motion set: `count` trajectories of body-joint
+/// positions during kung-fu moves, all of fixed `length` (640 in the
+/// paper). Built from multi-harmonic oscillations with per-trajectory
+/// variation. Unlabeled.
+TrajectoryDataset GenKungfuLike(size_t count = 495, size_t length = 640,
+                                uint64_t seed = 13);
+
+/// Stand-in for the Slip motion set: `count` trajectories of a person
+/// slipping down and standing up, fixed `length` (400 in the paper):
+/// a fast downward drift followed by recovery, plus jitter. Unlabeled.
+TrajectoryDataset GenSlipLike(size_t count = 495, size_t length = 400,
+                              uint64_t seed = 17);
+
+/// Stand-in for the NHL player-tracking set: rink-bounded drifting walks
+/// (reflecting at the 200 x 85 board), lengths uniform in
+/// [min_length, max_length] (30-256 in the paper). Unlabeled.
+TrajectoryDataset GenNhlLike(size_t count = 5000, size_t min_length = 30,
+                             size_t max_length = 256, uint64_t seed = 19);
+
+/// Stand-in for the SIGKDD'03 mixed set: an even mixture of random walks,
+/// Lissajous curves, and piecewise-linear drifts with widely varying
+/// lengths (60-2000 in the paper; scale down for quick runs). Unlabeled.
+TrajectoryDataset GenMixedLike(size_t count = 32768, size_t min_length = 60,
+                               size_t max_length = 2000, uint64_t seed = 23);
+
+}  // namespace edr
+
+#endif  // EDR_DATA_GENERATORS_H_

@@ -1,0 +1,99 @@
+#include "data/noise.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace edr {
+
+Trajectory AddInterpolatedGaussianNoise(const Trajectory& t,
+                                        const NoiseOptions& options,
+                                        Rng& rng) {
+  if (t.size() < 2) return t;
+  const double fraction =
+      rng.Uniform(options.min_fraction, options.max_fraction);
+  const size_t insertions = static_cast<size_t>(
+      std::llround(fraction * static_cast<double>(t.size())));
+  const Point2 sigma = t.StdDev();
+  const double sx = std::max(sigma.x, 1e-9) * options.outlier_sigma;
+  const double sy = std::max(sigma.y, 1e-9) * options.outlier_sigma;
+
+  std::vector<Point2> points = t.points();
+  for (size_t i = 0; i < insertions; ++i) {
+    const size_t at = static_cast<size_t>(
+        rng.UniformInt(1, static_cast<int64_t>(points.size()) - 1));
+    const Point2 mid = (points[at - 1] + points[at]) * 0.5;
+    const Point2 outlier{mid.x + rng.Gaussian(0.0, sx),
+                         mid.y + rng.Gaussian(0.0, sy)};
+    points.insert(points.begin() + static_cast<long>(at), outlier);
+  }
+  Trajectory out(std::move(points), t.label());
+  out.set_id(t.id());
+  return out;
+}
+
+Trajectory ResampleLinear(const Trajectory& t, size_t new_length) {
+  if (t.empty() || new_length == 0) return Trajectory({}, t.label());
+  std::vector<Point2> points;
+  points.reserve(new_length);
+  if (t.size() == 1 || new_length == 1) {
+    points.assign(new_length, t[0]);
+  } else {
+    const double scale = static_cast<double>(t.size() - 1) /
+                         static_cast<double>(new_length - 1);
+    for (size_t i = 0; i < new_length; ++i) {
+      const double pos = static_cast<double>(i) * scale;
+      const size_t lo =
+          std::min(static_cast<size_t>(pos), t.size() - 2);
+      const double frac = pos - static_cast<double>(lo);
+      points.push_back(t[lo] * (1.0 - frac) + t[lo + 1] * frac);
+    }
+  }
+  Trajectory out(std::move(points), t.label());
+  out.set_id(t.id());
+  return out;
+}
+
+Trajectory AddLocalTimeShifting(const Trajectory& t,
+                                const TimeShiftOptions& options, Rng& rng) {
+  const int segments = std::max(1, options.segments);
+  if (t.size() < static_cast<size_t>(segments) * 2) return t;
+
+  std::vector<Point2> points;
+  points.reserve(t.size() * 3 / 2);
+  const size_t seg_len = t.size() / static_cast<size_t>(segments);
+  for (int s = 0; s < segments; ++s) {
+    const size_t begin = static_cast<size_t>(s) * seg_len;
+    const size_t end =
+        s == segments - 1 ? t.size() : begin + seg_len;
+    Trajectory segment(
+        std::vector<Point2>(t.points().begin() + static_cast<long>(begin),
+                            t.points().begin() + static_cast<long>(end)));
+    const double scale = rng.Uniform(options.min_scale, options.max_scale);
+    const size_t new_len = std::max<size_t>(
+        2, static_cast<size_t>(std::llround(
+               scale * static_cast<double>(segment.size()))));
+    const Trajectory resampled = ResampleLinear(segment, new_len);
+    points.insert(points.end(), resampled.points().begin(),
+                  resampled.points().end());
+  }
+  Trajectory out(std::move(points), t.label());
+  out.set_id(t.id());
+  return out;
+}
+
+TrajectoryDataset CorruptDataset(const TrajectoryDataset& db,
+                                 const NoiseOptions& noise,
+                                 const TimeShiftOptions& shift,
+                                 uint64_t seed) {
+  TrajectoryDataset out(db.name() + "_corrupted");
+  Rng rng(seed);
+  for (const Trajectory& t : db) {
+    Trajectory corrupted = AddInterpolatedGaussianNoise(t, noise, rng);
+    corrupted = AddLocalTimeShifting(corrupted, shift, rng);
+    out.Add(std::move(corrupted));
+  }
+  return out;
+}
+
+}  // namespace edr

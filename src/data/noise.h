@@ -1,0 +1,64 @@
+#ifndef EDR_DATA_NOISE_H_
+#define EDR_DATA_NOISE_H_
+
+#include "core/dataset.h"
+#include "core/rng.h"
+#include "core/trajectory.h"
+
+namespace edr {
+
+/// Parameters of the Table 2 corruption protocol (Section 3.2): the paper
+/// adds "interpolated Gaussian noise (about 10-20% of the length of
+/// trajectories) and local time shifting" using the program of Vlachos et
+/// al. [37], then generates 50 distinct corrupted data sets per seed set.
+struct NoiseOptions {
+  /// Fraction of the trajectory length inserted as noise elements
+  /// (drawn uniformly in [min_fraction, max_fraction] per trajectory).
+  double min_fraction = 0.10;
+  double max_fraction = 0.20;
+  /// Magnitude of an outlier in units of the per-trajectory standard
+  /// deviation; outliers must be "significantly different from the values
+  /// near them", so this is large.
+  double outlier_sigma = 5.0;
+};
+
+/// Inserts interpolated Gaussian noise into a trajectory: noise elements
+/// are interpolated between neighboring samples and displaced by a large
+/// Gaussian offset, modelling sensor failures / detection errors.
+Trajectory AddInterpolatedGaussianNoise(const Trajectory& t,
+                                        const NoiseOptions& options,
+                                        Rng& rng);
+
+/// Parameters for local time shifting. The defaults mirror the regime of
+/// the paper's shifting program: many *local* speed changes that shift
+/// sub-paths in time without grossly distorting the overall duration.
+struct TimeShiftOptions {
+  /// Number of segments the trajectory is cut into; each segment is
+  /// independently stretched or compressed.
+  int segments = 8;
+  /// Segment length scale factors are drawn in [min_scale, max_scale].
+  double min_scale = 0.7;
+  double max_scale = 1.4;
+};
+
+/// Applies local time shifting: the trajectory is cut into segments and
+/// each is linearly resampled to a randomly scaled length, so sub-paths
+/// shift in time while the spatial shape is preserved.
+Trajectory AddLocalTimeShifting(const Trajectory& t,
+                                const TimeShiftOptions& options, Rng& rng);
+
+/// Linearly resamples a trajectory to `new_length` samples (the label is
+/// preserved). Used by time shifting and by tests.
+Trajectory ResampleLinear(const Trajectory& t, size_t new_length);
+
+/// Applies both corruptions (noise then shifting) to every trajectory of a
+/// labeled dataset — one of the paper's "50 distinct data sets that
+/// include noise and time shifting" when called with 50 different seeds.
+TrajectoryDataset CorruptDataset(const TrajectoryDataset& db,
+                                 const NoiseOptions& noise,
+                                 const TimeShiftOptions& shift,
+                                 uint64_t seed);
+
+}  // namespace edr
+
+#endif  // EDR_DATA_NOISE_H_

@@ -1,0 +1,86 @@
+#include "data/simplify.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace edr {
+
+double SegmentDistance(Point2 p, Point2 a, Point2 b) {
+  const Point2 ab = b - a;
+  const double len_sq = ab.x * ab.x + ab.y * ab.y;
+  if (len_sq == 0.0) return L2Dist(p, a);
+  // Project p onto the segment, clamped to its extent.
+  const Point2 ap = p - a;
+  const double t =
+      std::clamp((ap.x * ab.x + ap.y * ab.y) / len_sq, 0.0, 1.0);
+  const Point2 closest = a + ab * t;
+  return L2Dist(p, closest);
+}
+
+namespace {
+
+// Iterative Douglas-Peucker over index ranges (recursion depth on
+// adversarial inputs could be linear, so use an explicit stack).
+void MarkKept(const std::vector<Point2>& points, double tolerance,
+              std::vector<bool>& keep) {
+  std::vector<std::pair<size_t, size_t>> stack{{0, points.size() - 1}};
+  while (!stack.empty()) {
+    const auto [lo, hi] = stack.back();
+    stack.pop_back();
+    if (hi <= lo + 1) continue;
+    double worst = -1.0;
+    size_t worst_index = lo;
+    for (size_t i = lo + 1; i < hi; ++i) {
+      const double d = SegmentDistance(points[i], points[lo], points[hi]);
+      if (d > worst) {
+        worst = d;
+        worst_index = i;
+      }
+    }
+    if (worst > tolerance) {
+      keep[worst_index] = true;
+      stack.push_back({lo, worst_index});
+      stack.push_back({worst_index, hi});
+    }
+  }
+}
+
+}  // namespace
+
+Trajectory SimplifyDouglasPeucker(const Trajectory& t, double tolerance) {
+  if (t.size() < 3) return t;
+  std::vector<bool> keep(t.size(), false);
+  keep.front() = true;
+  keep.back() = true;
+  MarkKept(t.points(), tolerance, keep);
+
+  std::vector<Point2> kept;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (keep[i]) kept.push_back(t[i]);
+  }
+  Trajectory out(std::move(kept), t.label());
+  out.set_id(t.id());
+  return out;
+}
+
+Trajectory Downsample(const Trajectory& t, size_t stride) {
+  if (stride <= 1 || t.size() <= 2) return t;
+  std::vector<Point2> kept;
+  kept.reserve(t.size() / stride + 2);
+  for (size_t i = 0; i < t.size(); i += stride) kept.push_back(t[i]);
+  if ((t.size() - 1) % stride != 0) kept.push_back(t[t.size() - 1]);
+  Trajectory out(std::move(kept), t.label());
+  out.set_id(t.id());
+  return out;
+}
+
+TrajectoryDataset SimplifyAll(const TrajectoryDataset& db, double tolerance) {
+  TrajectoryDataset out(db.name() + "_simplified");
+  for (const Trajectory& t : db) {
+    out.Add(SimplifyDouglasPeucker(t, tolerance));
+  }
+  return out;
+}
+
+}  // namespace edr

@@ -1,0 +1,37 @@
+#ifndef EDR_DATA_SIMPLIFY_H_
+#define EDR_DATA_SIMPLIFY_H_
+
+#include <cstddef>
+
+#include "core/dataset.h"
+#include "core/trajectory.h"
+
+namespace edr {
+
+/// Trajectory simplification — the standard preprocessing step of
+/// trajectory databases (tracking pipelines emit far more samples than the
+/// movement shape needs). Simplification interacts with EDR in a
+/// well-defined way: it changes lengths, so distances change, but the
+/// *shape* — and therefore the k-NN ranking — degrades gracefully; the
+/// `bench_ablation` binary quantifies the trade-off.
+
+/// Douglas-Peucker polyline simplification: keeps every point whose
+/// perpendicular distance from the chord of its segment exceeds
+/// `tolerance`. Endpoints are always kept. Returns the input unchanged
+/// when it has fewer than three points. Label and id are preserved.
+Trajectory SimplifyDouglasPeucker(const Trajectory& t, double tolerance);
+
+/// Uniform downsampling: keeps every `stride`-th point plus the final
+/// point (so endpoints survive). `stride <= 1` returns the input.
+Trajectory Downsample(const Trajectory& t, size_t stride);
+
+/// Perpendicular distance from `p` to the segment (a, b); the distance to
+/// `a` when the segment is degenerate. Exposed for tests.
+double SegmentDistance(Point2 p, Point2 a, Point2 b);
+
+/// Applies Douglas-Peucker to every trajectory of a dataset.
+TrajectoryDataset SimplifyAll(const TrajectoryDataset& db, double tolerance);
+
+}  // namespace edr
+
+#endif  // EDR_DATA_SIMPLIFY_H_

@@ -1,0 +1,51 @@
+#include "distance/distance.h"
+
+#include "distance/dtw.h"
+#include "distance/edr.h"
+#include "distance/erp.h"
+#include "distance/euclidean.h"
+#include "distance/lcss.h"
+
+namespace edr {
+
+DistanceFn MakeDistance(DistanceKind kind, const DistanceOptions& options) {
+  switch (kind) {
+    case DistanceKind::kEuclidean:
+      return [](const Trajectory& r, const Trajectory& s) {
+        return SlidingEuclideanDistance(r, s);
+      };
+    case DistanceKind::kDtw:
+      return [band = options.band](const Trajectory& r, const Trajectory& s) {
+        return DtwDistanceBanded(r, s, band);
+      };
+    case DistanceKind::kErp:
+      return [gap = options.erp_gap, band = options.band](
+                 const Trajectory& r, const Trajectory& s) {
+        return ErpDistanceBanded(r, s, band, gap);
+      };
+    case DistanceKind::kLcss:
+      return [eps = options.epsilon](const Trajectory& r,
+                                     const Trajectory& s) {
+        return LcssDistance(r, s, eps);
+      };
+    case DistanceKind::kEdr:
+      return [eps = options.epsilon, band = options.band](
+                 const Trajectory& r, const Trajectory& s) {
+        return static_cast<double>(EdrDistanceBanded(r, s, eps, band));
+      };
+  }
+  return nullptr;
+}
+
+const char* DistanceKindName(DistanceKind kind) {
+  switch (kind) {
+    case DistanceKind::kEuclidean: return "Eu";
+    case DistanceKind::kDtw: return "DTW";
+    case DistanceKind::kErp: return "ERP";
+    case DistanceKind::kLcss: return "LCSS";
+    case DistanceKind::kEdr: return "EDR";
+  }
+  return "?";
+}
+
+}  // namespace edr

@@ -1,0 +1,53 @@
+#ifndef EDR_DISTANCE_DISTANCE_H_
+#define EDR_DISTANCE_DISTANCE_H_
+
+#include <functional>
+#include <string>
+
+#include "core/trajectory.h"
+
+namespace edr {
+
+/// The five distance functions compared by the paper (Figure 2 plus EDR).
+enum class DistanceKind {
+  kEuclidean,  ///< sliding Euclidean (Section 3.2 strategy for unequal lengths)
+  kDtw,        ///< Dynamic Time Warping
+  kErp,        ///< Edit distance with Real Penalty
+  kLcss,       ///< Longest Common Subsequence (distance form)
+  kEdr,        ///< Edit Distance on Real sequence (this paper)
+};
+
+/// Parameters shared by the distance-function factory.
+struct DistanceOptions {
+  /// Matching threshold for LCSS and EDR (Definition 1). The paper's rule
+  /// of thumb: a quarter of the maximum trajectory standard deviation,
+  /// i.e. 0.25 after z-score normalization.
+  double epsilon = 0.25;
+  /// Gap element for ERP; the origin is the mean of normalized data.
+  Point2 erp_gap{0.0, 0.0};
+  /// Sakoe-Chiba band half-width for DTW/ERP/LCSS/EDR; -1 = unconstrained.
+  int band = -1;
+};
+
+/// A type-erased trajectory distance, convenient for generic evaluation
+/// code (clustering, classification) that sweeps over distance functions.
+using DistanceFn =
+    std::function<double(const Trajectory&, const Trajectory&)>;
+
+/// Builds the distance function named by `kind` with the given options.
+/// LCSS is returned in its distance form (1 - LCSS/min-length) so that
+/// smaller is always more similar, uniformly across kinds.
+DistanceFn MakeDistance(DistanceKind kind, const DistanceOptions& options);
+
+/// Short display name ("Eu", "DTW", "ERP", "LCSS", "EDR") matching the
+/// paper's table headers.
+const char* DistanceKindName(DistanceKind kind);
+
+/// All five kinds in the paper's column order, for sweeping.
+inline constexpr DistanceKind kAllDistanceKinds[] = {
+    DistanceKind::kEuclidean, DistanceKind::kDtw, DistanceKind::kErp,
+    DistanceKind::kLcss, DistanceKind::kEdr};
+
+}  // namespace edr
+
+#endif  // EDR_DISTANCE_DISTANCE_H_

@@ -1,0 +1,87 @@
+#include "distance/distance3.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "distance/elastic.h"
+
+namespace edr {
+
+double EuclideanDistance(const Trajectory3& r, const Trajectory3& s) {
+  if (r.size() != s.size()) return std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  for (size_t i = 0; i < r.size(); ++i) sum += SquaredDist(r[i], s[i]);
+  return std::sqrt(sum);
+}
+
+double SlidingEuclideanDistance(const Trajectory3& r, const Trajectory3& s) {
+  if (r.empty() || s.empty()) return std::numeric_limits<double>::infinity();
+  const Trajectory3& shorter = r.size() <= s.size() ? r : s;
+  const Trajectory3& longer = r.size() <= s.size() ? s : r;
+  const size_t m = shorter.size();
+  const size_t n = longer.size();
+
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t offset = 0; offset + m <= n; ++offset) {
+    double sum = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      sum += SquaredDist(shorter[i], longer[offset + i]);
+      if (sum >= best) break;
+    }
+    best = std::min(best, sum);
+  }
+  return std::sqrt(best);
+}
+
+double DtwDistance(const Trajectory3& r, const Trajectory3& s) {
+  return elastic::Dtw(r, s, -1);
+}
+
+double DtwDistanceBanded(const Trajectory3& r, const Trajectory3& s,
+                         int band) {
+  return elastic::Dtw(r, s, band);
+}
+
+double ErpDistance(const Trajectory3& r, const Trajectory3& s, Point3 gap) {
+  return elastic::Erp(r, s, -1, gap);
+}
+
+double ErpDistanceBanded(const Trajectory3& r, const Trajectory3& s, int band,
+                         Point3 gap) {
+  return elastic::Erp(r, s, band, gap);
+}
+
+size_t LcssLength(const Trajectory3& r, const Trajectory3& s,
+                  double epsilon) {
+  return elastic::Lcss(r, s, epsilon, -1);
+}
+
+size_t LcssLengthBanded(const Trajectory3& r, const Trajectory3& s,
+                        double epsilon, int band) {
+  return elastic::Lcss(r, s, epsilon, band);
+}
+
+double LcssDistance(const Trajectory3& r, const Trajectory3& s,
+                    double epsilon) {
+  if (r.empty() || s.empty()) return 1.0;
+  const double lcss = static_cast<double>(LcssLength(r, s, epsilon));
+  const double denom = static_cast<double>(std::min(r.size(), s.size()));
+  return 1.0 - lcss / denom;
+}
+
+int EdrDistance(const Trajectory3& r, const Trajectory3& s, double epsilon) {
+  return elastic::Edr(r, s, epsilon, -1);
+}
+
+int EdrDistanceBanded(const Trajectory3& r, const Trajectory3& s,
+                      double epsilon, int band) {
+  return elastic::Edr(r, s, epsilon, band);
+}
+
+int EdrDistanceBounded(const Trajectory3& r, const Trajectory3& s,
+                       double epsilon, int bound) {
+  return elastic::EdrBounded(r, s, epsilon, bound);
+}
+
+}  // namespace edr

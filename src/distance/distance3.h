@@ -1,0 +1,44 @@
+#ifndef EDR_DISTANCE_DISTANCE3_H_
+#define EDR_DISTANCE_DISTANCE3_H_
+
+#include <cstddef>
+
+#include "core/trajectory3.h"
+
+namespace edr {
+
+/// The five distance functions for three-dimensional trajectories —
+/// identical definitions to the 2-D versions (Section 2: "all the
+/// definitions, theorems, and techniques can be extended to more than two
+/// dimensions"), instantiated from the same dimension-generic DP kernels.
+
+/// Lockstep Euclidean distance; +infinity when lengths differ.
+double EuclideanDistance(const Trajectory3& r, const Trajectory3& s);
+
+/// Sliding Euclidean distance (shorter slides along longer).
+double SlidingEuclideanDistance(const Trajectory3& r, const Trajectory3& s);
+
+double DtwDistance(const Trajectory3& r, const Trajectory3& s);
+double DtwDistanceBanded(const Trajectory3& r, const Trajectory3& s,
+                         int band);
+
+double ErpDistance(const Trajectory3& r, const Trajectory3& s,
+                   Point3 gap = {0.0, 0.0, 0.0});
+double ErpDistanceBanded(const Trajectory3& r, const Trajectory3& s, int band,
+                         Point3 gap = {0.0, 0.0, 0.0});
+
+size_t LcssLength(const Trajectory3& r, const Trajectory3& s, double epsilon);
+size_t LcssLengthBanded(const Trajectory3& r, const Trajectory3& s,
+                        double epsilon, int band);
+double LcssDistance(const Trajectory3& r, const Trajectory3& s,
+                    double epsilon);
+
+int EdrDistance(const Trajectory3& r, const Trajectory3& s, double epsilon);
+int EdrDistanceBanded(const Trajectory3& r, const Trajectory3& s,
+                      double epsilon, int band);
+int EdrDistanceBounded(const Trajectory3& r, const Trajectory3& s,
+                       double epsilon, int bound);
+
+}  // namespace edr
+
+#endif  // EDR_DISTANCE_DISTANCE3_H_

@@ -1,0 +1,15 @@
+#include "distance/dtw.h"
+
+#include "distance/elastic.h"
+
+namespace edr {
+
+double DtwDistance(const Trajectory& r, const Trajectory& s) {
+  return elastic::Dtw(r, s, -1);
+}
+
+double DtwDistanceBanded(const Trajectory& r, const Trajectory& s, int band) {
+  return elastic::Dtw(r, s, band);
+}
+
+}  // namespace edr

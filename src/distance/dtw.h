@@ -1,0 +1,27 @@
+#ifndef EDR_DISTANCE_DTW_H_
+#define EDR_DISTANCE_DTW_H_
+
+#include "core/trajectory.h"
+
+namespace edr {
+
+/// Dynamic Time Warping distance (Figure 2, Formula 2):
+///
+///   DTW(R, S) = dist(r1, s1) + min{ DTW(Rest(R), Rest(S)),
+///                                   DTW(Rest(R), S), DTW(R, Rest(S)) },
+///
+/// with dist the squared L2 element distance and DTW(empty, empty) = 0,
+/// DTW(R, empty) = DTW(empty, S) = +infinity for non-empty counterparts.
+/// Handles local time shifting by duplicating previous elements; sensitive
+/// to noise because every element contributes its real distance.
+double DtwDistance(const Trajectory& r, const Trajectory& s);
+
+/// DTW constrained to a Sakoe-Chiba band: the warping path may only visit
+/// cells with |i - j| <= max(band, |m - n|) (the widening keeps the corner
+/// cell reachable for unequal lengths). `band < 0` means unconstrained.
+/// Used to reproduce the paper's "best warping length" DTW runs (Table 1).
+double DtwDistanceBanded(const Trajectory& r, const Trajectory& s, int band);
+
+}  // namespace edr
+
+#endif  // EDR_DISTANCE_DTW_H_

@@ -1,0 +1,21 @@
+#include "distance/edr.h"
+
+#include "distance/elastic.h"
+
+namespace edr {
+
+int EdrDistance(const Trajectory& r, const Trajectory& s, double epsilon) {
+  return elastic::Edr(r, s, epsilon, -1);
+}
+
+int EdrDistanceBanded(const Trajectory& r, const Trajectory& s,
+                      double epsilon, int band) {
+  return elastic::Edr(r, s, epsilon, band);
+}
+
+int EdrDistanceBounded(const Trajectory& r, const Trajectory& s,
+                       double epsilon, int bound) {
+  return elastic::EdrBounded(r, s, epsilon, bound);
+}
+
+}  // namespace edr

@@ -1,0 +1,56 @@
+#ifndef EDR_DISTANCE_EDR_H_
+#define EDR_DISTANCE_EDR_H_
+
+#include <cstddef>
+
+#include "core/trajectory.h"
+
+namespace edr {
+
+/// Edit Distance on Real sequence (Definition 2) — the paper's primary
+/// contribution. EDR(R, S) is the minimum number of insert, delete, or
+/// replace operations needed to change R into S, where two elements match
+/// (substitution cost 0) iff they are within the matching threshold
+/// `epsilon` in every dimension (Definition 1):
+///
+///   EDR(R, S) = n                  if m == 0
+///             = m                  if n == 0
+///             = min{ EDR(Rest(R), Rest(S)) + subcost,
+///                    EDR(Rest(R), S) + 1,
+///                    EDR(R, Rest(S)) + 1 }   otherwise,
+///   subcost = 0 if match(r1, s1) else 1.
+///
+/// Quantizing element distances to {0, 1} makes EDR robust to noise (like
+/// LCSS); minimizing edit operations handles local time shifting (like
+/// ERP); and, contrary to LCSS, gaps between matched sub-trajectories are
+/// penalized by their length. O(m*n) time, O(min(m, n)) space.
+int EdrDistance(const Trajectory& r, const Trajectory& s, double epsilon);
+
+/// EDR constrained to a Sakoe-Chiba band: only cells with
+/// |i - j| <= max(band, |m - n|) are explored. `band < 0` means
+/// unconstrained. The banded value upper-bounds the true EDR; it is an
+/// efficiency/ablation device, not a lossless filter. Note the paper's
+/// pruning framework deliberately avoids warping-length constraints.
+int EdrDistanceBanded(const Trajectory& r, const Trajectory& s,
+                      double epsilon, int band);
+
+/// Early-abandoning EDR for k-NN scans. Computes EDR(R, S) exactly if it
+/// is <= `bound`; otherwise returns some value strictly greater than
+/// `bound` that lower-bounds the true distance. Correctness: every warping
+/// path crosses every DP row, so the row minimum lower-bounds the final
+/// value; once it exceeds `bound` the computation can stop. Also applies
+/// the trivial length bound EDR >= |m - n| up front.
+int EdrDistanceBounded(const Trajectory& r, const Trajectory& s,
+                       double epsilon, int bound);
+
+/// The trivial lower bound EDR(R, S) >= ||R| - |S||: converting between
+/// lengths m and n requires at least |m - n| inserts or deletes.
+inline int EdrLengthLowerBound(const Trajectory& r, const Trajectory& s) {
+  const long m = static_cast<long>(r.size());
+  const long n = static_cast<long>(s.size());
+  return static_cast<int>(m > n ? m - n : n - m);
+}
+
+}  // namespace edr
+
+#endif  // EDR_DISTANCE_EDR_H_

@@ -1,0 +1,210 @@
+#ifndef EDR_DISTANCE_ELASTIC_H_
+#define EDR_DISTANCE_ELASTIC_H_
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+namespace edr {
+namespace elastic {
+
+/// Dimension-generic implementations of the four elastic distance DPs
+/// (DTW, ERP, LCSS, EDR). The paper defines everything for the x-y plane
+/// and notes that "all the definitions, theorems, and techniques can be
+/// extended to more than two dimensions" (Section 2); these templates are
+/// that extension. The 2-D (`Trajectory`) and 3-D (`Trajectory3`) public
+/// kernels are thin wrappers around them.
+///
+/// Requirements on `TrajectoryT`: `size()` and `operator[](size_t)`
+/// returning a point; on the point type: free functions `SquaredDist`,
+/// `L2Dist`, and `Match(a, b, epsilon)` findable by ADL.
+///
+/// All functions take a Sakoe-Chiba `band` half-width; negative means
+/// unconstrained. The band is always widened to the length difference so
+/// the final DP cell stays reachable.
+
+namespace internal {
+
+inline long EffectiveBand(size_t m, size_t n, int band) {
+  const long len_gap = std::labs(static_cast<long>(m) - static_cast<long>(n));
+  return band < 0 ? static_cast<long>(std::max(m, n))
+                  : std::max<long>(band, len_gap);
+}
+
+}  // namespace internal
+
+/// Dynamic Time Warping with squared-L2 ground distance (Formula 2).
+template <typename TrajectoryT>
+double Dtw(const TrajectoryT& r, const TrajectoryT& s, int band) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const size_t m = r.size();
+  const size_t n = s.size();
+  if (m == 0 && n == 0) return 0.0;
+  if (m == 0 || n == 0) return kInf;
+
+  const long width = internal::EffectiveBand(m, n, band);
+  std::vector<double> prev(n + 1, kInf);
+  std::vector<double> curr(n + 1, kInf);
+  prev[0] = 0.0;
+  for (size_t i = 1; i <= m; ++i) {
+    std::fill(curr.begin(), curr.end(), kInf);
+    const long lo = std::max<long>(1, static_cast<long>(i) - width);
+    const long hi =
+        std::min<long>(static_cast<long>(n), static_cast<long>(i) + width);
+    for (long j = lo; j <= hi; ++j) {
+      const double d = SquaredDist(r[i - 1], s[static_cast<size_t>(j) - 1]);
+      const double best = std::min({prev[j - 1], prev[j], curr[j - 1]});
+      curr[j] = best == kInf ? kInf : d + best;
+    }
+    std::swap(prev, curr);
+  }
+  return prev[n];
+}
+
+/// Edit distance with Real Penalty with L2 ground distance and a constant
+/// gap element (Formula 3).
+template <typename TrajectoryT, typename PointT>
+double Erp(const TrajectoryT& r, const TrajectoryT& s, int band, PointT gap) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const size_t m = r.size();
+  const size_t n = s.size();
+  const long width = internal::EffectiveBand(m, n, band);
+
+  std::vector<double> prev(n + 1, kInf);
+  std::vector<double> curr(n + 1, kInf);
+  prev[0] = 0.0;
+  for (size_t j = 1; j <= n && static_cast<long>(j) <= width; ++j) {
+    prev[j] = prev[j - 1] + L2Dist(s[j - 1], gap);
+  }
+
+  for (size_t i = 1; i <= m; ++i) {
+    std::fill(curr.begin(), curr.end(), kInf);
+    const long lo = std::max<long>(0, static_cast<long>(i) - width);
+    const long hi =
+        std::min<long>(static_cast<long>(n), static_cast<long>(i) + width);
+    for (long j = lo; j <= hi; ++j) {
+      if (j == 0) {
+        curr[0] = prev[0] + L2Dist(r[i - 1], gap);
+        continue;
+      }
+      const size_t sj = static_cast<size_t>(j) - 1;
+      double best = kInf;
+      if (prev[j - 1] < kInf) best = prev[j - 1] + L2Dist(r[i - 1], s[sj]);
+      if (prev[j] < kInf) {
+        best = std::min(best, prev[j] + L2Dist(r[i - 1], gap));
+      }
+      if (curr[j - 1] < kInf) {
+        best = std::min(best, curr[j - 1] + L2Dist(s[sj], gap));
+      }
+      curr[j] = best;
+    }
+    std::swap(prev, curr);
+  }
+  return prev[n];
+}
+
+/// Longest Common Subsequence score under epsilon-matching (Formula 4).
+template <typename TrajectoryT>
+size_t Lcss(const TrajectoryT& r, const TrajectoryT& s, double epsilon,
+            int band) {
+  const size_t m = r.size();
+  const size_t n = s.size();
+  if (m == 0 || n == 0) return 0;
+
+  const long width = internal::EffectiveBand(m, n, band);
+  std::vector<size_t> prev(n + 1, 0);
+  std::vector<size_t> curr(n + 1, 0);
+  for (size_t i = 1; i <= m; ++i) {
+    std::fill(curr.begin(), curr.end(), 0);
+    const long lo = std::max<long>(1, static_cast<long>(i) - width);
+    const long hi =
+        std::min<long>(static_cast<long>(n), static_cast<long>(i) + width);
+    for (long j = lo; j <= hi; ++j) {
+      const size_t sj = static_cast<size_t>(j) - 1;
+      if (Match(r[i - 1], s[sj], epsilon)) {
+        curr[j] = prev[j - 1] + 1;
+      } else {
+        curr[j] = std::max(prev[j], curr[j - 1]);
+      }
+    }
+    std::swap(prev, curr);
+  }
+  return prev[n];
+}
+
+/// Edit Distance on Real sequence (Definition 2).
+template <typename TrajectoryT>
+int Edr(const TrajectoryT& r, const TrajectoryT& s, double epsilon,
+        int band) {
+  constexpr int kUnreachable = std::numeric_limits<int>::max() / 2;
+  const size_t m = r.size();
+  const size_t n = s.size();
+  if (m == 0) return static_cast<int>(n);
+  if (n == 0) return static_cast<int>(m);
+
+  const long width = internal::EffectiveBand(m, n, band);
+  std::vector<int> prev(n + 1, kUnreachable);
+  std::vector<int> curr(n + 1, kUnreachable);
+  for (size_t j = 0; j <= n && static_cast<long>(j) <= width; ++j) {
+    prev[j] = static_cast<int>(j);
+  }
+
+  for (size_t i = 1; i <= m; ++i) {
+    std::fill(curr.begin(), curr.end(), kUnreachable);
+    const long lo = std::max<long>(0, static_cast<long>(i) - width);
+    const long hi =
+        std::min<long>(static_cast<long>(n), static_cast<long>(i) + width);
+    for (long j = lo; j <= hi; ++j) {
+      if (j == 0) {
+        curr[0] = static_cast<int>(i);
+        continue;
+      }
+      const size_t sj = static_cast<size_t>(j) - 1;
+      const int subcost = Match(r[i - 1], s[sj], epsilon) ? 0 : 1;
+      curr[j] = std::min({prev[j - 1] + subcost,  // replace / match
+                          prev[j] + 1,            // delete from R
+                          curr[j - 1] + 1});      // insert into R
+    }
+    std::swap(prev, curr);
+  }
+  return prev[n];
+}
+
+/// Early-abandoning EDR: exact when the result is <= bound, otherwise
+/// returns some lower bound strictly greater than `bound` (every edit path
+/// crosses every DP row, so the row minimum bounds the final value).
+template <typename TrajectoryT>
+int EdrBounded(const TrajectoryT& r, const TrajectoryT& s, double epsilon,
+               int bound) {
+  const size_t m = r.size();
+  const size_t n = s.size();
+  if (m == 0) return static_cast<int>(n);
+  if (n == 0) return static_cast<int>(m);
+
+  const int length_bound = static_cast<int>(
+      std::labs(static_cast<long>(m) - static_cast<long>(n)));
+  if (length_bound > bound) return length_bound;
+
+  std::vector<int> prev(n + 1);
+  std::vector<int> curr(n + 1);
+  for (size_t j = 0; j <= n; ++j) prev[j] = static_cast<int>(j);
+
+  for (size_t i = 1; i <= m; ++i) {
+    curr[0] = static_cast<int>(i);
+    int row_min = curr[0];
+    for (size_t j = 1; j <= n; ++j) {
+      const int subcost = Match(r[i - 1], s[j - 1], epsilon) ? 0 : 1;
+      curr[j] = std::min({prev[j - 1] + subcost, prev[j] + 1, curr[j - 1] + 1});
+      row_min = std::min(row_min, curr[j]);
+    }
+    if (row_min > bound) return row_min;
+    std::swap(prev, curr);
+  }
+  return prev[n];
+}
+
+}  // namespace elastic
+}  // namespace edr
+
+#endif  // EDR_DISTANCE_ELASTIC_H_

@@ -1,0 +1,16 @@
+#include "distance/erp.h"
+
+#include "distance/elastic.h"
+
+namespace edr {
+
+double ErpDistance(const Trajectory& r, const Trajectory& s, Point2 gap) {
+  return elastic::Erp(r, s, -1, gap);
+}
+
+double ErpDistanceBanded(const Trajectory& r, const Trajectory& s, int band,
+                         Point2 gap) {
+  return elastic::Erp(r, s, band, gap);
+}
+
+}  // namespace edr

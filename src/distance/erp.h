@@ -1,0 +1,32 @@
+#ifndef EDR_DISTANCE_ERP_H_
+#define EDR_DISTANCE_ERP_H_
+
+#include "core/trajectory.h"
+
+namespace edr {
+
+/// Edit distance with Real Penalty (Figure 2, Formula 3; Chen & Ng,
+/// VLDB'04):
+///
+///   ERP(R, S) = min{ ERP(Rest(R), Rest(S)) + dist(r1, s1),
+///                    ERP(Rest(R), S)       + dist(r1, g),
+///                    ERP(R, Rest(S))       + dist(s1, g) },
+///
+/// with base cases ERP(R, empty) = sum_i dist(r_i, g) and symmetrically.
+/// `g` is the constant gap element. We use the true L2 element distance
+/// (not the squared form) so that ERP is a metric — squared distances
+/// violate the triangle inequality, and metricity is the property the
+/// paper highlights for ERP. The gap defaults to the origin, which is the
+/// mean of every z-score-normalized trajectory.
+double ErpDistance(const Trajectory& r, const Trajectory& s,
+                   Point2 gap = {0.0, 0.0});
+
+/// ERP constrained to a Sakoe-Chiba band of the given half-width (widened
+/// to |m - n| so the final cell stays reachable). `band < 0` means
+/// unconstrained.
+double ErpDistanceBanded(const Trajectory& r, const Trajectory& s, int band,
+                         Point2 gap = {0.0, 0.0});
+
+}  // namespace edr
+
+#endif  // EDR_DISTANCE_ERP_H_

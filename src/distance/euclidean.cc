@@ -1,0 +1,35 @@
+#include "distance/euclidean.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace edr {
+
+double EuclideanDistance(const Trajectory& r, const Trajectory& s) {
+  if (r.size() != s.size()) return std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  for (size_t i = 0; i < r.size(); ++i) sum += SquaredDist(r[i], s[i]);
+  return std::sqrt(sum);
+}
+
+double SlidingEuclideanDistance(const Trajectory& r, const Trajectory& s) {
+  if (r.empty() || s.empty()) return std::numeric_limits<double>::infinity();
+  const Trajectory& shorter = r.size() <= s.size() ? r : s;
+  const Trajectory& longer = r.size() <= s.size() ? s : r;
+  const size_t m = shorter.size();
+  const size_t n = longer.size();
+
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t offset = 0; offset + m <= n; ++offset) {
+    double sum = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      sum += SquaredDist(shorter[i], longer[offset + i]);
+      if (sum >= best) break;  // Early abandon: sum only grows.
+    }
+    best = std::min(best, sum);
+  }
+  return std::sqrt(best);
+}
+
+}  // namespace edr

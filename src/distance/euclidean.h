@@ -1,0 +1,28 @@
+#ifndef EDR_DISTANCE_EUCLIDEAN_H_
+#define EDR_DISTANCE_EUCLIDEAN_H_
+
+#include "core/trajectory.h"
+
+namespace edr {
+
+/// Euclidean distance between two trajectories of the same length
+/// (Figure 2, Formula 1):
+///
+///   Eu(R, S) = sqrt( sum_i dist(r_i, s_i) ),
+///   dist(r, s) = (r.x - s.x)^2 + (r.y - s.y)^2.
+///
+/// Euclidean distance requires the trajectories to have equal length;
+/// returns +infinity when the lengths differ (the measure is undefined
+/// there — use SlidingEuclideanDistance instead).
+double EuclideanDistance(const Trajectory& r, const Trajectory& s);
+
+/// Euclidean distance for possibly different-length trajectories, using the
+/// strategy of Vlachos et al. adopted by the paper (Section 3.2): the
+/// shorter trajectory slides along the longer one and the minimum distance
+/// over all alignments is recorded. For equal lengths this reduces to
+/// EuclideanDistance. Returns +infinity if either trajectory is empty.
+double SlidingEuclideanDistance(const Trajectory& r, const Trajectory& s);
+
+}  // namespace edr
+
+#endif  // EDR_DISTANCE_EUCLIDEAN_H_

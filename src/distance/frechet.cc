@@ -1,0 +1,53 @@
+#include "distance/frechet.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace edr {
+
+double DiscreteFrechetDistance(const Trajectory& r, const Trajectory& s) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const size_t m = r.size();
+  const size_t n = s.size();
+  if (m == 0 && n == 0) return 0.0;
+  if (m == 0 || n == 0) return kInf;
+
+  // dp[j] = min over couplings of prefix (i, j) of the max leash length.
+  std::vector<double> prev(n, 0.0);
+  std::vector<double> curr(n, 0.0);
+  prev[0] = L2Dist(r[0], s[0]);
+  for (size_t j = 1; j < n; ++j) {
+    prev[j] = std::max(prev[j - 1], L2Dist(r[0], s[j]));
+  }
+  for (size_t i = 1; i < m; ++i) {
+    curr[0] = std::max(prev[0], L2Dist(r[i], s[0]));
+    for (size_t j = 1; j < n; ++j) {
+      const double reach = std::min({prev[j - 1], prev[j], curr[j - 1]});
+      curr[j] = std::max(reach, L2Dist(r[i], s[j]));
+    }
+    std::swap(prev, curr);
+  }
+  return prev[n - 1];
+}
+
+double HausdorffDistance(const Trajectory& r, const Trajectory& s) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  if (r.empty() && s.empty()) return 0.0;
+  if (r.empty() || s.empty()) return kInf;
+
+  const auto directed = [](const Trajectory& a, const Trajectory& b) {
+    double worst = 0.0;
+    for (const Point2& p : a) {
+      double nearest = kInf;
+      for (const Point2& q : b) {
+        nearest = std::min(nearest, SquaredDist(p, q));
+      }
+      worst = std::max(worst, nearest);
+    }
+    return worst;
+  };
+  return std::sqrt(std::max(directed(r, s), directed(s, r)));
+}
+
+}  // namespace edr

@@ -1,0 +1,28 @@
+#ifndef EDR_DISTANCE_FRECHET_H_
+#define EDR_DISTANCE_FRECHET_H_
+
+#include "core/trajectory.h"
+
+namespace edr {
+
+/// Discrete Fréchet distance ("dog-leash distance"): the minimum over all
+/// monotone couplings of the maximum element distance. A classic
+/// trajectory measure included for comparison with EDR — like DTW it
+/// handles local time shifting, and like DTW a single outlier dominates
+/// it completely (the max makes it even more noise-sensitive than DTW's
+/// sum, which is the paper's central criticism of the L_p family).
+/// O(m*n) time, O(min side) space. Returns +infinity when exactly one
+/// trajectory is empty, 0 when both are.
+double DiscreteFrechetDistance(const Trajectory& r, const Trajectory& s);
+
+/// Hausdorff distance: max over elements of one trajectory of the
+/// distance to the nearest element of the other, symmetrized. The paper
+/// cites it (Section 4) as a prototypical *robust image* distance that
+/// violates the triangle inequality; for trajectories it ignores ordering
+/// entirely, which is why the paper's measures operate on sequences.
+/// O(m*n) time. Returns +infinity when exactly one trajectory is empty.
+double HausdorffDistance(const Trajectory& r, const Trajectory& s);
+
+}  // namespace edr
+
+#endif  // EDR_DISTANCE_FRECHET_H_

@@ -1,0 +1,25 @@
+#include "distance/lcss.h"
+
+#include <algorithm>
+
+#include "distance/elastic.h"
+
+namespace edr {
+
+size_t LcssLength(const Trajectory& r, const Trajectory& s, double epsilon) {
+  return elastic::Lcss(r, s, epsilon, -1);
+}
+
+size_t LcssLengthBanded(const Trajectory& r, const Trajectory& s,
+                        double epsilon, int band) {
+  return elastic::Lcss(r, s, epsilon, band);
+}
+
+double LcssDistance(const Trajectory& r, const Trajectory& s, double epsilon) {
+  if (r.empty() || s.empty()) return 1.0;
+  const double lcss = static_cast<double>(LcssLength(r, s, epsilon));
+  const double denom = static_cast<double>(std::min(r.size(), s.size()));
+  return 1.0 - lcss / denom;
+}
+
+}  // namespace edr

@@ -1,0 +1,30 @@
+#ifndef EDR_DISTANCE_LCSS_H_
+#define EDR_DISTANCE_LCSS_H_
+
+#include <cstddef>
+
+#include "core/trajectory.h"
+
+namespace edr {
+
+/// Longest Common Subsequence score of two trajectories (Figure 2,
+/// Formula 4): the length of the longest subsequence whose elements match
+/// pairwise within the matching threshold `epsilon` (Definition 1).
+/// Robust to noise (distance quantized to 0/1), but ignores the size of
+/// the gaps between matched subsequences — the inaccuracy EDR fixes.
+size_t LcssLength(const Trajectory& r, const Trajectory& s, double epsilon);
+
+/// LCSS score constrained to a Sakoe-Chiba band (|i - j| <= max(band,
+/// |m - n|)); `band < 0` means unconstrained.
+size_t LcssLengthBanded(const Trajectory& r, const Trajectory& s,
+                        double epsilon, int band);
+
+/// The standard distance form of the LCSS score,
+///   LcssDistance = 1 - LCSS(R, S) / min(|R|, |S|),
+/// in [0, 1]; 0 when one sequence is a matching subsequence of the other.
+/// Returns 1 when either trajectory is empty.
+double LcssDistance(const Trajectory& r, const Trajectory& s, double epsilon);
+
+}  // namespace edr
+
+#endif  // EDR_DISTANCE_LCSS_H_

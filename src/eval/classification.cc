@@ -1,0 +1,26 @@
+#include "eval/classification.h"
+
+#include <limits>
+
+namespace edr {
+
+double LeaveOneOutError(const TrajectoryDataset& db, const DistanceFn& fn) {
+  if (db.size() < 2) return 0.0;
+  size_t misses = 0;
+  for (size_t i = 0; i < db.size(); ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    int predicted = -1;
+    for (size_t j = 0; j < db.size(); ++j) {
+      if (j == i) continue;
+      const double d = fn(db[i], db[j]);
+      if (d < best) {
+        best = d;
+        predicted = db[j].label();
+      }
+    }
+    if (predicted != db[i].label()) ++misses;
+  }
+  return static_cast<double>(misses) / static_cast<double>(db.size());
+}
+
+}  // namespace edr

@@ -1,0 +1,18 @@
+#ifndef EDR_EVAL_CLASSIFICATION_H_
+#define EDR_EVAL_CLASSIFICATION_H_
+
+#include "core/dataset.h"
+#include "distance/distance.h"
+
+namespace edr {
+
+/// The paper's second efficacy test (Section 3.2, Table 2), following
+/// Keogh & Kasetty: "leave one out" 1-nearest-neighbor classification.
+/// Each trajectory's label is predicted as the label of its nearest
+/// neighbor among all other trajectories under `fn`; returns the error
+/// rate (misses / total). Requires a labeled dataset.
+double LeaveOneOutError(const TrajectoryDataset& db, const DistanceFn& fn);
+
+}  // namespace edr
+
+#endif  // EDR_EVAL_CLASSIFICATION_H_

@@ -1,0 +1,50 @@
+#include "eval/clustering_eval.h"
+
+#include <set>
+#include <vector>
+
+#include "eval/linkage.h"
+
+namespace edr {
+
+ClassPairClusteringResult EvaluateClusteringByClassPairs(
+    const TrajectoryDataset& db, const DistanceFn& fn) {
+  ClassPairClusteringResult result;
+
+  std::set<int> labels;
+  for (const Trajectory& t : db) {
+    if (t.label() >= 0) labels.insert(t.label());
+  }
+  const std::vector<int> classes(labels.begin(), labels.end());
+
+  for (size_t a = 0; a < classes.size(); ++a) {
+    for (size_t b = a + 1; b < classes.size(); ++b) {
+      // Collect the two classes' members.
+      std::vector<const Trajectory*> items;
+      std::vector<int> truth;
+      for (const Trajectory& t : db) {
+        if (t.label() == classes[a] || t.label() == classes[b]) {
+          items.push_back(&t);
+          truth.push_back(t.label() == classes[a] ? 0 : 1);
+        }
+      }
+      ++result.total_pairs;
+
+      const DistanceMatrix matrix = ComputeDistanceMatrix(items, fn);
+      const std::vector<int> clusters = CompleteLinkageClusters(matrix, 2);
+
+      // Correct iff the 2-clustering equals the class partition (up to
+      // cluster-id swap).
+      bool same = true;
+      bool swapped = true;
+      for (size_t i = 0; i < truth.size(); ++i) {
+        if (clusters[i] != truth[i]) same = false;
+        if (clusters[i] != 1 - truth[i]) swapped = false;
+      }
+      if (same || swapped) ++result.correct_pairs;
+    }
+  }
+  return result;
+}
+
+}  // namespace edr

@@ -1,0 +1,28 @@
+#ifndef EDR_EVAL_CLUSTERING_EVAL_H_
+#define EDR_EVAL_CLUSTERING_EVAL_H_
+
+#include <cstddef>
+
+#include "core/dataset.h"
+#include "distance/distance.h"
+
+namespace edr {
+
+/// Result of the Table 1 protocol: how many class pairs were clustered
+/// correctly out of all C(classes, 2) pairs.
+struct ClassPairClusteringResult {
+  size_t correct_pairs = 0;
+  size_t total_pairs = 0;
+};
+
+/// The paper's first efficacy test (Section 3.2, Table 1): for every pair
+/// of classes in a labeled dataset, cluster the union of their
+/// trajectories into two groups with complete-linkage hierarchical
+/// clustering under the given distance function; the pair counts as
+/// correct iff the two clusters exactly recover the two classes.
+ClassPairClusteringResult EvaluateClusteringByClassPairs(
+    const TrajectoryDataset& db, const DistanceFn& fn);
+
+}  // namespace edr
+
+#endif  // EDR_EVAL_CLUSTERING_EVAL_H_

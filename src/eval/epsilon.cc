@@ -1,0 +1,54 @@
+#include "eval/epsilon.h"
+
+#include <algorithm>
+
+#include "distance/edr.h"
+#include "eval/metrics.h"
+
+namespace edr {
+
+EpsilonProbeResult SuggestEpsilonByProbing(const TrajectoryDataset& db,
+                                           std::vector<double> candidates,
+                                           size_t probes, size_t k) {
+  EpsilonProbeResult best;
+  if (db.size() < 2) return best;
+
+  if (candidates.empty()) {
+    const double sigma = std::max(db.Stats().max_std_dev, 1e-9);
+    candidates = {sigma / 8.0, sigma / 4.0, sigma / 2.0, sigma, 2.0 * sigma};
+  }
+  std::sort(candidates.begin(), candidates.end());
+
+  const std::vector<Trajectory> queries =
+      SampleQueries(db, std::max<size_t>(1, probes));
+  k = std::min(k, db.size());
+
+  best.contrast = -1.0;
+  for (const double epsilon : candidates) {
+    double contrast_sum = 0.0;
+    for (const Trajectory& query : queries) {
+      std::vector<int> distances;
+      distances.reserve(db.size());
+      for (const Trajectory& s : db) {
+        distances.push_back(EdrDistance(query, s, epsilon));
+      }
+      std::sort(distances.begin(), distances.end());
+      const double kth =
+          std::max(1.0, static_cast<double>(distances[k - 1]));
+      const double median =
+          static_cast<double>(distances[distances.size() / 2]);
+      contrast_sum += median / kth;
+    }
+    const double contrast =
+        contrast_sum / static_cast<double>(queries.size());
+    // Strictly-greater keeps the smaller epsilon on ties (candidates are
+    // visited in ascending order).
+    if (contrast > best.contrast) {
+      best.contrast = contrast;
+      best.epsilon = epsilon;
+    }
+  }
+  return best;
+}
+
+}  // namespace edr

@@ -1,0 +1,43 @@
+#ifndef EDR_EVAL_EPSILON_H_
+#define EDR_EVAL_EPSILON_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dataset.h"
+
+namespace edr {
+
+/// Result of the probing protocol: the chosen threshold and the contrast
+/// score it achieved (for diagnostics).
+struct EpsilonProbeResult {
+  double epsilon = 0.25;
+  double contrast = 0.0;
+};
+
+/// Automates the paper's matching-threshold selection protocol: "we run
+/// several probing k-NN queries on each data set with different matching
+/// thresholds and choose the one that ranks the results close to human
+/// observations" (Section 5). Without a human in the loop, this picks the
+/// candidate epsilon maximizing the *k-NN contrast* of probing queries —
+/// the mean ratio between the median EDR distance to the database and the
+/// k-th nearest distance:
+///
+///   - epsilon too small: nothing matches, every distance saturates near
+///     max(m, n), contrast ~ 1;
+///   - epsilon too large: everything matches, every distance collapses to
+///     the length difference, contrast degrades again;
+///   - in between, true neighbors separate from the bulk and the contrast
+///     peaks.
+///
+/// Ties choose the smaller epsilon (tighter semantics). `candidates`
+/// defaults to {1/8, 1/4, 1/2, 1, 2} times the max trajectory standard
+/// deviation when empty. O(probes * |db| * len^2) — probing cost, run it
+/// once per dataset.
+EpsilonProbeResult SuggestEpsilonByProbing(
+    const TrajectoryDataset& db, std::vector<double> candidates = {},
+    size_t probes = 5, size_t k = 20);
+
+}  // namespace edr
+
+#endif  // EDR_EVAL_EPSILON_H_

@@ -1,0 +1,70 @@
+#include "eval/linkage.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace edr {
+
+DistanceMatrix ComputeDistanceMatrix(
+    const std::vector<const Trajectory*>& items, const DistanceFn& fn) {
+  DistanceMatrix matrix(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    for (size_t j = i + 1; j < items.size(); ++j) {
+      matrix.set(i, j, fn(*items[i], *items[j]));
+    }
+  }
+  return matrix;
+}
+
+std::vector<int> CompleteLinkageClusters(const DistanceMatrix& matrix,
+                                         size_t k) {
+  const size_t n = matrix.size();
+  if (n == 0) return {};
+  k = std::max<size_t>(1, std::min(k, n));
+
+  // Active-cluster list with member sets; O(n^3) overall, which is ample
+  // for the efficacy experiments (tens of items per clustering).
+  std::vector<std::vector<size_t>> clusters(n);
+  for (size_t i = 0; i < n; ++i) clusters[i] = {i};
+
+  const auto complete_linkage = [&matrix](const std::vector<size_t>& a,
+                                          const std::vector<size_t>& b) {
+    double worst = 0.0;
+    for (const size_t i : a) {
+      for (const size_t j : b) {
+        worst = std::max(worst, matrix.at(i, j));
+      }
+    }
+    return worst;
+  };
+
+  while (clusters.size() > k) {
+    size_t best_a = 0;
+    size_t best_b = 1;
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t a = 0; a < clusters.size(); ++a) {
+      for (size_t b = a + 1; b < clusters.size(); ++b) {
+        const double d = complete_linkage(clusters[a], clusters[b]);
+        if (d < best) {
+          best = d;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    clusters[best_a].insert(clusters[best_a].end(),
+                            clusters[best_b].begin(), clusters[best_b].end());
+    clusters.erase(clusters.begin() + static_cast<long>(best_b));
+  }
+
+  std::vector<int> assignment(n, 0);
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    for (const size_t i : clusters[c]) {
+      assignment[i] = static_cast<int>(c);
+    }
+  }
+  return assignment;
+}
+
+}  // namespace edr

@@ -1,0 +1,43 @@
+#ifndef EDR_EVAL_LINKAGE_H_
+#define EDR_EVAL_LINKAGE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/trajectory.h"
+#include "distance/distance.h"
+
+namespace edr {
+
+/// A dense symmetric pairwise-distance matrix over n items.
+class DistanceMatrix {
+ public:
+  explicit DistanceMatrix(size_t n) : n_(n), d_(n * n, 0.0) {}
+
+  size_t size() const { return n_; }
+  double at(size_t i, size_t j) const { return d_[i * n_ + j]; }
+  void set(size_t i, size_t j, double v) {
+    d_[i * n_ + j] = v;
+    d_[j * n_ + i] = v;
+  }
+
+ private:
+  size_t n_;
+  std::vector<double> d_;
+};
+
+/// Evaluates `fn` on every unordered pair of items.
+DistanceMatrix ComputeDistanceMatrix(
+    const std::vector<const Trajectory*>& items, const DistanceFn& fn);
+
+/// Agglomerative hierarchical clustering with *complete linkage* (the
+/// inter-cluster distance is the maximum pairwise item distance), the
+/// algorithm reported to produce the best trajectory clusterings and used
+/// by the paper's Table 1 protocol. Merging stops when `k` clusters
+/// remain; returns a cluster id in [0, k) per item.
+std::vector<int> CompleteLinkageClusters(const DistanceMatrix& matrix,
+                                         size_t k);
+
+}  // namespace edr
+
+#endif  // EDR_EVAL_LINKAGE_H_

@@ -1,0 +1,83 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace edr {
+
+WorkloadResult RunWorkload(const NamedSearcher& searcher,
+                           const std::vector<Trajectory>& queries, size_t k,
+                           const std::vector<KnnResult>* ground_truth,
+                           double baseline_seconds) {
+  WorkloadResult out;
+  out.method = searcher.name;
+  out.queries = queries.size();
+  double power_sum = 0.0;
+  double seconds_sum = 0.0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const KnnResult result = searcher.search(queries[i], k);
+    power_sum += result.stats.PruningPower();
+    seconds_sum += result.stats.elapsed_seconds;
+    if (ground_truth != nullptr &&
+        !SameKnnDistances((*ground_truth)[i], result)) {
+      out.lossless = false;
+    }
+  }
+  if (!queries.empty()) {
+    out.avg_pruning_power = power_sum / static_cast<double>(queries.size());
+    out.avg_seconds = seconds_sum / static_cast<double>(queries.size());
+  }
+  if (baseline_seconds > 0.0 && out.avg_seconds > 0.0) {
+    out.speedup = baseline_seconds / out.avg_seconds;
+  }
+  return out;
+}
+
+std::vector<KnnResult> RunGroundTruth(const QueryEngine& engine,
+                                      const std::vector<Trajectory>& queries,
+                                      size_t k) {
+  std::vector<KnnResult> results;
+  results.reserve(queries.size());
+  for (const Trajectory& q : queries) {
+    results.push_back(engine.SeqScan(q, k));
+  }
+  return results;
+}
+
+double MeanSeconds(const std::vector<KnnResult>& results) {
+  if (results.empty()) return 0.0;
+  double sum = 0.0;
+  for (const KnnResult& r : results) sum += r.stats.elapsed_seconds;
+  return sum / static_cast<double>(results.size());
+}
+
+std::vector<Trajectory> SampleQueries(const TrajectoryDataset& db,
+                                      size_t count) {
+  std::vector<Trajectory> queries;
+  if (db.empty() || count == 0) return queries;
+  count = std::min(count, db.size());
+  queries.reserve(count);
+  const size_t stride = db.size() / count;
+  for (size_t i = 0; i < count; ++i) {
+    queries.push_back(db[i * stride]);
+  }
+  return queries;
+}
+
+std::string FormatWorkloadHeader() {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%-14s %10s %12s %10s %9s", "method",
+                "pruning", "avg_ms", "speedup", "lossless");
+  return buf;
+}
+
+std::string FormatWorkloadRow(const WorkloadResult& result) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%-14s %10.3f %12.3f %10.2f %9s",
+                result.method.c_str(), result.avg_pruning_power,
+                result.avg_seconds * 1000.0, result.speedup,
+                result.lossless ? "yes" : "NO");
+  return buf;
+}
+
+}  // namespace edr

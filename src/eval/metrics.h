@@ -1,0 +1,60 @@
+#ifndef EDR_EVAL_METRICS_H_
+#define EDR_EVAL_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "query/engine.h"
+#include "query/knn.h"
+
+namespace edr {
+
+/// Aggregated measurements for one method over a query workload — the
+/// rows of the paper's Figures 7-13 and Table 3.
+struct WorkloadResult {
+  std::string method;
+  size_t queries = 0;
+  /// Mean fraction of trajectories whose true EDR was never computed.
+  double avg_pruning_power = 0.0;
+  /// Mean wall-clock seconds per query.
+  double avg_seconds = 0.0;
+  /// Sequential-scan mean seconds / this method's mean seconds
+  /// (0 when no baseline was supplied).
+  double speedup = 0.0;
+  /// True iff every query returned exactly the ground-truth distances
+  /// (no false dismissals).
+  bool lossless = true;
+};
+
+/// Runs every query through `searcher` and aggregates stats. When
+/// `ground_truth` is non-null (one entry per query, typically from
+/// RunGroundTruth) each result is certified against it and
+/// `baseline_seconds` (its mean per-query time) is used for the speedup.
+WorkloadResult RunWorkload(const NamedSearcher& searcher,
+                           const std::vector<Trajectory>& queries, size_t k,
+                           const std::vector<KnnResult>* ground_truth,
+                           double baseline_seconds);
+
+/// Sequential-scan ground truth for a workload; the baseline of every
+/// speedup ratio. Returns one KnnResult per query.
+std::vector<KnnResult> RunGroundTruth(const QueryEngine& engine,
+                                      const std::vector<Trajectory>& queries,
+                                      size_t k);
+
+/// Mean per-query seconds of a set of results.
+double MeanSeconds(const std::vector<KnnResult>& results);
+
+/// Draws `count` query trajectories from the dataset, evenly spaced (the
+/// paper probes with queries from the data distribution).
+std::vector<Trajectory> SampleQueries(const TrajectoryDataset& db,
+                                      size_t count);
+
+/// Formats one result as an aligned table row; `header` prints the
+/// column names instead.
+std::string FormatWorkloadRow(const WorkloadResult& result);
+std::string FormatWorkloadHeader();
+
+}  // namespace edr
+
+#endif  // EDR_EVAL_METRICS_H_

@@ -1,0 +1,142 @@
+#include "index/vp_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <utility>
+
+namespace edr {
+
+/// Inner nodes hold a vantage item and the median distance `threshold`;
+/// `inside` holds items with d(v, x) <= threshold, `outside` the rest.
+struct VpTree::Node {
+  uint32_t vantage = 0;
+  double threshold = 0.0;
+  std::unique_ptr<Node> inside;
+  std::unique_ptr<Node> outside;
+};
+
+namespace {
+
+// SplitMix64 step for deterministic vantage selection without dragging a
+// full Rng into the index.
+inline uint64_t NextState(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+VpTree::VpTree(size_t n, const ItemDistance& distance, uint64_t seed)
+    : size_(n) {
+  std::vector<uint32_t> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  uint64_t state = seed;
+  if (n > 0) root_ = Build(ids, 0, n, distance, state);
+}
+
+VpTree::~VpTree() = default;
+VpTree::VpTree(VpTree&&) noexcept = default;
+VpTree& VpTree::operator=(VpTree&&) noexcept = default;
+
+std::unique_ptr<VpTree::Node> VpTree::Build(std::vector<uint32_t>& ids,
+                                            size_t begin, size_t end,
+                                            const ItemDistance& distance,
+                                            uint64_t& state) {
+  if (begin >= end) return nullptr;
+  auto node = std::make_unique<Node>();
+
+  // Random vantage point; swap it to the front of the range.
+  const size_t pick = begin + NextState(state) % (end - begin);
+  std::swap(ids[begin], ids[pick]);
+  node->vantage = ids[begin];
+  ++begin;
+  if (begin == end) return node;
+
+  // Partition the rest by the median distance to the vantage.
+  const size_t mid = begin + (end - begin) / 2;
+  std::nth_element(ids.begin() + static_cast<long>(begin),
+                   ids.begin() + static_cast<long>(mid),
+                   ids.begin() + static_cast<long>(end),
+                   [&](uint32_t a, uint32_t b) {
+                     return distance(node->vantage, a) <
+                            distance(node->vantage, b);
+                   });
+  node->threshold = distance(node->vantage, ids[mid]);
+
+  // [begin, mid] inside (distances <= threshold includes the median),
+  // (mid, end) outside.
+  node->inside = Build(ids, begin, mid + 1, distance, state);
+  node->outside = Build(ids, mid + 1, end, distance, state);
+  return node;
+}
+
+namespace {
+
+void SortNeighbors(std::vector<Neighbor>& neighbors) {
+  std::sort(neighbors.begin(), neighbors.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.id < b.id;
+            });
+}
+
+}  // namespace
+
+std::vector<Neighbor> VpTree::Knn(const QueryDistance& distance, size_t k,
+                                  size_t* distance_calls) const {
+  KnnResultList result(k);
+  size_t calls = 0;
+
+  const std::function<void(const Node*)> visit = [&](const Node* node) {
+    if (node == nullptr) return;
+    const double d = distance(node->vantage);
+    ++calls;
+    result.Offer(node->vantage, d);
+    const double tau = result.KthDistance();
+    // Triangle inequality: items inside are within threshold of the
+    // vantage, so their distance to the query is at least d - threshold;
+    // symmetrically for outside. Visit the nearer side first.
+    if (d <= node->threshold) {
+      if (d - tau <= node->threshold) visit(node->inside.get());
+      if (d + result.KthDistance() >= node->threshold) {
+        visit(node->outside.get());
+      }
+    } else {
+      if (d + tau >= node->threshold) visit(node->outside.get());
+      if (d - result.KthDistance() <= node->threshold) {
+        visit(node->inside.get());
+      }
+    }
+  };
+  visit(root_.get());
+
+  if (distance_calls != nullptr) *distance_calls = calls;
+  std::vector<Neighbor> neighbors = std::move(result).TakeNeighbors();
+  SortNeighbors(neighbors);
+  return neighbors;
+}
+
+std::vector<Neighbor> VpTree::Range(const QueryDistance& distance,
+                                    double radius,
+                                    size_t* distance_calls) const {
+  std::vector<Neighbor> out;
+  size_t calls = 0;
+  const std::function<void(const Node*)> visit = [&](const Node* node) {
+    if (node == nullptr) return;
+    const double d = distance(node->vantage);
+    ++calls;
+    if (d <= radius) out.push_back({node->vantage, d});
+    if (d - radius <= node->threshold) visit(node->inside.get());
+    if (d + radius >= node->threshold) visit(node->outside.get());
+  };
+  visit(root_.get());
+  if (distance_calls != nullptr) *distance_calls = calls;
+  SortNeighbors(out);
+  return out;
+}
+
+}  // namespace edr

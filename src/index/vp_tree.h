@@ -1,0 +1,67 @@
+#ifndef EDR_INDEX_VP_TREE_H_
+#define EDR_INDEX_VP_TREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "query/knn.h"
+
+namespace edr {
+
+/// A vantage-point tree: the classic "known distance access method" the
+/// paper contrasts with its EDR filters ("Euclidean distance and ERP are
+/// metric and they obey triangle inequality, therefore, they can be
+/// indexed by known distance access methods, while DTW is not",
+/// Section 2). The tree partitions items by distance to a vantage point
+/// and prunes subtrees with the triangle inequality at query time.
+///
+/// The structure is distance-agnostic: it is built from a pairwise
+/// distance oracle over item ids, and queried with a query-to-item
+/// oracle. **Correctness requires the distance to be a metric.** Used
+/// with ERP it returns exact answers; used with EDR it silently loses
+/// neighbors — the demonstration behind the paper's decision to build
+/// dedicated lossless filters instead (see bench_ablation).
+class VpTree {
+ public:
+  /// Distance between two indexed items.
+  using ItemDistance = std::function<double(uint32_t, uint32_t)>;
+  /// Distance from the current query to an indexed item.
+  using QueryDistance = std::function<double(uint32_t)>;
+
+  /// Builds over items 0..n-1. O(n log n) oracle calls in expectation
+  /// (median selection per level). `seed` controls vantage-point choice.
+  VpTree(size_t n, const ItemDistance& distance, uint64_t seed = 1);
+  ~VpTree();
+
+  VpTree(VpTree&&) noexcept;
+  VpTree& operator=(VpTree&&) noexcept;
+
+  /// k nearest items to the query, ascending distance. `distance_calls`
+  /// (when non-null) receives the number of oracle invocations — the
+  /// VP-tree's analogue of the paper's "true distance computations".
+  std::vector<Neighbor> Knn(const QueryDistance& distance, size_t k,
+                            size_t* distance_calls = nullptr) const;
+
+  /// All items within `radius` of the query, ascending distance.
+  std::vector<Neighbor> Range(const QueryDistance& distance, double radius,
+                              size_t* distance_calls = nullptr) const;
+
+  size_t size() const { return size_; }
+
+ private:
+  struct Node;
+
+  std::unique_ptr<Node> Build(std::vector<uint32_t>& ids, size_t begin,
+                              size_t end, const ItemDistance& distance,
+                              uint64_t& state);
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace edr
+
+#endif  // EDR_INDEX_VP_TREE_H_

@@ -1,0 +1,255 @@
+#include "pruning/combined.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+
+#include "distance/edr.h"
+#include "pruning/qgram.h"
+
+namespace edr {
+
+std::vector<std::array<PruneStep, 3>> AllPruneOrders() {
+  const PruneStep h = PruneStep::kHistogram;
+  const PruneStep p = PruneStep::kQgram;
+  const PruneStep n = PruneStep::kNearTriangle;
+  return {{h, p, n}, {h, n, p}, {p, h, n}, {p, n, h}, {n, h, p}, {n, p, h}};
+}
+
+char PruneStepCode(PruneStep step) {
+  switch (step) {
+    case PruneStep::kHistogram: return 'H';
+    case PruneStep::kQgram: return 'P';
+    case PruneStep::kNearTriangle: return 'N';
+  }
+  return '?';
+}
+
+CombinedKnnSearcher::CombinedKnnSearcher(const TrajectoryDataset& db,
+                                         double epsilon,
+                                         const CombinedOptions& options)
+    : CombinedKnnSearcher(
+          db, epsilon, options,
+          PairwiseEdrMatrix::Build(db, epsilon, options.max_triangle)) {}
+
+CombinedKnnSearcher::CombinedKnnSearcher(const TrajectoryDataset& db,
+                                         double epsilon,
+                                         const CombinedOptions& options,
+                                         PairwiseEdrMatrix matrix)
+    : db_(db),
+      epsilon_(epsilon),
+      options_(options),
+      histograms_(db, epsilon, options.histogram_kind,
+                  options.histogram_delta),
+      matrix_(std::move(matrix)) {
+  sorted_means_.reserve(db_.size());
+  for (const Trajectory& t : db_) {
+    std::vector<Point2> means = MeanValueQgrams(t, options_.q);
+    SortMeans(means);
+    sorted_means_.push_back(std::move(means));
+  }
+}
+
+KnnResult CombinedKnnSearcher::Knn(const Trajectory& query, size_t k) const {
+  const auto start = std::chrono::steady_clock::now();
+
+  const HistogramTable::QueryHistogram qh =
+      histograms_.MakeQueryHistogram(query);
+  std::vector<Point2> query_means = MeanValueQgrams(query, options_.q);
+  SortMeans(query_means);
+
+  const bool histogram_first =
+      options_.order[0] == PruneStep::kHistogram &&
+      options_.sorted_histogram_scan;
+
+  // When the histogram filter runs first (and sorted scanning is enabled)
+  // we adopt the HSR strategy: all fast lower bounds up front, candidates
+  // in ascending-bound order, hard stop at the first bound above the k-th
+  // distance.
+  std::vector<int> bounds;
+  std::vector<uint32_t> order(db_.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (histogram_first) {
+    bounds.resize(db_.size());
+    for (size_t i = 0; i < db_.size(); ++i) {
+      bounds[i] = histograms_.FastLowerBound(qh, static_cast<uint32_t>(i));
+    }
+    std::sort(order.begin(), order.end(), [&bounds](uint32_t a, uint32_t b) {
+      return bounds[a] < bounds[b];
+    });
+  }
+
+  std::vector<std::pair<uint32_t, double>> proc_array;
+  proc_array.reserve(matrix_.num_refs());
+  KnnResultList result(k);
+  size_t computed = 0;
+
+  for (const uint32_t id : order) {
+    const Trajectory& s = db_[id];
+    const double best = result.KthDistance();
+
+    bool pruned = false;
+    bool stop_scan = false;
+    for (const PruneStep step : options_.order) {
+      switch (step) {
+        case PruneStep::kHistogram: {
+          // The linear-time transport bound; the exact max-flow bound adds
+          // almost no pruning at many times the cost (see bench_ablation)
+          // and is not consulted on the query path.
+          const double fast = static_cast<double>(
+              histogram_first ? bounds[id]
+                              : histograms_.FastLowerBound(qh, id));
+          if (fast > best) {
+            pruned = true;
+            // In sorted order every remaining fast bound is >= this one.
+            if (histogram_first) stop_scan = true;
+          }
+          break;
+        }
+        case PruneStep::kQgram: {
+          if (std::isinf(best)) break;  // Cannot prune before k seeds.
+          const long best_k = static_cast<long>(best);
+          const long threshold = QgramCountThreshold(
+              query.size(), s.size(), options_.q, best_k);
+          if (threshold <= 0) break;
+          const long count = static_cast<long>(CountMatchingMeans2D(
+              query_means, sorted_means_[id], epsilon_));
+          if (count < threshold) pruned = true;
+          break;
+        }
+        case PruneStep::kNearTriangle: {
+          double max_prune_dist = 0.0;
+          for (const auto& [ref_id, ref_dist] : proc_array) {
+            const double bound = ref_dist - matrix_.at(ref_id, id) -
+                                 static_cast<double>(s.size());
+            max_prune_dist = std::max(max_prune_dist, bound);
+          }
+          if (max_prune_dist > best) pruned = true;
+          break;
+        }
+      }
+      if (pruned) break;
+    }
+    if (stop_scan) break;
+    if (pruned) continue;
+
+    const double dist = static_cast<double>(EdrDistance(query, s, epsilon_));
+    ++computed;
+    if (id < matrix_.num_refs() && proc_array.size() < matrix_.num_refs()) {
+      proc_array.emplace_back(id, dist);
+    }
+    result.Offer(id, dist);
+  }
+
+  const auto stop = std::chrono::steady_clock::now();
+  KnnResult out;
+  out.neighbors = std::move(result).TakeNeighbors();
+  out.stats.db_size = db_.size();
+  out.stats.edr_computed = computed;
+  out.stats.elapsed_seconds =
+      std::chrono::duration<double>(stop - start).count();
+  return out;
+}
+
+KnnResult CombinedKnnSearcher::Range(const Trajectory& query,
+                                     int radius) const {
+  const auto start = std::chrono::steady_clock::now();
+  const HistogramTable::QueryHistogram qh =
+      histograms_.MakeQueryHistogram(query);
+  std::vector<Point2> query_means = MeanValueQgrams(query, options_.q);
+  SortMeans(query_means);
+
+  const bool histogram_first =
+      options_.order[0] == PruneStep::kHistogram &&
+      options_.sorted_histogram_scan;
+  std::vector<int> bounds;
+  std::vector<uint32_t> order(db_.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (histogram_first) {
+    bounds.resize(db_.size());
+    for (size_t i = 0; i < db_.size(); ++i) {
+      bounds[i] = histograms_.FastLowerBound(qh, static_cast<uint32_t>(i));
+    }
+    std::sort(order.begin(), order.end(), [&bounds](uint32_t a, uint32_t b) {
+      return bounds[a] < bounds[b];
+    });
+  }
+
+  std::vector<std::pair<uint32_t, double>> proc_array;
+  proc_array.reserve(matrix_.num_refs());
+  KnnResult out;
+  size_t computed = 0;
+
+  for (const uint32_t id : order) {
+    const Trajectory& s = db_[id];
+    bool pruned = false;
+    bool stop_scan = false;
+    for (const PruneStep step : options_.order) {
+      switch (step) {
+        case PruneStep::kHistogram: {
+          const int fast = histogram_first
+                               ? bounds[id]
+                               : histograms_.FastLowerBound(qh, id);
+          if (fast > radius) {
+            pruned = true;
+            if (histogram_first) stop_scan = true;
+          }
+          break;
+        }
+        case PruneStep::kQgram: {
+          const long threshold = QgramCountThreshold(
+              query.size(), s.size(), options_.q, radius);
+          if (threshold <= 0) break;
+          const long count = static_cast<long>(CountMatchingMeans2D(
+              query_means, sorted_means_[id], epsilon_));
+          if (count < threshold) pruned = true;
+          break;
+        }
+        case PruneStep::kNearTriangle: {
+          double max_prune_dist = 0.0;
+          for (const auto& [ref_id, ref_dist] : proc_array) {
+            const double bound = ref_dist - matrix_.at(ref_id, id) -
+                                 static_cast<double>(s.size());
+            max_prune_dist = std::max(max_prune_dist, bound);
+          }
+          if (max_prune_dist > static_cast<double>(radius)) pruned = true;
+          break;
+        }
+      }
+      if (pruned) break;
+    }
+    if (stop_scan) break;
+    if (pruned) continue;
+
+    const int dist = EdrDistance(query, s, epsilon_);
+    ++computed;
+    if (id < matrix_.num_refs() && proc_array.size() < matrix_.num_refs()) {
+      proc_array.emplace_back(id, static_cast<double>(dist));
+    }
+    if (dist <= radius) {
+      out.neighbors.push_back({id, static_cast<double>(dist)});
+    }
+  }
+
+  std::sort(out.neighbors.begin(), out.neighbors.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.id < b.id;
+            });
+  const auto stop = std::chrono::steady_clock::now();
+  out.stats.db_size = db_.size();
+  out.stats.edr_computed = computed;
+  out.stats.elapsed_seconds =
+      std::chrono::duration<double>(stop - start).count();
+  return out;
+}
+
+std::string CombinedKnnSearcher::name() const {
+  std::string out =
+      options_.histogram_kind == HistogramTable::Kind::k2D ? "2" : "1";
+  for (const PruneStep step : options_.order) out += PruneStepCode(step);
+  return out;
+}
+
+}  // namespace edr

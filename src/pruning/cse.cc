@@ -1,0 +1,72 @@
+#include "pruning/cse.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "distance/edr.h"
+
+namespace edr {
+
+double MaxTriangleViolation(const PairwiseEdrMatrix& matrix) {
+  const size_t n = matrix.num_refs();
+  double worst = 0.0;
+  for (size_t x = 0; x < n; ++x) {
+    for (size_t y = 0; y < n; ++y) {
+      if (y == x) continue;
+      for (size_t z = 0; z < n; ++z) {
+        const double violation =
+            static_cast<double>(matrix.at(x, static_cast<uint32_t>(z))) -
+            static_cast<double>(matrix.at(x, static_cast<uint32_t>(y))) -
+            static_cast<double>(matrix.at(y, static_cast<uint32_t>(z)));
+        worst = std::max(worst, violation);
+      }
+    }
+  }
+  return worst;
+}
+
+CseSearcher::CseSearcher(const TrajectoryDataset& db, double epsilon,
+                         PairwiseEdrMatrix matrix)
+    : db_(db), epsilon_(epsilon), matrix_(std::move(matrix)) {
+  shift_ = MaxTriangleViolation(matrix_);
+}
+
+KnnResult CseSearcher::Knn(const Trajectory& query, size_t k) const {
+  const auto start = std::chrono::steady_clock::now();
+
+  std::vector<std::pair<uint32_t, double>> proc_array;
+  proc_array.reserve(matrix_.num_refs());
+
+  KnnResultList result(k);
+  size_t computed = 0;
+
+  for (const Trajectory& s : db_) {
+    const double best = result.KthDistance();
+    double max_prune_dist = 0.0;
+    for (const auto& [ref_id, ref_dist] : proc_array) {
+      const double bound =
+          ref_dist - matrix_.at(ref_id, s.id()) - shift_;
+      max_prune_dist = std::max(max_prune_dist, bound);
+    }
+    if (max_prune_dist > best) continue;
+
+    const double dist = static_cast<double>(EdrDistance(query, s, epsilon_));
+    ++computed;
+    if (s.id() < matrix_.num_refs() &&
+        proc_array.size() < matrix_.num_refs()) {
+      proc_array.emplace_back(s.id(), dist);
+    }
+    result.Offer(s.id(), dist);
+  }
+
+  const auto stop = std::chrono::steady_clock::now();
+  KnnResult out;
+  out.neighbors = std::move(result).TakeNeighbors();
+  out.stats.db_size = db_.size();
+  out.stats.edr_computed = computed;
+  out.stats.elapsed_seconds =
+      std::chrono::duration<double>(stop - start).count();
+  return out;
+}
+
+}  // namespace edr

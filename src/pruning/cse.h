@@ -1,0 +1,65 @@
+#ifndef EDR_PRUNING_CSE_H_
+#define EDR_PRUNING_CSE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/dataset.h"
+#include "pruning/near_triangle.h"
+#include "query/knn.h"
+
+namespace edr {
+
+/// Constant Shift Embedding (Roth et al., NIPS'02), the alternative the
+/// paper *rejects* in Section 4.2, implemented here as an ablation so the
+/// rejection can be reproduced quantitatively.
+///
+/// CSE converts a non-metric distance into one that satisfies the triangle
+/// inequality by adding a constant c to every distance:
+///   dist'(x, y) = dist(x, y) + c.
+/// Triangle pruning on dist' yields the bound
+///   EDR(Q, S) >= EDR(Q, R) - EDR(S, R) - c.
+///
+/// Two caveats the paper raises, both observable with this implementation:
+///  1. A c large enough to repair all database triples makes the bound so
+///     slack that almost nothing is pruned.
+///  2. Queries from outside the database may form triples that violate the
+///     inequality even with the database-derived c, so CSE pruning (unlike
+///     near-triangle pruning) may introduce false dismissals.
+class CseSearcher {
+ public:
+  /// Derives c from the reference-to-reference submatrix of `matrix`: the
+  /// maximum triangle violation max(EDR(x,z) - EDR(x,y) - EDR(y,z)) over
+  /// all reference triples (0 if none violate).
+  CseSearcher(const TrajectoryDataset& db, double epsilon,
+              PairwiseEdrMatrix matrix);
+
+  KnnResult Knn(const Trajectory& query, size_t k) const;
+
+  /// The derived shift constant.
+  double shift() const { return shift_; }
+
+  /// Overrides the shift constant. Shrinking c below the derived value
+  /// increases pruning but sacrifices the no-false-dismissal guarantee —
+  /// the trade-off the paper cites when rejecting CSE ("reducing the
+  /// minimum eigenvalue may increase pruning ability, but ... introduce
+  /// false dismissals"). Exposed for the ablation benchmarks.
+  void set_shift(double shift) { shift_ = shift; }
+
+  std::string name() const { return "CSE"; }
+
+ private:
+  const TrajectoryDataset& db_;
+  double epsilon_;
+  PairwiseEdrMatrix matrix_;
+  double shift_ = 0.0;
+};
+
+/// The maximum triangle violation over all triples of the first
+/// `matrix.num_refs()` trajectories; the minimum constant making every such
+/// triple obey the triangle inequality.
+double MaxTriangleViolation(const PairwiseEdrMatrix& matrix);
+
+}  // namespace edr
+
+#endif  // EDR_PRUNING_CSE_H_

@@ -1,0 +1,439 @@
+#include "pruning/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+
+namespace edr {
+
+namespace {
+
+/// A small Dinic max-flow solver used to compute the maximal cancellation
+/// between positive and negative histogram residuals. Graph sizes here are
+/// tiny (hundreds of nodes), so simplicity beats asymptotic tuning.
+class MaxFlow {
+ public:
+  explicit MaxFlow(int num_nodes) : graph_(num_nodes) {}
+
+  void AddEdge(int from, int to, int capacity) {
+    graph_[from].push_back(
+        {to, capacity, static_cast<int>(graph_[to].size())});
+    graph_[to].push_back(
+        {from, 0, static_cast<int>(graph_[from].size()) - 1});
+  }
+
+  int Compute(int source, int sink) {
+    int flow = 0;
+    while (Bfs(source, sink)) {
+      iter_.assign(graph_.size(), 0);
+      int pushed = 0;
+      while ((pushed = Dfs(source, sink,
+                           std::numeric_limits<int>::max())) > 0) {
+        flow += pushed;
+      }
+    }
+    return flow;
+  }
+
+ private:
+  struct Edge {
+    int to;
+    int capacity;
+    int reverse_index;
+  };
+
+  bool Bfs(int source, int sink) {
+    level_.assign(graph_.size(), -1);
+    std::queue<int> queue;
+    level_[source] = 0;
+    queue.push(source);
+    while (!queue.empty()) {
+      const int v = queue.front();
+      queue.pop();
+      for (const Edge& e : graph_[v]) {
+        if (e.capacity > 0 && level_[e.to] < 0) {
+          level_[e.to] = level_[v] + 1;
+          queue.push(e.to);
+        }
+      }
+    }
+    return level_[sink] >= 0;
+  }
+
+  int Dfs(int v, int sink, int limit) {
+    if (v == sink) return limit;
+    for (size_t& i = iter_[v]; i < graph_[v].size(); ++i) {
+      Edge& e = graph_[v][i];
+      if (e.capacity <= 0 || level_[e.to] != level_[v] + 1) continue;
+      const int pushed = Dfs(e.to, sink, std::min(limit, e.capacity));
+      if (pushed > 0) {
+        e.capacity -= pushed;
+        graph_[e.to][e.reverse_index].capacity += pushed;
+        return pushed;
+      }
+    }
+    return 0;
+  }
+
+  std::vector<std::vector<Edge>> graph_;
+  std::vector<int> level_;
+  std::vector<size_t> iter_;
+};
+
+struct OccupiedBin {
+  int bin;
+  int count;
+};
+
+/// Computes max(m, n) - T*, where T* is the maximum transport of mass from
+/// HR bins to HS bins along approximately-matching (same or adjacent) bin
+/// pairs; `neighbors_of(bin, emit)` enumerates the bins matching `bin`,
+/// including `bin` itself.
+///
+/// Soundness (the Theorem 6 guarantee): in an optimal EDR edit script,
+/// every zero-cost (matched) aligned pair occupies approximately-matching
+/// bins, so the matched pairs form a feasible transport of size M. All
+/// other elements of the longer trajectory are each touched by a distinct
+/// edit operation, hence EDR >= max(m, n) - M >= max(m, n) - T*.
+///
+/// Note this is deliberately *stronger-than-greedy but weaker-than-naive*:
+/// the naive residual cancellation (the paper's Figure 5, which only pairs
+/// leftover counts of adjacent bins) over-estimates the distance when
+/// matched pairs chain across bins (r1 in b0 matching s1 in b1, r2 in b1
+/// matching s2 in b2 leaves residuals two bins apart) and would cause
+/// false dismissals; the transport formulation handles chains exactly.
+int TransportDistance(
+    const std::vector<OccupiedBin>& from, const std::vector<OccupiedBin>& to,
+    const std::function<void(int, const std::function<void(int)>&)>&
+        neighbors_of) {
+  int m = 0;
+  for (const OccupiedBin& b : from) m += b.count;
+  int n = 0;
+  for (const OccupiedBin& b : to) n += b.count;
+  const int longer = std::max(m, n);
+  if (from.empty() || to.empty()) return longer;
+
+  std::unordered_map<int, int> to_index;
+  to_index.reserve(to.size() * 2);
+  for (size_t j = 0; j < to.size(); ++j) {
+    to_index.emplace(to[j].bin, static_cast<int>(j));
+  }
+
+  const int p = static_cast<int>(from.size());
+  const int q = static_cast<int>(to.size());
+  const int source = p + q;
+  const int sink = p + q + 1;
+  MaxFlow flow(p + q + 2);
+  for (int i = 0; i < p; ++i) flow.AddEdge(source, i, from[i].count);
+  for (int j = 0; j < q; ++j) flow.AddEdge(p + j, sink, to[j].count);
+  for (int i = 0; i < p; ++i) {
+    neighbors_of(from[i].bin, [&](int neighbor_bin) {
+      const auto it = to_index.find(neighbor_bin);
+      if (it != to_index.end()) {
+        flow.AddEdge(i, p + it->second,
+                     std::numeric_limits<int>::max() / 2);
+      }
+    });
+  }
+  const int transported = flow.Compute(source, sink);
+  return longer - transported;
+}
+
+/// Linear-time upper bound on the maximum transport: each source bin can
+/// ship at most min(its mass, total destination mass in its
+/// neighborhood); symmetrically for destinations. Ignores capacity
+/// sharing between overlapping neighborhoods, hence an upper bound.
+int TransportUpperBound(
+    const std::vector<int>& hr, const std::vector<int>& hs,
+    const std::function<void(int, const std::function<void(int)>&)>&
+        neighbors_of) {
+  int from_side = 0;
+  int to_side = 0;
+  for (size_t b = 0; b < hr.size(); ++b) {
+    if (hr[b] > 0) {
+      int reachable = 0;
+      neighbors_of(static_cast<int>(b), [&](int nb) {
+        if (nb >= 0 && nb < static_cast<int>(hs.size())) reachable += hs[nb];
+      });
+      from_side += std::min(hr[b], reachable);
+    }
+    if (hs[b] > 0) {
+      int reachable = 0;
+      neighbors_of(static_cast<int>(b), [&](int nb) {
+        if (nb >= 0 && nb < static_cast<int>(hr.size())) reachable += hr[nb];
+      });
+      to_side += std::min(hs[b], reachable);
+    }
+  }
+  return std::min(from_side, to_side);
+}
+
+std::vector<OccupiedBin> Occupied(const std::vector<int>& h) {
+  std::vector<OccupiedBin> bins;
+  for (size_t i = 0; i < h.size(); ++i) {
+    if (h[i] > 0) bins.push_back({static_cast<int>(i), h[i]});
+  }
+  return bins;
+}
+
+std::vector<std::pair<int, int>> SparseOf(const std::vector<int>& h) {
+  std::vector<std::pair<int, int>> bins;
+  for (size_t i = 0; i < h.size(); ++i) {
+    if (h[i] > 0) bins.emplace_back(static_cast<int>(i), h[i]);
+  }
+  return bins;
+}
+
+/// One side of the linear transport upper bound, sparse occupied list
+/// against a dense counterpart, 3x3 grid neighborhoods. Hand-rolled loops:
+/// this is the hottest filter in the combined searchers.
+int SideBound2D(const std::vector<std::pair<int, int>>& from,
+                const std::vector<int>& to_dense, int nx, int ny) {
+  int bound = 0;
+  for (const auto& [bin, count] : from) {
+    const int bx = bin % nx;
+    const int by = bin / nx;
+    int reachable = 0;
+    for (int dy = -1; dy <= 1; ++dy) {
+      const int y = by + dy;
+      if (y < 0 || y >= ny) continue;
+      const int row = y * nx;
+      const int x_lo = bx > 0 ? bx - 1 : 0;
+      const int x_hi = bx < nx - 1 ? bx + 1 : nx - 1;
+      for (int x = x_lo; x <= x_hi; ++x) {
+        reachable += to_dense[static_cast<size_t>(row + x)];
+      }
+    }
+    bound += std::min(count, reachable);
+  }
+  return bound;
+}
+
+/// 1-D analogue of SideBound2D (path neighborhoods).
+int SideBound1D(const std::vector<std::pair<int, int>>& from,
+                const std::vector<int>& to_dense) {
+  const int n = static_cast<int>(to_dense.size());
+  int bound = 0;
+  for (const auto& [bin, count] : from) {
+    int reachable = 0;
+    for (int b = std::max(0, bin - 1); b <= std::min(n - 1, bin + 1); ++b) {
+      reachable += to_dense[static_cast<size_t>(b)];
+    }
+    bound += std::min(count, reachable);
+  }
+  return bound;
+}
+
+}  // namespace
+
+HistogramGrid HistogramGrid::For(const DatasetStats& stats, double bin_size) {
+  HistogramGrid grid;
+  // Guard degenerate thresholds: a zero or tiny bin size would blow the
+  // grid up (or divide by zero). Clamping the bin size *up* is always
+  // sound — matched pairs stay within adjacent bins for any bin size
+  // >= epsilon — it only loosens the bound. Cap the grid at ~512 bins
+  // per dimension.
+  const double range = std::max(stats.max_xy.x - stats.min_xy.x,
+                                stats.max_xy.y - stats.min_xy.y);
+  bin_size = std::max({bin_size, range / 512.0, 1e-12});
+  grid.bin_size = bin_size;
+  // One bin of slack on each side so any element within epsilon of the
+  // data range still falls in a real (non-clamped) bin.
+  grid.min_x = stats.min_xy.x - bin_size;
+  grid.min_y = stats.min_xy.y - bin_size;
+  grid.nx = static_cast<int>(
+                std::ceil((stats.max_xy.x - grid.min_x) / bin_size)) +
+            2;
+  grid.ny = static_cast<int>(
+                std::ceil((stats.max_xy.y - grid.min_y) / bin_size)) +
+            2;
+  grid.nx = std::max(grid.nx, 1);
+  grid.ny = std::max(grid.ny, 1);
+  return grid;
+}
+
+int HistogramGrid::BinX(double x) const {
+  const int b = static_cast<int>(std::floor((x - min_x) / bin_size));
+  return std::clamp(b, 0, nx - 1);
+}
+
+int HistogramGrid::BinY(double y) const {
+  const int b = static_cast<int>(std::floor((y - min_y) / bin_size));
+  return std::clamp(b, 0, ny - 1);
+}
+
+std::vector<int> BuildHistogram2D(const Trajectory& t,
+                                  const HistogramGrid& grid) {
+  std::vector<int> h(static_cast<size_t>(grid.NumBins2D()), 0);
+  for (const Point2& p : t) {
+    h[static_cast<size_t>(grid.BinY(p.y) * grid.nx + grid.BinX(p.x))]++;
+  }
+  return h;
+}
+
+std::vector<int> BuildHistogram1D(const Trajectory& t,
+                                  const HistogramGrid& grid, bool use_x) {
+  std::vector<int> h(static_cast<size_t>(use_x ? grid.nx : grid.ny), 0);
+  for (const Point2& p : t) {
+    h[static_cast<size_t>(use_x ? grid.BinX(p.x) : grid.BinY(p.y))]++;
+  }
+  return h;
+}
+
+int HistogramDistance2D(const std::vector<int>& hr, const std::vector<int>& hs,
+                        const HistogramGrid& grid) {
+  const int nx = grid.nx;
+  const int ny = grid.ny;
+  return TransportDistance(
+      Occupied(hr), Occupied(hs),
+      [nx, ny](int bin, const std::function<void(int)>& emit) {
+        const int bx = bin % nx;
+        const int by = bin / nx;
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            const int x = bx + dx;
+            const int y = by + dy;
+            if (x >= 0 && x < nx && y >= 0 && y < ny) emit(y * nx + x);
+          }
+        }
+      });
+}
+
+int HistogramDistance1D(const std::vector<int>& hr,
+                        const std::vector<int>& hs) {
+  return TransportDistance(
+      Occupied(hr), Occupied(hs),
+      [](int bin, const std::function<void(int)>& emit) {
+        emit(bin - 1);
+        emit(bin);
+        emit(bin + 1);
+      });
+}
+
+namespace {
+
+int SumOf(const std::vector<int>& h) {
+  int total = 0;
+  for (const int v : h) total += v;
+  return total;
+}
+
+std::function<void(int, const std::function<void(int)>&)> GridNeighbors(
+    const HistogramGrid& grid) {
+  const int nx = grid.nx;
+  const int ny = grid.ny;
+  return [nx, ny](int bin, const std::function<void(int)>& emit) {
+    const int bx = bin % nx;
+    const int by = bin / nx;
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int x = bx + dx;
+        const int y = by + dy;
+        if (x >= 0 && x < nx && y >= 0 && y < ny) emit(y * nx + x);
+      }
+    }
+  };
+}
+
+}  // namespace
+
+int HistogramDistance2DFast(const std::vector<int>& hr,
+                            const std::vector<int>& hs,
+                            const HistogramGrid& grid) {
+  const int longer = std::max(SumOf(hr), SumOf(hs));
+  return longer - TransportUpperBound(hr, hs, GridNeighbors(grid));
+}
+
+int HistogramDistance1DFast(const std::vector<int>& hr,
+                            const std::vector<int>& hs) {
+  const int longer = std::max(SumOf(hr), SumOf(hs));
+  return longer -
+         TransportUpperBound(hr, hs,
+                             [](int bin, const std::function<void(int)>& emit) {
+                               emit(bin - 1);
+                               emit(bin);
+                               emit(bin + 1);
+                             });
+}
+
+HistogramTable::HistogramTable(const TrajectoryDataset& db, double epsilon,
+                               Kind kind, int delta)
+    : kind_(kind), delta_(std::max(1, delta)) {
+  grid_ = HistogramGrid::For(db.Stats(), epsilon * delta_);
+  totals_.reserve(db.size());
+  for (const Trajectory& t : db) {
+    totals_.push_back(static_cast<int>(t.size()));
+  }
+  if (kind_ == Kind::k2D) {
+    h2d_.reserve(db.size());
+    sparse_2d_.reserve(db.size());
+    for (const Trajectory& t : db) {
+      h2d_.push_back(BuildHistogram2D(t, grid_));
+      sparse_2d_.push_back(SparseOf(h2d_.back()));
+    }
+  } else {
+    hx_.reserve(db.size());
+    hy_.reserve(db.size());
+    sparse_x_.reserve(db.size());
+    sparse_y_.reserve(db.size());
+    for (const Trajectory& t : db) {
+      hx_.push_back(BuildHistogram1D(t, grid_, /*use_x=*/true));
+      hy_.push_back(BuildHistogram1D(t, grid_, /*use_x=*/false));
+      sparse_x_.push_back(SparseOf(hx_.back()));
+      sparse_y_.push_back(SparseOf(hy_.back()));
+    }
+  }
+}
+
+HistogramTable::QueryHistogram HistogramTable::MakeQueryHistogram(
+    const Trajectory& query) const {
+  QueryHistogram qh;
+  qh.total = static_cast<int>(query.size());
+  if (kind_ == Kind::k2D) {
+    qh.h2d = BuildHistogram2D(query, grid_);
+    qh.sparse_2d = SparseOf(qh.h2d);
+  } else {
+    qh.hx = BuildHistogram1D(query, grid_, /*use_x=*/true);
+    qh.hy = BuildHistogram1D(query, grid_, /*use_x=*/false);
+    qh.sparse_x = SparseOf(qh.hx);
+    qh.sparse_y = SparseOf(qh.hy);
+  }
+  return qh;
+}
+
+int HistogramTable::LowerBound(const QueryHistogram& query,
+                               uint32_t id) const {
+  if (kind_ == Kind::k2D) {
+    return HistogramDistance2D(query.h2d, h2d_[id], grid_);
+  }
+  // Each per-dimension HD lower-bounds EDR (Corollary 1); take the max.
+  const int dx = HistogramDistance1D(query.hx, hx_[id]);
+  const int dy = HistogramDistance1D(query.hy, hy_[id]);
+  return std::max(dx, dy);
+}
+
+int HistogramTable::FastLowerBound(const QueryHistogram& query,
+                                   uint32_t id) const {
+  const int longer = std::max(query.total, totals_[id]);
+  if (kind_ == Kind::k2D) {
+    const int transport =
+        std::min(SideBound2D(query.sparse_2d, h2d_[id], grid_.nx, grid_.ny),
+                 SideBound2D(sparse_2d_[id], query.h2d, grid_.nx, grid_.ny));
+    return longer - transport;
+  }
+  const int tx = std::min(SideBound1D(query.sparse_x, hx_[id]),
+                          SideBound1D(sparse_x_[id], query.hx));
+  const int ty = std::min(SideBound1D(query.sparse_y, hy_[id]),
+                          SideBound1D(sparse_y_[id], query.hy));
+  // Each per-dimension bound is a valid EDR lower bound; take the max.
+  return std::max(longer - tx, longer - ty);
+}
+
+int HistogramTable::LowerBound(const Trajectory& query, uint32_t id) const {
+  return LowerBound(MakeQueryHistogram(query), id);
+}
+
+}  // namespace edr

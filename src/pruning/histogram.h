@@ -1,0 +1,148 @@
+#ifndef EDR_PRUNING_HISTOGRAM_H_
+#define EDR_PRUNING_HISTOGRAM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/trajectory.h"
+
+namespace edr {
+
+/// The shared binning of the embedding space (Section 4.3): the data range
+/// [min, max] of each dimension is divided into equal subranges of width
+/// `bin_size` (the matching threshold epsilon, or delta * epsilon for the
+/// coarser variants of Corollary 1).
+struct HistogramGrid {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double bin_size = 0.25;
+  int nx = 1;  ///< number of bins along x
+  int ny = 1;  ///< number of bins along y
+
+  /// Builds a grid covering `stats` with the given bin size. One bin of
+  /// slack is added on each side so boundary samples never fall outside.
+  static HistogramGrid For(const DatasetStats& stats, double bin_size);
+
+  int BinX(double x) const;
+  int BinY(double y) const;
+  int NumBins2D() const { return nx * ny; }
+};
+
+/// A 2-D trajectory histogram: bin i (= by * nx + bx) counts the elements
+/// falling in that cell. The histogram of S changes by at most one unit
+/// per EDR edit operation, which is what makes histogram distance a lower
+/// bound of EDR (Theorem 6).
+std::vector<int> BuildHistogram2D(const Trajectory& t,
+                                  const HistogramGrid& grid);
+
+/// Per-dimension 1-D histograms (Corollary 1): element counts over the x
+/// (resp. y) subranges only.
+std::vector<int> BuildHistogram1D(const Trajectory& t,
+                                  const HistogramGrid& grid, bool use_x);
+
+/// Histogram distance HD between two 2-D histograms on the same grid
+/// (Definition 4 / Figure 5, strengthened — see below).
+///
+/// Elements that match under EDR (within epsilon in both dimensions) land
+/// in the same or *adjacent* bins (Definition 5's "approximately match":
+/// Chebyshev-adjacent cells for a bin size >= epsilon). We compute
+///
+///   HD = max(m, n) - T*,
+///
+/// where T* is the maximum transport of histogram mass from HR to HS
+/// along approximately-matching bin pairs (a small max-flow). Soundness
+/// (the Theorem 6 guarantee HD <= EDR): the zero-cost matched pairs of an
+/// optimal edit script form a feasible transport of size M, and each of
+/// the remaining max(m, n) - M elements of the longer trajectory needs
+/// its own edit operation.
+///
+/// Note: the paper's Figure 5 algorithm cancels only *residual* counts of
+/// adjacent bins in a single pass. That overestimates the distance when
+/// matched pairs chain across bins (r1 in b0 ~ s1 in b1, r2 in b1 ~ s2 in
+/// b2 leaves residuals two bins apart with EDR = 0) and would introduce
+/// false dismissals; the transport formulation handles chains exactly and
+/// is never larger than the true EDR.
+int HistogramDistance2D(const std::vector<int>& hr, const std::vector<int>& hs,
+                        const HistogramGrid& grid);
+
+/// Histogram distance between two 1-D histograms (adjacency = neighboring
+/// subranges). Same construction as HistogramDistance2D on a path graph.
+int HistogramDistance1D(const std::vector<int>& hr,
+                        const std::vector<int>& hs);
+
+/// Fast relaxation of HistogramDistance2D: max(m, n) - U where U is the
+/// linear-time transport upper bound
+///
+///   U = min( sum_b min(HR[b], HS[N(b)]),  sum_b min(HS[b], HR[N(b)]) ),
+///
+/// with HS[N(b)] the total HS mass in b's same-or-adjacent bins. Since
+/// U >= T*, the result never exceeds HistogramDistance2D and is therefore
+/// also a valid EDR lower bound — a cheap first-stage filter before the
+/// exact max-flow distance.
+int HistogramDistance2DFast(const std::vector<int>& hr,
+                            const std::vector<int>& hs,
+                            const HistogramGrid& grid);
+
+/// 1-D analogue of HistogramDistance2DFast.
+int HistogramDistance1DFast(const std::vector<int>& hr,
+                            const std::vector<int>& hs);
+
+/// Precomputed histograms for a whole dataset, shared by the histogram
+/// searchers and the combined searcher.
+class HistogramTable {
+ public:
+  enum class Kind {
+    k2D,  ///< trajectory histograms ("2HE", "2H2E", ... per delta)
+    k1D,  ///< per-dimension histograms ("1HE")
+  };
+
+  /// Builds histograms for every trajectory with bin size delta * epsilon.
+  /// For Kind::k1D both the x and y histograms are kept and the lower
+  /// bound is the max of the two per-dimension HDs (each lower-bounds EDR
+  /// by Corollary 1, so their max does too).
+  HistogramTable(const TrajectoryDataset& db, double epsilon, Kind kind,
+                 int delta = 1);
+
+  /// Lower bound of EDR(query, db[id]) from the histogram embedding.
+  int LowerBound(const Trajectory& query, uint32_t id) const;
+
+  /// Precomputes the query-side histogram once; returns an opaque handle.
+  /// Each histogram is kept both dense (for the exact bound) and as a
+  /// sparse (bin, count) list (for the linear fast bound).
+  struct QueryHistogram {
+    std::vector<int> h2d;
+    std::vector<int> hx;
+    std::vector<int> hy;
+    std::vector<std::pair<int, int>> sparse_2d;
+    std::vector<std::pair<int, int>> sparse_x;
+    std::vector<std::pair<int, int>> sparse_y;
+    int total = 0;
+  };
+  QueryHistogram MakeQueryHistogram(const Trajectory& query) const;
+  int LowerBound(const QueryHistogram& query, uint32_t id) const;
+
+  /// Linear-time relaxation of LowerBound (never larger, still a valid
+  /// EDR lower bound); used as a first-stage filter by the searchers.
+  int FastLowerBound(const QueryHistogram& query, uint32_t id) const;
+
+  Kind kind() const { return kind_; }
+  int delta() const { return delta_; }
+  const HistogramGrid& grid() const { return grid_; }
+
+ private:
+  Kind kind_;
+  int delta_;
+  HistogramGrid grid_;
+  std::vector<std::vector<int>> h2d_;
+  std::vector<std::vector<int>> hx_;
+  std::vector<std::vector<int>> hy_;
+  std::vector<std::vector<std::pair<int, int>>> sparse_2d_;
+  std::vector<std::vector<std::pair<int, int>>> sparse_x_;
+  std::vector<std::vector<std::pair<int, int>>> sparse_y_;
+  std::vector<int> totals_;
+};
+
+}  // namespace edr
+
+#endif  // EDR_PRUNING_HISTOGRAM_H_

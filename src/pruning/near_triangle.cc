@@ -1,0 +1,174 @@
+#include "pruning/near_triangle.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "distance/edr.h"
+
+namespace edr {
+
+PairwiseEdrMatrix PairwiseEdrMatrix::Build(const TrajectoryDataset& db,
+                                           double epsilon, size_t num_refs) {
+  PairwiseEdrMatrix m;
+  m.num_refs_ = std::min(num_refs, db.size());
+  m.db_size_ = db.size();
+  m.distances_.assign(m.num_refs_ * m.db_size_, 0);
+  for (size_t r = 0; r < m.num_refs_; ++r) {
+    for (size_t s = 0; s < m.db_size_; ++s) {
+      if (s < r) {
+        // EDR is symmetric; reuse the transposed entry.
+        m.distances_[r * m.db_size_ + s] = m.distances_[s * m.db_size_ + r];
+      } else if (s == r) {
+        m.distances_[r * m.db_size_ + s] = 0;
+      } else {
+        m.distances_[r * m.db_size_ + s] = EdrDistance(db[r], db[s], epsilon);
+      }
+    }
+  }
+  return m;
+}
+
+PairwiseEdrMatrix PairwiseEdrMatrix::BuildParallel(const TrajectoryDataset& db,
+                                                   double epsilon,
+                                                   size_t num_refs,
+                                                   unsigned threads) {
+  PairwiseEdrMatrix m;
+  m.num_refs_ = std::min(num_refs, db.size());
+  m.db_size_ = db.size();
+  m.distances_.assign(m.num_refs_ * m.db_size_, 0);
+  if (m.num_refs_ == 0) return m;
+
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  threads = std::max(1u, std::min<unsigned>(
+                             threads, static_cast<unsigned>(m.num_refs_)));
+
+  // Each worker fills whole rows; since s >= r entries are computed
+  // directly (no transposed reuse across workers), results are identical
+  // to the sequential Build.
+  std::atomic<size_t> next_row{0};
+  const auto worker = [&]() {
+    for (size_t r = next_row.fetch_add(1); r < m.num_refs_;
+         r = next_row.fetch_add(1)) {
+      for (size_t s = 0; s < m.db_size_; ++s) {
+        m.distances_[r * m.db_size_ + s] =
+            s == r ? 0 : EdrDistance(db[r], db[s], epsilon);
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return m;
+}
+
+PairwiseEdrMatrix PairwiseEdrMatrix::FromParts(size_t num_refs,
+                                               size_t db_size,
+                                               std::vector<int> distances) {
+  PairwiseEdrMatrix m;
+  m.num_refs_ = num_refs;
+  m.db_size_ = db_size;
+  m.distances_ = std::move(distances);
+  return m;
+}
+
+NearTriangleSearcher::NearTriangleSearcher(const TrajectoryDataset& db,
+                                           double epsilon,
+                                           size_t max_triangle)
+    : db_(db),
+      epsilon_(epsilon),
+      matrix_(PairwiseEdrMatrix::Build(db, epsilon, max_triangle)) {}
+
+NearTriangleSearcher::NearTriangleSearcher(const TrajectoryDataset& db,
+                                           double epsilon,
+                                           PairwiseEdrMatrix matrix)
+    : db_(db), epsilon_(epsilon), matrix_(std::move(matrix)) {}
+
+KnnResult NearTriangleSearcher::Knn(const Trajectory& query, size_t k) const {
+  const auto start = std::chrono::steady_clock::now();
+
+  // procArray: references (ids < num_refs) whose true distance to the
+  // query has been computed, with that distance.
+  std::vector<std::pair<uint32_t, double>> proc_array;
+  proc_array.reserve(matrix_.num_refs());
+
+  KnnResultList result(k);
+  size_t computed = 0;
+
+  for (const Trajectory& s : db_) {
+    const double best = result.KthDistance();
+
+    // Lower-bound EDR(Q, S) via every reference with a known distance
+    // (Figure 4, lines 2-4).
+    double max_prune_dist = 0.0;
+    for (const auto& [ref_id, ref_dist] : proc_array) {
+      const double bound = ref_dist - matrix_.at(ref_id, s.id()) -
+                           static_cast<double>(s.size());
+      max_prune_dist = std::max(max_prune_dist, bound);
+    }
+    if (max_prune_dist > best) continue;  // Pruned; no false dismissal.
+
+    const double dist = static_cast<double>(EdrDistance(query, s, epsilon_));
+    ++computed;
+    if (s.id() < matrix_.num_refs() &&
+        proc_array.size() < matrix_.num_refs()) {
+      proc_array.emplace_back(s.id(), dist);
+    }
+    result.Offer(s.id(), dist);
+  }
+
+  const auto stop = std::chrono::steady_clock::now();
+  KnnResult out;
+  out.neighbors = std::move(result).TakeNeighbors();
+  out.stats.db_size = db_.size();
+  out.stats.edr_computed = computed;
+  out.stats.elapsed_seconds =
+      std::chrono::duration<double>(stop - start).count();
+  return out;
+}
+
+
+KnnResult NearTriangleSearcher::Range(const Trajectory& query,
+                                      int radius) const {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::pair<uint32_t, double>> proc_array;
+  proc_array.reserve(matrix_.num_refs());
+
+  KnnResult out;
+  size_t computed = 0;
+  for (const Trajectory& s : db_) {
+    double max_prune_dist = 0.0;
+    for (const auto& [ref_id, ref_dist] : proc_array) {
+      const double bound = ref_dist - matrix_.at(ref_id, s.id()) -
+                           static_cast<double>(s.size());
+      max_prune_dist = std::max(max_prune_dist, bound);
+    }
+    if (max_prune_dist > static_cast<double>(radius)) continue;
+
+    const int dist = EdrDistance(query, s, epsilon_);
+    ++computed;
+    if (s.id() < matrix_.num_refs() &&
+        proc_array.size() < matrix_.num_refs()) {
+      proc_array.emplace_back(s.id(), static_cast<double>(dist));
+    }
+    if (dist <= radius) {
+      out.neighbors.push_back({s.id(), static_cast<double>(dist)});
+    }
+  }
+  std::sort(out.neighbors.begin(), out.neighbors.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.id < b.id;
+            });
+  const auto stop = std::chrono::steady_clock::now();
+  out.stats.db_size = db_.size();
+  out.stats.edr_computed = computed;
+  out.stats.elapsed_seconds =
+      std::chrono::duration<double>(stop - start).count();
+  return out;
+}
+
+}  // namespace edr

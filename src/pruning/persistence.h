@@ -1,0 +1,30 @@
+#ifndef EDR_PRUNING_PERSISTENCE_H_
+#define EDR_PRUNING_PERSISTENCE_H_
+
+#include <string>
+
+#include "core/status.h"
+#include "pruning/near_triangle.h"
+
+namespace edr {
+
+/// Persistence for the precomputed pairwise EDR matrix — the paper's
+/// `pmatrix`, which is computed offline and paged in at query time
+/// (Section 4.2). The format is a little-endian binary file:
+///
+///   magic "EDRM"  u32 version  u64 num_refs  u64 db_size
+///   int32 distances[num_refs * db_size]   (row-major)
+///
+/// The matrix is tied to a specific dataset *order* and epsilon; callers
+/// are responsible for pairing files with the dataset they were built
+/// from (LoadPairwiseMatrix validates only structural integrity).
+Status SavePairwiseMatrix(const PairwiseEdrMatrix& matrix,
+                          const std::string& path);
+
+/// Loads a matrix written by SavePairwiseMatrix. Fails with
+/// kInvalidArgument on a bad magic/version and kIoError on truncation.
+Result<PairwiseEdrMatrix> LoadPairwiseMatrix(const std::string& path);
+
+}  // namespace edr
+
+#endif  // EDR_PRUNING_PERSISTENCE_H_

@@ -1,0 +1,104 @@
+#include "pruning/qgram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace edr {
+
+std::vector<Point2> MeanValueQgrams(const Trajectory& t, int q) {
+  std::vector<Point2> means;
+  if (q <= 0 || t.size() < static_cast<size_t>(q)) return means;
+  means.reserve(t.size() - static_cast<size_t>(q) + 1);
+
+  // Sliding-window sum; q is small (1..4 in the paper) so numerical drift
+  // is negligible, but we recompute exactly to keep results deterministic.
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  for (int i = 0; i < q; ++i) {
+    sum_x += t[static_cast<size_t>(i)].x;
+    sum_y += t[static_cast<size_t>(i)].y;
+  }
+  const double inv_q = 1.0 / static_cast<double>(q);
+  means.push_back({sum_x * inv_q, sum_y * inv_q});
+  for (size_t i = static_cast<size_t>(q); i < t.size(); ++i) {
+    sum_x += t[i].x - t[i - static_cast<size_t>(q)].x;
+    sum_y += t[i].y - t[i - static_cast<size_t>(q)].y;
+    means.push_back({sum_x * inv_q, sum_y * inv_q});
+  }
+  return means;
+}
+
+std::vector<double> MeanValueQgrams1D(const Trajectory& t, int q, bool use_x) {
+  std::vector<double> means;
+  if (q <= 0 || t.size() < static_cast<size_t>(q)) return means;
+  means.reserve(t.size() - static_cast<size_t>(q) + 1);
+  double sum = 0.0;
+  for (int i = 0; i < q; ++i) {
+    const Point2& p = t[static_cast<size_t>(i)];
+    sum += use_x ? p.x : p.y;
+  }
+  const double inv_q = 1.0 / static_cast<double>(q);
+  means.push_back(sum * inv_q);
+  for (size_t i = static_cast<size_t>(q); i < t.size(); ++i) {
+    const Point2& in = t[i];
+    const Point2& out = t[i - static_cast<size_t>(q)];
+    sum += (use_x ? in.x : in.y) - (use_x ? out.x : out.y);
+    means.push_back(sum * inv_q);
+  }
+  return means;
+}
+
+long QgramCountThreshold(size_t m, size_t n, int q, long k) {
+  const long max_len = static_cast<long>(std::max(m, n));
+  return max_len - static_cast<long>(q) + 1 - k * static_cast<long>(q);
+}
+
+void SortMeans(std::vector<Point2>& means) {
+  std::sort(means.begin(), means.end(), [](Point2 a, Point2 b) {
+    if (a.x != b.x) return a.x < b.x;
+    return a.y < b.y;
+  });
+}
+
+size_t CountMatchingMeans2D(const std::vector<Point2>& query_means,
+                            const std::vector<Point2>& data_means,
+                            double epsilon) {
+  size_t count = 0;
+  size_t window_start = 0;
+  // Merge join: both lists are sorted by x, so for each query mean the
+  // x-compatible data means form a window that only advances.
+  for (const Point2& qm : query_means) {
+    while (window_start < data_means.size() &&
+           data_means[window_start].x < qm.x - epsilon) {
+      ++window_start;
+    }
+    for (size_t j = window_start; j < data_means.size(); ++j) {
+      if (data_means[j].x > qm.x + epsilon) break;
+      if (std::fabs(data_means[j].y - qm.y) <= epsilon) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+size_t CountMatchingMeans1D(const std::vector<double>& query_means,
+                            const std::vector<double>& data_means,
+                            double epsilon) {
+  size_t count = 0;
+  size_t window_start = 0;
+  for (const double qm : query_means) {
+    while (window_start < data_means.size() &&
+           data_means[window_start] < qm - epsilon) {
+      ++window_start;
+    }
+    if (window_start < data_means.size() &&
+        data_means[window_start] <= qm + epsilon) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace edr

@@ -1,0 +1,57 @@
+#ifndef EDR_PRUNING_QGRAM_H_
+#define EDR_PRUNING_QGRAM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/trajectory.h"
+
+namespace edr {
+
+/// Mean value pairs of all Q-grams of size `q` of a trajectory.
+///
+/// A Q-gram of a trajectory is a window of q consecutive elements
+/// (Section 4.1); its mean value pair is the per-dimension average. By
+/// Theorem 2, if two Q-grams match element-wise (Definition 3) then their
+/// mean value pairs match within the same threshold — so storing only the
+/// means loses no pruning soundness while collapsing a 2q-dimensional
+/// object to two dimensions. Returns an empty vector when q exceeds the
+/// trajectory length.
+std::vector<Point2> MeanValueQgrams(const Trajectory& t, int q);
+
+/// Mean values of all Q-grams of the projected one-dimensional sequence
+/// (x when `use_x`, else y). Theorem 4 transfers the count bound to
+/// projections, enabling a plain B+-tree index.
+std::vector<double> MeanValueQgrams1D(const Trajectory& t, int q, bool use_x);
+
+/// The Q-gram count filter (Theorem 1 adapted in Theorems 3/4): if
+/// EDR(R, S) <= k then R and S share at least
+///
+///   p = max(m, n) - q + 1 - k * q
+///
+/// common Q-grams. Returns p (possibly negative, in which case the filter
+/// cannot prune).
+long QgramCountThreshold(size_t m, size_t n, int q, long k);
+
+/// Number of Q-gram means of `query_means` that match at least one entry
+/// of `data_means`, both sorted ascending by x (ties by y). This
+/// upper-bounds the number of common Q-grams in the Theorem 1 sense — a
+/// surviving (unedited) query gram matches the corresponding data gram
+/// element-wise, hence its mean matches — so comparing it against
+/// QgramCountThreshold never causes a false dismissal.
+size_t CountMatchingMeans2D(const std::vector<Point2>& query_means,
+                            const std::vector<Point2>& data_means,
+                            double epsilon);
+
+/// One-dimensional analogue of CountMatchingMeans2D; both inputs sorted
+/// ascending.
+size_t CountMatchingMeans1D(const std::vector<double>& query_means,
+                            const std::vector<double>& data_means,
+                            double epsilon);
+
+/// Sorts means into the order expected by CountMatchingMeans2D.
+void SortMeans(std::vector<Point2>& means);
+
+}  // namespace edr
+
+#endif  // EDR_PRUNING_QGRAM_H_

@@ -1,0 +1,221 @@
+#include "pruning/qgram_knn.h"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+#include "distance/edr.h"
+#include "pruning/qgram.h"
+
+namespace edr {
+
+const char* QgramVariantName(QgramVariant variant) {
+  switch (variant) {
+    case QgramVariant::kRtree2D: return "PR";
+    case QgramVariant::kBtree1D: return "PB";
+    case QgramVariant::kMerge2D: return "PS2";
+    case QgramVariant::kMerge1D: return "PS1";
+  }
+  return "?";
+}
+
+QgramKnnSearcher::QgramKnnSearcher(const TrajectoryDataset& db,
+                                   double epsilon, int q,
+                                   QgramVariant variant)
+    : db_(db), epsilon_(epsilon), q_(q), variant_(variant) {
+  switch (variant_) {
+    case QgramVariant::kRtree2D: {
+      rtree_ = std::make_unique<RStarTree>();
+      for (const Trajectory& t : db_) {
+        for (const Point2& mean : MeanValueQgrams(t, q_)) {
+          rtree_->Insert(mean, t.id());
+        }
+      }
+      break;
+    }
+    case QgramVariant::kBtree1D: {
+      btree_ = std::make_unique<BPlusTree>();
+      for (const Trajectory& t : db_) {
+        for (const double mean : MeanValueQgrams1D(t, q_, /*use_x=*/true)) {
+          btree_->Insert(mean, t.id());
+        }
+      }
+      break;
+    }
+    case QgramVariant::kMerge2D: {
+      sorted_means_2d_.reserve(db_.size());
+      for (const Trajectory& t : db_) {
+        std::vector<Point2> means = MeanValueQgrams(t, q_);
+        SortMeans(means);
+        sorted_means_2d_.push_back(std::move(means));
+      }
+      break;
+    }
+    case QgramVariant::kMerge1D: {
+      sorted_means_1d_.reserve(db_.size());
+      for (const Trajectory& t : db_) {
+        std::vector<double> means = MeanValueQgrams1D(t, q_, /*use_x=*/true);
+        std::sort(means.begin(), means.end());
+        sorted_means_1d_.push_back(std::move(means));
+      }
+      break;
+    }
+  }
+}
+
+std::vector<size_t> QgramKnnSearcher::MatchCounts(
+    const Trajectory& query) const {
+  std::vector<size_t> counts(db_.size(), 0);
+  switch (variant_) {
+    case QgramVariant::kRtree2D: {
+      // For each query-gram mean, probe the tree with the epsilon square
+      // and count each trajectory at most once per query gram (a gram of Q
+      // either matches some gram of S or it does not).
+      std::vector<size_t> last_gram(db_.size(), static_cast<size_t>(-1));
+      const std::vector<Point2> means = MeanValueQgrams(query, q_);
+      for (size_t g = 0; g < means.size(); ++g) {
+        rtree_->SearchRange(Rect::Around(means[g], epsilon_),
+                            [&](uint32_t id) {
+                              if (last_gram[id] != g) {
+                                last_gram[id] = g;
+                                ++counts[id];
+                              }
+                            });
+      }
+      break;
+    }
+    case QgramVariant::kBtree1D: {
+      std::vector<size_t> last_gram(db_.size(), static_cast<size_t>(-1));
+      const std::vector<double> means =
+          MeanValueQgrams1D(query, q_, /*use_x=*/true);
+      for (size_t g = 0; g < means.size(); ++g) {
+        btree_->SearchRange(means[g] - epsilon_, means[g] + epsilon_,
+                            [&](double, uint32_t id) {
+                              if (last_gram[id] != g) {
+                                last_gram[id] = g;
+                                ++counts[id];
+                              }
+                            });
+      }
+      break;
+    }
+    case QgramVariant::kMerge2D: {
+      std::vector<Point2> means = MeanValueQgrams(query, q_);
+      SortMeans(means);
+      for (size_t i = 0; i < db_.size(); ++i) {
+        counts[i] = CountMatchingMeans2D(means, sorted_means_2d_[i], epsilon_);
+      }
+      break;
+    }
+    case QgramVariant::kMerge1D: {
+      std::vector<double> means = MeanValueQgrams1D(query, q_, /*use_x=*/true);
+      std::sort(means.begin(), means.end());
+      for (size_t i = 0; i < db_.size(); ++i) {
+        counts[i] = CountMatchingMeans1D(means, sorted_means_1d_[i], epsilon_);
+      }
+      break;
+    }
+  }
+  return counts;
+}
+
+KnnResult QgramKnnSearcher::Knn(const Trajectory& query, size_t k) const {
+  const auto start = std::chrono::steady_clock::now();
+  if (k == 0) {
+    // Nothing can be returned; skip the scan (and the -inf bestSoFar the
+    // threshold arithmetic below cannot represent).
+    KnnResult out;
+    out.stats.db_size = db_.size();
+    return out;
+  }
+
+  const std::vector<size_t> counts = MatchCounts(query);
+  std::vector<uint32_t> order(db_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&counts](uint32_t a, uint32_t b) {
+    return counts[a] > counts[b];
+  });
+
+  KnnResultList result(k);
+  size_t computed = 0;
+  const long query_len = static_cast<long>(query.size());
+
+  size_t i = 0;
+  // Seed: the first k trajectories by descending count get true distances.
+  for (; i < order.size() && i < k; ++i) {
+    const Trajectory& s = db_[order[i]];
+    result.Offer(s.id(),
+                 static_cast<double>(EdrDistance(query, s, epsilon_)));
+    ++computed;
+  }
+
+  for (; i < order.size(); ++i) {
+    const double best = result.KthDistance();
+    const long best_k = static_cast<long>(best);  // EDR values are integers.
+    const Trajectory& s = db_[order[i]];
+    const long count = static_cast<long>(counts[order[i]]);
+
+    // Smallest threshold any remaining trajectory can have: lengths are at
+    // least |Q| inside max(|Q|, |S|). Counts are non-increasing from here,
+    // so once the count falls below it, everything remaining is pruned.
+    const long universal_threshold =
+        query_len - static_cast<long>(q_) + 1 - best_k * static_cast<long>(q_);
+    if (count < universal_threshold) break;
+
+    const long threshold =
+        QgramCountThreshold(query.size(), s.size(), q_, best_k);
+    if (count < threshold) continue;  // Theorem 3: EDR(Q, S) > bestSoFar.
+
+    const double dist =
+        static_cast<double>(EdrDistance(query, s, epsilon_));
+    ++computed;
+    result.Offer(s.id(), dist);
+  }
+
+  const auto stop = std::chrono::steady_clock::now();
+  KnnResult out;
+  out.neighbors = std::move(result).TakeNeighbors();
+  out.stats.db_size = db_.size();
+  out.stats.edr_computed = computed;
+  out.stats.elapsed_seconds =
+      std::chrono::duration<double>(stop - start).count();
+  return out;
+}
+
+std::string QgramKnnSearcher::name() const {
+  return std::string(QgramVariantName(variant_)) + "(q=" +
+         std::to_string(q_) + ")";
+}
+
+
+KnnResult QgramKnnSearcher::Range(const Trajectory& query, int radius) const {
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<size_t> counts = MatchCounts(query);
+
+  KnnResult out;
+  size_t computed = 0;
+  for (uint32_t id = 0; id < db_.size(); ++id) {
+    const Trajectory& s = db_[id];
+    const long threshold =
+        QgramCountThreshold(query.size(), s.size(), q_, radius);
+    if (static_cast<long>(counts[id]) < threshold) continue;  // Theorem 1.
+    const int dist = EdrDistance(query, s, epsilon_);
+    ++computed;
+    if (dist <= radius) {
+      out.neighbors.push_back({id, static_cast<double>(dist)});
+    }
+  }
+  std::sort(out.neighbors.begin(), out.neighbors.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.id < b.id;
+            });
+  const auto stop = std::chrono::steady_clock::now();
+  out.stats.db_size = db_.size();
+  out.stats.edr_computed = computed;
+  out.stats.elapsed_seconds =
+      std::chrono::duration<double>(stop - start).count();
+  return out;
+}
+
+}  // namespace edr

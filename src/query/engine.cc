@@ -1,0 +1,146 @@
+#include "query/engine.h"
+
+#include <tuple>
+
+namespace edr {
+
+QueryEngine::QueryEngine(const TrajectoryDataset& db, double epsilon)
+    : db_(db), epsilon_(epsilon) {}
+
+KnnResult QueryEngine::SeqScan(const Trajectory& query, size_t k,
+                               bool early_abandon) const {
+  SeqScanOptions options;
+  options.early_abandon = early_abandon;
+  return SequentialScanKnn(db_, query, k, epsilon_, options);
+}
+
+const QgramKnnSearcher& QueryEngine::Qgram(QgramVariant variant, int q) {
+  const auto key = std::make_pair(static_cast<int>(variant), q);
+  auto it = qgrams_.find(key);
+  if (it == qgrams_.end()) {
+    it = qgrams_
+             .emplace(key, std::make_unique<QgramKnnSearcher>(db_, epsilon_,
+                                                              q, variant))
+             .first;
+  }
+  return *it->second;
+}
+
+const HistogramKnnSearcher& QueryEngine::Histogram(HistogramTable::Kind kind,
+                                                   int delta,
+                                                   HistogramScan scan) {
+  const auto key = std::make_tuple(static_cast<int>(kind), delta,
+                                   static_cast<int>(scan));
+  auto it = histograms_.find(key);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(key, std::make_unique<HistogramKnnSearcher>(
+                               db_, epsilon_, kind, delta, scan))
+             .first;
+  }
+  return *it->second;
+}
+
+const PairwiseEdrMatrix& QueryEngine::Matrix(size_t max_triangle) {
+  auto it = matrices_.find(max_triangle);
+  if (it == matrices_.end()) {
+    // The offline preprocessing step; parallel build, identical output.
+    it = matrices_
+             .emplace(max_triangle,
+                      std::make_unique<PairwiseEdrMatrix>(
+                          PairwiseEdrMatrix::BuildParallel(db_, epsilon_,
+                                                           max_triangle)))
+             .first;
+  }
+  return *it->second;
+}
+
+const NearTriangleSearcher& QueryEngine::NearTriangle(size_t max_triangle) {
+  auto it = near_triangles_.find(max_triangle);
+  if (it == near_triangles_.end()) {
+    it = near_triangles_
+             .emplace(max_triangle,
+                      std::make_unique<NearTriangleSearcher>(
+                          db_, epsilon_, Matrix(max_triangle)))
+             .first;
+  }
+  return *it->second;
+}
+
+const CseSearcher& QueryEngine::Cse(size_t max_triangle) {
+  auto it = cses_.find(max_triangle);
+  if (it == cses_.end()) {
+    it = cses_
+             .emplace(max_triangle, std::make_unique<CseSearcher>(
+                                        db_, epsilon_, Matrix(max_triangle)))
+             .first;
+  }
+  return *it->second;
+}
+
+const CombinedKnnSearcher& QueryEngine::Combined(
+    const CombinedOptions& options) {
+  // Key on the full configuration via the display name plus parameters
+  // that do not appear in it.
+  std::string key;
+  key += options.histogram_kind == HistogramTable::Kind::k2D ? '2' : '1';
+  for (const PruneStep step : options.order) key += PruneStepCode(step);
+  key += "/d" + std::to_string(options.histogram_delta);
+  key += "/q" + std::to_string(options.q);
+  key += "/t" + std::to_string(options.max_triangle);
+  key += options.sorted_histogram_scan ? "/sorted" : "/seq";
+  auto it = combined_.find(key);
+  if (it == combined_.end()) {
+    it = combined_
+             .emplace(key, std::make_unique<CombinedKnnSearcher>(
+                               db_, epsilon_, options,
+                               Matrix(options.max_triangle)))
+             .first;
+  }
+  return *it->second;
+}
+
+NamedSearcher QueryEngine::MakeSeqScan(bool early_abandon) const {
+  return {early_abandon ? "SeqScan-EA" : "SeqScan",
+          [this, early_abandon](const Trajectory& q, size_t k) {
+            return SeqScan(q, k, early_abandon);
+          }};
+}
+
+NamedSearcher QueryEngine::MakeQgram(QgramVariant variant, int q) {
+  const QgramKnnSearcher& searcher = Qgram(variant, q);
+  return {searcher.name(), [&searcher](const Trajectory& q, size_t k) {
+            return searcher.Knn(q, k);
+          }};
+}
+
+NamedSearcher QueryEngine::MakeHistogram(HistogramTable::Kind kind, int delta,
+                                         HistogramScan scan) {
+  const HistogramKnnSearcher& searcher = Histogram(kind, delta, scan);
+  return {searcher.name(), [&searcher](const Trajectory& q, size_t k) {
+            return searcher.Knn(q, k);
+          }};
+}
+
+NamedSearcher QueryEngine::MakeNearTriangle(size_t max_triangle) {
+  const NearTriangleSearcher& searcher = NearTriangle(max_triangle);
+  return {searcher.name(), [&searcher](const Trajectory& q, size_t k) {
+            return searcher.Knn(q, k);
+          }};
+}
+
+NamedSearcher QueryEngine::MakeCse(size_t max_triangle) {
+  const CseSearcher& searcher = Cse(max_triangle);
+  return {searcher.name(), [&searcher](const Trajectory& q, size_t k) {
+            return searcher.Knn(q, k);
+          }};
+}
+
+NamedSearcher QueryEngine::MakeCombined(const CombinedOptions& options) {
+  const CombinedKnnSearcher& searcher = Combined(options);
+  return {searcher.name(), [&searcher](const Trajectory& q, size_t k) {
+            return searcher.Knn(q, k);
+          }};
+}
+
+}  // namespace edr

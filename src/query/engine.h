@@ -1,0 +1,92 @@
+#ifndef EDR_QUERY_ENGINE_H_
+#define EDR_QUERY_ENGINE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "core/dataset.h"
+#include "pruning/combined.h"
+#include "pruning/cse.h"
+#include "pruning/histogram_knn.h"
+#include "pruning/near_triangle.h"
+#include "pruning/qgram_knn.h"
+#include "query/knn.h"
+
+namespace edr {
+
+/// A type-erased k-NN searcher with a display name, the unit the
+/// benchmark harness sweeps over.
+struct NamedSearcher {
+  std::string name;
+  std::function<KnnResult(const Trajectory&, size_t)> search;
+};
+
+/// Facade over every retrieval method in the library for one dataset and
+/// matching threshold. Pruning structures (indexes, histogram tables,
+/// pairwise-matrix columns) are built on first use and cached, so a
+/// benchmark sweeping many methods pays each build cost once. Build times
+/// are offline preprocessing and excluded from query-time stats, matching
+/// the paper's measurement protocol.
+///
+/// The engine borrows the dataset; it must outlive the engine, and must
+/// not be mutated while the engine exists.
+class QueryEngine {
+ public:
+  QueryEngine(const TrajectoryDataset& db, double epsilon);
+
+  const TrajectoryDataset& db() const { return db_; }
+  double epsilon() const { return epsilon_; }
+
+  /// Sequential scan baseline (optionally with early-abandoning DP).
+  KnnResult SeqScan(const Trajectory& query, size_t k,
+                    bool early_abandon = false) const;
+
+  /// Mean-value Q-gram searcher (Section 4.1), cached per (variant, q).
+  const QgramKnnSearcher& Qgram(QgramVariant variant, int q);
+
+  /// Histogram searcher (Section 4.3), cached per (kind, delta, scan).
+  const HistogramKnnSearcher& Histogram(HistogramTable::Kind kind, int delta,
+                                        HistogramScan scan);
+
+  /// Near-triangle searcher (Section 4.2), cached per reference budget.
+  const NearTriangleSearcher& NearTriangle(size_t max_triangle = 400);
+
+  /// Constant-shift-embedding ablation searcher (Section 4.2).
+  const CseSearcher& Cse(size_t max_triangle = 400);
+
+  /// Combined searcher (Section 4.4), cached per configuration.
+  const CombinedKnnSearcher& Combined(const CombinedOptions& options);
+
+  /// Convenience wrappers producing NamedSearcher handles.
+  NamedSearcher MakeSeqScan(bool early_abandon = false) const;
+  NamedSearcher MakeQgram(QgramVariant variant, int q);
+  NamedSearcher MakeHistogram(HistogramTable::Kind kind, int delta,
+                              HistogramScan scan);
+  NamedSearcher MakeNearTriangle(size_t max_triangle = 400);
+  NamedSearcher MakeCse(size_t max_triangle = 400);
+  NamedSearcher MakeCombined(const CombinedOptions& options);
+
+ private:
+  /// Reference-column matrix shared by NTR / CSE / combined searchers.
+  const PairwiseEdrMatrix& Matrix(size_t max_triangle);
+
+  const TrajectoryDataset& db_;
+  double epsilon_;
+
+  std::map<std::pair<int, int>, std::unique_ptr<QgramKnnSearcher>> qgrams_;
+  std::map<std::tuple<int, int, int>, std::unique_ptr<HistogramKnnSearcher>>
+      histograms_;
+  std::map<size_t, std::unique_ptr<PairwiseEdrMatrix>> matrices_;
+  std::map<size_t, std::unique_ptr<NearTriangleSearcher>> near_triangles_;
+  std::map<size_t, std::unique_ptr<CseSearcher>> cses_;
+  std::map<std::string, std::unique_ptr<CombinedKnnSearcher>> combined_;
+};
+
+}  // namespace edr
+
+#endif  // EDR_QUERY_ENGINE_H_

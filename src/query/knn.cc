@@ -1,0 +1,89 @@
+#include "query/knn.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "distance/edr.h"
+
+namespace edr {
+
+void KnnResultList::Offer(uint32_t id, double distance) {
+  if (neighbors_.size() >= k_ && distance >= KthDistance()) return;
+  const Neighbor candidate{id, distance};
+  const auto pos = std::upper_bound(
+      neighbors_.begin(), neighbors_.end(), candidate,
+      [](const Neighbor& a, const Neighbor& b) {
+        return a.distance < b.distance;
+      });
+  neighbors_.insert(pos, candidate);
+  if (neighbors_.size() > k_) neighbors_.pop_back();
+}
+
+KnnResult SequentialScanKnn(const TrajectoryDataset& db,
+                            const Trajectory& query, size_t k, double epsilon,
+                            const SeqScanOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  KnnResultList result(k);
+  size_t computed = 0;
+  for (const Trajectory& s : db) {
+    double dist = 0.0;
+    if (options.early_abandon) {
+      const double best = result.KthDistance();
+      const int bound = std::isinf(best)
+                            ? std::numeric_limits<int>::max() / 4
+                            : static_cast<int>(best);
+      dist = static_cast<double>(
+          EdrDistanceBounded(query, s, epsilon, bound));
+    } else {
+      dist = static_cast<double>(EdrDistance(query, s, epsilon));
+    }
+    ++computed;
+    result.Offer(s.id(), dist);
+  }
+  const auto stop = std::chrono::steady_clock::now();
+
+  KnnResult out;
+  out.neighbors = std::move(result).TakeNeighbors();
+  out.stats.db_size = db.size();
+  out.stats.edr_computed = computed;
+  out.stats.elapsed_seconds =
+      std::chrono::duration<double>(stop - start).count();
+  return out;
+}
+
+KnnResult SequentialScanRange(const TrajectoryDataset& db,
+                              const Trajectory& query, int radius,
+                              double epsilon) {
+  const auto start = std::chrono::steady_clock::now();
+  KnnResult out;
+  for (const Trajectory& s : db) {
+    const int dist = EdrDistance(query, s, epsilon);
+    if (dist <= radius) {
+      out.neighbors.push_back({s.id(), static_cast<double>(dist)});
+    }
+  }
+  std::sort(out.neighbors.begin(), out.neighbors.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.id < b.id;
+            });
+  const auto stop = std::chrono::steady_clock::now();
+  out.stats.db_size = db.size();
+  out.stats.edr_computed = db.size();
+  out.stats.elapsed_seconds =
+      std::chrono::duration<double>(stop - start).count();
+  return out;
+}
+
+bool SameKnnDistances(const KnnResult& expected, const KnnResult& actual) {
+  if (expected.neighbors.size() != actual.neighbors.size()) return false;
+  for (size_t i = 0; i < expected.neighbors.size(); ++i) {
+    if (expected.neighbors[i].distance != actual.neighbors[i].distance) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace edr

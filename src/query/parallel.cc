@@ -1,0 +1,33 @@
+#include "query/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace edr {
+
+std::vector<KnnResult> ParallelKnn(
+    const std::function<KnnResult(const Trajectory&, size_t)>& search,
+    const std::vector<Trajectory>& queries, size_t k, unsigned threads) {
+  std::vector<KnnResult> results(queries.size());
+  if (queries.empty()) return results;
+
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  threads = std::max(1u, std::min<unsigned>(
+                             threads, static_cast<unsigned>(queries.size())));
+
+  std::atomic<size_t> next{0};
+  const auto worker = [&]() {
+    for (size_t i = next.fetch_add(1); i < queries.size();
+         i = next.fetch_add(1)) {
+      results[i] = search(queries[i], k);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return results;
+}
+
+}  // namespace edr

@@ -1,0 +1,27 @@
+#ifndef EDR_QUERY_PARALLEL_H_
+#define EDR_QUERY_PARALLEL_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/trajectory.h"
+#include "query/knn.h"
+
+namespace edr {
+
+/// Runs a batch of k-NN queries concurrently over `threads` workers
+/// (0 = hardware concurrency). Results are returned in query order,
+/// identical to running the queries sequentially: every searcher in this
+/// library is read-only at query time, so concurrent `search` calls on
+/// one searcher are safe.
+///
+/// Per-query stats are preserved; note that wall-clock `elapsed_seconds`
+/// of individual queries overlap under concurrency, so speedup ratios
+/// should be computed from an outer timer, not by summing them.
+std::vector<KnnResult> ParallelKnn(
+    const std::function<KnnResult(const Trajectory&, size_t)>& search,
+    const std::vector<Trajectory>& queries, size_t k, unsigned threads = 0);
+
+}  // namespace edr
+
+#endif  // EDR_QUERY_PARALLEL_H_

@@ -1,0 +1,120 @@
+#include "query/subtrajectory.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace edr {
+
+namespace {
+
+/// Runs the semi-global DP and returns the final row of distances plus
+/// the matching start position for each end position.
+struct FinalRow {
+  std::vector<int> distance;  // distance[j]: best match of query ending at j
+  std::vector<size_t> begin;  // begin[j]: its start position
+};
+
+FinalRow SemiGlobalEdr(const Trajectory& query, const Trajectory& text,
+                       double epsilon) {
+  const size_t m = query.size();
+  const size_t n = text.size();
+
+  // dp[j] = min edits converting the query prefix into some text substring
+  // ending at j; start[j] = where that substring begins.
+  std::vector<int> prev(n + 1);
+  std::vector<int> curr(n + 1);
+  std::vector<size_t> prev_start(n + 1);
+  std::vector<size_t> curr_start(n + 1);
+  for (size_t j = 0; j <= n; ++j) {
+    prev[j] = 0;        // Free start anywhere in the text.
+    prev_start[j] = j;  // A match ending at j with empty pattern starts at j.
+  }
+
+  for (size_t i = 1; i <= m; ++i) {
+    curr[0] = static_cast<int>(i);
+    curr_start[0] = 0;
+    for (size_t j = 1; j <= n; ++j) {
+      const int subcost = Match(query[i - 1], text[j - 1], epsilon) ? 0 : 1;
+      const int via_diag = prev[j - 1] + subcost;
+      const int via_up = prev[j] + 1;    // delete from query
+      const int via_left = curr[j - 1] + 1;  // skip a text element (insert)
+      // Tie-break towards the diagonal, then up: prefers shorter text
+      // spans with the same cost.
+      if (via_diag <= via_up && via_diag <= via_left) {
+        curr[j] = via_diag;
+        curr_start[j] = prev_start[j - 1];
+      } else if (via_up <= via_left) {
+        curr[j] = via_up;
+        curr_start[j] = prev_start[j];
+      } else {
+        curr[j] = via_left;
+        curr_start[j] = curr_start[j - 1];
+      }
+    }
+    std::swap(prev, curr);
+    std::swap(prev_start, curr_start);
+  }
+
+  FinalRow row;
+  row.distance.assign(prev.begin(), prev.end());
+  row.begin.assign(prev_start.begin(), prev_start.end());
+  return row;
+}
+
+}  // namespace
+
+SubtrajectoryMatch BestSubtrajectoryMatch(const Trajectory& query,
+                                          const Trajectory& text,
+                                          double epsilon) {
+  const FinalRow row = SemiGlobalEdr(query, text, epsilon);
+  SubtrajectoryMatch best{0, 0, static_cast<int>(query.size())};
+  int best_distance = std::numeric_limits<int>::max();
+  for (size_t j = 0; j < row.distance.size(); ++j) {
+    if (row.distance[j] < best_distance) {
+      best_distance = row.distance[j];
+      best = {row.begin[j], j, row.distance[j]};
+    }
+  }
+  return best;
+}
+
+std::vector<SubtrajectoryMatch> SubtrajectoryMatchesWithin(
+    const Trajectory& query, const Trajectory& text, int radius,
+    double epsilon) {
+  const FinalRow row = SemiGlobalEdr(query, text, epsilon);
+  std::vector<SubtrajectoryMatch> matches;
+  for (size_t j = 0; j < row.distance.size(); ++j) {
+    if (row.distance[j] <= radius) {
+      matches.push_back({row.begin[j], j, row.distance[j]});
+    }
+  }
+  return matches;
+}
+
+std::vector<SubtrajectoryMatch> NonOverlappingMatches(
+    std::vector<SubtrajectoryMatch> candidates) {
+  std::sort(candidates.begin(), candidates.end(),
+            [](const SubtrajectoryMatch& a, const SubtrajectoryMatch& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              if (a.begin != b.begin) return a.begin < b.begin;
+              return a.end < b.end;
+            });
+  std::vector<SubtrajectoryMatch> selected;
+  for (const SubtrajectoryMatch& c : candidates) {
+    bool overlaps = false;
+    for (const SubtrajectoryMatch& s : selected) {
+      if (c.begin < s.end && s.begin < c.end) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (!overlaps) selected.push_back(c);
+  }
+  std::sort(selected.begin(), selected.end(),
+            [](const SubtrajectoryMatch& a, const SubtrajectoryMatch& b) {
+              return a.begin < b.begin;
+            });
+  return selected;
+}
+
+}  // namespace edr

@@ -1,0 +1,56 @@
+#ifndef EDR_QUERY_SUBTRAJECTORY_H_
+#define EDR_QUERY_SUBTRAJECTORY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/trajectory.h"
+
+namespace edr {
+
+/// A contiguous sub-trajectory of a text trajectory together with its EDR
+/// distance to a query pattern.
+struct SubtrajectoryMatch {
+  size_t begin = 0;  ///< inclusive start index in the text
+  size_t end = 0;    ///< exclusive end index in the text
+  int distance = 0;  ///< EDR(query, text[begin:end])
+
+  friend bool operator==(const SubtrajectoryMatch& a,
+                         const SubtrajectoryMatch& b) {
+    return a.begin == b.begin && a.end == b.end && a.distance == b.distance;
+  }
+};
+
+/// Minimum-EDR contiguous sub-trajectory match: the approximate string
+/// matching problem the paper's Q-gram machinery descends from ("given a
+/// long text ... and a pattern ..., retrieve all the segments of the text
+/// whose edit distance to the pattern is at most k", Section 4.1), lifted
+/// to trajectories under epsilon-matching.
+///
+/// Semi-global DP: conversion may start at any text position for free
+/// (row 0 is all zeros) and end anywhere (minimize over the last row);
+/// O(|query| * |text|) time, O(|text|) space including the start-pointer
+/// recovery. Returns {0, 0, |query|} against an empty text.
+SubtrajectoryMatch BestSubtrajectoryMatch(const Trajectory& query,
+                                          const Trajectory& text,
+                                          double epsilon);
+
+/// All match candidates with distance <= radius: for every text position
+/// where the best match *ending there* is within `radius`, its
+/// (begin, end, distance). Overlapping candidates are kept — callers that
+/// need disjoint occurrences can post-process (see
+/// NonOverlappingMatches).
+std::vector<SubtrajectoryMatch> SubtrajectoryMatchesWithin(
+    const Trajectory& query, const Trajectory& text, int radius,
+    double epsilon);
+
+/// Greedy selection of non-overlapping matches from a candidate list:
+/// repeatedly take the lowest-distance candidate (ties: leftmost) that
+/// does not overlap an already-selected one. Returns them sorted by
+/// begin position.
+std::vector<SubtrajectoryMatch> NonOverlappingMatches(
+    std::vector<SubtrajectoryMatch> candidates);
+
+}  // namespace edr
+
+#endif  // EDR_QUERY_SUBTRAJECTORY_H_

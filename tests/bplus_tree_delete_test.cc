@@ -1,0 +1,118 @@
+// Deletion tests for the B+-tree, including randomized insert/delete
+// workloads with duplicate keys cross-checked against a brute-force list.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/rng.h"
+#include "index/bplus_tree.h"
+
+namespace edr {
+namespace {
+
+TEST(BPlusTreeDeleteTest, SingleKey) {
+  BPlusTree tree;
+  tree.Insert(1.0, 42);
+  EXPECT_TRUE(tree.Delete(1.0, 42));
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.SearchRange(0.0, 2.0).empty());
+  EXPECT_TRUE(tree.Validate());
+}
+
+TEST(BPlusTreeDeleteTest, MissingReturnsFalse) {
+  BPlusTree tree;
+  tree.Insert(1.0, 42);
+  EXPECT_FALSE(tree.Delete(2.0, 42));   // Wrong key.
+  EXPECT_FALSE(tree.Delete(1.0, 43));   // Wrong value.
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BPlusTreeDeleteTest, DuplicateKeysRemoveOnePair) {
+  BPlusTree tree(4);
+  for (uint32_t v = 0; v < 30; ++v) tree.Insert(5.0, v);
+  EXPECT_TRUE(tree.Delete(5.0, 17));
+  EXPECT_FALSE(tree.Delete(5.0, 17));  // Already gone.
+  auto hits = tree.SearchRange(5.0, 5.0);
+  EXPECT_EQ(hits.size(), 29u);
+  EXPECT_TRUE(std::find(hits.begin(), hits.end(), 17u) == hits.end());
+  EXPECT_TRUE(tree.Validate());
+}
+
+TEST(BPlusTreeDeleteTest, DrainAscending) {
+  BPlusTree tree(4);
+  for (int i = 0; i < 1000; ++i) {
+    tree.Insert(static_cast<double>(i), static_cast<uint32_t>(i));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(tree.Delete(static_cast<double>(i), static_cast<uint32_t>(i)))
+        << i;
+    if (i % 50 == 0) {
+      ASSERT_TRUE(tree.Validate()) << i;
+    }
+  }
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1);
+}
+
+TEST(BPlusTreeDeleteTest, DrainDescending) {
+  BPlusTree tree(4);
+  for (int i = 0; i < 1000; ++i) {
+    tree.Insert(static_cast<double>(i), static_cast<uint32_t>(i));
+  }
+  for (int i = 1000; i-- > 0;) {
+    ASSERT_TRUE(tree.Delete(static_cast<double>(i), static_cast<uint32_t>(i)))
+        << i;
+    if (i % 50 == 0) {
+      ASSERT_TRUE(tree.Validate()) << i;
+    }
+  }
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+class BPlusTreeMixedWorkloadTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(BPlusTreeMixedWorkloadTest, RandomOpsMatchBruteForce) {
+  Rng rng(GetParam());
+  BPlusTree tree(static_cast<int>(rng.UniformInt(4, 32)));
+  std::vector<std::pair<double, uint32_t>> live;
+  uint32_t next_value = 0;
+
+  for (int op = 0; op < 2000; ++op) {
+    const bool insert = live.empty() || rng.NextDouble() < 0.55;
+    if (insert) {
+      // Quantized keys: plenty of duplicates.
+      const double key = static_cast<double>(rng.UniformInt(-30, 30)) * 0.5;
+      tree.Insert(key, next_value);
+      live.push_back({key, next_value});
+      ++next_value;
+    } else {
+      const size_t at = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      ASSERT_TRUE(tree.Delete(live[at].first, live[at].second)) << op;
+      live.erase(live.begin() + static_cast<long>(at));
+    }
+    if (op % 200 == 199) {
+      ASSERT_TRUE(tree.Validate()) << "op " << op;
+      ASSERT_EQ(tree.size(), live.size());
+      const double lo = rng.Uniform(-16, 16);
+      const double hi = lo + rng.Uniform(0.0, 8.0);
+      std::vector<uint32_t> actual = tree.SearchRange(lo, hi);
+      std::vector<uint32_t> expected;
+      for (const auto& [k, v] : live) {
+        if (k >= lo && k <= hi) expected.push_back(v);
+      }
+      std::sort(actual.begin(), actual.end());
+      std::sort(expected.begin(), expected.end());
+      ASSERT_EQ(actual, expected) << "op " << op;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BPlusTreeMixedWorkloadTest,
+                         ::testing::Range<uint64_t>(940, 950));
+
+}  // namespace
+}  // namespace edr

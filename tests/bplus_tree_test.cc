@@ -1,0 +1,140 @@
+#include "index/bplus_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace edr {
+namespace {
+
+TEST(BPlusTreeTest, EmptyTree) {
+  const BPlusTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_TRUE(tree.SearchRange(-10, 10).empty());
+  EXPECT_TRUE(tree.Validate());
+}
+
+TEST(BPlusTreeTest, SingleKey) {
+  BPlusTree tree;
+  tree.Insert(1.5, 42);
+  const auto hits = tree.SearchRange(1.0, 2.0);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 42u);
+  EXPECT_TRUE(tree.SearchRange(2.0, 3.0).empty());
+}
+
+TEST(BPlusTreeTest, RangeBoundariesInclusive) {
+  BPlusTree tree;
+  tree.Insert(1.0, 1);
+  tree.Insert(2.0, 2);
+  tree.Insert(3.0, 3);
+  EXPECT_EQ(tree.SearchRange(1.0, 3.0).size(), 3u);
+  EXPECT_EQ(tree.SearchRange(1.0, 1.0).size(), 1u);
+  EXPECT_EQ(tree.SearchRange(1.5, 2.5).size(), 1u);
+}
+
+TEST(BPlusTreeTest, EmptyRangeWhenLoAboveHi) {
+  BPlusTree tree;
+  tree.Insert(1.0, 1);
+  EXPECT_TRUE(tree.SearchRange(2.0, 1.0).empty());
+}
+
+TEST(BPlusTreeTest, DuplicateKeysAllReturned) {
+  BPlusTree tree(4);
+  for (uint32_t i = 0; i < 50; ++i) tree.Insert(7.0, i);
+  EXPECT_EQ(tree.size(), 50u);
+  EXPECT_TRUE(tree.Validate());
+  EXPECT_EQ(tree.SearchRange(7.0, 7.0).size(), 50u);
+  EXPECT_EQ(tree.SearchRange(6.99, 7.01).size(), 50u);
+  EXPECT_TRUE(tree.SearchRange(7.01, 8.0).empty());
+}
+
+TEST(BPlusTreeTest, GrowsWithSmallOrderAndStaysValid) {
+  BPlusTree tree(4);
+  Rng rng(81);
+  for (uint32_t i = 0; i < 5000; ++i) {
+    tree.Insert(rng.Uniform(-100, 100), i);
+  }
+  EXPECT_EQ(tree.size(), 5000u);
+  EXPECT_GT(tree.height(), 2);
+  EXPECT_TRUE(tree.Validate());
+}
+
+TEST(BPlusTreeTest, ResultsAreKeyOrdered) {
+  BPlusTree tree(4);
+  Rng rng(82);
+  for (uint32_t i = 0; i < 1000; ++i) tree.Insert(rng.Uniform(0, 1), i);
+  double prev = -1.0;
+  tree.SearchRange(0.0, 1.0, [&prev](double key, uint32_t) {
+    EXPECT_GE(key, prev);
+    prev = key;
+  });
+}
+
+class BPlusTreeRandomizedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BPlusTreeRandomizedTest, RangeQueriesMatchBruteForce) {
+  Rng rng(GetParam());
+  const int n = static_cast<int>(rng.UniformInt(10, 3000));
+  const int order = static_cast<int>(rng.UniformInt(4, 64));
+  BPlusTree tree(order);
+  std::vector<double> keys;
+  for (int i = 0; i < n; ++i) {
+    // Quantized keys to force plenty of duplicates.
+    const double key = static_cast<double>(rng.UniformInt(-50, 50)) * 0.5;
+    keys.push_back(key);
+    tree.Insert(key, static_cast<uint32_t>(i));
+  }
+  ASSERT_TRUE(tree.Validate());
+  ASSERT_EQ(tree.size(), static_cast<size_t>(n));
+
+  for (int trial = 0; trial < 25; ++trial) {
+    const double a = rng.Uniform(-30, 30);
+    const double b = a + rng.Uniform(0.0, 10.0);
+    std::vector<uint32_t> actual = tree.SearchRange(a, b);
+    std::vector<uint32_t> expected;
+    for (int i = 0; i < n; ++i) {
+      const double key = keys[static_cast<size_t>(i)];
+      if (key >= a && key <= b) expected.push_back(static_cast<uint32_t>(i));
+    }
+    std::sort(actual.begin(), actual.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BPlusTreeRandomizedTest,
+                         ::testing::Range<uint64_t>(200, 212));
+
+TEST(BPlusTreeTest, AscendingInsertion) {
+  BPlusTree tree(4);
+  for (int i = 0; i < 2000; ++i) {
+    tree.Insert(static_cast<double>(i), static_cast<uint32_t>(i));
+  }
+  EXPECT_TRUE(tree.Validate());
+  EXPECT_EQ(tree.SearchRange(500.0, 509.0).size(), 10u);
+}
+
+TEST(BPlusTreeTest, DescendingInsertion) {
+  BPlusTree tree(4);
+  for (int i = 2000; i-- > 0;) {
+    tree.Insert(static_cast<double>(i), static_cast<uint32_t>(i));
+  }
+  EXPECT_TRUE(tree.Validate());
+  EXPECT_EQ(tree.SearchRange(0.0, 4.0).size(), 5u);
+}
+
+TEST(BPlusTreeTest, MoveTransfersContents) {
+  BPlusTree tree;
+  tree.Insert(1.0, 1);
+  BPlusTree moved = std::move(tree);
+  EXPECT_EQ(moved.size(), 1u);
+  EXPECT_EQ(moved.SearchRange(0.0, 2.0).size(), 1u);
+}
+
+}  // namespace
+}  // namespace edr

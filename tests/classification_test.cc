@@ -1,0 +1,75 @@
+#include "eval/classification.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "distance/edr.h"
+#include "distance/euclidean.h"
+
+namespace edr {
+namespace {
+
+TrajectoryDataset SeparatedClasses(int classes, int per_class,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  TrajectoryDataset db;
+  for (int c = 0; c < classes; ++c) {
+    for (int i = 0; i < per_class; ++i) {
+      Trajectory t;
+      for (int j = 0; j < 20; ++j) {
+        t.Append(c * 50.0 + rng.Gaussian(0.0, 0.1),
+                 rng.Gaussian(0.0, 0.1));
+      }
+      t.set_label(c);
+      db.Add(std::move(t));
+    }
+  }
+  return db;
+}
+
+TEST(ClassificationTest, SeparableClassesGiveZeroError) {
+  const TrajectoryDataset db = SeparatedClasses(4, 5, 111);
+  const double error =
+      LeaveOneOutError(db, [](const Trajectory& a, const Trajectory& b) {
+        return SlidingEuclideanDistance(a, b);
+      });
+  EXPECT_DOUBLE_EQ(error, 0.0);
+}
+
+TEST(ClassificationTest, EdrAlsoZeroErrorOnSeparableClasses) {
+  const TrajectoryDataset db = SeparatedClasses(4, 5, 112);
+  const double error =
+      LeaveOneOutError(db, [](const Trajectory& a, const Trajectory& b) {
+        return static_cast<double>(EdrDistance(a, b, 0.25));
+      });
+  EXPECT_DOUBLE_EQ(error, 0.0);
+}
+
+TEST(ClassificationTest, UselessDistanceHasHighError) {
+  const TrajectoryDataset db = SeparatedClasses(4, 5, 113);
+  // Constant distance: prediction is effectively the first other
+  // trajectory's label, wrong for most items.
+  const double error = LeaveOneOutError(
+      db, [](const Trajectory&, const Trajectory&) { return 1.0; });
+  EXPECT_GT(error, 0.5);
+}
+
+TEST(ClassificationTest, ErrorIsAFraction) {
+  const TrajectoryDataset db = SeparatedClasses(2, 3, 114);
+  const double error = LeaveOneOutError(
+      db, [](const Trajectory& a, const Trajectory& b) {
+        return SlidingEuclideanDistance(a, b);
+      });
+  EXPECT_GE(error, 0.0);
+  EXPECT_LE(error, 1.0);
+}
+
+TEST(ClassificationTest, TinyDatasetIsZero) {
+  TrajectoryDataset db;
+  EXPECT_DOUBLE_EQ(LeaveOneOutError(db, nullptr), 0.0);
+  db.Add(Trajectory({{0.0, 0.0}}, 0));
+  EXPECT_DOUBLE_EQ(LeaveOneOutError(db, nullptr), 0.0);
+}
+
+}  // namespace
+}  // namespace edr

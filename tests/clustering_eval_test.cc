@@ -1,0 +1,86 @@
+#include "eval/clustering_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "distance/edr.h"
+#include "distance/euclidean.h"
+
+namespace edr {
+namespace {
+
+/// Three well-separated classes of near-identical trajectories.
+TrajectoryDataset SeparatedClasses(int per_class = 3) {
+  Rng rng(101);
+  TrajectoryDataset db;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < per_class; ++i) {
+      Trajectory t;
+      for (int j = 0; j < 30; ++j) {
+        t.Append(c * 100.0 + 0.05 * j + rng.Gaussian(0.0, 0.01),
+                 c * 50.0 + rng.Gaussian(0.0, 0.01));
+      }
+      t.set_label(c);
+      db.Add(std::move(t));
+    }
+  }
+  return db;
+}
+
+TEST(ClusteringEvalTest, PerfectDistancePartitionsAllPairs) {
+  const TrajectoryDataset db = SeparatedClasses();
+  const ClassPairClusteringResult result = EvaluateClusteringByClassPairs(
+      db, [](const Trajectory& a, const Trajectory& b) {
+        return SlidingEuclideanDistance(a, b);
+      });
+  EXPECT_EQ(result.total_pairs, 3u);  // C(3,2).
+  EXPECT_EQ(result.correct_pairs, 3u);
+}
+
+TEST(ClusteringEvalTest, EdrAlsoPartitionsSeparatedClasses) {
+  const TrajectoryDataset db = SeparatedClasses();
+  const ClassPairClusteringResult result = EvaluateClusteringByClassPairs(
+      db, [](const Trajectory& a, const Trajectory& b) {
+        return static_cast<double>(EdrDistance(a, b, 0.25));
+      });
+  EXPECT_EQ(result.correct_pairs, result.total_pairs);
+}
+
+TEST(ClusteringEvalTest, DegenerateDistanceFailsSomePairs) {
+  const TrajectoryDataset db = SeparatedClasses();
+  // A constant distance carries no information; complete linkage then
+  // merges arbitrarily and cannot recover class structure reliably.
+  const ClassPairClusteringResult result = EvaluateClusteringByClassPairs(
+      db, [](const Trajectory&, const Trajectory&) { return 1.0; });
+  EXPECT_LT(result.correct_pairs, result.total_pairs);
+}
+
+TEST(ClusteringEvalTest, PairCountIsChooseTwo) {
+  Rng rng(102);
+  TrajectoryDataset db;
+  for (int c = 0; c < 5; ++c) {
+    for (int i = 0; i < 2; ++i) {
+      Trajectory t;
+      for (int j = 0; j < 5; ++j) t.Append(rng.Gaussian(), rng.Gaussian());
+      t.set_label(c);
+      db.Add(std::move(t));
+    }
+  }
+  const ClassPairClusteringResult result = EvaluateClusteringByClassPairs(
+      db, [](const Trajectory& a, const Trajectory& b) {
+        return SlidingEuclideanDistance(a, b);
+      });
+  EXPECT_EQ(result.total_pairs, 10u);  // C(5,2).
+}
+
+TEST(ClusteringEvalTest, UnlabeledDatasetHasNoPairs) {
+  TrajectoryDataset db;
+  db.Add(Trajectory({{0.0, 0.0}}));
+  const ClassPairClusteringResult result = EvaluateClusteringByClassPairs(
+      db, [](const Trajectory&, const Trajectory&) { return 0.0; });
+  EXPECT_EQ(result.total_pairs, 0u);
+  EXPECT_EQ(result.correct_pairs, 0u);
+}
+
+}  // namespace
+}  // namespace edr

@@ -1,0 +1,82 @@
+#include "core/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "core/normalize.h"
+
+namespace edr {
+namespace {
+
+TrajectoryDataset MakeSmall() {
+  TrajectoryDataset db("small");
+  db.Add(Trajectory({{0.0, 0.0}, {1.0, 1.0}}, 0));
+  db.Add(Trajectory({{2.0, 2.0}, {3.0, 3.0}, {4.0, 4.0}}, 1));
+  db.Add(Trajectory({{5.0, 5.0}}, 0));
+  return db;
+}
+
+TEST(DatasetTest, AddAssignsDenseIds) {
+  const TrajectoryDataset db = MakeSmall();
+  ASSERT_EQ(db.size(), 3u);
+  for (size_t i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(db[i].id(), static_cast<uint32_t>(i));
+  }
+}
+
+TEST(DatasetTest, AddReturnsId) {
+  TrajectoryDataset db;
+  EXPECT_EQ(db.Add(Trajectory({{0, 0}})), 0u);
+  EXPECT_EQ(db.Add(Trajectory({{0, 0}})), 1u);
+}
+
+TEST(DatasetTest, NumClassesIgnoresUnlabeled) {
+  TrajectoryDataset db = MakeSmall();
+  db.Add(Trajectory({{9.0, 9.0}}));  // label -1
+  EXPECT_EQ(db.NumClasses(), 2u);
+}
+
+TEST(DatasetTest, IdsWithLabel) {
+  const TrajectoryDataset db = MakeSmall();
+  const std::vector<uint32_t> zeros = db.IdsWithLabel(0);
+  ASSERT_EQ(zeros.size(), 2u);
+  EXPECT_EQ(zeros[0], 0u);
+  EXPECT_EQ(zeros[1], 2u);
+}
+
+TEST(DatasetTest, StatsLengthsAndRange) {
+  const TrajectoryDataset db = MakeSmall();
+  const DatasetStats stats = db.Stats();
+  EXPECT_EQ(stats.count, 3u);
+  EXPECT_EQ(stats.min_length, 1u);
+  EXPECT_EQ(stats.max_length, 3u);
+  EXPECT_DOUBLE_EQ(stats.mean_length, 2.0);
+  EXPECT_DOUBLE_EQ(stats.min_xy.x, 0.0);
+  EXPECT_DOUBLE_EQ(stats.max_xy.x, 5.0);
+  EXPECT_DOUBLE_EQ(stats.min_xy.y, 0.0);
+  EXPECT_DOUBLE_EQ(stats.max_xy.y, 5.0);
+}
+
+TEST(DatasetTest, StatsOfEmptyDataset) {
+  const TrajectoryDataset db;
+  const DatasetStats stats = db.Stats();
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_DOUBLE_EQ(stats.max_std_dev, 0.0);
+}
+
+TEST(DatasetTest, NormalizeAllThenSuggestedEpsilonIsQuarter) {
+  TrajectoryDataset db = MakeSmall();
+  db.NormalizeAll();
+  // After z-score normalization every non-degenerate trajectory has unit
+  // std-dev, so the paper's rule (a quarter of the max std dev) gives 0.25.
+  EXPECT_NEAR(db.SuggestedEpsilon(), 0.25, 1e-12);
+}
+
+TEST(DatasetTest, MaxStdDevTracksWidestTrajectory) {
+  TrajectoryDataset db;
+  db.Add(Trajectory({{-1.0, 0.0}, {1.0, 0.0}}));    // sigma_x = 1
+  db.Add(Trajectory({{-10.0, 0.0}, {10.0, 0.0}}));  // sigma_x = 10
+  EXPECT_DOUBLE_EQ(db.Stats().max_std_dev, 10.0);
+}
+
+}  // namespace
+}  // namespace edr

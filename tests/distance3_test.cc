@@ -1,0 +1,148 @@
+// Three-dimensional distance kernels: behavioural tests plus cross-checks
+// against the 2-D kernels (a 3-D trajectory with constant z must behave
+// exactly like its 2-D projection — the kernels share one generic DP).
+
+#include "distance/distance3.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "core/trajectory.h"
+#include "distance/dtw.h"
+#include "distance/edr.h"
+#include "distance/erp.h"
+#include "distance/euclidean.h"
+#include "distance/lcss.h"
+
+namespace edr {
+namespace {
+
+std::pair<Trajectory, Trajectory3> RandomPair2D3D(Rng& rng, int min_len,
+                                                  int max_len) {
+  const int len = static_cast<int>(rng.UniformInt(min_len, max_len));
+  Trajectory flat;
+  Trajectory3 lifted;
+  for (int i = 0; i < len; ++i) {
+    const double x = rng.Gaussian();
+    const double y = rng.Gaussian();
+    flat.Append(x, y);
+    lifted.Append(x, y, 0.0);  // Constant z.
+  }
+  return {std::move(flat), std::move(lifted)};
+}
+
+TEST(Distance3Test, ConstantZReducesToTwoDimensions) {
+  Rng rng(301);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto [a2, a3] = RandomPair2D3D(rng, 2, 40);
+    const auto [b2, b3] = RandomPair2D3D(rng, 2, 40);
+    EXPECT_DOUBLE_EQ(SlidingEuclideanDistance(a3, b3),
+                     SlidingEuclideanDistance(a2, b2));
+    EXPECT_DOUBLE_EQ(DtwDistance(a3, b3), DtwDistance(a2, b2));
+    EXPECT_NEAR(ErpDistance(a3, b3), ErpDistance(a2, b2), 1e-9);
+    EXPECT_EQ(LcssLength(a3, b3, 0.25), LcssLength(a2, b2, 0.25));
+    EXPECT_EQ(EdrDistance(a3, b3, 0.25), EdrDistance(a2, b2, 0.25));
+  }
+}
+
+TEST(Distance3Test, ThirdDimensionActuallyMatters) {
+  // Same x-y, divergent z: matches must break in 3-D.
+  Trajectory3 a;
+  Trajectory3 b;
+  for (int i = 0; i < 10; ++i) {
+    a.Append(0.1 * i, 0.0, 0.0);
+    b.Append(0.1 * i, 0.0, 5.0);
+  }
+  EXPECT_EQ(EdrDistance(a, b, 0.25), 10);
+  EXPECT_EQ(LcssLength(a, b, 0.25), 0u);
+  EXPECT_GT(DtwDistance(a, b), 100.0);
+}
+
+TEST(Distance3Test, EdrBaseCasesAndIdentity) {
+  const Trajectory3 t({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(EdrDistance(Trajectory3(), t, 0.5), 2);
+  EXPECT_EQ(EdrDistance(t, Trajectory3(), 0.5), 2);
+  EXPECT_EQ(EdrDistance(t, t, 0.1), 0);
+}
+
+TEST(Distance3Test, EuclideanRequiresEqualLengths) {
+  const Trajectory3 a({{0, 0, 0}});
+  const Trajectory3 b({{0, 0, 0}, {1, 1, 1}});
+  EXPECT_TRUE(std::isinf(EuclideanDistance(a, b)));
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, a), 0.0);
+}
+
+TEST(Distance3Test, ErpGapAndEmpty) {
+  Trajectory3 t;
+  t.Append(3.0, 0.0, 4.0);
+  EXPECT_DOUBLE_EQ(ErpDistance(Trajectory3(), t), 5.0);  // |(3,0,4)|
+  EXPECT_DOUBLE_EQ(ErpDistance(Trajectory3(), t, {3.0, 0.0, 4.0}), 0.0);
+}
+
+TEST(Distance3Test, SymmetryProperties) {
+  Rng rng(302);
+  for (int trial = 0; trial < 10; ++trial) {
+    Trajectory3 a;
+    Trajectory3 b;
+    const int la = static_cast<int>(rng.UniformInt(2, 30));
+    const int lb = static_cast<int>(rng.UniformInt(2, 30));
+    for (int i = 0; i < la; ++i) {
+      a.Append(rng.Gaussian(), rng.Gaussian(), rng.Gaussian());
+    }
+    for (int i = 0; i < lb; ++i) {
+      b.Append(rng.Gaussian(), rng.Gaussian(), rng.Gaussian());
+    }
+    EXPECT_EQ(EdrDistance(a, b, 0.25), EdrDistance(b, a, 0.25));
+    EXPECT_DOUBLE_EQ(DtwDistance(a, b), DtwDistance(b, a));
+    EXPECT_NEAR(ErpDistance(a, b), ErpDistance(b, a), 1e-9);
+    EXPECT_EQ(LcssLength(a, b, 0.25), LcssLength(b, a, 0.25));
+  }
+}
+
+TEST(Distance3Test, BandedAndBoundedVariantsConsistent) {
+  Rng rng(303);
+  for (int trial = 0; trial < 10; ++trial) {
+    Trajectory3 a;
+    Trajectory3 b;
+    for (int i = 0; i < 25; ++i) {
+      a.Append(rng.Gaussian(), rng.Gaussian(), rng.Gaussian());
+      b.Append(rng.Gaussian(), rng.Gaussian(), rng.Gaussian());
+    }
+    const int full = EdrDistance(a, b, 0.25);
+    EXPECT_EQ(EdrDistanceBanded(a, b, 0.25, -1), full);
+    EXPECT_GE(EdrDistanceBanded(a, b, 0.25, 2), full);
+    EXPECT_EQ(EdrDistanceBounded(a, b, 0.25, full), full);
+    const int abandoned = EdrDistanceBounded(a, b, 0.25, full - 1);
+    if (full > 0) {
+      EXPECT_GT(abandoned, full - 1);
+      EXPECT_LE(abandoned, full);
+    }
+    EXPECT_GE(DtwDistanceBanded(a, b, 3) + 1e-9, DtwDistance(a, b));
+    EXPECT_LE(LcssLengthBanded(a, b, 0.25, 3), LcssLength(a, b, 0.25));
+    EXPECT_GE(ErpDistanceBanded(a, b, 3) + 1e-9, ErpDistance(a, b));
+  }
+}
+
+TEST(Distance3Test, EdrRobustToOutlierLikeTwoD) {
+  // The same Section 2 story in 3-D: one massive glitch costs one edit.
+  Trajectory3 clean;
+  Trajectory3 noisy;
+  for (int i = 0; i < 8; ++i) {
+    clean.Append(0.1 * i, 0.2 * i, -0.1 * i);
+    noisy.Append(0.1 * i, 0.2 * i, -0.1 * i);
+  }
+  noisy[4] = {100.0, 100.0, 100.0};
+  EXPECT_EQ(EdrDistance(clean, noisy, 0.25), 1);
+  EXPECT_GT(DtwDistance(clean, noisy), 10000.0);
+}
+
+TEST(Distance3Test, LcssDistanceForm) {
+  const Trajectory3 a({{0, 0, 0}, {1, 1, 1}});
+  EXPECT_DOUBLE_EQ(LcssDistance(a, a, 0.1), 0.0);
+  EXPECT_DOUBLE_EQ(LcssDistance(a, Trajectory3(), 0.1), 1.0);
+}
+
+}  // namespace
+}  // namespace edr

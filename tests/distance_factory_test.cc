@@ -1,0 +1,85 @@
+#include "distance/distance.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/rng.h"
+#include "distance/dtw.h"
+#include "distance/edr.h"
+#include "distance/erp.h"
+#include "distance/euclidean.h"
+#include "distance/lcss.h"
+
+namespace edr {
+namespace {
+
+Trajectory RandomTrajectory(Rng& rng, int len) {
+  Trajectory t;
+  for (int i = 0; i < len; ++i) t.Append(rng.Gaussian(), rng.Gaussian());
+  return t;
+}
+
+TEST(DistanceFactoryTest, NamesMatchPaperHeaders) {
+  EXPECT_STREQ(DistanceKindName(DistanceKind::kEuclidean), "Eu");
+  EXPECT_STREQ(DistanceKindName(DistanceKind::kDtw), "DTW");
+  EXPECT_STREQ(DistanceKindName(DistanceKind::kErp), "ERP");
+  EXPECT_STREQ(DistanceKindName(DistanceKind::kLcss), "LCSS");
+  EXPECT_STREQ(DistanceKindName(DistanceKind::kEdr), "EDR");
+}
+
+TEST(DistanceFactoryTest, AllKindsProduceCallableFunctions) {
+  Rng rng(61);
+  const Trajectory a = RandomTrajectory(rng, 12);
+  const Trajectory b = RandomTrajectory(rng, 12);
+  for (const DistanceKind kind : kAllDistanceKinds) {
+    const DistanceFn fn = MakeDistance(kind, {});
+    ASSERT_TRUE(fn) << DistanceKindName(kind);
+    const double d = fn(a, b);
+    EXPECT_GE(d, 0.0) << DistanceKindName(kind);
+  }
+}
+
+TEST(DistanceFactoryTest, FactoryMatchesDirectCalls) {
+  Rng rng(62);
+  const Trajectory a = RandomTrajectory(rng, 15);
+  const Trajectory b = RandomTrajectory(rng, 18);
+  DistanceOptions options;
+  options.epsilon = 0.3;
+
+  EXPECT_DOUBLE_EQ(MakeDistance(DistanceKind::kEuclidean, options)(a, b),
+                   SlidingEuclideanDistance(a, b));
+  EXPECT_DOUBLE_EQ(MakeDistance(DistanceKind::kDtw, options)(a, b),
+                   DtwDistance(a, b));
+  EXPECT_DOUBLE_EQ(MakeDistance(DistanceKind::kErp, options)(a, b),
+                   ErpDistance(a, b));
+  EXPECT_DOUBLE_EQ(MakeDistance(DistanceKind::kLcss, options)(a, b),
+                   LcssDistance(a, b, 0.3));
+  EXPECT_DOUBLE_EQ(MakeDistance(DistanceKind::kEdr, options)(a, b),
+                   static_cast<double>(EdrDistance(a, b, 0.3)));
+}
+
+TEST(DistanceFactoryTest, BandOptionIsForwarded) {
+  Rng rng(63);
+  const Trajectory a = RandomTrajectory(rng, 20);
+  const Trajectory b = RandomTrajectory(rng, 25);
+  DistanceOptions options;
+  options.band = 2;
+  EXPECT_DOUBLE_EQ(MakeDistance(DistanceKind::kDtw, options)(a, b),
+                   DtwDistanceBanded(a, b, 2));
+  EXPECT_DOUBLE_EQ(MakeDistance(DistanceKind::kEdr, options)(a, b),
+                   static_cast<double>(EdrDistanceBanded(a, b, 0.25, 2)));
+}
+
+TEST(DistanceFactoryTest, ErpGapOptionIsForwarded) {
+  Rng rng(64);
+  const Trajectory a = RandomTrajectory(rng, 10);
+  const Trajectory b;
+  DistanceOptions options;
+  options.erp_gap = {2.0, 1.0};
+  EXPECT_DOUBLE_EQ(MakeDistance(DistanceKind::kErp, options)(a, b),
+                   ErpDistance(a, b, {2.0, 1.0}));
+}
+
+}  // namespace
+}  // namespace edr

@@ -1,0 +1,177 @@
+// Property-based tests for the distance functions, parameterized over RNG
+// seeds (each seed drives a fresh batch of random trajectory pairs).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/rng.h"
+#include "core/trajectory.h"
+#include "distance/dtw.h"
+#include "distance/edr.h"
+#include "distance/erp.h"
+#include "distance/lcss.h"
+
+namespace edr {
+namespace {
+
+Trajectory RandomTrajectory(Rng& rng, int min_len, int max_len,
+                            double step = 0.5) {
+  Trajectory t;
+  const int len = static_cast<int>(rng.UniformInt(min_len, max_len));
+  Point2 pos{rng.Gaussian(), rng.Gaussian()};
+  for (int i = 0; i < len; ++i) {
+    t.Append(pos);
+    pos.x += rng.Gaussian(0.0, step);
+    pos.y += rng.Gaussian(0.0, step);
+  }
+  return t;
+}
+
+class DistancePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DistancePropertyTest, EdrIdentityOfMatchingCopies) {
+  Rng rng(GetParam());
+  const Trajectory a = RandomTrajectory(rng, 5, 60);
+  EXPECT_EQ(EdrDistance(a, a, 0.25), 0);
+}
+
+TEST_P(DistancePropertyTest, EdrSymmetry) {
+  Rng rng(GetParam() ^ 0x1);
+  const Trajectory a = RandomTrajectory(rng, 2, 60);
+  const Trajectory b = RandomTrajectory(rng, 2, 60);
+  EXPECT_EQ(EdrDistance(a, b, 0.25), EdrDistance(b, a, 0.25));
+}
+
+TEST_P(DistancePropertyTest, EdrRangeBounds) {
+  Rng rng(GetParam() ^ 0x2);
+  const Trajectory a = RandomTrajectory(rng, 2, 60);
+  const Trajectory b = RandomTrajectory(rng, 2, 60);
+  const int d = EdrDistance(a, b, 0.25);
+  EXPECT_GE(d, EdrLengthLowerBound(a, b));
+  EXPECT_LE(d, static_cast<int>(std::max(a.size(), b.size())));
+}
+
+TEST_P(DistancePropertyTest, EdrNearTriangleInequalityTheorem5) {
+  // EDR(Q,S) + EDR(S,R) + |S| >= EDR(Q,R).
+  Rng rng(GetParam() ^ 0x3);
+  const Trajectory q = RandomTrajectory(rng, 2, 40);
+  const Trajectory s = RandomTrajectory(rng, 2, 40);
+  const Trajectory r = RandomTrajectory(rng, 2, 40);
+  const int qs = EdrDistance(q, s, 0.25);
+  const int sr = EdrDistance(s, r, 0.25);
+  const int qr = EdrDistance(q, r, 0.25);
+  EXPECT_GE(qs + sr + static_cast<int>(s.size()), qr);
+}
+
+TEST_P(DistancePropertyTest, EdrSingleEditPerturbationCostsAtMostOne) {
+  Rng rng(GetParam() ^ 0x4);
+  Trajectory a = RandomTrajectory(rng, 5, 50);
+  Trajectory b = a;
+  // Replace one element with an outlier.
+  const size_t at = static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(a.size()) - 1));
+  b[at] = {b[at].x + 50.0, b[at].y - 50.0};
+  const int d = EdrDistance(a, b, 0.25);
+  EXPECT_LE(d, 1);
+}
+
+TEST_P(DistancePropertyTest, EdrInsertionPerturbationCostsAtMostOne) {
+  Rng rng(GetParam() ^ 0x5);
+  const Trajectory a = RandomTrajectory(rng, 5, 50);
+  std::vector<Point2> points = a.points();
+  const size_t at = static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(points.size())));
+  points.insert(points.begin() + static_cast<long>(at), {100.0, 100.0});
+  const Trajectory b{std::move(points)};
+  EXPECT_LE(EdrDistance(a, b, 0.25), 1);
+  EXPECT_GE(EdrDistance(a, b, 0.25), 0);
+}
+
+TEST_P(DistancePropertyTest, EdrMonotoneInEpsilonTheorem7) {
+  Rng rng(GetParam() ^ 0x6);
+  const Trajectory a = RandomTrajectory(rng, 2, 50);
+  const Trajectory b = RandomTrajectory(rng, 2, 50);
+  int prev = EdrDistance(a, b, 0.1);
+  for (const double eps : {0.2, 0.4, 0.8, 1.6}) {
+    const int d = EdrDistance(a, b, eps);
+    EXPECT_LE(d, prev);
+    prev = d;
+  }
+}
+
+TEST_P(DistancePropertyTest, EdrProjectionLowerBoundTheorem8) {
+  // EDR on a single projected dimension lower-bounds full EDR.
+  Rng rng(GetParam() ^ 0x7);
+  const Trajectory a = RandomTrajectory(rng, 2, 40);
+  const Trajectory b = RandomTrajectory(rng, 2, 40);
+  Trajectory ax;
+  Trajectory bx;
+  for (const Point2& p : a) ax.Append(p.x, 0.0);
+  for (const Point2& p : b) bx.Append(p.x, 0.0);
+  EXPECT_LE(EdrDistance(ax, bx, 0.25), EdrDistance(a, b, 0.25));
+}
+
+TEST_P(DistancePropertyTest, EdrBoundedAgreesWithFullUnderAnyBound) {
+  Rng rng(GetParam() ^ 0x8);
+  const Trajectory a = RandomTrajectory(rng, 2, 50);
+  const Trajectory b = RandomTrajectory(rng, 2, 50);
+  const int full = EdrDistance(a, b, 0.25);
+  for (const int bound : {0, 1, 5, 20, 100}) {
+    const int d = EdrDistanceBounded(a, b, 0.25, bound);
+    if (full <= bound) {
+      EXPECT_EQ(d, full);
+    } else {
+      EXPECT_GT(d, bound);
+      EXPECT_LE(d, full);
+    }
+  }
+}
+
+TEST_P(DistancePropertyTest, DtwSymmetryAndIdentity) {
+  Rng rng(GetParam() ^ 0x9);
+  const Trajectory a = RandomTrajectory(rng, 2, 50);
+  const Trajectory b = RandomTrajectory(rng, 2, 50);
+  EXPECT_DOUBLE_EQ(DtwDistance(a, b), DtwDistance(b, a));
+  EXPECT_DOUBLE_EQ(DtwDistance(a, a), 0.0);
+}
+
+TEST_P(DistancePropertyTest, ErpSymmetryAndTriangle) {
+  Rng rng(GetParam() ^ 0xA);
+  const Trajectory a = RandomTrajectory(rng, 2, 30);
+  const Trajectory b = RandomTrajectory(rng, 2, 30);
+  const Trajectory c = RandomTrajectory(rng, 2, 30);
+  EXPECT_NEAR(ErpDistance(a, b), ErpDistance(b, a), 1e-9);
+  EXPECT_LE(ErpDistance(a, c), ErpDistance(a, b) + ErpDistance(b, c) + 1e-9);
+}
+
+TEST_P(DistancePropertyTest, LcssScoreWithinBounds) {
+  Rng rng(GetParam() ^ 0xB);
+  const Trajectory a = RandomTrajectory(rng, 2, 50);
+  const Trajectory b = RandomTrajectory(rng, 2, 50);
+  const size_t score = LcssLength(a, b, 0.25);
+  EXPECT_LE(score, std::min(a.size(), b.size()));
+  const double dist = LcssDistance(a, b, 0.25);
+  EXPECT_GE(dist, 0.0);
+  EXPECT_LE(dist, 1.0);
+}
+
+TEST_P(DistancePropertyTest, LcssAndEdrConsistency) {
+  // EDR(R,S) <= m + n - 2 * LCSS(R,S): delete everything unmatched.
+  // (Each matched pair survives; the rest are insert/delete/replace.)
+  Rng rng(GetParam() ^ 0xC);
+  const Trajectory a = RandomTrajectory(rng, 2, 40);
+  const Trajectory b = RandomTrajectory(rng, 2, 40);
+  const int m = static_cast<int>(a.size());
+  const int n = static_cast<int>(b.size());
+  const int lcss = static_cast<int>(LcssLength(a, b, 0.25));
+  EXPECT_LE(EdrDistance(a, b, 0.25), m + n - 2 * lcss);
+  // And EDR >= (max - LCSS): at most LCSS positions can be free matches.
+  EXPECT_GE(EdrDistance(a, b, 0.25), std::max(m, n) - lcss);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistancePropertyTest,
+                         ::testing::Range<uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace edr

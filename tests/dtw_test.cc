@@ -1,0 +1,103 @@
+#include "distance/dtw.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+
+namespace edr {
+namespace {
+
+Trajectory Seq(std::initializer_list<double> xs) {
+  Trajectory t;
+  for (const double x : xs) t.Append(x, 0.0);
+  return t;
+}
+
+TEST(DtwTest, BothEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(DtwDistance(Trajectory(), Trajectory()), 0.0);
+}
+
+TEST(DtwTest, OneEmptyIsInfinite) {
+  EXPECT_TRUE(std::isinf(DtwDistance(Seq({1}), Trajectory())));
+  EXPECT_TRUE(std::isinf(DtwDistance(Trajectory(), Seq({1}))));
+}
+
+TEST(DtwTest, IdenticalIsZero) {
+  const Trajectory t = Seq({1, 5, 2, 8});
+  EXPECT_DOUBLE_EQ(DtwDistance(t, t), 0.0);
+}
+
+TEST(DtwTest, HandlesLocalTimeShiftingByDuplication) {
+  // Same path sampled at different speeds: DTW should be zero.
+  const Trajectory a = Seq({1, 2, 3});
+  const Trajectory b = Seq({1, 1, 2, 2, 3, 3});
+  EXPECT_DOUBLE_EQ(DtwDistance(a, b), 0.0);
+}
+
+TEST(DtwTest, KnownSmallExample) {
+  const Trajectory a = Seq({0, 0});
+  const Trajectory b = Seq({1});
+  // Both elements of a align to b[0]: cost 1 + 1 (squared dists).
+  EXPECT_DOUBLE_EQ(DtwDistance(a, b), 2.0);
+}
+
+TEST(DtwTest, Symmetric) {
+  Rng rng(21);
+  Trajectory a;
+  Trajectory b;
+  for (int i = 0; i < 24; ++i) a.Append(rng.Gaussian(), rng.Gaussian());
+  for (int i = 0; i < 30; ++i) b.Append(rng.Gaussian(), rng.Gaussian());
+  EXPECT_DOUBLE_EQ(DtwDistance(a, b), DtwDistance(b, a));
+}
+
+TEST(DtwTest, SensitiveToNoiseUnlikeEdr) {
+  // A single huge outlier inflates DTW by roughly its squared magnitude.
+  const Trajectory clean = Seq({1, 2, 3, 4});
+  const Trajectory noisy = Seq({1, 100, 2, 3, 4});
+  EXPECT_GT(DtwDistance(clean, noisy), 9000.0);
+}
+
+TEST(DtwBandedTest, UnconstrainedMatchesPlain) {
+  Rng rng(22);
+  Trajectory a;
+  Trajectory b;
+  for (int i = 0; i < 20; ++i) a.Append(rng.Gaussian(), rng.Gaussian());
+  for (int i = 0; i < 26; ++i) b.Append(rng.Gaussian(), rng.Gaussian());
+  EXPECT_DOUBLE_EQ(DtwDistanceBanded(a, b, -1), DtwDistance(a, b));
+}
+
+TEST(DtwBandedTest, BandIsUpperBoundOfUnconstrained) {
+  Rng rng(23);
+  for (int trial = 0; trial < 20; ++trial) {
+    Trajectory a;
+    Trajectory b;
+    const int la = static_cast<int>(rng.UniformInt(5, 40));
+    const int lb = static_cast<int>(rng.UniformInt(5, 40));
+    for (int i = 0; i < la; ++i) a.Append(rng.Gaussian(), rng.Gaussian());
+    for (int i = 0; i < lb; ++i) b.Append(rng.Gaussian(), rng.Gaussian());
+    const double full = DtwDistance(a, b);
+    for (const int band : {0, 1, 3, 8}) {
+      EXPECT_GE(DtwDistanceBanded(a, b, band) + 1e-9, full);
+    }
+  }
+}
+
+TEST(DtwBandedTest, WideBandRecoversExact) {
+  Rng rng(24);
+  Trajectory a;
+  Trajectory b;
+  for (int i = 0; i < 15; ++i) a.Append(rng.Gaussian(), rng.Gaussian());
+  for (int i = 0; i < 12; ++i) b.Append(rng.Gaussian(), rng.Gaussian());
+  EXPECT_DOUBLE_EQ(DtwDistanceBanded(a, b, 100), DtwDistance(a, b));
+}
+
+TEST(DtwBandedTest, BandWidenedToLengthGapStaysFinite) {
+  const Trajectory a = Seq({1, 2, 3, 4, 5, 6, 7, 8});
+  const Trajectory b = Seq({1});
+  EXPECT_TRUE(std::isfinite(DtwDistanceBanded(a, b, 0)));
+}
+
+}  // namespace
+}  // namespace edr

@@ -1,0 +1,204 @@
+#include "distance/edr.h"
+
+#include <gtest/gtest.h>
+
+#include "core/normalize.h"
+#include "core/rng.h"
+#include "distance/dtw.h"
+#include "distance/erp.h"
+#include "distance/euclidean.h"
+#include "distance/lcss.h"
+
+namespace edr {
+namespace {
+
+Trajectory Seq(std::initializer_list<double> xs) {
+  Trajectory t;
+  for (const double x : xs) t.Append(x, 0.0);
+  return t;
+}
+
+Trajectory RandomTrajectory(Rng& rng, int min_len, int max_len) {
+  Trajectory t;
+  const int len = static_cast<int>(rng.UniformInt(min_len, max_len));
+  for (int i = 0; i < len; ++i) t.Append(rng.Gaussian(), rng.Gaussian());
+  return t;
+}
+
+TEST(EdrTest, EmptyBaseCases) {
+  // Definition 2: EDR(R, S) = n if m = 0, m if n = 0.
+  EXPECT_EQ(EdrDistance(Trajectory(), Seq({1, 2, 3}), 0.5), 3);
+  EXPECT_EQ(EdrDistance(Seq({1, 2}), Trajectory(), 0.5), 2);
+  EXPECT_EQ(EdrDistance(Trajectory(), Trajectory(), 0.5), 0);
+}
+
+TEST(EdrTest, IdenticalIsZero) {
+  const Trajectory t = Seq({1, 5, 2, 8, 3});
+  EXPECT_EQ(EdrDistance(t, t, 0.25), 0);
+}
+
+TEST(EdrTest, SingleSubstitution) {
+  const Trajectory a = Seq({1, 2, 3});
+  const Trajectory b = Seq({1, 9, 3});
+  EXPECT_EQ(EdrDistance(a, b, 0.5), 1);
+}
+
+TEST(EdrTest, SingleInsertion) {
+  const Trajectory a = Seq({1, 2, 3});
+  const Trajectory b = Seq({1, 2, 9, 3});
+  EXPECT_EQ(EdrDistance(a, b, 0.5), 1);
+}
+
+TEST(EdrTest, ThresholdMakesNearValuesMatch) {
+  const Trajectory a = Seq({0.9});
+  const Trajectory b = Seq({1.2});
+  EXPECT_EQ(EdrDistance(a, b, 1.0), 0);   // Section 4.3's example pair.
+  EXPECT_EQ(EdrDistance(a, b, 0.2), 1);
+}
+
+TEST(EdrTest, MatchRequiresBothDimensions) {
+  Trajectory a;
+  a.Append(0.0, 0.0);
+  Trajectory b;
+  b.Append(0.0, 3.0);
+  EXPECT_EQ(EdrDistance(a, b, 0.5), 1);
+}
+
+TEST(EdrTest, PaperSection2ExampleRanking) {
+  // Q, R, S, P from Section 2; epsilon = 1. EDR must rank S, P, R — the
+  // "correct" ranking the other distance functions miss.
+  const Trajectory q = Seq({1, 2, 3, 4});
+  const Trajectory r = Seq({10, 9, 8, 7});
+  const Trajectory s = Seq({1, 100, 2, 3, 4});
+  const Trajectory p = Seq({1, 100, 101, 2, 4});
+  const int dqs = EdrDistance(q, s, 1.0);
+  const int dqp = EdrDistance(q, p, 1.0);
+  const int dqr = EdrDistance(q, r, 1.0);
+  EXPECT_LT(dqs, dqp);
+  EXPECT_LT(dqp, dqr);
+  // Concretely: one insertion for S; P needs two ops more than... at least
+  // one more than S; R matches nothing.
+  EXPECT_EQ(dqs, 1);
+  EXPECT_EQ(dqr, 4);
+}
+
+TEST(EdrTest, PaperExampleEuclideanAndDtwAndErpMisrank) {
+  // The same example shows the noise sensitivity of the L_p-based
+  // measures: they all consider R (no noise, wrong trend) closer to Q
+  // than S (noisy but matching).
+  const Trajectory q = Seq({1, 2, 3, 4});
+  const Trajectory r = Seq({10, 9, 8, 7});
+  const Trajectory s = Seq({1, 100, 2, 3, 4});
+  EXPECT_LT(EuclideanDistance(q, r), SlidingEuclideanDistance(q, s));
+  EXPECT_LT(DtwDistance(q, r), DtwDistance(q, s));
+  EXPECT_LT(ErpDistance(q, r), ErpDistance(q, s));
+}
+
+TEST(EdrTest, LcssTiesOnGapsButEdrDiscriminates) {
+  // LCSS scores S and P identically (gap-blind, Section 2); EDR penalizes
+  // P's longer gap between the matched sub-trajectories (contribution 1).
+  const Trajectory q = Seq({1, 2, 3, 4});
+  const Trajectory s = Seq({1, 100, 2, 3, 4});
+  const Trajectory p = Seq({1, 100, 101, 2, 3, 4});
+  EXPECT_EQ(LcssLength(q, s, 0.5), LcssLength(q, p, 0.5));
+  EXPECT_LT(EdrDistance(q, s, 0.5), EdrDistance(q, p, 0.5));
+}
+
+TEST(EdrTest, Symmetric) {
+  Rng rng(51);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Trajectory a = RandomTrajectory(rng, 2, 40);
+    const Trajectory b = RandomTrajectory(rng, 2, 40);
+    EXPECT_EQ(EdrDistance(a, b, 0.25), EdrDistance(b, a, 0.25));
+  }
+}
+
+TEST(EdrTest, BoundedByMaxLength) {
+  Rng rng(52);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Trajectory a = RandomTrajectory(rng, 2, 40);
+    const Trajectory b = RandomTrajectory(rng, 2, 40);
+    const int d = EdrDistance(a, b, 0.25);
+    EXPECT_LE(d, static_cast<int>(std::max(a.size(), b.size())));
+    EXPECT_GE(d, EdrLengthLowerBound(a, b));
+  }
+}
+
+TEST(EdrTest, LargerEpsilonNeverIncreasesDistance) {
+  // Theorem 7.
+  Rng rng(53);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Trajectory a = RandomTrajectory(rng, 2, 30);
+    const Trajectory b = RandomTrajectory(rng, 2, 30);
+    const int d1 = EdrDistance(a, b, 0.25);
+    const int d2 = EdrDistance(a, b, 0.5);
+    const int d4 = EdrDistance(a, b, 1.0);
+    EXPECT_LE(d2, d1);
+    EXPECT_LE(d4, d2);
+  }
+}
+
+TEST(EdrBandedTest, UnconstrainedMatchesPlain) {
+  Rng rng(54);
+  const Trajectory a = RandomTrajectory(rng, 10, 30);
+  const Trajectory b = RandomTrajectory(rng, 10, 30);
+  EXPECT_EQ(EdrDistanceBanded(a, b, 0.25, -1), EdrDistance(a, b, 0.25));
+}
+
+TEST(EdrBandedTest, BandUpperBoundsExact) {
+  Rng rng(55);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Trajectory a = RandomTrajectory(rng, 2, 40);
+    const Trajectory b = RandomTrajectory(rng, 2, 40);
+    const int full = EdrDistance(a, b, 0.25);
+    for (const int band : {0, 1, 4, 10}) {
+      EXPECT_GE(EdrDistanceBanded(a, b, 0.25, band), full);
+    }
+    EXPECT_EQ(EdrDistanceBanded(a, b, 0.25, 64), full);
+  }
+}
+
+TEST(EdrBoundedTest, ExactWhenWithinBound) {
+  Rng rng(56);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Trajectory a = RandomTrajectory(rng, 2, 40);
+    const Trajectory b = RandomTrajectory(rng, 2, 40);
+    const int full = EdrDistance(a, b, 0.25);
+    EXPECT_EQ(EdrDistanceBounded(a, b, 0.25, full), full);
+    EXPECT_EQ(EdrDistanceBounded(a, b, 0.25, full + 5), full);
+  }
+}
+
+TEST(EdrBoundedTest, AbandonedValueIsValidLowerBoundAboveBound) {
+  Rng rng(57);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Trajectory a = RandomTrajectory(rng, 5, 40);
+    const Trajectory b = RandomTrajectory(rng, 5, 40);
+    const int full = EdrDistance(a, b, 0.25);
+    if (full == 0) continue;
+    const int bound = full - 1;
+    const int result = EdrDistanceBounded(a, b, 0.25, bound);
+    EXPECT_GT(result, bound);
+    EXPECT_LE(result, full);
+  }
+}
+
+TEST(EdrBoundedTest, EmptyBaseCases) {
+  EXPECT_EQ(EdrDistanceBounded(Trajectory(), Seq({1, 2}), 0.5, 0), 2);
+  EXPECT_EQ(EdrDistanceBounded(Seq({1, 2}), Trajectory(), 0.5, 0), 2);
+}
+
+TEST(EdrTest, NormalizedCopiesOfSameShapeAreClose) {
+  // Spatial shift + scale invariance comes from normalization (Section 2).
+  Rng rng(58);
+  Trajectory base = RandomTrajectory(rng, 40, 40);
+  Trajectory scaled = base;
+  for (Point2& p : scaled.mutable_points()) {
+    p.x = p.x * 3.0 + 10.0;
+    p.y = p.y * 3.0 - 2.0;
+  }
+  EXPECT_EQ(EdrDistance(Normalize(base), Normalize(scaled), 0.25), 0);
+}
+
+}  // namespace
+}  // namespace edr

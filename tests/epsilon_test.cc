@@ -1,0 +1,66 @@
+#include "eval/epsilon.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "test_util.h"
+
+namespace edr {
+namespace {
+
+TEST(EpsilonProbeTest, DegenerateDatasets) {
+  TrajectoryDataset empty;
+  const EpsilonProbeResult r = SuggestEpsilonByProbing(empty);
+  EXPECT_DOUBLE_EQ(r.epsilon, 0.25);  // The documented default.
+
+  TrajectoryDataset one;
+  one.Add(Trajectory({{0.0, 0.0}}));
+  EXPECT_DOUBLE_EQ(SuggestEpsilonByProbing(one).epsilon, 0.25);
+}
+
+TEST(EpsilonProbeTest, ReturnsACandidate) {
+  TrajectoryDataset db = testutil::SmallDataset(951, 40, 10, 40);
+  const std::vector<double> candidates = {0.1, 0.3, 0.9};
+  const EpsilonProbeResult r = SuggestEpsilonByProbing(db, candidates, 3, 5);
+  EXPECT_TRUE(r.epsilon == 0.1 || r.epsilon == 0.3 || r.epsilon == 0.9);
+  EXPECT_GT(r.contrast, 0.0);
+}
+
+TEST(EpsilonProbeTest, ClusteredDataPrefersModerateThreshold) {
+  // On strongly clustered data a small-to-moderate epsilon already gives
+  // huge contrast (neighbors at ~0, the bulk near max length); a giant
+  // epsilon collapses everything and loses it.
+  TrajectoryDataset db = GenKungfuLike(120, 60, 13);
+  db.NormalizeAll();
+  const EpsilonProbeResult r =
+      SuggestEpsilonByProbing(db, {0.25, 8.0}, 4, 10);
+  EXPECT_DOUBLE_EQ(r.epsilon, 0.25);
+  EXPECT_GT(r.contrast, 2.0);
+}
+
+TEST(EpsilonProbeTest, UnclusteredDataPrefersLargerThreshold) {
+  // On structureless random walks a tiny epsilon saturates every
+  // distance (contrast ~ 1); probing must move the threshold up — the
+  // situation encountered by the Table 3 random-walk experiments.
+  RandomWalkOptions options;
+  options.count = 150;
+  options.min_length = 20;
+  options.max_length = 80;
+  options.seed = 952;
+  TrajectoryDataset db = GenRandomWalk(options);
+  db.NormalizeAll();
+  const EpsilonProbeResult r =
+      SuggestEpsilonByProbing(db, {0.05, 1.0}, 4, 10);
+  EXPECT_DOUBLE_EQ(r.epsilon, 1.0);
+}
+
+TEST(EpsilonProbeTest, DeterministicForSameInputs) {
+  TrajectoryDataset db = testutil::SmallDataset(953, 30, 10, 30);
+  const EpsilonProbeResult a = SuggestEpsilonByProbing(db, {0.1, 0.5}, 3, 5);
+  const EpsilonProbeResult b = SuggestEpsilonByProbing(db, {0.1, 0.5}, 3, 5);
+  EXPECT_DOUBLE_EQ(a.epsilon, b.epsilon);
+  EXPECT_DOUBLE_EQ(a.contrast, b.contrast);
+}
+
+}  // namespace
+}  // namespace edr

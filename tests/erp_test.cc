@@ -1,0 +1,113 @@
+#include "distance/erp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace edr {
+namespace {
+
+Trajectory Seq(std::initializer_list<double> xs) {
+  Trajectory t;
+  for (const double x : xs) t.Append(x, 0.0);
+  return t;
+}
+
+Trajectory RandomTrajectory(Rng& rng, int min_len, int max_len) {
+  Trajectory t;
+  const int len = static_cast<int>(rng.UniformInt(min_len, max_len));
+  for (int i = 0; i < len; ++i) t.Append(rng.Gaussian(), rng.Gaussian());
+  return t;
+}
+
+TEST(ErpTest, BothEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(ErpDistance(Trajectory(), Trajectory()), 0.0);
+}
+
+TEST(ErpTest, EmptyVersusNonEmptyIsSumOfGapPenalties) {
+  const Trajectory t = Seq({3, 4});
+  // Gap at origin: penalties are |3| and |4| in L2 on the x axis.
+  EXPECT_DOUBLE_EQ(ErpDistance(Trajectory(), t), 7.0);
+  EXPECT_DOUBLE_EQ(ErpDistance(t, Trajectory()), 7.0);
+}
+
+TEST(ErpTest, IdenticalIsZero) {
+  const Trajectory t = Seq({1, 5, 2, 8});
+  EXPECT_DOUBLE_EQ(ErpDistance(t, t), 0.0);
+}
+
+TEST(ErpTest, SelfDistanceZeroEvenWithCustomGap) {
+  const Trajectory t = Seq({1, 2});
+  EXPECT_DOUBLE_EQ(ErpDistance(t, t, {5.0, 5.0}), 0.0);
+}
+
+TEST(ErpTest, SingleInsertionCostsGapDistance) {
+  const Trajectory a = Seq({1, 2});
+  const Trajectory b = Seq({1, 7, 2});
+  // Cheapest script: align 1-1, 2-2, and pay dist(7, g) = 7 for the gap.
+  EXPECT_DOUBLE_EQ(ErpDistance(a, b), 7.0);
+}
+
+TEST(ErpTest, Symmetric) {
+  Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Trajectory a = RandomTrajectory(rng, 5, 30);
+    const Trajectory b = RandomTrajectory(rng, 5, 30);
+    EXPECT_DOUBLE_EQ(ErpDistance(a, b), ErpDistance(b, a));
+  }
+}
+
+TEST(ErpTest, TriangleInequalityOnRandomTriples) {
+  // ERP with a true-metric element distance is a metric (the property the
+  // paper contrasts with EDR); verify on sampled triples.
+  Rng rng(32);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Trajectory a = RandomTrajectory(rng, 3, 20);
+    const Trajectory b = RandomTrajectory(rng, 3, 20);
+    const Trajectory c = RandomTrajectory(rng, 3, 20);
+    const double ab = ErpDistance(a, b);
+    const double bc = ErpDistance(b, c);
+    const double ac = ErpDistance(a, c);
+    EXPECT_LE(ac, ab + bc + 1e-9);
+  }
+}
+
+TEST(ErpTest, HandlesLocalTimeShifting) {
+  // Shifted-in-time copies should be much closer under ERP than under a
+  // lockstep comparison would suggest: gap penalties only.
+  const Trajectory a = Seq({0, 0, 1, 2, 3});
+  const Trajectory b = Seq({1, 2, 3});
+  EXPECT_DOUBLE_EQ(ErpDistance(a, b), 0.0);  // Leading zeros cost dist(0,g)=0.
+}
+
+TEST(ErpBandedTest, UnconstrainedMatchesPlain) {
+  Rng rng(33);
+  const Trajectory a = RandomTrajectory(rng, 10, 25);
+  const Trajectory b = RandomTrajectory(rng, 10, 25);
+  EXPECT_DOUBLE_EQ(ErpDistanceBanded(a, b, -1), ErpDistance(a, b));
+}
+
+TEST(ErpBandedTest, BandUpperBoundsExact) {
+  Rng rng(34);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Trajectory a = RandomTrajectory(rng, 5, 30);
+    const Trajectory b = RandomTrajectory(rng, 5, 30);
+    const double full = ErpDistance(a, b);
+    for (const int band : {0, 2, 5}) {
+      EXPECT_GE(ErpDistanceBanded(a, b, band) + 1e-9, full);
+    }
+  }
+}
+
+TEST(ErpTest, CustomGapChangesPenalties) {
+  const Trajectory a = Seq({5});
+  const Trajectory b;
+  EXPECT_DOUBLE_EQ(ErpDistance(a, b, {5.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(ErpDistance(a, b, {0.0, 0.0}), 5.0);
+}
+
+}  // namespace
+}  // namespace edr

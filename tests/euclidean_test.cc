@@ -1,0 +1,95 @@
+#include "distance/euclidean.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+
+namespace edr {
+namespace {
+
+Trajectory Seq(std::initializer_list<double> xs) {
+  Trajectory t;
+  for (const double x : xs) t.Append(x, 0.0);
+  return t;
+}
+
+TEST(EuclideanTest, IdenticalTrajectoriesHaveZeroDistance) {
+  const Trajectory t = Seq({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(EuclideanDistance(t, t), 0.0);
+}
+
+TEST(EuclideanTest, KnownValue) {
+  const Trajectory a = Seq({0, 0});
+  const Trajectory b = Seq({3, 4});
+  // sqrt(3^2 + 4^2) = 5.
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), 5.0);
+}
+
+TEST(EuclideanTest, UsesBothDimensions) {
+  Trajectory a;
+  a.Append(0.0, 0.0);
+  Trajectory b;
+  b.Append(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), std::sqrt(2.0));
+}
+
+TEST(EuclideanTest, DifferentLengthsAreUndefined) {
+  const Trajectory a = Seq({1, 2, 3});
+  const Trajectory b = Seq({1, 2});
+  EXPECT_TRUE(std::isinf(EuclideanDistance(a, b)));
+}
+
+TEST(EuclideanTest, Symmetric) {
+  Rng rng(3);
+  Trajectory a;
+  Trajectory b;
+  for (int i = 0; i < 32; ++i) {
+    a.Append(rng.Gaussian(), rng.Gaussian());
+    b.Append(rng.Gaussian(), rng.Gaussian());
+  }
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), EuclideanDistance(b, a));
+}
+
+TEST(SlidingEuclideanTest, EqualLengthsReduceToPlainEuclidean) {
+  Rng rng(4);
+  Trajectory a;
+  Trajectory b;
+  for (int i = 0; i < 20; ++i) {
+    a.Append(rng.Gaussian(), rng.Gaussian());
+    b.Append(rng.Gaussian(), rng.Gaussian());
+  }
+  EXPECT_DOUBLE_EQ(SlidingEuclideanDistance(a, b), EuclideanDistance(a, b));
+}
+
+TEST(SlidingEuclideanTest, FindsBestAlignment) {
+  const Trajectory longer = Seq({9, 9, 1, 2, 3, 9, 9});
+  const Trajectory shorter = Seq({1, 2, 3});
+  // Perfect alignment exists at offset 2.
+  EXPECT_DOUBLE_EQ(SlidingEuclideanDistance(longer, shorter), 0.0);
+}
+
+TEST(SlidingEuclideanTest, OrderOfArgumentsIrrelevant) {
+  const Trajectory longer = Seq({5, 1, 2, 3, 7});
+  const Trajectory shorter = Seq({1, 2, 4});
+  EXPECT_DOUBLE_EQ(SlidingEuclideanDistance(longer, shorter),
+                   SlidingEuclideanDistance(shorter, longer));
+}
+
+TEST(SlidingEuclideanTest, EmptyIsInfinite) {
+  const Trajectory empty;
+  const Trajectory t = Seq({1});
+  EXPECT_TRUE(std::isinf(SlidingEuclideanDistance(empty, t)));
+  EXPECT_TRUE(std::isinf(SlidingEuclideanDistance(t, empty)));
+}
+
+TEST(SlidingEuclideanTest, MinimumOverAllOffsets) {
+  const Trajectory longer = Seq({0, 10, 0});
+  const Trajectory shorter = Seq({1});
+  // Offsets give |1-0|, |1-10|, |1-0|; min is 1.
+  EXPECT_DOUBLE_EQ(SlidingEuclideanDistance(longer, shorter), 1.0);
+}
+
+}  // namespace
+}  // namespace edr

@@ -1,0 +1,108 @@
+#include "data/features.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "distance/edr.h"
+#include "test_util.h"
+
+namespace edr {
+namespace {
+
+TEST(FeaturesTest, DisplacementsOfKnownPath) {
+  const Trajectory t({{0, 0}, {1, 0}, {1, 2}});
+  const Trajectory d = ToDisplacements(t);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d[0], (Point2{1, 0}));
+  EXPECT_EQ(d[1], (Point2{0, 2}));
+}
+
+TEST(FeaturesTest, DisplacementsAreTranslationInvariant) {
+  Rng rng(971);
+  const Trajectory t = testutil::RandomWalk(rng, 30);
+  Trajectory shifted = t;
+  for (Point2& p : shifted.mutable_points()) {
+    p.x += 123.0;
+    p.y -= 45.0;
+  }
+  const Trajectory da = ToDisplacements(t);
+  const Trajectory db = ToDisplacements(shifted);
+  ASSERT_EQ(da.size(), db.size());
+  for (size_t i = 0; i < da.size(); ++i) {
+    // Equal up to floating-point rounding of the translation.
+    EXPECT_NEAR(da[i].x, db[i].x, 1e-12);
+    EXPECT_NEAR(da[i].y, db[i].y, 1e-12);
+  }
+  // And therefore EDR on displacements sees them as identical.
+  EXPECT_EQ(EdrDistance(da, db, 0.01), 0);
+}
+
+TEST(FeaturesTest, HeadingsAreUnitLengthOrZero) {
+  Rng rng(972);
+  const Trajectory t = testutil::RandomWalk(rng, 25);
+  const Trajectory h = ToHeadings(t);
+  ASSERT_EQ(h.size(), t.size() - 1);
+  for (const Point2& p : h) {
+    const double len = std::sqrt(p.x * p.x + p.y * p.y);
+    EXPECT_TRUE(std::fabs(len - 1.0) < 1e-9 || len == 0.0);
+  }
+}
+
+TEST(FeaturesTest, HeadingsInvariantToSpeed) {
+  // Same path traversed at double step size: identical headings.
+  Trajectory slow;
+  Trajectory fast;
+  for (int i = 0; i < 10; ++i) {
+    slow.Append(0.5 * i, 0.25 * i);
+    fast.Append(1.0 * i, 0.5 * i);
+  }
+  const Trajectory hs = ToHeadings(slow);
+  const Trajectory hf = ToHeadings(fast);
+  ASSERT_EQ(hs.size(), hf.size());
+  for (size_t i = 0; i < hs.size(); ++i) {
+    EXPECT_NEAR(hs[i].x, hf[i].x, 1e-12);
+    EXPECT_NEAR(hs[i].y, hf[i].y, 1e-12);
+  }
+}
+
+TEST(FeaturesTest, StationaryStepHasZeroHeading) {
+  const Trajectory t({{0, 0}, {0, 0}, {1, 0}});
+  const Trajectory h = ToHeadings(t);
+  EXPECT_EQ(h[0], (Point2{0, 0}));
+  EXPECT_EQ(h[1], (Point2{1, 0}));
+}
+
+TEST(FeaturesTest, CumulativeLengthMonotone) {
+  const Trajectory t({{0, 0}, {3, 4}, {3, 4}, {6, 8}});
+  const Trajectory c = ToCumulativeLength(t);
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_DOUBLE_EQ(c[0].x, 0.0);
+  EXPECT_DOUBLE_EQ(c[1].x, 5.0);
+  EXPECT_DOUBLE_EQ(c[2].x, 5.0);  // Stationary step adds nothing.
+  EXPECT_DOUBLE_EQ(c[3].x, 10.0);
+  EXPECT_DOUBLE_EQ(PathLength(t), 10.0);
+}
+
+TEST(FeaturesTest, EmptyAndSingletonInputs) {
+  EXPECT_TRUE(ToDisplacements(Trajectory()).empty());
+  EXPECT_TRUE(ToHeadings(Trajectory()).empty());
+  EXPECT_TRUE(ToCumulativeLength(Trajectory()).empty());
+  EXPECT_DOUBLE_EQ(PathLength(Trajectory()), 0.0);
+
+  const Trajectory one({{5, 5}});
+  EXPECT_TRUE(ToDisplacements(one).empty());
+  EXPECT_EQ(ToCumulativeLength(one).size(), 1u);
+}
+
+TEST(FeaturesTest, MetadataPreserved) {
+  Trajectory t({{0, 0}, {1, 1}}, 3);
+  t.set_id(9);
+  EXPECT_EQ(ToDisplacements(t).label(), 3);
+  EXPECT_EQ(ToHeadings(t).id(), 9u);
+  EXPECT_EQ(ToCumulativeLength(t).label(), 3);
+}
+
+}  // namespace
+}  // namespace edr

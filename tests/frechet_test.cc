@@ -1,0 +1,113 @@
+#include "distance/frechet.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "distance/dtw.h"
+#include "test_util.h"
+
+namespace edr {
+namespace {
+
+Trajectory Seq(std::initializer_list<double> xs) {
+  Trajectory t;
+  for (const double x : xs) t.Append(x, 0.0);
+  return t;
+}
+
+TEST(FrechetTest, EmptyCases) {
+  EXPECT_DOUBLE_EQ(DiscreteFrechetDistance(Trajectory(), Trajectory()), 0.0);
+  EXPECT_TRUE(std::isinf(DiscreteFrechetDistance(Seq({1}), Trajectory())));
+}
+
+TEST(FrechetTest, IdenticalIsZero) {
+  Rng rng(981);
+  const Trajectory t = testutil::RandomWalk(rng, 20);
+  EXPECT_DOUBLE_EQ(DiscreteFrechetDistance(t, t), 0.0);
+}
+
+TEST(FrechetTest, KnownLeashLength) {
+  // Two parallel horizontal segments one unit apart: leash = 1.
+  Trajectory a;
+  Trajectory b;
+  for (int i = 0; i < 5; ++i) {
+    a.Append(static_cast<double>(i), 0.0);
+    b.Append(static_cast<double>(i), 1.0);
+  }
+  EXPECT_DOUBLE_EQ(DiscreteFrechetDistance(a, b), 1.0);
+}
+
+TEST(FrechetTest, HandlesTimeShiftLikeDtw) {
+  const Trajectory a = Seq({1, 2, 3});
+  const Trajectory b = Seq({1, 1, 2, 2, 3, 3});
+  EXPECT_DOUBLE_EQ(DiscreteFrechetDistance(a, b), 0.0);
+}
+
+TEST(FrechetTest, SymmetricAndLowerBoundsNothingButMaxPair) {
+  Rng rng(982);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Trajectory a = testutil::RandomWalk(
+        rng, static_cast<size_t>(rng.UniformInt(2, 30)));
+    const Trajectory b = testutil::RandomWalk(
+        rng, static_cast<size_t>(rng.UniformInt(2, 30)));
+    const double f = DiscreteFrechetDistance(a, b);
+    EXPECT_DOUBLE_EQ(DiscreteFrechetDistance(b, a), f);
+    // Frechet >= Hausdorff (every coupling covers all elements).
+    EXPECT_GE(f + 1e-9, HausdorffDistance(a, b));
+    // Frechet >= the forced first/last pairings.
+    EXPECT_GE(f + 1e-9, L2Dist(a[0], b[0]));
+    EXPECT_GE(f + 1e-9, L2Dist(a[a.size() - 1], b[b.size() - 1]));
+  }
+}
+
+TEST(FrechetTest, SingleOutlierDominates) {
+  // The noise sensitivity that motivates EDR, in its most extreme form.
+  const Trajectory clean = Seq({1, 2, 3, 4});
+  const Trajectory noisy = Seq({1, 100, 2, 3, 4});
+  EXPECT_GT(DiscreteFrechetDistance(clean, noisy), 90.0);
+}
+
+TEST(HausdorffTest, EmptyCases) {
+  EXPECT_DOUBLE_EQ(HausdorffDistance(Trajectory(), Trajectory()), 0.0);
+  EXPECT_TRUE(std::isinf(HausdorffDistance(Seq({1}), Trajectory())));
+}
+
+TEST(HausdorffTest, KnownValue) {
+  const Trajectory a = Seq({0, 1, 2});
+  const Trajectory b = Seq({0, 1, 5});
+  // Directed a->b: 0; directed b->a: |5-2| = 3.
+  EXPECT_DOUBLE_EQ(HausdorffDistance(a, b), 3.0);
+}
+
+TEST(HausdorffTest, IgnoresOrdering) {
+  // Reversing a trajectory changes every sequence-based distance but not
+  // Hausdorff — the reason it is too coarse for movement-shape retrieval.
+  Rng rng(983);
+  Trajectory t = testutil::RandomWalk(rng, 20);
+  Trajectory reversed(
+      std::vector<Point2>(t.points().rbegin(), t.points().rend()));
+  EXPECT_DOUBLE_EQ(HausdorffDistance(t, reversed), 0.0);
+  EXPECT_GT(DiscreteFrechetDistance(t, reversed), 0.0);
+}
+
+TEST(HausdorffTest, SymmetricAndTriangleInequality) {
+  Rng rng(984);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Trajectory a = testutil::RandomWalk(
+        rng, static_cast<size_t>(rng.UniformInt(2, 20)));
+    const Trajectory b = testutil::RandomWalk(
+        rng, static_cast<size_t>(rng.UniformInt(2, 20)));
+    const Trajectory c = testutil::RandomWalk(
+        rng, static_cast<size_t>(rng.UniformInt(2, 20)));
+    EXPECT_DOUBLE_EQ(HausdorffDistance(a, b), HausdorffDistance(b, a));
+    // Hausdorff over point sets IS a metric; the paper's non-metric
+    // citation concerns its *partial* variants used in image retrieval.
+    EXPECT_LE(HausdorffDistance(a, c),
+              HausdorffDistance(a, b) + HausdorffDistance(b, c) + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace edr

@@ -1,0 +1,140 @@
+#include "data/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "distance/edr.h"
+
+namespace edr {
+namespace {
+
+TEST(GeneratorsTest, RandomWalkCountsAndLengths) {
+  RandomWalkOptions options;
+  options.count = 100;
+  options.min_length = 10;
+  options.max_length = 50;
+  const TrajectoryDataset db = GenRandomWalk(options);
+  EXPECT_EQ(db.size(), 100u);
+  for (const Trajectory& t : db) {
+    EXPECT_GE(t.size(), 10u);
+    EXPECT_LE(t.size(), 50u);
+  }
+}
+
+TEST(GeneratorsTest, RandomWalkDeterministicPerSeed) {
+  RandomWalkOptions options;
+  options.count = 10;
+  const TrajectoryDataset a = GenRandomWalk(options);
+  const TrajectoryDataset b = GenRandomWalk(options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_TRUE(a[i] == b[i]);
+  options.seed = 999;
+  const TrajectoryDataset c = GenRandomWalk(options);
+  EXPECT_FALSE(a[0] == c[0]);
+}
+
+TEST(GeneratorsTest, NormalLengthsClusterAroundMidpoint) {
+  RandomWalkOptions options;
+  options.count = 500;
+  options.min_length = 30;
+  options.max_length = 256;
+  options.length_distribution = LengthDistribution::kNormal;
+  const TrajectoryDataset db = GenRandomWalk(options);
+  double mean = 0.0;
+  for (const Trajectory& t : db) mean += static_cast<double>(t.size());
+  mean /= static_cast<double>(db.size());
+  EXPECT_NEAR(mean, 143.0, 15.0);
+}
+
+TEST(GeneratorsTest, CameraMouseLikeShape) {
+  const TrajectoryDataset db = GenCameraMouseLike();
+  EXPECT_EQ(db.size(), 15u);  // 5 words x 3 instances, as in the paper.
+  EXPECT_EQ(db.NumClasses(), 5u);
+  for (const Trajectory& t : db) {
+    EXPECT_GE(t.size(), 110u);
+    EXPECT_LE(t.size(), 170u);
+    EXPECT_GE(t.label(), 0);
+    EXPECT_LT(t.label(), 5);
+  }
+}
+
+TEST(GeneratorsTest, AslLikeShape) {
+  const TrajectoryDataset db = GenAslLike();
+  EXPECT_EQ(db.size(), 50u);  // 10 classes x 5, as in the paper.
+  EXPECT_EQ(db.NumClasses(), 10u);
+  for (const Trajectory& t : db) {
+    EXPECT_GE(t.size(), 60u);
+    EXPECT_LE(t.size(), 140u);
+  }
+}
+
+TEST(GeneratorsTest, Asl710Variant) {
+  const TrajectoryDataset db = GenAslLike(10, 71);
+  EXPECT_EQ(db.size(), 710u);  // The pruning-experiment variant.
+}
+
+TEST(GeneratorsTest, KungfuAndSlipAreFixedLength) {
+  const TrajectoryDataset kungfu = GenKungfuLike(20, 640);
+  for (const Trajectory& t : kungfu) EXPECT_EQ(t.size(), 640u);
+  const TrajectoryDataset slip = GenSlipLike(20, 400);
+  for (const Trajectory& t : slip) EXPECT_EQ(t.size(), 400u);
+}
+
+TEST(GeneratorsTest, NhlLikeStaysOnRink) {
+  const TrajectoryDataset db = GenNhlLike(50);
+  for (const Trajectory& t : db) {
+    EXPECT_GE(t.size(), 30u);
+    EXPECT_LE(t.size(), 256u);
+    for (const Point2& p : t) {
+      EXPECT_GE(p.x, 0.0);
+      EXPECT_LE(p.x, 200.0);
+      EXPECT_GE(p.y, 0.0);
+      EXPECT_LE(p.y, 85.0);
+    }
+  }
+}
+
+TEST(GeneratorsTest, MixedLikeLengthSpread) {
+  const TrajectoryDataset db = GenMixedLike(60, 60, 500);
+  EXPECT_EQ(db.size(), 60u);
+  size_t min_len = 10000;
+  size_t max_len = 0;
+  for (const Trajectory& t : db) {
+    min_len = std::min(min_len, t.size());
+    max_len = std::max(max_len, t.size());
+  }
+  EXPECT_GE(min_len, 60u);
+  EXPECT_LE(max_len, 500u);
+  EXPECT_GT(max_len - min_len, 100u);  // Genuinely mixed lengths.
+}
+
+TEST(GeneratorsTest, AslLikeClassesAreSeparable) {
+  // The whole point of the class-structured stand-ins: same-class
+  // trajectories must be closer under EDR than cross-class ones, after
+  // normalization, or the efficacy experiments would be meaningless.
+  TrajectoryDataset db = GenAslLike(4, 3, 99);
+  db.NormalizeAll();
+  const double eps = 0.25;
+  double intra = 0.0;
+  int intra_count = 0;
+  double inter = 0.0;
+  int inter_count = 0;
+  for (size_t i = 0; i < db.size(); ++i) {
+    for (size_t j = i + 1; j < db.size(); ++j) {
+      // Normalize by max length to make pairs comparable.
+      const double d =
+          static_cast<double>(EdrDistance(db[i], db[j], eps)) /
+          static_cast<double>(std::max(db[i].size(), db[j].size()));
+      if (db[i].label() == db[j].label()) {
+        intra += d;
+        ++intra_count;
+      } else {
+        inter += d;
+        ++inter_count;
+      }
+    }
+  }
+  EXPECT_LT(intra / intra_count, inter / inter_count);
+}
+
+}  // namespace
+}  // namespace edr

@@ -1,0 +1,106 @@
+#include "pruning/histogram_knn.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "query/knn.h"
+#include "test_util.h"
+
+namespace edr {
+namespace {
+
+constexpr double kEps = 0.25;
+
+TEST(HistogramKnnTest, NamesMatchPaperSymbols) {
+  const TrajectoryDataset db = testutil::SmallDataset(41, 10);
+  EXPECT_EQ(HistogramKnnSearcher(db, kEps, HistogramTable::Kind::k2D, 1,
+                                 HistogramScan::kSorted)
+                .name(),
+            "HSR-2HE");
+  EXPECT_EQ(HistogramKnnSearcher(db, kEps, HistogramTable::Kind::k2D, 3,
+                                 HistogramScan::kSequential)
+                .name(),
+            "HSE-2H3E");
+  EXPECT_EQ(HistogramKnnSearcher(db, kEps, HistogramTable::Kind::k1D, 1,
+                                 HistogramScan::kSorted)
+                .name(),
+            "HSR-1HE");
+}
+
+using Config = std::tuple<HistogramTable::Kind, int, HistogramScan, uint64_t>;
+
+class HistogramKnnLosslessTest : public ::testing::TestWithParam<Config> {};
+
+TEST_P(HistogramKnnLosslessTest, MatchesSequentialScan) {
+  const auto [kind, delta, scan, seed] = GetParam();
+  const TrajectoryDataset db = testutil::SmallDataset(seed, 70, 6, 60);
+  const HistogramKnnSearcher searcher(db, kEps, kind, delta, scan);
+  for (const Trajectory& query : testutil::MakeQueries(db, seed ^ 0x5, 3)) {
+    const KnnResult expected = SequentialScanKnn(db, query, 8, kEps);
+    const KnnResult actual = searcher.Knn(query, 8);
+    EXPECT_TRUE(SameKnnDistances(expected, actual)) << searcher.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HistogramKnnLosslessTest,
+    ::testing::Combine(::testing::Values(HistogramTable::Kind::k2D,
+                                         HistogramTable::Kind::k1D),
+                       ::testing::Values(1, 2, 4),
+                       ::testing::Values(HistogramScan::kSequential,
+                                         HistogramScan::kSorted),
+                       ::testing::Values(700, 701)));
+
+TEST(HistogramKnnTest, SortedScanNeverComputesMoreThanSequential) {
+  // HSR visits candidates in ascending lower-bound order, so its set of
+  // computed distances is a subset of HSE's (Section 4.3's argument).
+  const TrajectoryDataset db = testutil::SmallDataset(42, 100, 6, 60);
+  const HistogramKnnSearcher hse(db, kEps, HistogramTable::Kind::k2D, 1,
+                                 HistogramScan::kSequential);
+  const HistogramKnnSearcher hsr(db, kEps, HistogramTable::Kind::k2D, 1,
+                                 HistogramScan::kSorted);
+  size_t hse_total = 0;
+  size_t hsr_total = 0;
+  for (const Trajectory& query : testutil::MakeQueries(db, 43, 5)) {
+    hse_total += hse.Knn(query, 10).stats.edr_computed;
+    hsr_total += hsr.Knn(query, 10).stats.edr_computed;
+  }
+  EXPECT_LE(hsr_total, hse_total);
+}
+
+TEST(HistogramKnnTest, FineBinsPruneAtLeastAsMuchAsCoarse) {
+  const TrajectoryDataset db = testutil::SmallDataset(44, 100, 6, 60);
+  const HistogramKnnSearcher fine(db, kEps, HistogramTable::Kind::k2D, 1,
+                                  HistogramScan::kSorted);
+  const HistogramKnnSearcher coarse(db, kEps, HistogramTable::Kind::k2D, 4,
+                                    HistogramScan::kSorted);
+  size_t fine_total = 0;
+  size_t coarse_total = 0;
+  for (const Trajectory& query : testutil::MakeQueries(db, 45, 5)) {
+    fine_total += fine.Knn(query, 10).stats.edr_computed;
+    coarse_total += coarse.Knn(query, 10).stats.edr_computed;
+  }
+  EXPECT_LE(fine_total, coarse_total);
+}
+
+TEST(HistogramKnnTest, PrunesOnSeparatedData) {
+  Rng rng(46);
+  TrajectoryDataset db;
+  const Trajectory base = testutil::RandomWalk(rng, 30, 0.2);
+  for (int i = 0; i < 5; ++i) db.Add(base);
+  for (int i = 0; i < 50; ++i) {
+    Trajectory t = testutil::RandomWalk(rng, 30, 0.2);
+    for (Point2& p : t.mutable_points()) p.x += 50.0;
+    db.Add(std::move(t));
+  }
+  const HistogramKnnSearcher searcher(db, kEps, HistogramTable::Kind::k2D, 1,
+                                      HistogramScan::kSorted);
+  const KnnResult result = searcher.Knn(base, 3);
+  EXPECT_TRUE(
+      SameKnnDistances(SequentialScanKnn(db, base, 3, kEps), result));
+  EXPECT_GT(result.stats.PruningPower(), 0.5);
+}
+
+}  // namespace
+}  // namespace edr

@@ -1,0 +1,119 @@
+#include "query/knn.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "distance/edr.h"
+#include "test_util.h"
+
+namespace edr {
+namespace {
+
+constexpr double kEps = 0.25;
+
+TEST(KnnResultListTest, KthDistanceInfiniteUntilFull) {
+  KnnResultList list(3);
+  EXPECT_TRUE(std::isinf(list.KthDistance()));
+  list.Offer(0, 5.0);
+  list.Offer(1, 2.0);
+  EXPECT_TRUE(std::isinf(list.KthDistance()));
+  list.Offer(2, 9.0);
+  EXPECT_DOUBLE_EQ(list.KthDistance(), 9.0);
+}
+
+TEST(KnnResultListTest, KeepsKSmallestSorted) {
+  KnnResultList list(3);
+  for (uint32_t i = 0; i < 10; ++i) {
+    list.Offer(i, static_cast<double>(10 - i));
+  }
+  ASSERT_EQ(list.size(), 3u);
+  const auto& n = list.neighbors();
+  EXPECT_DOUBLE_EQ(n[0].distance, 1.0);
+  EXPECT_DOUBLE_EQ(n[1].distance, 2.0);
+  EXPECT_DOUBLE_EQ(n[2].distance, 3.0);
+  EXPECT_EQ(n[0].id, 9u);
+}
+
+TEST(KnnResultListTest, RejectsWorseThanKth) {
+  KnnResultList list(2);
+  list.Offer(0, 1.0);
+  list.Offer(1, 2.0);
+  list.Offer(2, 3.0);
+  EXPECT_DOUBLE_EQ(list.KthDistance(), 2.0);
+  EXPECT_EQ(list.neighbors()[1].id, 1u);
+}
+
+TEST(KnnResultListTest, TieAtKthKeepsEarlierEntry) {
+  KnnResultList list(1);
+  list.Offer(7, 2.0);
+  list.Offer(8, 2.0);  // Equal distance: not an improvement.
+  EXPECT_EQ(list.neighbors()[0].id, 7u);
+}
+
+TEST(SequentialScanTest, FindsExactNeighbors) {
+  const TrajectoryDataset db = testutil::SmallDataset(61, 40, 5, 40);
+  const Trajectory query = db[11];
+  const KnnResult result = SequentialScanKnn(db, query, 5, kEps);
+  ASSERT_EQ(result.neighbors.size(), 5u);
+  EXPECT_EQ(result.neighbors[0].distance, 0.0);  // Self.
+  // Verify ordering and values against direct EDR computation.
+  for (const Neighbor& n : result.neighbors) {
+    EXPECT_DOUBLE_EQ(
+        n.distance,
+        static_cast<double>(EdrDistance(query, db[n.id], kEps)));
+  }
+  for (size_t i = 1; i < result.neighbors.size(); ++i) {
+    EXPECT_LE(result.neighbors[i - 1].distance,
+              result.neighbors[i].distance);
+  }
+}
+
+TEST(SequentialScanTest, StatsCountEveryTrajectory) {
+  const TrajectoryDataset db = testutil::SmallDataset(62, 25);
+  const KnnResult result = SequentialScanKnn(db, db[0], 5, kEps);
+  EXPECT_EQ(result.stats.db_size, 25u);
+  EXPECT_EQ(result.stats.edr_computed, 25u);
+  EXPECT_DOUBLE_EQ(result.stats.PruningPower(), 0.0);
+}
+
+TEST(SequentialScanTest, EarlyAbandonReturnsSameNeighbors) {
+  const TrajectoryDataset db = testutil::SmallDataset(63, 60, 5, 60);
+  SeqScanOptions ea;
+  ea.early_abandon = true;
+  for (const Trajectory& query : testutil::MakeQueries(db, 64, 5)) {
+    const KnnResult plain = SequentialScanKnn(db, query, 8, kEps);
+    const KnnResult fast = SequentialScanKnn(db, query, 8, kEps, ea);
+    EXPECT_TRUE(SameKnnDistances(plain, fast));
+  }
+}
+
+TEST(SequentialScanTest, KLargerThanDb) {
+  const TrajectoryDataset db = testutil::SmallDataset(65, 7);
+  const KnnResult result = SequentialScanKnn(db, db[0], 20, kEps);
+  EXPECT_EQ(result.neighbors.size(), 7u);
+}
+
+TEST(SameKnnDistancesTest, DetectsMismatch) {
+  KnnResult a;
+  a.neighbors = {{0, 1.0}, {1, 2.0}};
+  KnnResult b;
+  b.neighbors = {{5, 1.0}, {9, 2.0}};
+  EXPECT_TRUE(SameKnnDistances(a, b));  // Ids may differ on ties.
+  b.neighbors[1].distance = 3.0;
+  EXPECT_FALSE(SameKnnDistances(a, b));
+  b.neighbors.pop_back();
+  EXPECT_FALSE(SameKnnDistances(a, b));
+}
+
+TEST(PruningPowerTest, Formula) {
+  SearchStats stats;
+  stats.db_size = 100;
+  stats.edr_computed = 25;
+  EXPECT_DOUBLE_EQ(stats.PruningPower(), 0.75);
+  stats.db_size = 0;
+  EXPECT_DOUBLE_EQ(stats.PruningPower(), 0.0);
+}
+
+}  // namespace
+}  // namespace edr

@@ -1,0 +1,111 @@
+#include "pruning/lcss_knn.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "distance/lcss.h"
+#include "pruning/qgram.h"
+#include "test_util.h"
+
+namespace edr {
+namespace {
+
+constexpr double kEps = 0.25;
+
+TEST(LcssBoundsTest, TransportCapsLcssScore) {
+  // The pillar of the histogram transfer: LCSS(Q,S) <= U where U is the
+  // fast transport upper bound (max(m,n) - FastLowerBound).
+  Rng rng(501);
+  TrajectoryDataset db;
+  for (int i = 0; i < 16; ++i) {
+    db.Add(testutil::RandomWalk(
+        rng, static_cast<size_t>(rng.UniformInt(3, 50))));
+  }
+  db.NormalizeAll();
+  const HistogramTable table(db, kEps, HistogramTable::Kind::k2D, 1);
+  for (size_t i = 0; i < db.size(); ++i) {
+    const HistogramTable::QueryHistogram qh =
+        table.MakeQueryHistogram(db[i]);
+    for (size_t j = 0; j < db.size(); ++j) {
+      const long total =
+          static_cast<long>(std::max(db[i].size(), db[j].size()));
+      const long cap =
+          total - table.FastLowerBound(qh, static_cast<uint32_t>(j));
+      EXPECT_GE(cap,
+                static_cast<long>(LcssLength(db[i], db[j], kEps)))
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(LcssBoundsTest, ElementMatchCountCapsLcssScore) {
+  // LCSS(Q,S) <= #(elements of Q with some epsilon-match in S), the q = 1
+  // mean-gram count.
+  Rng rng(502);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Trajectory a = testutil::RandomWalk(
+        rng, static_cast<size_t>(rng.UniformInt(2, 40)));
+    const Trajectory b = testutil::RandomWalk(
+        rng, static_cast<size_t>(rng.UniformInt(2, 40)));
+    std::vector<Point2> qa = MeanValueQgrams(a, 1);
+    std::vector<Point2> qb = MeanValueQgrams(b, 1);
+    SortMeans(qa);
+    SortMeans(qb);
+    EXPECT_GE(CountMatchingMeans2D(qa, qb, kEps), LcssLength(a, b, kEps));
+  }
+}
+
+class LcssKnnLosslessTest : public ::testing::TestWithParam<LcssFilter> {};
+
+TEST_P(LcssKnnLosslessTest, MatchesUnfilteredScan) {
+  const TrajectoryDataset db = testutil::SmallDataset(503, 80, 8, 60);
+  const LcssKnnSearcher baseline(db, kEps, LcssFilter::kNone);
+  const LcssKnnSearcher filtered(db, kEps, GetParam());
+  for (const Trajectory& query : testutil::MakeQueries(db, 504, 4)) {
+    const KnnResult expected = baseline.Knn(query, 10);
+    const KnnResult actual = filtered.Knn(query, 10);
+    EXPECT_TRUE(SameKnnDistances(expected, actual)) << filtered.name();
+    EXPECT_LE(actual.stats.edr_computed, expected.stats.edr_computed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Filters, LcssKnnLosslessTest,
+                         ::testing::Values(LcssFilter::kHistogram,
+                                           LcssFilter::kQgram,
+                                           LcssFilter::kBoth));
+
+TEST(LcssKnnTest, BaselineComputesEverything) {
+  const TrajectoryDataset db = testutil::SmallDataset(505, 30);
+  const LcssKnnSearcher baseline(db, kEps, LcssFilter::kNone);
+  const KnnResult r = baseline.Knn(db[0], 5);
+  EXPECT_EQ(r.stats.edr_computed, db.size());
+  EXPECT_EQ(r.neighbors[0].distance, 0.0);  // Self.
+}
+
+TEST(LcssKnnTest, PrunesOnSeparatedData) {
+  Rng rng(506);
+  TrajectoryDataset db;
+  const Trajectory base = testutil::RandomWalk(rng, 30, 0.2);
+  for (int i = 0; i < 5; ++i) db.Add(base);
+  for (int i = 0; i < 60; ++i) {
+    Trajectory t = testutil::RandomWalk(rng, 30, 0.2);
+    for (Point2& p : t.mutable_points()) p.x += 50.0;
+    db.Add(std::move(t));
+  }
+  const LcssKnnSearcher searcher(db, kEps, LcssFilter::kBoth);
+  const LcssKnnSearcher baseline(db, kEps, LcssFilter::kNone);
+  const KnnResult fast = searcher.Knn(base, 3);
+  EXPECT_TRUE(SameKnnDistances(baseline.Knn(base, 3), fast));
+  EXPECT_GT(fast.stats.PruningPower(), 0.5);
+}
+
+TEST(LcssKnnTest, Names) {
+  const TrajectoryDataset db = testutil::SmallDataset(507, 5);
+  EXPECT_EQ(LcssKnnSearcher(db, kEps, LcssFilter::kNone).name(),
+            "LCSS-Scan");
+  EXPECT_EQ(LcssKnnSearcher(db, kEps, LcssFilter::kBoth).name(), "LCSS-HP");
+}
+
+}  // namespace
+}  // namespace edr

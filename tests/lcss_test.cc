@@ -1,0 +1,117 @@
+#include "distance/lcss.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace edr {
+namespace {
+
+Trajectory Seq(std::initializer_list<double> xs) {
+  Trajectory t;
+  for (const double x : xs) t.Append(x, 0.0);
+  return t;
+}
+
+TEST(LcssTest, EmptyScoresZero) {
+  EXPECT_EQ(LcssLength(Trajectory(), Seq({1, 2}), 0.5), 0u);
+  EXPECT_EQ(LcssLength(Seq({1, 2}), Trajectory(), 0.5), 0u);
+}
+
+TEST(LcssTest, IdenticalScoresFullLength) {
+  const Trajectory t = Seq({1, 2, 3, 4});
+  EXPECT_EQ(LcssLength(t, t, 0.1), 4u);
+}
+
+TEST(LcssTest, KnownSubsequence) {
+  const Trajectory a = Seq({1, 9, 2, 9, 3});
+  const Trajectory b = Seq({1, 2, 3});
+  EXPECT_EQ(LcssLength(a, b, 0.1), 3u);
+}
+
+TEST(LcssTest, ThresholdControlsMatching) {
+  const Trajectory a = Seq({0.0});
+  const Trajectory b = Seq({0.4});
+  EXPECT_EQ(LcssLength(a, b, 0.5), 1u);
+  EXPECT_EQ(LcssLength(a, b, 0.3), 0u);
+}
+
+TEST(LcssTest, MatchRequiresBothDimensions) {
+  Trajectory a;
+  a.Append(0.0, 0.0);
+  Trajectory b;
+  b.Append(0.1, 5.0);  // x matches within 0.5, y does not.
+  EXPECT_EQ(LcssLength(a, b, 0.5), 0u);
+}
+
+TEST(LcssTest, RobustToOutliers) {
+  // Huge outliers cannot inflate the score by more than their count and
+  // never destroy the existing matches.
+  const Trajectory clean = Seq({1, 2, 3, 4});
+  const Trajectory noisy = Seq({1, 1000, 2, 3, 4});
+  EXPECT_EQ(LcssLength(clean, noisy, 0.5), 4u);
+}
+
+TEST(LcssTest, GapBlindness) {
+  // Section 2's criticism of LCSS: the score ignores how long the gap
+  // between matched subsequences is. S has a one-element gap, P a
+  // two-element gap; every element of Q matches in both, so LCSS ties.
+  const Trajectory q = Seq({1, 2, 3, 4});
+  const Trajectory s = Seq({1, 100, 2, 3, 4});
+  const Trajectory p = Seq({1, 100, 101, 2, 3, 4});
+  EXPECT_EQ(LcssLength(q, s, 0.5), 4u);
+  EXPECT_EQ(LcssLength(q, p, 0.5), 4u);
+  EXPECT_DOUBLE_EQ(LcssDistance(q, s, 0.5), LcssDistance(q, p, 0.5));
+}
+
+TEST(LcssTest, Symmetric) {
+  Rng rng(41);
+  for (int trial = 0; trial < 10; ++trial) {
+    Trajectory a;
+    Trajectory b;
+    const int la = static_cast<int>(rng.UniformInt(3, 25));
+    const int lb = static_cast<int>(rng.UniformInt(3, 25));
+    for (int i = 0; i < la; ++i) a.Append(rng.Gaussian(), rng.Gaussian());
+    for (int i = 0; i < lb; ++i) b.Append(rng.Gaussian(), rng.Gaussian());
+    EXPECT_EQ(LcssLength(a, b, 0.5), LcssLength(b, a, 0.5));
+  }
+}
+
+TEST(LcssTest, ScoreBoundedByMinLength) {
+  Rng rng(42);
+  Trajectory a;
+  Trajectory b;
+  for (int i = 0; i < 10; ++i) a.Append(rng.Gaussian(), rng.Gaussian());
+  for (int i = 0; i < 17; ++i) b.Append(rng.Gaussian(), rng.Gaussian());
+  EXPECT_LE(LcssLength(a, b, 0.5), 10u);
+}
+
+TEST(LcssBandedTest, BandLowerBoundsScore) {
+  Rng rng(43);
+  for (int trial = 0; trial < 10; ++trial) {
+    Trajectory a;
+    Trajectory b;
+    for (int i = 0; i < 20; ++i) a.Append(rng.Gaussian(), rng.Gaussian());
+    for (int i = 0; i < 24; ++i) b.Append(rng.Gaussian(), rng.Gaussian());
+    const size_t full = LcssLength(a, b, 0.5);
+    for (const int band : {0, 2, 6}) {
+      EXPECT_LE(LcssLengthBanded(a, b, 0.5, band), full);
+    }
+    EXPECT_EQ(LcssLengthBanded(a, b, 0.5, 100), full);
+  }
+}
+
+TEST(LcssDistanceTest, DistanceFormInUnitInterval) {
+  const Trajectory a = Seq({1, 9, 2, 9, 3});
+  const Trajectory b = Seq({1, 2, 3});
+  EXPECT_DOUBLE_EQ(LcssDistance(a, b, 0.1), 0.0);  // b fully matched.
+  const Trajectory c = Seq({50, 60, 70});
+  EXPECT_DOUBLE_EQ(LcssDistance(b, c, 0.1), 1.0);  // Nothing matches.
+}
+
+TEST(LcssDistanceTest, EmptyIsMaximallyDistant) {
+  EXPECT_DOUBLE_EQ(LcssDistance(Trajectory(), Seq({1}), 0.5), 1.0);
+}
+
+}  // namespace
+}  // namespace edr

@@ -1,0 +1,94 @@
+#include "eval/linkage.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "distance/edr.h"
+#include "test_util.h"
+
+namespace edr {
+namespace {
+
+TEST(DistanceMatrixTest, SymmetricStorage) {
+  DistanceMatrix m(3);
+  m.set(0, 2, 5.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 0), 5.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 0.0);
+}
+
+TEST(ComputeDistanceMatrixTest, AppliesFunction) {
+  Rng rng(91);
+  const Trajectory a = testutil::RandomWalk(rng, 10);
+  const Trajectory b = testutil::RandomWalk(rng, 12);
+  const std::vector<const Trajectory*> items = {&a, &b};
+  const DistanceMatrix m = ComputeDistanceMatrix(
+      items, [](const Trajectory& x, const Trajectory& y) {
+        return static_cast<double>(EdrDistance(x, y, 0.25));
+      });
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1),
+                   static_cast<double>(EdrDistance(a, b, 0.25)));
+}
+
+TEST(CompleteLinkageTest, TwoObviousClusters) {
+  // Items 0-2 mutually close, 3-5 mutually close, the groups far apart.
+  DistanceMatrix m(6);
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = i + 1; j < 6; ++j) {
+      const bool same_group = (i < 3) == (j < 3);
+      m.set(i, j, same_group ? 1.0 : 100.0);
+    }
+  }
+  const std::vector<int> clusters = CompleteLinkageClusters(m, 2);
+  EXPECT_EQ(clusters[0], clusters[1]);
+  EXPECT_EQ(clusters[1], clusters[2]);
+  EXPECT_EQ(clusters[3], clusters[4]);
+  EXPECT_EQ(clusters[4], clusters[5]);
+  EXPECT_NE(clusters[0], clusters[3]);
+}
+
+TEST(CompleteLinkageTest, CompleteLinkageUsesMaxNotMin) {
+  // Single linkage would chain 0-1-2 together (0 and 1 close, 1 and 2
+  // close); complete linkage must not, because 0 and 2 are very far, and
+  // 3 is moderately close to everything.
+  DistanceMatrix m(4);
+  m.set(0, 1, 1.0);
+  m.set(1, 2, 1.0);
+  m.set(0, 2, 50.0);
+  m.set(0, 3, 10.0);
+  m.set(1, 3, 10.0);
+  m.set(2, 3, 10.0);
+  const std::vector<int> clusters = CompleteLinkageClusters(m, 2);
+  // First merge: {0,1} (or {1,2}). The complete-linkage distance of the
+  // merged pair to the remaining singleton of the chain is 50, so the
+  // chain is NOT completed; the remaining items join via the 10s.
+  EXPECT_FALSE(clusters[0] == clusters[1] && clusters[1] == clusters[2]);
+}
+
+TEST(CompleteLinkageTest, KOneMergesEverything) {
+  DistanceMatrix m(4);
+  for (size_t i = 0; i < 4; ++i)
+    for (size_t j = i + 1; j < 4; ++j) m.set(i, j, 1.0 + double(i + j));
+  const std::vector<int> clusters = CompleteLinkageClusters(m, 1);
+  for (const int c : clusters) EXPECT_EQ(c, 0);
+}
+
+TEST(CompleteLinkageTest, KEqualsNLeavesSingletons) {
+  DistanceMatrix m(3);
+  m.set(0, 1, 1.0);
+  m.set(0, 2, 2.0);
+  m.set(1, 2, 3.0);
+  const std::vector<int> clusters = CompleteLinkageClusters(m, 3);
+  EXPECT_NE(clusters[0], clusters[1]);
+  EXPECT_NE(clusters[1], clusters[2]);
+  EXPECT_NE(clusters[0], clusters[2]);
+}
+
+TEST(CompleteLinkageTest, EmptyMatrix) {
+  DistanceMatrix m(0);
+  EXPECT_TRUE(CompleteLinkageClusters(m, 2).empty());
+}
+
+}  // namespace
+}  // namespace edr

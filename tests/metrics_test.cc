@@ -1,0 +1,91 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace edr {
+namespace {
+
+constexpr double kEps = 0.25;
+
+TEST(MetricsTest, SampleQueriesEvenlySpaced) {
+  const TrajectoryDataset db = testutil::SmallDataset(121, 40);
+  const std::vector<Trajectory> queries = SampleQueries(db, 4);
+  ASSERT_EQ(queries.size(), 4u);
+  EXPECT_TRUE(queries[0] == db[0]);
+  EXPECT_TRUE(queries[1] == db[10]);
+  EXPECT_TRUE(queries[3] == db[30]);
+}
+
+TEST(MetricsTest, SampleQueriesClampedToDbSize) {
+  const TrajectoryDataset db = testutil::SmallDataset(122, 5);
+  EXPECT_EQ(SampleQueries(db, 50).size(), 5u);
+  EXPECT_TRUE(SampleQueries(db, 0).empty());
+  EXPECT_TRUE(SampleQueries(TrajectoryDataset(), 3).empty());
+}
+
+TEST(MetricsTest, GroundTruthMatchesSeqScan) {
+  const TrajectoryDataset db = testutil::SmallDataset(123, 30);
+  QueryEngine engine(db, kEps);
+  const std::vector<Trajectory> queries = SampleQueries(db, 3);
+  const std::vector<KnnResult> gt = RunGroundTruth(engine, queries, 5);
+  ASSERT_EQ(gt.size(), 3u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_TRUE(SameKnnDistances(gt[i], engine.SeqScan(queries[i], 5)));
+  }
+  EXPECT_GT(MeanSeconds(gt), 0.0);
+}
+
+TEST(MetricsTest, RunWorkloadAggregatesAndCertifies) {
+  const TrajectoryDataset db = testutil::SmallDataset(124, 50, 6, 50);
+  QueryEngine engine(db, kEps);
+  const std::vector<Trajectory> queries = SampleQueries(db, 4);
+  const std::vector<KnnResult> gt = RunGroundTruth(engine, queries, 5);
+  const double base = MeanSeconds(gt);
+
+  const WorkloadResult r = RunWorkload(
+      engine.MakeHistogram(HistogramTable::Kind::k2D, 1,
+                           HistogramScan::kSorted),
+      queries, 5, &gt, base);
+  EXPECT_EQ(r.queries, 4u);
+  EXPECT_TRUE(r.lossless);
+  EXPECT_GE(r.avg_pruning_power, 0.0);
+  EXPECT_LE(r.avg_pruning_power, 1.0);
+  EXPECT_GT(r.avg_seconds, 0.0);
+  EXPECT_GT(r.speedup, 0.0);
+}
+
+TEST(MetricsTest, RunWorkloadDetectsFalseDismissals) {
+  const TrajectoryDataset db = testutil::SmallDataset(125, 30);
+  QueryEngine engine(db, kEps);
+  const std::vector<Trajectory> queries = SampleQueries(db, 2);
+  const std::vector<KnnResult> gt = RunGroundTruth(engine, queries, 5);
+
+  // A deliberately broken searcher that drops the nearest neighbor.
+  NamedSearcher broken{"Broken", [&engine](const Trajectory& q, size_t k) {
+                         KnnResult r = engine.SeqScan(q, k);
+                         r.neighbors.erase(r.neighbors.begin());
+                         r.neighbors.push_back({0, 1e9});
+                         return r;
+                       }};
+  const WorkloadResult r = RunWorkload(broken, queries, 5, &gt, 0.0);
+  EXPECT_FALSE(r.lossless);
+}
+
+TEST(MetricsTest, FormattingProducesAlignedColumns) {
+  WorkloadResult r;
+  r.method = "PS2(q=1)";
+  r.avg_pruning_power = 0.5;
+  r.avg_seconds = 0.001;
+  r.speedup = 2.0;
+  const std::string header = FormatWorkloadHeader();
+  const std::string row = FormatWorkloadRow(r);
+  EXPECT_NE(header.find("method"), std::string::npos);
+  EXPECT_NE(header.find("speedup"), std::string::npos);
+  EXPECT_NE(row.find("PS2(q=1)"), std::string::npos);
+  EXPECT_NE(row.find("yes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace edr

@@ -1,0 +1,113 @@
+#include "data/noise.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generators.h"
+#include "test_util.h"
+
+namespace edr {
+namespace {
+
+TEST(NoiseTest, InsertionCountWithinConfiguredFraction) {
+  Rng rng(81);
+  const Trajectory t = testutil::RandomWalk(rng, 100);
+  NoiseOptions options;
+  options.min_fraction = 0.10;
+  options.max_fraction = 0.20;
+  for (int trial = 0; trial < 10; ++trial) {
+    const Trajectory noisy = AddInterpolatedGaussianNoise(t, options, rng);
+    const size_t added = noisy.size() - t.size();
+    EXPECT_GE(added, 10u);
+    EXPECT_LE(added, 20u);
+  }
+}
+
+TEST(NoiseTest, OutliersAreLarge) {
+  Rng rng(82);
+  const Trajectory t = testutil::RandomWalk(rng, 200, 0.1);
+  NoiseOptions options;
+  options.outlier_sigma = 8.0;
+  const Trajectory noisy = AddInterpolatedGaussianNoise(t, options, rng);
+  // The corrupted trajectory must have a much larger spread.
+  const Point2 before = t.StdDev();
+  const Point2 after = noisy.StdDev();
+  EXPECT_GT(std::max(after.x, after.y), 1.5 * std::max(before.x, before.y));
+}
+
+TEST(NoiseTest, PreservesLabelAndShortInputs) {
+  Rng rng(83);
+  Trajectory t({{0.0, 0.0}}, 4);
+  NoiseOptions options;
+  const Trajectory noisy = AddInterpolatedGaussianNoise(t, options, rng);
+  EXPECT_EQ(noisy.label(), 4);
+  EXPECT_EQ(noisy.size(), 1u);  // Too short to corrupt.
+}
+
+TEST(ResampleTest, ExactLengthAndEndpoints) {
+  const Trajectory t({{0.0, 0.0}, {1.0, 1.0}, {2.0, 0.0}});
+  const Trajectory r = ResampleLinear(t, 9);
+  ASSERT_EQ(r.size(), 9u);
+  EXPECT_EQ(r[0], t[0]);
+  EXPECT_EQ(r[8], t[2]);
+}
+
+TEST(ResampleTest, IdentityWhenSameLength) {
+  Rng rng(84);
+  const Trajectory t = testutil::RandomWalk(rng, 20);
+  const Trajectory r = ResampleLinear(t, 20);
+  ASSERT_EQ(r.size(), 20u);
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_NEAR(r[i].x, t[i].x, 1e-9);
+    EXPECT_NEAR(r[i].y, t[i].y, 1e-9);
+  }
+}
+
+TEST(ResampleTest, DegenerateCases) {
+  EXPECT_TRUE(ResampleLinear(Trajectory(), 5).empty());
+  const Trajectory one({{3.0, 4.0}});
+  const Trajectory r = ResampleLinear(one, 4);
+  ASSERT_EQ(r.size(), 4u);
+  for (const Point2& p : r) EXPECT_EQ(p, (Point2{3.0, 4.0}));
+}
+
+TEST(TimeShiftTest, LengthChangesButShapePreserved) {
+  Rng rng(85);
+  const Trajectory t = testutil::RandomWalk(rng, 120, 0.3);
+  TimeShiftOptions options;
+  const Trajectory shifted = AddLocalTimeShifting(t, options, rng);
+  // Length within the configured scales.
+  EXPECT_GE(shifted.size(), static_cast<size_t>(120 * 0.5));
+  EXPECT_LE(shifted.size(), static_cast<size_t>(120 * 1.6));
+  // Shape preserved: endpoints close to the originals.
+  EXPECT_NEAR(shifted[0].x, t[0].x, 1e-9);
+  EXPECT_NEAR(shifted[shifted.size() - 1].x, t[t.size() - 1].x, 1e-9);
+}
+
+TEST(TimeShiftTest, ShortInputsPassThrough) {
+  Rng rng(86);
+  const Trajectory t({{0.0, 0.0}, {1.0, 1.0}});
+  TimeShiftOptions options;
+  options.segments = 4;
+  const Trajectory shifted = AddLocalTimeShifting(t, options, rng);
+  EXPECT_TRUE(shifted == t);
+}
+
+TEST(CorruptDatasetTest, DeterministicPerSeedAndPreservesLabels) {
+  TrajectoryDataset db = GenAslLike(3, 3, 7);
+  const TrajectoryDataset a = CorruptDataset(db, {}, {}, 42);
+  const TrajectoryDataset b = CorruptDataset(db, {}, {}, 42);
+  const TrajectoryDataset c = CorruptDataset(db, {}, {}, 43);
+  ASSERT_EQ(a.size(), db.size());
+  bool any_differs = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i] == b[i]);
+    EXPECT_EQ(a[i].label(), db[i].label());
+    if (!(a[i] == c[i])) any_differs = true;
+  }
+  EXPECT_TRUE(any_differs);  // Different seeds give different corruption.
+}
+
+}  // namespace
+}  // namespace edr

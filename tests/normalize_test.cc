@@ -1,0 +1,80 @@
+#include "core/normalize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+
+namespace edr {
+namespace {
+
+TEST(NormalizeTest, ZeroMeanUnitVariance) {
+  Rng rng(5);
+  Trajectory t;
+  for (int i = 0; i < 200; ++i) {
+    t.Append(rng.Gaussian(10.0, 3.0), rng.Gaussian(-4.0, 0.5));
+  }
+  const Trajectory n = Normalize(t);
+  const Point2 mu = n.Mean();
+  const Point2 sigma = n.StdDev();
+  EXPECT_NEAR(mu.x, 0.0, 1e-9);
+  EXPECT_NEAR(mu.y, 0.0, 1e-9);
+  EXPECT_NEAR(sigma.x, 1.0, 1e-9);
+  EXPECT_NEAR(sigma.y, 1.0, 1e-9);
+}
+
+TEST(NormalizeTest, InvariantToSpatialShiftAndScale) {
+  Rng rng(6);
+  Trajectory t;
+  for (int i = 0; i < 64; ++i) t.Append(rng.Uniform(0, 1), rng.Uniform(0, 1));
+
+  Trajectory shifted = t;
+  for (Point2& p : shifted.mutable_points()) {
+    p.x = p.x * 7.0 + 100.0;
+    p.y = p.y * 0.25 - 3.0;
+  }
+  const Trajectory a = Normalize(t);
+  const Trajectory b = Normalize(shifted);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].x, b[i].x, 1e-9);
+    EXPECT_NEAR(a[i].y, b[i].y, 1e-9);
+  }
+}
+
+TEST(NormalizeTest, ConstantDimensionOnlyShifted) {
+  Trajectory t({{1.0, 5.0}, {2.0, 5.0}, {3.0, 5.0}});
+  const Trajectory n = Normalize(t);
+  // y was constant: mean-shifted to 0, not divided by zero sigma.
+  for (const Point2& p : n) {
+    EXPECT_DOUBLE_EQ(p.y, 0.0);
+    EXPECT_TRUE(std::isfinite(p.x));
+  }
+}
+
+TEST(NormalizeTest, EmptyTrajectoryUnchanged) {
+  Trajectory t;
+  NormalizeInPlace(t);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(NormalizeTest, PreservesLabelAndId) {
+  Trajectory t({{1.0, 2.0}, {3.0, 4.0}}, 9);
+  t.set_id(42);
+  const Trajectory n = Normalize(t);
+  EXPECT_EQ(n.label(), 9);
+  EXPECT_EQ(n.id(), 42u);
+}
+
+TEST(NormalizeTest, InPlaceMatchesCopying) {
+  Rng rng(8);
+  Trajectory t;
+  for (int i = 0; i < 32; ++i) t.Append(rng.Gaussian(), rng.Gaussian());
+  Trajectory copy = t;
+  NormalizeInPlace(copy);
+  EXPECT_TRUE(copy == Normalize(t));
+}
+
+}  // namespace
+}  // namespace edr

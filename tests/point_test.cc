@@ -1,0 +1,49 @@
+#include "core/point.h"
+
+#include <gtest/gtest.h>
+
+namespace edr {
+namespace {
+
+TEST(PointTest, Arithmetic) {
+  const Point2 a{1.0, 2.0};
+  const Point2 b{3.0, -1.0};
+  EXPECT_EQ((a + b), (Point2{4.0, 1.0}));
+  EXPECT_EQ((a - b), (Point2{-2.0, 3.0}));
+  EXPECT_EQ((a * 2.0), (Point2{2.0, 4.0}));
+  EXPECT_EQ((2.0 * a), (Point2{2.0, 4.0}));
+}
+
+TEST(PointTest, SquaredDistMatchesPaperFormula) {
+  const Point2 r{1.0, 2.0};
+  const Point2 s{4.0, 6.0};
+  // (1-4)^2 + (2-6)^2 = 9 + 16.
+  EXPECT_DOUBLE_EQ(SquaredDist(r, s), 25.0);
+  EXPECT_DOUBLE_EQ(L2Dist(r, s), 5.0);
+}
+
+TEST(PointTest, L1AndLInf) {
+  const Point2 r{0.0, 0.0};
+  const Point2 s{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(L1Dist(r, s), 7.0);
+  EXPECT_DOUBLE_EQ(LInfDist(r, s), 4.0);
+}
+
+TEST(PointTest, DistancesOfIdenticalPointsAreZero) {
+  const Point2 p{-2.5, 7.125};
+  EXPECT_DOUBLE_EQ(SquaredDist(p, p), 0.0);
+  EXPECT_DOUBLE_EQ(L2Dist(p, p), 0.0);
+  EXPECT_DOUBLE_EQ(L1Dist(p, p), 0.0);
+  EXPECT_DOUBLE_EQ(LInfDist(p, p), 0.0);
+}
+
+TEST(PointTest, DistancesAreSymmetric) {
+  const Point2 a{1.5, -0.25};
+  const Point2 b{-3.0, 2.0};
+  EXPECT_DOUBLE_EQ(SquaredDist(a, b), SquaredDist(b, a));
+  EXPECT_DOUBLE_EQ(L1Dist(a, b), L1Dist(b, a));
+  EXPECT_DOUBLE_EQ(LInfDist(a, b), LInfDist(b, a));
+}
+
+}  // namespace
+}  // namespace edr

@@ -1,0 +1,164 @@
+// Deletion and bulk-loading tests for the R*-tree, including randomized
+// insert/delete workloads cross-checked against a brute-force multiset.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/rng.h"
+#include "index/rstar_tree.h"
+
+namespace edr {
+namespace {
+
+TEST(RStarTreeDeleteTest, DeleteFromTinyTree) {
+  RStarTree tree;
+  tree.Insert({1.0, 1.0}, 1);
+  tree.Insert({2.0, 2.0}, 2);
+  EXPECT_TRUE(tree.Delete({1.0, 1.0}, 1));
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_TRUE(tree.SearchRange({0.5, 0.5, 1.5, 1.5}).empty());
+  EXPECT_EQ(tree.SearchRange({1.5, 1.5, 2.5, 2.5}).size(), 1u);
+  EXPECT_TRUE(tree.Validate());
+}
+
+TEST(RStarTreeDeleteTest, DeleteMissingReturnsFalse) {
+  RStarTree tree;
+  tree.Insert({1.0, 1.0}, 1);
+  EXPECT_FALSE(tree.Delete({9.0, 9.0}, 1));     // Wrong point.
+  EXPECT_FALSE(tree.Delete({1.0, 1.0}, 99));    // Wrong payload.
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(RStarTreeDeleteTest, DeleteDistinguishesDuplicatePoints) {
+  RStarTree tree;
+  for (uint32_t v = 0; v < 5; ++v) tree.Insert({3.0, 3.0}, v);
+  EXPECT_TRUE(tree.Delete({3.0, 3.0}, 2));
+  auto hits = tree.SearchRange({3.0, 3.0, 3.0, 3.0});
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<uint32_t>{0, 1, 3, 4}));
+}
+
+TEST(RStarTreeDeleteTest, DrainCompletely) {
+  RStarTree tree(6);
+  Rng rng(901);
+  std::vector<Point2> points;
+  for (uint32_t i = 0; i < 500; ++i) {
+    const Point2 p{rng.Uniform(-5, 5), rng.Uniform(-5, 5)};
+    points.push_back(p);
+    tree.Insert(p, i);
+  }
+  for (uint32_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(tree.Delete(points[i], i)) << i;
+    ASSERT_TRUE(tree.Validate()) << "after deleting " << i;
+  }
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_TRUE(tree.SearchRange({-10, -10, 10, 10}).empty());
+}
+
+class RStarTreeMixedWorkloadTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(RStarTreeMixedWorkloadTest, RandomInsertDeleteMatchesBruteForce) {
+  Rng rng(GetParam());
+  RStarTree tree(static_cast<int>(rng.UniformInt(4, 16)));
+  std::vector<std::pair<Point2, uint32_t>> live;
+  uint32_t next_value = 0;
+
+  for (int op = 0; op < 1200; ++op) {
+    const bool insert = live.empty() || rng.NextDouble() < 0.6;
+    if (insert) {
+      const Point2 p{rng.Uniform(-4, 4), rng.Uniform(-4, 4)};
+      tree.Insert(p, next_value);
+      live.push_back({p, next_value});
+      ++next_value;
+    } else {
+      const size_t at = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      ASSERT_TRUE(tree.Delete(live[at].first, live[at].second));
+      live.erase(live.begin() + static_cast<long>(at));
+    }
+    if (op % 100 == 99) {
+      ASSERT_TRUE(tree.Validate()) << "op " << op;
+      ASSERT_EQ(tree.size(), live.size());
+      // Spot-check a range query against brute force.
+      const Rect query = Rect::Around(
+          {rng.Uniform(-4, 4), rng.Uniform(-4, 4)}, rng.Uniform(0.2, 2.0));
+      std::vector<uint32_t> actual = tree.SearchRange(query);
+      std::vector<uint32_t> expected;
+      for (const auto& [p, v] : live) {
+        if (query.Contains(p)) expected.push_back(v);
+      }
+      std::sort(actual.begin(), actual.end());
+      std::sort(expected.begin(), expected.end());
+      ASSERT_EQ(actual, expected) << "op " << op;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RStarTreeMixedWorkloadTest,
+                         ::testing::Range<uint64_t>(910, 918));
+
+TEST(RStarTreeBulkLoadTest, EmptyAndSingle) {
+  const RStarTree empty = RStarTree::BulkLoad({});
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_TRUE(empty.Validate());
+
+  const RStarTree one = RStarTree::BulkLoad({{{1.0, 2.0}, 7}});
+  EXPECT_EQ(one.size(), 1u);
+  EXPECT_TRUE(one.Validate());
+  EXPECT_EQ(one.SearchRange({0, 0, 2, 3}).size(), 1u);
+}
+
+class RStarTreeBulkLoadTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RStarTreeBulkLoadTest, ValidAndQueryEquivalentToInsertion) {
+  Rng rng(GetParam());
+  const int n = static_cast<int>(rng.UniformInt(2, 4000));
+  const int capacity = static_cast<int>(rng.UniformInt(4, 24));
+  std::vector<std::pair<Point2, uint32_t>> items;
+  RStarTree inserted(capacity);
+  for (int i = 0; i < n; ++i) {
+    const Point2 p{rng.Uniform(-6, 6), rng.Uniform(-6, 6)};
+    items.push_back({p, static_cast<uint32_t>(i)});
+    inserted.Insert(p, static_cast<uint32_t>(i));
+  }
+  const RStarTree bulk = RStarTree::BulkLoad(std::move(items), capacity);
+  ASSERT_EQ(bulk.size(), static_cast<size_t>(n));
+  ASSERT_TRUE(bulk.Validate());
+  // Bulk loading packs nodes full, so the tree is never taller.
+  EXPECT_LE(bulk.height(), inserted.height());
+
+  for (int trial = 0; trial < 20; ++trial) {
+    const Rect query = Rect::Around(
+        {rng.Uniform(-6, 6), rng.Uniform(-6, 6)}, rng.Uniform(0.1, 3.0));
+    std::vector<uint32_t> a = bulk.SearchRange(query);
+    std::vector<uint32_t> b = inserted.SearchRange(query);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    ASSERT_EQ(a, b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RStarTreeBulkLoadTest,
+                         ::testing::Range<uint64_t>(920, 930));
+
+TEST(RStarTreeBulkLoadTest, DeleteWorksOnBulkLoadedTree) {
+  Rng rng(931);
+  std::vector<std::pair<Point2, uint32_t>> items;
+  for (uint32_t i = 0; i < 300; ++i) {
+    items.push_back({{rng.Uniform(-3, 3), rng.Uniform(-3, 3)}, i});
+  }
+  const std::vector<std::pair<Point2, uint32_t>> copy = items;
+  RStarTree tree = RStarTree::BulkLoad(std::move(items), 8);
+  for (uint32_t i = 0; i < 150; ++i) {
+    ASSERT_TRUE(tree.Delete(copy[i].first, copy[i].second));
+  }
+  EXPECT_EQ(tree.size(), 150u);
+  EXPECT_TRUE(tree.Validate());
+}
+
+}  // namespace
+}  // namespace edr

@@ -1,0 +1,142 @@
+#include "data/simplify.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/rng.h"
+#include "distance/edr.h"
+#include "query/knn.h"
+#include "test_util.h"
+
+namespace edr {
+namespace {
+
+TEST(SegmentDistanceTest, KnownGeometry) {
+  EXPECT_DOUBLE_EQ(SegmentDistance({0, 1}, {-1, 0}, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(SegmentDistance({5, 0}, {-1, 0}, {1, 0}), 4.0);  // Clamped.
+  EXPECT_DOUBLE_EQ(SegmentDistance({3, 4}, {0, 0}, {0, 0}), 5.0);  // Degenerate.
+  EXPECT_DOUBLE_EQ(SegmentDistance({0.5, 0}, {0, 0}, {1, 0}), 0.0);
+}
+
+TEST(DouglasPeuckerTest, CollinearPointsCollapseToEndpoints) {
+  Trajectory t;
+  for (int i = 0; i <= 10; ++i) t.Append(static_cast<double>(i), 0.0);
+  const Trajectory s = SimplifyDouglasPeucker(t, 0.01);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], t[0]);
+  EXPECT_EQ(s[1], t[10]);
+}
+
+TEST(DouglasPeuckerTest, KeepsSalientCorner) {
+  Trajectory t({{0, 0}, {1, 0}, {2, 0}, {2, 1}, {2, 2}});
+  const Trajectory s = SimplifyDouglasPeucker(t, 0.1);
+  // The corner (2,0) is far from the chord (0,0)-(2,2) and must survive.
+  bool corner = false;
+  for (const Point2& p : s) {
+    if (p == (Point2{2, 0})) corner = true;
+  }
+  EXPECT_TRUE(corner);
+  EXPECT_LT(s.size(), t.size());
+}
+
+TEST(DouglasPeuckerTest, ZeroToleranceKeepsEveryNonCollinearPoint) {
+  Rng rng(601);
+  const Trajectory t = testutil::RandomWalk(rng, 40);
+  const Trajectory s = SimplifyDouglasPeucker(t, 0.0);
+  EXPECT_EQ(s.size(), t.size());  // Random walk: nothing exactly collinear.
+}
+
+TEST(DouglasPeuckerTest, EveryKeptPointIsFromTheInput) {
+  Rng rng(602);
+  const Trajectory t = testutil::RandomWalk(rng, 60);
+  const Trajectory s = SimplifyDouglasPeucker(t, 0.3);
+  EXPECT_LE(s.size(), t.size());
+  EXPECT_GE(s.size(), 2u);
+  size_t cursor = 0;
+  for (const Point2& p : s) {
+    // Kept points appear in order in the original.
+    while (cursor < t.size() && !(t[cursor] == p)) ++cursor;
+    ASSERT_LT(cursor, t.size());
+  }
+}
+
+TEST(DouglasPeuckerTest, ReconstructionErrorBounded) {
+  // Every dropped point lies within tolerance of the simplified chord
+  // chain in the Hausdorff sense (check against the nearest kept segment).
+  Rng rng(603);
+  const Trajectory t = testutil::RandomWalk(rng, 80);
+  const double tolerance = 0.25;
+  const Trajectory s = SimplifyDouglasPeucker(t, tolerance);
+  for (const Point2& p : t) {
+    double best = 1e300;
+    for (size_t i = 0; i + 1 < s.size(); ++i) {
+      best = std::min(best, SegmentDistance(p, s[i], s[i + 1]));
+    }
+    EXPECT_LE(best, tolerance + 1e-9);
+  }
+}
+
+TEST(DouglasPeuckerTest, PreservesLabelIdAndShortInputs) {
+  Trajectory t({{0, 0}, {1, 1}}, 7);
+  t.set_id(13);
+  const Trajectory s = SimplifyDouglasPeucker(t, 0.5);
+  EXPECT_TRUE(s == t);
+  EXPECT_EQ(s.label(), 7);
+  EXPECT_EQ(s.id(), 13u);
+}
+
+TEST(DownsampleTest, StrideAndEndpoint) {
+  Trajectory t;
+  for (int i = 0; i < 10; ++i) t.Append(static_cast<double>(i), 0.0);
+  const Trajectory s = Downsample(t, 3);
+  // Indices 0, 3, 6, 9.
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_DOUBLE_EQ(s[3].x, 9.0);
+  const Trajectory s2 = Downsample(t, 4);
+  // Indices 0, 4, 8 plus final 9.
+  ASSERT_EQ(s2.size(), 4u);
+  EXPECT_DOUBLE_EQ(s2[3].x, 9.0);
+}
+
+TEST(DownsampleTest, StrideOneIsIdentity) {
+  Rng rng(604);
+  const Trajectory t = testutil::RandomWalk(rng, 20);
+  EXPECT_TRUE(Downsample(t, 1) == t);
+  EXPECT_TRUE(Downsample(t, 0) == t);
+}
+
+TEST(SimplifyAllTest, AppliesToWholeDataset) {
+  const TrajectoryDataset db = testutil::SmallDataset(605, 20, 20, 40);
+  const TrajectoryDataset s = SimplifyAll(db, 0.2);
+  ASSERT_EQ(s.size(), db.size());
+  size_t total_before = 0;
+  size_t total_after = 0;
+  for (size_t i = 0; i < db.size(); ++i) {
+    total_before += db[i].size();
+    total_after += s[i].size();
+  }
+  EXPECT_LT(total_after, total_before);
+}
+
+TEST(SimplifyTest, KnnRankingDegradesGracefully) {
+  // Mild simplification must keep most of the EDR 5-NN set intact — the
+  // property that makes simplification usable as a preprocessing step.
+  const TrajectoryDataset db = testutil::SmallDataset(606, 60, 30, 60);
+  const TrajectoryDataset simplified = SimplifyAll(db, 0.05);
+  const Trajectory query = db[10];
+  const KnnResult before = SequentialScanKnn(db, query, 5, 0.25);
+  const KnnResult after =
+      SequentialScanKnn(simplified, SimplifyDouglasPeucker(query, 0.05), 5,
+                        0.25);
+  size_t overlap = 0;
+  for (const Neighbor& a : before.neighbors) {
+    for (const Neighbor& b : after.neighbors) {
+      if (a.id == b.id) ++overlap;
+    }
+  }
+  EXPECT_GE(overlap, 3u);
+}
+
+}  // namespace
+}  // namespace edr

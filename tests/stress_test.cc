@@ -1,0 +1,123 @@
+// Randomized end-to-end stress: random dataset family, matching
+// threshold, k, and retrieval method — every answer certified against the
+// sequential scan. This is the widest net for cross-module interaction
+// bugs (binning vs normalization vs thresholds vs filters).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "data/generators.h"
+#include "data/noise.h"
+#include "eval/metrics.h"
+#include "query/engine.h"
+#include "test_util.h"
+
+namespace edr {
+namespace {
+
+TrajectoryDataset RandomDataset(Rng& rng) {
+  const int family = static_cast<int>(rng.UniformInt(0, 4));
+  const size_t count = static_cast<size_t>(rng.UniformInt(30, 120));
+  TrajectoryDataset db;
+  switch (family) {
+    case 0: {
+      RandomWalkOptions options;
+      options.count = count;
+      options.min_length = 5;
+      options.max_length = 60;
+      options.seed = rng.NextU64();
+      db = GenRandomWalk(options);
+      break;
+    }
+    case 1:
+      db = GenAslLike(5, std::max<size_t>(1, count / 5), rng.NextU64());
+      break;
+    case 2:
+      db = GenKungfuLike(count, 48, rng.NextU64());
+      break;
+    case 3:
+      db = GenNhlLike(count, 10, 80, rng.NextU64());
+      break;
+    default:
+      db = GenMixedLike(count, 20, 90, rng.NextU64());
+      break;
+  }
+  // Half the time, corrupt the data as real pipelines would.
+  if (rng.NextDouble() < 0.5) {
+    db = CorruptDataset(db, NoiseOptions{}, TimeShiftOptions{},
+                        rng.NextU64());
+  }
+  db.NormalizeAll();
+  return db;
+}
+
+class StressTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StressTest, EveryMethodLosslessOnRandomConfigurations) {
+  Rng rng(GetParam());
+  const TrajectoryDataset db = RandomDataset(rng);
+  const double epsilon = rng.Uniform(0.05, 1.5);
+  const size_t k = static_cast<size_t>(rng.UniformInt(1, 25));
+
+  QueryEngine engine(db, epsilon);
+  std::vector<NamedSearcher> searchers;
+  searchers.push_back(engine.MakeSeqScan(true));
+  searchers.push_back(engine.MakeQgram(
+      QgramVariant::kMerge2D, static_cast<int>(rng.UniformInt(1, 4))));
+  searchers.push_back(engine.MakeQgram(
+      QgramVariant::kRtree2D, static_cast<int>(rng.UniformInt(1, 4))));
+  searchers.push_back(engine.MakeNearTriangle(
+      static_cast<size_t>(rng.UniformInt(1, 30))));
+  searchers.push_back(engine.MakeHistogram(
+      rng.NextDouble() < 0.5 ? HistogramTable::Kind::k2D
+                             : HistogramTable::Kind::k1D,
+      static_cast<int>(rng.UniformInt(1, 4)),
+      rng.NextDouble() < 0.5 ? HistogramScan::kSorted
+                             : HistogramScan::kSequential));
+  {
+    CombinedOptions combo;
+    combo.order = AllPruneOrders()[static_cast<size_t>(
+        rng.UniformInt(0, 5))];
+    combo.histogram_kind = rng.NextDouble() < 0.5
+                               ? HistogramTable::Kind::k2D
+                               : HistogramTable::Kind::k1D;
+    combo.histogram_delta = static_cast<int>(rng.UniformInt(1, 3));
+    combo.q = static_cast<int>(rng.UniformInt(1, 3));
+    combo.max_triangle = static_cast<size_t>(rng.UniformInt(1, 40));
+    combo.sorted_histogram_scan = rng.NextDouble() < 0.5;
+    searchers.push_back(engine.MakeCombined(combo));
+  }
+
+  const std::vector<Trajectory> queries =
+      testutil::MakeQueries(db, rng.NextU64(), 2);
+  for (const Trajectory& query : queries) {
+    const KnnResult expected = engine.SeqScan(query, k);
+    for (const NamedSearcher& s : searchers) {
+      const KnnResult actual = s.search(query, k);
+      ASSERT_TRUE(SameKnnDistances(expected, actual))
+          << s.name << " eps=" << epsilon << " k=" << k
+          << " db=" << db.size();
+    }
+    // Range queries too, at a radius drawn near the k-th distance so the
+    // result set is non-trivial.
+    if (!expected.neighbors.empty()) {
+      const int radius =
+          static_cast<int>(expected.neighbors.back().distance) + 1;
+      const KnnResult range_expected =
+          SequentialScanRange(db, query, radius, epsilon);
+      CombinedOptions combo;
+      combo.max_triangle = 10;
+      const KnnResult range_actual =
+          engine.Combined(combo).Range(query, radius);
+      ASSERT_EQ(range_expected.neighbors.size(),
+                range_actual.neighbors.size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressTest,
+                         ::testing::Range<uint64_t>(3000, 3020));
+
+}  // namespace
+}  // namespace edr

@@ -1,0 +1,144 @@
+#include "query/subtrajectory.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "core/rng.h"
+#include "distance/edr.h"
+#include "test_util.h"
+
+namespace edr {
+namespace {
+
+Trajectory Seq(std::initializer_list<double> xs) {
+  Trajectory t;
+  for (const double x : xs) t.Append(x, 0.0);
+  return t;
+}
+
+Trajectory Slice(const Trajectory& t, size_t begin, size_t end) {
+  return Trajectory(std::vector<Point2>(
+      t.points().begin() + static_cast<long>(begin),
+      t.points().begin() + static_cast<long>(end)));
+}
+
+TEST(SubtrajectoryTest, ExactOccurrenceScoresZero) {
+  const Trajectory text = Seq({9, 9, 1, 2, 3, 9, 9});
+  const Trajectory query = Seq({1, 2, 3});
+  const SubtrajectoryMatch m = BestSubtrajectoryMatch(query, text, 0.25);
+  EXPECT_EQ(m.distance, 0);
+  EXPECT_EQ(m.begin, 2u);
+  EXPECT_EQ(m.end, 5u);
+}
+
+TEST(SubtrajectoryTest, NoisyOccurrenceScoresOutlierCount) {
+  const Trajectory text = Seq({9, 9, 1, 100, 2, 3, 9});
+  const Trajectory query = Seq({1, 2, 3});
+  const SubtrajectoryMatch m = BestSubtrajectoryMatch(query, text, 0.25);
+  EXPECT_EQ(m.distance, 1);  // One glitch inside the occurrence.
+}
+
+TEST(SubtrajectoryTest, EmptyQueryMatchesEmptySpan) {
+  const Trajectory text = Seq({1, 2, 3});
+  const SubtrajectoryMatch m =
+      BestSubtrajectoryMatch(Trajectory(), text, 0.25);
+  EXPECT_EQ(m.distance, 0);
+  EXPECT_EQ(m.begin, m.end);
+}
+
+TEST(SubtrajectoryTest, EmptyTextCostsFullQuery) {
+  const Trajectory query = Seq({1, 2, 3});
+  const SubtrajectoryMatch m =
+      BestSubtrajectoryMatch(query, Trajectory(), 0.25);
+  EXPECT_EQ(m.distance, 3);
+}
+
+TEST(SubtrajectoryTest, ReportedSpanHasReportedDistance) {
+  // The recovered boundaries must reproduce the reported distance when
+  // checked with the plain (global) EDR.
+  Rng rng(401);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Trajectory text = testutil::RandomWalk(
+        rng, static_cast<size_t>(rng.UniformInt(5, 60)));
+    const Trajectory query = testutil::RandomWalk(
+        rng, static_cast<size_t>(rng.UniformInt(1, 15)));
+    const SubtrajectoryMatch m = BestSubtrajectoryMatch(query, text, 0.25);
+    ASSERT_LE(m.begin, m.end);
+    ASSERT_LE(m.end, text.size());
+    EXPECT_EQ(EdrDistance(query, Slice(text, m.begin, m.end), 0.25),
+              m.distance);
+  }
+}
+
+TEST(SubtrajectoryTest, MatchesBruteForceMinimumOverAllSpans) {
+  Rng rng(402);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Trajectory text = testutil::RandomWalk(
+        rng, static_cast<size_t>(rng.UniformInt(2, 25)));
+    const Trajectory query = testutil::RandomWalk(
+        rng, static_cast<size_t>(rng.UniformInt(1, 8)));
+    int brute = std::numeric_limits<int>::max();
+    for (size_t b = 0; b <= text.size(); ++b) {
+      for (size_t e = b; e <= text.size(); ++e) {
+        brute = std::min(brute,
+                         EdrDistance(query, Slice(text, b, e), 0.25));
+      }
+    }
+    EXPECT_EQ(BestSubtrajectoryMatch(query, text, 0.25).distance, brute);
+  }
+}
+
+TEST(SubtrajectoryTest, BestNeverExceedsGlobalEdr) {
+  Rng rng(403);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Trajectory text = testutil::RandomWalk(
+        rng, static_cast<size_t>(rng.UniformInt(2, 50)));
+    const Trajectory query = testutil::RandomWalk(
+        rng, static_cast<size_t>(rng.UniformInt(1, 50)));
+    EXPECT_LE(BestSubtrajectoryMatch(query, text, 0.25).distance,
+              EdrDistance(query, text, 0.25));
+  }
+}
+
+TEST(SubtrajectoryTest, MatchesWithinReportsAllCheapEnds) {
+  const Trajectory text = Seq({1, 2, 3, 9, 1, 2, 3});
+  const Trajectory query = Seq({1, 2, 3});
+  const std::vector<SubtrajectoryMatch> matches =
+      SubtrajectoryMatchesWithin(query, text, 0, 0.25);
+  // Two exact occurrences; both end positions must be reported.
+  bool first = false;
+  bool second = false;
+  for (const SubtrajectoryMatch& m : matches) {
+    EXPECT_EQ(m.distance, 0);
+    if (m.begin == 0 && m.end == 3) first = true;
+    if (m.begin == 4 && m.end == 7) second = true;
+  }
+  EXPECT_TRUE(first);
+  EXPECT_TRUE(second);
+}
+
+TEST(SubtrajectoryTest, NonOverlappingSelection) {
+  std::vector<SubtrajectoryMatch> candidates = {
+      {0, 3, 0}, {1, 4, 1}, {4, 7, 0}, {5, 8, 2},
+  };
+  const std::vector<SubtrajectoryMatch> picked =
+      NonOverlappingMatches(candidates);
+  ASSERT_EQ(picked.size(), 2u);
+  EXPECT_EQ(picked[0], (SubtrajectoryMatch{0, 3, 0}));
+  EXPECT_EQ(picked[1], (SubtrajectoryMatch{4, 7, 0}));
+}
+
+TEST(SubtrajectoryTest, NonOverlappingPrefersLowerDistance) {
+  std::vector<SubtrajectoryMatch> candidates = {
+      {0, 5, 3}, {2, 4, 0},
+  };
+  const std::vector<SubtrajectoryMatch> picked =
+      NonOverlappingMatches(candidates);
+  ASSERT_EQ(picked.size(), 1u);
+  EXPECT_EQ(picked[0].distance, 0);
+}
+
+}  // namespace
+}  // namespace edr

@@ -1,0 +1,63 @@
+#ifndef EDR_TESTS_TEST_UTIL_H_
+#define EDR_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/rng.h"
+#include "core/trajectory.h"
+
+namespace edr {
+namespace testutil {
+
+/// A random-walk trajectory with correlated steps (more realistic and more
+/// compressible by the filters than white noise).
+inline Trajectory RandomWalk(Rng& rng, size_t length, double step = 0.4) {
+  Trajectory t;
+  Point2 pos{rng.Gaussian(), rng.Gaussian()};
+  for (size_t i = 0; i < length; ++i) {
+    t.Append(pos);
+    pos.x += rng.Gaussian(0.0, step);
+    pos.y += rng.Gaussian(0.0, step);
+  }
+  return t;
+}
+
+/// A small normalized variable-length dataset for losslessness tests.
+inline TrajectoryDataset SmallDataset(uint64_t seed, size_t count = 60,
+                                      size_t min_len = 10,
+                                      size_t max_len = 50) {
+  Rng rng(seed);
+  TrajectoryDataset db("test");
+  for (size_t i = 0; i < count; ++i) {
+    const size_t len = static_cast<size_t>(rng.UniformInt(
+        static_cast<int64_t>(min_len), static_cast<int64_t>(max_len)));
+    db.Add(RandomWalk(rng, len));
+  }
+  db.NormalizeAll();
+  return db;
+}
+
+/// Query trajectories related to (but not identical with) dataset members:
+/// dataset members with a few perturbed elements, plus fresh walks.
+inline std::vector<Trajectory> MakeQueries(const TrajectoryDataset& db,
+                                           uint64_t seed, size_t count = 5) {
+  Rng rng(seed);
+  std::vector<Trajectory> queries;
+  for (size_t i = 0; i < count && i < db.size(); ++i) {
+    Trajectory q = db[(i * 7) % db.size()];
+    if (!q.empty()) {
+      const size_t at = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(q.size()) - 1));
+      q[at] = {q[at].x + rng.Gaussian(0.0, 2.0),
+               q[at].y + rng.Gaussian(0.0, 2.0)};
+    }
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+}  // namespace testutil
+}  // namespace edr
+
+#endif  // EDR_TESTS_TEST_UTIL_H_

@@ -1,0 +1,84 @@
+#include "core/trajectory3.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+
+namespace edr {
+namespace {
+
+TEST(Point3Test, ArithmeticAndDistances) {
+  const Point3 a{1.0, 2.0, 3.0};
+  const Point3 b{4.0, 6.0, 3.0};
+  EXPECT_EQ((a + b), (Point3{5.0, 8.0, 6.0}));
+  EXPECT_EQ((a - b), (Point3{-3.0, -4.0, 0.0}));
+  EXPECT_EQ((a * 2.0), (Point3{2.0, 4.0, 6.0}));
+  EXPECT_DOUBLE_EQ(SquaredDist(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(L2Dist(a, b), 5.0);
+}
+
+TEST(Point3Test, MatchRequiresAllThreeDimensions) {
+  const Point3 a{0.0, 0.0, 0.0};
+  EXPECT_TRUE(Match(a, Point3{0.2, -0.2, 0.2}, 0.25));
+  EXPECT_FALSE(Match(a, Point3{0.2, 0.2, 0.3}, 0.25));
+  EXPECT_FALSE(Match(a, Point3{0.3, 0.0, 0.0}, 0.25));
+  // Boundary inclusive, as in Definition 1.
+  EXPECT_TRUE(Match(a, Point3{0.25, 0.25, 0.25}, 0.25));
+}
+
+TEST(Trajectory3Test, AppendAndAccess) {
+  Trajectory3 t;
+  t.Append(1.0, 2.0, 3.0);
+  t.Append({4.0, 5.0, 6.0});
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[1], (Point3{4.0, 5.0, 6.0}));
+  EXPECT_EQ(t.label(), -1);
+}
+
+TEST(Trajectory3Test, MeanAndStdDev) {
+  const Trajectory3 t({{0.0, 2.0, -1.0}, {2.0, 4.0, 1.0}});
+  const Point3 mu = t.Mean();
+  EXPECT_DOUBLE_EQ(mu.x, 1.0);
+  EXPECT_DOUBLE_EQ(mu.y, 3.0);
+  EXPECT_DOUBLE_EQ(mu.z, 0.0);
+  const Point3 sigma = t.StdDev();
+  EXPECT_DOUBLE_EQ(sigma.x, 1.0);
+  EXPECT_DOUBLE_EQ(sigma.y, 1.0);
+  EXPECT_DOUBLE_EQ(sigma.z, 1.0);
+}
+
+TEST(Trajectory3Test, NormalizeZeroMeanUnitVariance) {
+  Rng rng(7);
+  Trajectory3 t;
+  for (int i = 0; i < 100; ++i) {
+    t.Append(rng.Gaussian(5.0, 2.0), rng.Gaussian(-1.0, 0.5),
+             rng.Gaussian(100.0, 10.0));
+  }
+  const Trajectory3 n = Normalize(t);
+  const Point3 mu = n.Mean();
+  const Point3 sigma = n.StdDev();
+  EXPECT_NEAR(mu.x, 0.0, 1e-9);
+  EXPECT_NEAR(mu.z, 0.0, 1e-9);
+  EXPECT_NEAR(sigma.x, 1.0, 1e-9);
+  EXPECT_NEAR(sigma.y, 1.0, 1e-9);
+  EXPECT_NEAR(sigma.z, 1.0, 1e-9);
+}
+
+TEST(Trajectory3Test, NormalizeConstantDimensionOnlyShifted) {
+  Trajectory3 t({{1.0, 5.0, 0.0}, {2.0, 5.0, 1.0}});
+  NormalizeInPlace(t);
+  EXPECT_DOUBLE_EQ(t[0].y, 0.0);
+  EXPECT_DOUBLE_EQ(t[1].y, 0.0);
+  EXPECT_TRUE(std::isfinite(t[0].x));
+}
+
+TEST(Trajectory3Test, EmptyNormalizeIsNoop) {
+  Trajectory3 t;
+  NormalizeInPlace(t);
+  EXPECT_TRUE(t.empty());
+}
+
+}  // namespace
+}  // namespace edr

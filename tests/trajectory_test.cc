@@ -1,0 +1,90 @@
+#include "core/trajectory.h"
+
+#include <gtest/gtest.h>
+
+namespace edr {
+namespace {
+
+TEST(TrajectoryTest, EmptyByDefault) {
+  const Trajectory t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.label(), -1);
+}
+
+TEST(TrajectoryTest, AppendAndIndex) {
+  Trajectory t;
+  t.Append(1.0, 2.0);
+  t.Append({3.0, 4.0});
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0], (Point2{1.0, 2.0}));
+  EXPECT_EQ(t[1], (Point2{3.0, 4.0}));
+}
+
+TEST(TrajectoryTest, ConstructFromPointsWithLabel) {
+  const Trajectory t({{0.0, 0.0}, {1.0, 1.0}}, 3);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.label(), 3);
+}
+
+TEST(TrajectoryTest, RangeForIteration) {
+  const Trajectory t({{1.0, 0.0}, {2.0, 0.0}, {3.0, 0.0}});
+  double sum = 0.0;
+  for (const Point2& p : t) sum += p.x;
+  EXPECT_DOUBLE_EQ(sum, 6.0);
+}
+
+TEST(TrajectoryTest, MeanOfKnownPoints) {
+  const Trajectory t({{0.0, 2.0}, {2.0, 4.0}, {4.0, 6.0}});
+  const Point2 mu = t.Mean();
+  EXPECT_DOUBLE_EQ(mu.x, 2.0);
+  EXPECT_DOUBLE_EQ(mu.y, 4.0);
+}
+
+TEST(TrajectoryTest, MeanOfEmptyIsOrigin) {
+  const Trajectory t;
+  EXPECT_EQ(t.Mean(), (Point2{0.0, 0.0}));
+  EXPECT_EQ(t.StdDev(), (Point2{0.0, 0.0}));
+}
+
+TEST(TrajectoryTest, StdDevOfKnownPoints) {
+  // x values {-1, 1}: population variance 1. y constant: variance 0.
+  const Trajectory t({{-1.0, 5.0}, {1.0, 5.0}});
+  const Point2 sigma = t.StdDev();
+  EXPECT_DOUBLE_EQ(sigma.x, 1.0);
+  EXPECT_DOUBLE_EQ(sigma.y, 0.0);
+}
+
+TEST(TrajectoryTest, EqualityComparesPointsOnly) {
+  Trajectory a({{1.0, 2.0}}, 0);
+  Trajectory b({{1.0, 2.0}}, 5);
+  EXPECT_TRUE(a == b);  // Labels are metadata, not geometry.
+}
+
+TEST(TrajectoryTest, IdRoundTrip) {
+  Trajectory t;
+  t.set_id(17);
+  EXPECT_EQ(t.id(), 17u);
+}
+
+TEST(MatchTest, WithinThresholdBothDimensions) {
+  EXPECT_TRUE(Match({0.0, 0.0}, {0.5, -0.5}, 0.5));
+  EXPECT_FALSE(Match({0.0, 0.0}, {0.51, 0.0}, 0.5));
+  EXPECT_FALSE(Match({0.0, 0.0}, {0.0, 0.51}, 0.5));
+  EXPECT_FALSE(Match({0.0, 0.0}, {0.51, 0.51}, 0.5));
+}
+
+TEST(MatchTest, BoundaryIsInclusive) {
+  // Definition 1 uses <=.
+  EXPECT_TRUE(Match({1.0, 1.0}, {2.0, 0.0}, 1.0));
+}
+
+TEST(TrajectoryTest, ToStringMentionsLengthAndLabel) {
+  Trajectory t({{0.0, 0.0}}, 4);
+  const std::string s = ToString(t);
+  EXPECT_NE(s.find("len=1"), std::string::npos);
+  EXPECT_NE(s.find("label=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace edr

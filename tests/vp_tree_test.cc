@@ -1,0 +1,168 @@
+#include "index/vp_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/rng.h"
+#include "distance/edr.h"
+#include "distance/erp.h"
+#include "test_util.h"
+
+namespace edr {
+namespace {
+
+std::vector<Neighbor> BruteKnn(
+    size_t n, const std::function<double(uint32_t)>& distance, size_t k) {
+  KnnResultList list(k);
+  for (uint32_t i = 0; i < n; ++i) list.Offer(i, distance(i));
+  std::vector<Neighbor> out = std::move(list).TakeNeighbors();
+  std::sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  });
+  return out;
+}
+
+TEST(VpTreeTest, EmptyAndSingle) {
+  const VpTree empty(0, [](uint32_t, uint32_t) { return 0.0; });
+  EXPECT_TRUE(empty.Knn([](uint32_t) { return 0.0; }, 3).empty());
+
+  const VpTree one(1, [](uint32_t, uint32_t) { return 0.0; });
+  const auto result = one.Knn([](uint32_t) { return 7.0; }, 3);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].id, 0u);
+}
+
+class VpTreePointMetricTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VpTreePointMetricTest, ExactForEuclideanPoints) {
+  Rng rng(GetParam());
+  const size_t n = static_cast<size_t>(rng.UniformInt(5, 400));
+  std::vector<Point2> points;
+  for (size_t i = 0; i < n; ++i) {
+    points.push_back({rng.Uniform(-5, 5), rng.Uniform(-5, 5)});
+  }
+  const VpTree tree(
+      n,
+      [&points](uint32_t a, uint32_t b) {
+        return L2Dist(points[a], points[b]);
+      },
+      GetParam());
+
+  for (int trial = 0; trial < 5; ++trial) {
+    const Point2 q{rng.Uniform(-5, 5), rng.Uniform(-5, 5)};
+    const auto oracle = [&points, q](uint32_t i) {
+      return L2Dist(points[i], q);
+    };
+    const size_t k = static_cast<size_t>(rng.UniformInt(1, 10));
+    const auto expected = BruteKnn(n, oracle, k);
+    const auto actual = tree.Knn(oracle, k);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (size_t i = 0; i < actual.size(); ++i) {
+      EXPECT_DOUBLE_EQ(actual[i].distance, expected[i].distance);
+    }
+    // Range query against brute force.
+    const double radius = rng.Uniform(0.2, 3.0);
+    const auto in_range = tree.Range(oracle, radius);
+    size_t brute = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (oracle(i) <= radius) ++brute;
+    }
+    EXPECT_EQ(in_range.size(), brute);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VpTreePointMetricTest,
+                         ::testing::Range<uint64_t>(4000, 4010));
+
+TEST(VpTreeTest, ExactForErpBecauseMetric) {
+  // The paper's Section 2 claim made executable: ERP obeys the triangle
+  // inequality, so a distance access method answers exactly.
+  const TrajectoryDataset db = testutil::SmallDataset(4100, 70, 5, 40);
+  const VpTree tree(db.size(), [&db](uint32_t a, uint32_t b) {
+    return ErpDistance(db[a], db[b]);
+  });
+  for (const Trajectory& query : testutil::MakeQueries(db, 4101, 4)) {
+    const auto oracle = [&db, &query](uint32_t i) {
+      return ErpDistance(query, db[i]);
+    };
+    const auto expected = BruteKnn(db.size(), oracle, 8);
+    const auto actual = tree.Knn(oracle, 8);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (size_t i = 0; i < actual.size(); ++i) {
+      EXPECT_DOUBLE_EQ(actual[i].distance, expected[i].distance) << i;
+    }
+  }
+}
+
+TEST(VpTreeTest, PrunesDistanceCallsOnClusteredData) {
+  Rng rng(4200);
+  std::vector<Point2> points;
+  for (int cluster = 0; cluster < 10; ++cluster) {
+    const Point2 center{cluster * 100.0, 0.0};
+    for (int i = 0; i < 50; ++i) {
+      points.push_back({center.x + rng.Gaussian(0.0, 0.5),
+                        center.y + rng.Gaussian(0.0, 0.5)});
+    }
+  }
+  const VpTree tree(points.size(), [&points](uint32_t a, uint32_t b) {
+    return L2Dist(points[a], points[b]);
+  });
+  size_t calls = 0;
+  const Point2 q = points[123];
+  tree.Knn([&points, q](uint32_t i) { return L2Dist(points[i], q); }, 5,
+           &calls);
+  EXPECT_LT(calls, points.size() / 2);
+}
+
+TEST(VpTreeTest, NonMetricEdrCanLoseNeighbors) {
+  // The reason the paper builds dedicated filters instead of a distance
+  // access method: EDR's threshold quantization breaks the triangle
+  // inequality. The classic "bridge" construction — cluster A at value 0,
+  // bridge trajectories at 1, cluster B at 2, epsilon = 1 — has
+  // EDR(A, bridge) = EDR(bridge, B) = 0 yet EDR(A, B) = length, so the
+  // VP-tree's triangle bounds are wildly wrong and it prunes subtrees
+  // holding true neighbors. At least one false dismissal must occur over
+  // the seed sweep; if EDR were safe to index this way, this would fail.
+  size_t mismatches = 0;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    TrajectoryDataset db;
+    const auto flat = [&rng](double value, size_t length) {
+      Trajectory t;
+      for (size_t i = 0; i < length; ++i) {
+        t.Append(value + rng.Uniform(-0.05, 0.05), 0.0);
+      }
+      return t;
+    };
+    for (int i = 0; i < 20; ++i) db.Add(flat(0.0, 20 + (i % 5)));
+    for (int i = 0; i < 20; ++i) db.Add(flat(1.0, 20 + (i % 5)));
+    for (int i = 0; i < 20; ++i) db.Add(flat(2.0, 20 + (i % 5)));
+    const double eps = 1.0;
+    const VpTree tree(
+        db.size(),
+        [&db, eps](uint32_t a, uint32_t b) {
+          return static_cast<double>(EdrDistance(db[a], db[b], eps));
+        },
+        seed);
+    const Trajectory query = flat(0.0, 22);
+    const auto oracle = [&db, &query, eps](uint32_t i) {
+      return static_cast<double>(EdrDistance(query, db[i], eps));
+    };
+    const auto expected = BruteKnn(db.size(), oracle, 10);
+    const auto actual = tree.Knn(oracle, 10);
+    for (size_t i = 0; i < expected.size(); ++i) {
+      if (i >= actual.size() || actual[i].distance != expected[i].distance) {
+        ++mismatches;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(mismatches, 0u);
+}
+
+}  // namespace
+}  // namespace edr

@@ -1,0 +1,252 @@
+// edr_cli — command-line front end for the library.
+//
+//   edr_cli generate <family> <out-file> [count] [seed]
+//   edr_cli info <file>
+//   edr_cli convert <in-file> <out-file>
+//   edr_cli simplify <in-file> <out-file> <tolerance>
+//   edr_cli probe-epsilon <file>
+//   edr_cli knn <file> <query-index> <k> [method] [epsilon]
+//   edr_cli range <file> <query-index> <radius> [epsilon]
+//
+// Files ending in .csv use the text format; anything else the binary
+// format. Methods: scan, ea, ps2, ps1, pr, pb, ntr, hsr2, hsr1, 2hpn,
+// 1hpn (default 2hpn). Datasets are normalized before querying; pass an
+// explicit epsilon to override the quarter-of-max-std-dev default.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "data/generators.h"
+#include "data/io.h"
+#include "data/simplify.h"
+#include "eval/epsilon.h"
+#include "query/engine.h"
+
+namespace {
+
+bool IsCsv(const std::string& path) {
+  return path.size() >= 4 && path.substr(path.size() - 4) == ".csv";
+}
+
+edr::Result<edr::TrajectoryDataset> LoadAny(const std::string& path) {
+  return IsCsv(path) ? edr::LoadCsv(path) : edr::LoadBinary(path);
+}
+
+edr::Status SaveAny(const edr::TrajectoryDataset& db,
+                    const std::string& path) {
+  return IsCsv(path) ? edr::SaveCsv(db, path) : edr::SaveBinary(db, path);
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  edr_cli generate <asl|cameramouse|kungfu|slip|nhl|mixed|"
+      "randomwalk> <out> [count] [seed]\n"
+      "  edr_cli info <file>\n"
+      "  edr_cli convert <in> <out>\n"
+      "  edr_cli simplify <in> <out> <tolerance>\n"
+      "  edr_cli probe-epsilon <file>\n"
+      "  edr_cli knn <file> <query-index> <k> [method] [epsilon]\n"
+      "  edr_cli range <file> <query-index> <radius> [epsilon]\n");
+  return 2;
+}
+
+int Generate(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const std::string family = argv[2];
+  const std::string out = argv[3];
+  const size_t count = argc > 4 ? static_cast<size_t>(std::atoll(argv[4])) : 0;
+  const uint64_t seed = argc > 5 ? static_cast<uint64_t>(std::atoll(argv[5]))
+                                 : 7;
+
+  edr::TrajectoryDataset db;
+  if (family == "asl") {
+    db = edr::GenAslLike(10, count ? count / 10 : 5, seed);
+  } else if (family == "cameramouse") {
+    db = edr::GenCameraMouseLike(count ? count / 5 : 3, seed);
+  } else if (family == "kungfu") {
+    db = edr::GenKungfuLike(count ? count : 495, 640, seed);
+  } else if (family == "slip") {
+    db = edr::GenSlipLike(count ? count : 495, 400, seed);
+  } else if (family == "nhl") {
+    db = edr::GenNhlLike(count ? count : 5000, 30, 256, seed);
+  } else if (family == "mixed") {
+    db = edr::GenMixedLike(count ? count : 1024, 60, 512, seed);
+  } else if (family == "randomwalk") {
+    edr::RandomWalkOptions options;
+    options.count = count ? count : 1000;
+    options.seed = seed;
+    db = edr::GenRandomWalk(options);
+  } else {
+    return Fail("unknown family: " + family);
+  }
+  const edr::Status status = SaveAny(db, out);
+  if (!status.ok()) return Fail(status.ToString());
+  std::printf("wrote %zu trajectories to %s\n", db.size(), out.c_str());
+  return 0;
+}
+
+int Info(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const edr::Result<edr::TrajectoryDataset> db = LoadAny(argv[2]);
+  if (!db.ok()) return Fail(db.status().ToString());
+  const edr::DatasetStats stats = db->Stats();
+  std::printf("trajectories: %zu\n", stats.count);
+  std::printf("lengths:      %zu-%zu (mean %.1f)\n", stats.min_length,
+              stats.max_length, stats.mean_length);
+  std::printf("bounding box: [%.3f, %.3f] x [%.3f, %.3f]\n", stats.min_xy.x,
+              stats.max_xy.x, stats.min_xy.y, stats.max_xy.y);
+  std::printf("max std dev:  %.4f (suggested epsilon %.4f)\n",
+              stats.max_std_dev, db->SuggestedEpsilon());
+  std::printf("classes:      %zu\n", db->NumClasses());
+  return 0;
+}
+
+int Convert(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const edr::Result<edr::TrajectoryDataset> db = LoadAny(argv[2]);
+  if (!db.ok()) return Fail(db.status().ToString());
+  const edr::Status status = SaveAny(*db, argv[3]);
+  if (!status.ok()) return Fail(status.ToString());
+  std::printf("converted %zu trajectories: %s -> %s\n", db->size(), argv[2],
+              argv[3]);
+  return 0;
+}
+
+int Simplify(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  const edr::Result<edr::TrajectoryDataset> db = LoadAny(argv[2]);
+  if (!db.ok()) return Fail(db.status().ToString());
+  const double tolerance = std::atof(argv[4]);
+  const edr::TrajectoryDataset simplified = SimplifyAll(*db, tolerance);
+  size_t before = 0;
+  size_t after = 0;
+  for (size_t i = 0; i < db->size(); ++i) {
+    before += (*db)[i].size();
+    after += simplified[i].size();
+  }
+  const edr::Status status = SaveAny(simplified, argv[3]);
+  if (!status.ok()) return Fail(status.ToString());
+  std::printf("simplified %zu trajectories: %zu -> %zu points (%.0f%%)\n",
+              db->size(), before, after,
+              100.0 * static_cast<double>(after) /
+                  static_cast<double>(before ? before : 1));
+  return 0;
+}
+
+int ProbeEpsilon(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  edr::Result<edr::TrajectoryDataset> db = LoadAny(argv[2]);
+  if (!db.ok()) return Fail(db.status().ToString());
+  db->NormalizeAll();
+  const edr::EpsilonProbeResult r = edr::SuggestEpsilonByProbing(*db);
+  std::printf("suggested epsilon (normalized space): %.4f (contrast %.2f)\n",
+              r.epsilon, r.contrast);
+  std::printf("quarter-of-max-std-dev rule:          %.4f\n",
+              db->SuggestedEpsilon());
+  return 0;
+}
+
+edr::NamedSearcher PickMethod(edr::QueryEngine& engine,
+                              const std::string& method) {
+  if (method == "scan") return engine.MakeSeqScan();
+  if (method == "ea") return engine.MakeSeqScan(true);
+  if (method == "ps2") return engine.MakeQgram(edr::QgramVariant::kMerge2D, 1);
+  if (method == "ps1") return engine.MakeQgram(edr::QgramVariant::kMerge1D, 1);
+  if (method == "pr") return engine.MakeQgram(edr::QgramVariant::kRtree2D, 1);
+  if (method == "pb") return engine.MakeQgram(edr::QgramVariant::kBtree1D, 1);
+  if (method == "ntr") return engine.MakeNearTriangle(200);
+  if (method == "hsr2") {
+    return engine.MakeHistogram(edr::HistogramTable::Kind::k2D, 1,
+                                edr::HistogramScan::kSorted);
+  }
+  if (method == "hsr1") {
+    return engine.MakeHistogram(edr::HistogramTable::Kind::k1D, 1,
+                                edr::HistogramScan::kSorted);
+  }
+  edr::CombinedOptions combo;
+  combo.max_triangle = 200;
+  if (method == "1hpn") combo.histogram_kind = edr::HistogramTable::Kind::k1D;
+  return engine.MakeCombined(combo);  // "2hpn" and the default.
+}
+
+int Knn(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  edr::Result<edr::TrajectoryDataset> loaded = LoadAny(argv[2]);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  edr::TrajectoryDataset db = std::move(loaded).value();
+  db.NormalizeAll();
+
+  const size_t query_index = static_cast<size_t>(std::atoll(argv[3]));
+  const size_t k = static_cast<size_t>(std::atoll(argv[4]));
+  if (query_index >= db.size()) return Fail("query index out of range");
+  const std::string method = argc > 5 ? argv[5] : "2hpn";
+  const double epsilon =
+      argc > 6 ? std::atof(argv[6]) : db.SuggestedEpsilon();
+
+  edr::QueryEngine engine(db, epsilon);
+  const edr::NamedSearcher searcher = PickMethod(engine, method);
+  const edr::KnnResult result = searcher.search(db[query_index], k);
+  std::printf("%zu-NN of trajectory %zu under EDR (eps=%.3f, method %s):\n",
+              k, query_index, epsilon, searcher.name.c_str());
+  for (const edr::Neighbor& n : result.neighbors) {
+    std::printf("  id=%-6u EDR=%.0f len=%zu\n", n.id, n.distance,
+                db[n.id].size());
+  }
+  std::printf("computed %zu/%zu true distances (pruning power %.3f) in "
+              "%.1f ms\n",
+              result.stats.edr_computed, result.stats.db_size,
+              result.stats.PruningPower(),
+              result.stats.elapsed_seconds * 1e3);
+  return 0;
+}
+
+int RangeQuery(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  edr::Result<edr::TrajectoryDataset> loaded = LoadAny(argv[2]);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  edr::TrajectoryDataset db = std::move(loaded).value();
+  db.NormalizeAll();
+
+  const size_t query_index = static_cast<size_t>(std::atoll(argv[3]));
+  const int radius = std::atoi(argv[4]);
+  if (query_index >= db.size()) return Fail("query index out of range");
+  const double epsilon =
+      argc > 5 ? std::atof(argv[5]) : db.SuggestedEpsilon();
+
+  edr::QueryEngine engine(db, epsilon);
+  edr::CombinedOptions combo;
+  combo.max_triangle = 200;
+  const edr::KnnResult result =
+      engine.Combined(combo).Range(db[query_index], radius);
+  std::printf("trajectories within EDR %d of trajectory %zu (eps=%.3f): "
+              "%zu\n",
+              radius, query_index, epsilon, result.neighbors.size());
+  for (const edr::Neighbor& n : result.neighbors) {
+    std::printf("  id=%-6u EDR=%.0f\n", n.id, n.distance);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "generate") return Generate(argc, argv);
+  if (command == "info") return Info(argc, argv);
+  if (command == "convert") return Convert(argc, argv);
+  if (command == "simplify") return Simplify(argc, argv);
+  if (command == "probe-epsilon") return ProbeEpsilon(argc, argv);
+  if (command == "knn") return Knn(argc, argv);
+  if (command == "range") return RangeQuery(argc, argv);
+  return Usage();
+}
