@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_order.dir/bench/bench_fig11_order.cc.o"
+  "CMakeFiles/bench_fig11_order.dir/bench/bench_fig11_order.cc.o.d"
+  "bench/bench_fig11_order"
+  "bench/bench_fig11_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_13_combined.dir/bench/bench_fig12_13_combined.cc.o"
+  "CMakeFiles/bench_fig12_13_combined.dir/bench/bench_fig12_13_combined.cc.o.d"
+  "bench/bench_fig12_13_combined"
+  "bench/bench_fig12_13_combined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_13_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

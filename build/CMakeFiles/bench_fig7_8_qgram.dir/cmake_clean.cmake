@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_8_qgram.dir/bench/bench_fig7_8_qgram.cc.o"
+  "CMakeFiles/bench_fig7_8_qgram.dir/bench/bench_fig7_8_qgram.cc.o.d"
+  "bench/bench_fig7_8_qgram"
+  "bench/bench_fig7_8_qgram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_8_qgram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_10_histogram.dir/bench/bench_fig9_10_histogram.cc.o"
+  "CMakeFiles/bench_fig9_10_histogram.dir/bench/bench_fig9_10_histogram.cc.o.d"
+  "bench/bench_fig9_10_histogram"
+  "bench/bench_fig9_10_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_10_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

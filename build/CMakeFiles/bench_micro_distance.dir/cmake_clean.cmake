@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_distance.dir/bench/bench_micro_distance.cc.o"
+  "CMakeFiles/bench_micro_distance.dir/bench/bench_micro_distance.cc.o.d"
+  "bench/bench_micro_distance"
+  "bench/bench_micro_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_clustering.dir/bench/bench_table1_clustering.cc.o"
+  "CMakeFiles/bench_table1_clustering.dir/bench/bench_table1_clustering.cc.o.d"
+  "bench/bench_table1_clustering"
+  "bench/bench_table1_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_classification.dir/bench/bench_table2_classification.cc.o"
+  "CMakeFiles/bench_table2_classification.dir/bench/bench_table2_classification.cc.o.d"
+  "bench/bench_table2_classification"
+  "bench/bench_table2_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_near_triangle.dir/bench/bench_table3_near_triangle.cc.o"
+  "CMakeFiles/bench_table3_near_triangle.dir/bench/bench_table3_near_triangle.cc.o.d"
+  "bench/bench_table3_near_triangle"
+  "bench/bench_table3_near_triangle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_near_triangle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/animal_migration.dir/animal_migration.cpp.o"
+  "CMakeFiles/animal_migration.dir/animal_migration.cpp.o.d"
+  "animal_migration"
+  "animal_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/animal_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flight_paths.dir/flight_paths.cpp.o"
+  "CMakeFiles/flight_paths.dir/flight_paths.cpp.o.d"
+  "flight_paths"
+  "flight_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flight_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

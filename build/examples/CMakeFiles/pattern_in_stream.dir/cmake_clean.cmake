@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_in_stream.dir/pattern_in_stream.cpp.o"
+  "CMakeFiles/pattern_in_stream.dir/pattern_in_stream.cpp.o.d"
+  "pattern_in_stream"
+  "pattern_in_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_in_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sports_analytics.dir/sports_analytics.cpp.o"
+  "CMakeFiles/sports_analytics.dir/sports_analytics.cpp.o.d"
+  "sports_analytics"
+  "sports_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sports_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_surveillance.dir/video_surveillance.cpp.o"
+  "CMakeFiles/video_surveillance.dir/video_surveillance.cpp.o.d"
+  "video_surveillance"
+  "video_surveillance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_surveillance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

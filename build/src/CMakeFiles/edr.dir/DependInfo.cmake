@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dataset.cc" "src/CMakeFiles/edr.dir/core/dataset.cc.o" "gcc" "src/CMakeFiles/edr.dir/core/dataset.cc.o.d"
+  "/root/repo/src/core/normalize.cc" "src/CMakeFiles/edr.dir/core/normalize.cc.o" "gcc" "src/CMakeFiles/edr.dir/core/normalize.cc.o.d"
+  "/root/repo/src/core/rng.cc" "src/CMakeFiles/edr.dir/core/rng.cc.o" "gcc" "src/CMakeFiles/edr.dir/core/rng.cc.o.d"
+  "/root/repo/src/core/trajectory.cc" "src/CMakeFiles/edr.dir/core/trajectory.cc.o" "gcc" "src/CMakeFiles/edr.dir/core/trajectory.cc.o.d"
+  "/root/repo/src/core/trajectory3.cc" "src/CMakeFiles/edr.dir/core/trajectory3.cc.o" "gcc" "src/CMakeFiles/edr.dir/core/trajectory3.cc.o.d"
+  "/root/repo/src/data/features.cc" "src/CMakeFiles/edr.dir/data/features.cc.o" "gcc" "src/CMakeFiles/edr.dir/data/features.cc.o.d"
+  "/root/repo/src/data/generators.cc" "src/CMakeFiles/edr.dir/data/generators.cc.o" "gcc" "src/CMakeFiles/edr.dir/data/generators.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/CMakeFiles/edr.dir/data/io.cc.o" "gcc" "src/CMakeFiles/edr.dir/data/io.cc.o.d"
+  "/root/repo/src/data/noise.cc" "src/CMakeFiles/edr.dir/data/noise.cc.o" "gcc" "src/CMakeFiles/edr.dir/data/noise.cc.o.d"
+  "/root/repo/src/data/simplify.cc" "src/CMakeFiles/edr.dir/data/simplify.cc.o" "gcc" "src/CMakeFiles/edr.dir/data/simplify.cc.o.d"
+  "/root/repo/src/distance/distance.cc" "src/CMakeFiles/edr.dir/distance/distance.cc.o" "gcc" "src/CMakeFiles/edr.dir/distance/distance.cc.o.d"
+  "/root/repo/src/distance/distance3.cc" "src/CMakeFiles/edr.dir/distance/distance3.cc.o" "gcc" "src/CMakeFiles/edr.dir/distance/distance3.cc.o.d"
+  "/root/repo/src/distance/dtw.cc" "src/CMakeFiles/edr.dir/distance/dtw.cc.o" "gcc" "src/CMakeFiles/edr.dir/distance/dtw.cc.o.d"
+  "/root/repo/src/distance/edr.cc" "src/CMakeFiles/edr.dir/distance/edr.cc.o" "gcc" "src/CMakeFiles/edr.dir/distance/edr.cc.o.d"
+  "/root/repo/src/distance/erp.cc" "src/CMakeFiles/edr.dir/distance/erp.cc.o" "gcc" "src/CMakeFiles/edr.dir/distance/erp.cc.o.d"
+  "/root/repo/src/distance/euclidean.cc" "src/CMakeFiles/edr.dir/distance/euclidean.cc.o" "gcc" "src/CMakeFiles/edr.dir/distance/euclidean.cc.o.d"
+  "/root/repo/src/distance/frechet.cc" "src/CMakeFiles/edr.dir/distance/frechet.cc.o" "gcc" "src/CMakeFiles/edr.dir/distance/frechet.cc.o.d"
+  "/root/repo/src/distance/lcss.cc" "src/CMakeFiles/edr.dir/distance/lcss.cc.o" "gcc" "src/CMakeFiles/edr.dir/distance/lcss.cc.o.d"
+  "/root/repo/src/eval/classification.cc" "src/CMakeFiles/edr.dir/eval/classification.cc.o" "gcc" "src/CMakeFiles/edr.dir/eval/classification.cc.o.d"
+  "/root/repo/src/eval/clustering_eval.cc" "src/CMakeFiles/edr.dir/eval/clustering_eval.cc.o" "gcc" "src/CMakeFiles/edr.dir/eval/clustering_eval.cc.o.d"
+  "/root/repo/src/eval/epsilon.cc" "src/CMakeFiles/edr.dir/eval/epsilon.cc.o" "gcc" "src/CMakeFiles/edr.dir/eval/epsilon.cc.o.d"
+  "/root/repo/src/eval/linkage.cc" "src/CMakeFiles/edr.dir/eval/linkage.cc.o" "gcc" "src/CMakeFiles/edr.dir/eval/linkage.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/edr.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/edr.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/index/bplus_tree.cc" "src/CMakeFiles/edr.dir/index/bplus_tree.cc.o" "gcc" "src/CMakeFiles/edr.dir/index/bplus_tree.cc.o.d"
+  "/root/repo/src/index/rstar_tree.cc" "src/CMakeFiles/edr.dir/index/rstar_tree.cc.o" "gcc" "src/CMakeFiles/edr.dir/index/rstar_tree.cc.o.d"
+  "/root/repo/src/index/vp_tree.cc" "src/CMakeFiles/edr.dir/index/vp_tree.cc.o" "gcc" "src/CMakeFiles/edr.dir/index/vp_tree.cc.o.d"
+  "/root/repo/src/pruning/combined.cc" "src/CMakeFiles/edr.dir/pruning/combined.cc.o" "gcc" "src/CMakeFiles/edr.dir/pruning/combined.cc.o.d"
+  "/root/repo/src/pruning/cse.cc" "src/CMakeFiles/edr.dir/pruning/cse.cc.o" "gcc" "src/CMakeFiles/edr.dir/pruning/cse.cc.o.d"
+  "/root/repo/src/pruning/histogram.cc" "src/CMakeFiles/edr.dir/pruning/histogram.cc.o" "gcc" "src/CMakeFiles/edr.dir/pruning/histogram.cc.o.d"
+  "/root/repo/src/pruning/histogram_knn.cc" "src/CMakeFiles/edr.dir/pruning/histogram_knn.cc.o" "gcc" "src/CMakeFiles/edr.dir/pruning/histogram_knn.cc.o.d"
+  "/root/repo/src/pruning/lcss_knn.cc" "src/CMakeFiles/edr.dir/pruning/lcss_knn.cc.o" "gcc" "src/CMakeFiles/edr.dir/pruning/lcss_knn.cc.o.d"
+  "/root/repo/src/pruning/near_triangle.cc" "src/CMakeFiles/edr.dir/pruning/near_triangle.cc.o" "gcc" "src/CMakeFiles/edr.dir/pruning/near_triangle.cc.o.d"
+  "/root/repo/src/pruning/persistence.cc" "src/CMakeFiles/edr.dir/pruning/persistence.cc.o" "gcc" "src/CMakeFiles/edr.dir/pruning/persistence.cc.o.d"
+  "/root/repo/src/pruning/pruning3.cc" "src/CMakeFiles/edr.dir/pruning/pruning3.cc.o" "gcc" "src/CMakeFiles/edr.dir/pruning/pruning3.cc.o.d"
+  "/root/repo/src/pruning/qgram.cc" "src/CMakeFiles/edr.dir/pruning/qgram.cc.o" "gcc" "src/CMakeFiles/edr.dir/pruning/qgram.cc.o.d"
+  "/root/repo/src/pruning/qgram_knn.cc" "src/CMakeFiles/edr.dir/pruning/qgram_knn.cc.o" "gcc" "src/CMakeFiles/edr.dir/pruning/qgram_knn.cc.o.d"
+  "/root/repo/src/query/engine.cc" "src/CMakeFiles/edr.dir/query/engine.cc.o" "gcc" "src/CMakeFiles/edr.dir/query/engine.cc.o.d"
+  "/root/repo/src/query/knn.cc" "src/CMakeFiles/edr.dir/query/knn.cc.o" "gcc" "src/CMakeFiles/edr.dir/query/knn.cc.o.d"
+  "/root/repo/src/query/parallel.cc" "src/CMakeFiles/edr.dir/query/parallel.cc.o" "gcc" "src/CMakeFiles/edr.dir/query/parallel.cc.o.d"
+  "/root/repo/src/query/subtrajectory.cc" "src/CMakeFiles/edr.dir/query/subtrajectory.cc.o" "gcc" "src/CMakeFiles/edr.dir/query/subtrajectory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for edr.
+# This may be replaced when dependencies are built.

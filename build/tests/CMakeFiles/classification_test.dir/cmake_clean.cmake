@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classification_test.dir/classification_test.cc.o"
+  "CMakeFiles/classification_test.dir/classification_test.cc.o.d"
+  "classification_test"
+  "classification_test.pdb"
+  "classification_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classification_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustering_eval_test.dir/clustering_eval_test.cc.o"
+  "CMakeFiles/clustering_eval_test.dir/clustering_eval_test.cc.o.d"
+  "clustering_eval_test"
+  "clustering_eval_test.pdb"
+  "clustering_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustering_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/combined_test.dir/combined_test.cc.o"
+  "CMakeFiles/combined_test.dir/combined_test.cc.o.d"
+  "combined_test"
+  "combined_test.pdb"
+  "combined_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/combined_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

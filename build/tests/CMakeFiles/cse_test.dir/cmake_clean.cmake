@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cse_test.dir/cse_test.cc.o"
+  "CMakeFiles/cse_test.dir/cse_test.cc.o.d"
+  "cse_test"
+  "cse_test.pdb"
+  "cse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

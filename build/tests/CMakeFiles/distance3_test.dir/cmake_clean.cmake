@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distance3_test.dir/distance3_test.cc.o"
+  "CMakeFiles/distance3_test.dir/distance3_test.cc.o.d"
+  "distance3_test"
+  "distance3_test.pdb"
+  "distance3_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distance3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distance_factory_test.dir/distance_factory_test.cc.o"
+  "CMakeFiles/distance_factory_test.dir/distance_factory_test.cc.o.d"
+  "distance_factory_test"
+  "distance_factory_test.pdb"
+  "distance_factory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distance_factory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

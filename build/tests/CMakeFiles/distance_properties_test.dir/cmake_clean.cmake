@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distance_properties_test.dir/distance_properties_test.cc.o"
+  "CMakeFiles/distance_properties_test.dir/distance_properties_test.cc.o.d"
+  "distance_properties_test"
+  "distance_properties_test.pdb"
+  "distance_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distance_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edr_test.dir/edr_test.cc.o"
+  "CMakeFiles/edr_test.dir/edr_test.cc.o.d"
+  "edr_test"
+  "edr_test.pdb"
+  "edr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epsilon_test.dir/epsilon_test.cc.o"
+  "CMakeFiles/epsilon_test.dir/epsilon_test.cc.o.d"
+  "epsilon_test"
+  "epsilon_test.pdb"
+  "epsilon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epsilon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erp_test.dir/erp_test.cc.o"
+  "CMakeFiles/erp_test.dir/erp_test.cc.o.d"
+  "erp_test"
+  "erp_test.pdb"
+  "erp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

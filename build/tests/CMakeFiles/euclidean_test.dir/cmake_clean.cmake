@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/euclidean_test.dir/euclidean_test.cc.o"
+  "CMakeFiles/euclidean_test.dir/euclidean_test.cc.o.d"
+  "euclidean_test"
+  "euclidean_test.pdb"
+  "euclidean_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/euclidean_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frechet_test.dir/frechet_test.cc.o"
+  "CMakeFiles/frechet_test.dir/frechet_test.cc.o.d"
+  "frechet_test"
+  "frechet_test.pdb"
+  "frechet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frechet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

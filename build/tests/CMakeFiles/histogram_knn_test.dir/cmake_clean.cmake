@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histogram_knn_test.dir/histogram_knn_test.cc.o"
+  "CMakeFiles/histogram_knn_test.dir/histogram_knn_test.cc.o.d"
+  "histogram_knn_test"
+  "histogram_knn_test.pdb"
+  "histogram_knn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histogram_knn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcss_knn_test.dir/lcss_knn_test.cc.o"
+  "CMakeFiles/lcss_knn_test.dir/lcss_knn_test.cc.o.d"
+  "lcss_knn_test"
+  "lcss_knn_test.pdb"
+  "lcss_knn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcss_knn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

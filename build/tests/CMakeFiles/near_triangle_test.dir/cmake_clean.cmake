@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/near_triangle_test.dir/near_triangle_test.cc.o"
+  "CMakeFiles/near_triangle_test.dir/near_triangle_test.cc.o.d"
+  "near_triangle_test"
+  "near_triangle_test.pdb"
+  "near_triangle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/near_triangle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/point_test.dir/point_test.cc.o"
+  "CMakeFiles/point_test.dir/point_test.cc.o.d"
+  "point_test"
+  "point_test.pdb"
+  "point_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/point_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pruning3_test.dir/pruning3_test.cc.o"
+  "CMakeFiles/pruning3_test.dir/pruning3_test.cc.o.d"
+  "pruning3_test"
+  "pruning3_test.pdb"
+  "pruning3_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pruning3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qgram_knn_test.dir/qgram_knn_test.cc.o"
+  "CMakeFiles/qgram_knn_test.dir/qgram_knn_test.cc.o.d"
+  "qgram_knn_test"
+  "qgram_knn_test.pdb"
+  "qgram_knn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qgram_knn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

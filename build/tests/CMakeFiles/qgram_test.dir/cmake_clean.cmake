@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qgram_test.dir/qgram_test.cc.o"
+  "CMakeFiles/qgram_test.dir/qgram_test.cc.o.d"
+  "qgram_test"
+  "qgram_test.pdb"
+  "qgram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qgram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

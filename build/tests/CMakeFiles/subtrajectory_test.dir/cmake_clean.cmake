@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subtrajectory_test.dir/subtrajectory_test.cc.o"
+  "CMakeFiles/subtrajectory_test.dir/subtrajectory_test.cc.o.d"
+  "subtrajectory_test"
+  "subtrajectory_test.pdb"
+  "subtrajectory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subtrajectory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

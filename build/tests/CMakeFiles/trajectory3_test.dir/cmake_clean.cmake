@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trajectory3_test.dir/trajectory3_test.cc.o"
+  "CMakeFiles/trajectory3_test.dir/trajectory3_test.cc.o.d"
+  "trajectory3_test"
+  "trajectory3_test.pdb"
+  "trajectory3_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trajectory3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_tree_test.dir/vp_tree_test.cc.o"
+  "CMakeFiles/vp_tree_test.dir/vp_tree_test.cc.o.d"
+  "vp_tree_test"
+  "vp_tree_test.pdb"
+  "vp_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edr_cli.dir/edr_cli.cc.o"
+  "CMakeFiles/edr_cli.dir/edr_cli.cc.o.d"
+  "edr_cli"
+  "edr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
