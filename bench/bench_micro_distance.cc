@@ -8,6 +8,7 @@
 #include "core/trajectory.h"
 #include "distance/dtw.h"
 #include "distance/edr.h"
+#include "distance/edr_kernel.h"
 #include "distance/erp.h"
 #include "distance/euclidean.h"
 #include "distance/frechet.h"
@@ -60,6 +61,50 @@ void BM_EdrBoundedTightBound(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EdrBoundedTightBound)->RangeMultiplier(2)->Range(32, 1024);
+
+// The kernel layer: scalar-with-scratch vs Myers bit-parallel, both exact.
+// Compare against BM_Edr to see the allocation cost and the word-parallel
+// speedup separately.
+
+void BM_EdrScalarScratch(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  const Trajectory a = MakeWalk(1, len);
+  const Trajectory b = MakeWalk(2, len);
+  EdrScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EdrDistanceWith(EdrKernel::kScalar, scratch, a, b, 0.25));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EdrScalarScratch)->RangeMultiplier(2)->Range(32, 1024)->Complexity();
+
+void BM_EdrBitParallel(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  const Trajectory a = MakeWalk(1, len);
+  const Trajectory b = MakeWalk(2, len);
+  EdrScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EdrDistanceBitParallel(a, b, 0.25, scratch));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EdrBitParallel)->RangeMultiplier(2)->Range(32, 1024)->Complexity();
+
+void BM_EdrBitParallelBoundedTightBound(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  Trajectory a = MakeWalk(1, len);
+  Trajectory b = MakeWalk(2, len);
+  for (Point2& p : b.mutable_points()) p.x += 100.0;
+  EdrScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EdrDistanceBitParallelBounded(a, b, 0.25, 5, scratch));
+  }
+}
+BENCHMARK(BM_EdrBitParallelBoundedTightBound)
+    ->RangeMultiplier(2)
+    ->Range(32, 1024);
 
 void BM_Dtw(benchmark::State& state) {
   const size_t len = static_cast<size_t>(state.range(0));

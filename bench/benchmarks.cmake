@@ -10,6 +10,7 @@ set(EDR_PAPER_BENCHES
   bench_fig11_order.cc
   bench_fig12_13_combined.cc
   bench_ablation.cc
+  bench_kernel.cc
 )
 
 foreach(src ${EDR_PAPER_BENCHES})

@@ -1,0 +1,407 @@
+#include "distance/edr_kernel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <type_traits>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace edr {
+
+namespace {
+
+std::atomic<EdrKernel> g_default_kernel{EdrKernel::kBitParallel};
+
+// ---------------------------------------------------------------------------
+// SoA pattern copies. The match tests below stream over these flat arrays
+// with branch-free compares; the compiler vectorizes them, which it cannot
+// do over the AoS Point2/Point3 layout inside Trajectory.
+// ---------------------------------------------------------------------------
+
+void FillPattern(EdrScratch& sc, const Trajectory& t) {
+  double* px = sc.px();
+  double* py = sc.py();
+  for (size_t i = 0; i < t.size(); ++i) {
+    px[i] = t[i].x;
+    py[i] = t[i].y;
+  }
+}
+
+void FillPattern(EdrScratch& sc, const Trajectory3& t) {
+  double* px = sc.px();
+  double* py = sc.py();
+  double* pz = sc.pz();
+  for (size_t i = 0; i < t.size(); ++i) {
+    px[i] = t[i].x;
+    py[i] = t[i].y;
+    pz[i] = t[i].z;
+  }
+}
+
+// Per-column match bit-vector: bit i of eq is set iff pattern element i
+// epsilon-matches the current text element (Definition 1, boundary
+// inclusive — exactly the Match() predicate of the scalar DP).
+//
+// Two stages so the compiler can vectorize: a branch-free compare loop
+// writing one 0/1 byte per pattern element, then a multiply-pack turning
+// each group of eight bool bytes into eight bits (the partial products of
+// kPackMagic land on pairwise-distinct bit positions, so no carries and
+// the pack is exact). Bytes [m, words*64) are zeroed once per call by the
+// caller, which makes the padding rows permanent mismatches.
+constexpr uint64_t kPackMagic = 0x0102040810204080ULL;
+
+inline void PackMatchBytes(const uint8_t* match, size_t words, uint64_t* eq) {
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t bits = 0;
+    for (size_t g = 0; g < 8; ++g) {
+      uint64_t chunk;
+      std::memcpy(&chunk, match + w * 64 + g * 8, sizeof(chunk));
+      bits |= ((chunk * kPackMagic) >> 56) << (8 * g);
+    }
+    eq[w] = bits;
+  }
+}
+
+#if defined(__SSE2__)
+
+// SSE2 path (baseline on x86-64): |d| <= eps computed exactly as the
+// scalar Match() — fabs is a sign-bit clear, the compare is the same
+// IEEE <= — and two lanes at a time drop straight into the bit-vector via
+// movemask, skipping the byte staging buffer entirely.
+
+inline void BuildEq(const double* px, const double* py, size_t m, Point2 s,
+                    double epsilon, uint8_t* /*match*/, size_t words,
+                    uint64_t* eq) {
+  const __m128d sign = _mm_set1_pd(-0.0);
+  const __m128d eps = _mm_set1_pd(epsilon);
+  const __m128d sx = _mm_set1_pd(s.x);
+  const __m128d sy = _mm_set1_pd(s.y);
+  for (size_t w = 0; w < words; ++w) {
+    const size_t base = w * 64;
+    const size_t limit = std::min<size_t>(64, m - base);
+    uint64_t bits = 0;
+    size_t k = 0;
+    for (; k + 2 <= limit; k += 2) {
+      const __m128d cx = _mm_cmple_pd(
+          _mm_andnot_pd(sign, _mm_sub_pd(_mm_loadu_pd(px + base + k), sx)),
+          eps);
+      const __m128d cy = _mm_cmple_pd(
+          _mm_andnot_pd(sign, _mm_sub_pd(_mm_loadu_pd(py + base + k), sy)),
+          eps);
+      bits |= static_cast<uint64_t>(_mm_movemask_pd(_mm_and_pd(cx, cy)))
+              << k;
+    }
+    if (k < limit) {
+      const uint64_t last = static_cast<uint64_t>(
+          (std::fabs(px[base + k] - s.x) <= epsilon) &
+          (std::fabs(py[base + k] - s.y) <= epsilon));
+      bits |= last << k;
+    }
+    eq[w] = bits;
+  }
+}
+
+inline void BuildEq3(const double* px, const double* py, const double* pz,
+                     size_t m, Point3 s, double epsilon, uint8_t* /*match*/,
+                     size_t words, uint64_t* eq) {
+  const __m128d sign = _mm_set1_pd(-0.0);
+  const __m128d eps = _mm_set1_pd(epsilon);
+  const __m128d sx = _mm_set1_pd(s.x);
+  const __m128d sy = _mm_set1_pd(s.y);
+  const __m128d sz = _mm_set1_pd(s.z);
+  for (size_t w = 0; w < words; ++w) {
+    const size_t base = w * 64;
+    const size_t limit = std::min<size_t>(64, m - base);
+    uint64_t bits = 0;
+    size_t k = 0;
+    for (; k + 2 <= limit; k += 2) {
+      const __m128d cx = _mm_cmple_pd(
+          _mm_andnot_pd(sign, _mm_sub_pd(_mm_loadu_pd(px + base + k), sx)),
+          eps);
+      const __m128d cy = _mm_cmple_pd(
+          _mm_andnot_pd(sign, _mm_sub_pd(_mm_loadu_pd(py + base + k), sy)),
+          eps);
+      const __m128d cz = _mm_cmple_pd(
+          _mm_andnot_pd(sign, _mm_sub_pd(_mm_loadu_pd(pz + base + k), sz)),
+          eps);
+      bits |= static_cast<uint64_t>(
+                  _mm_movemask_pd(_mm_and_pd(_mm_and_pd(cx, cy), cz)))
+              << k;
+    }
+    if (k < limit) {
+      const uint64_t last = static_cast<uint64_t>(
+          (std::fabs(px[base + k] - s.x) <= epsilon) &
+          (std::fabs(py[base + k] - s.y) <= epsilon) &
+          (std::fabs(pz[base + k] - s.z) <= epsilon));
+      bits |= last << k;
+    }
+    eq[w] = bits;
+  }
+}
+
+#else  // !defined(__SSE2__)
+
+inline void BuildEq(const double* px, const double* py, size_t m, Point2 s,
+                    double epsilon, uint8_t* match, size_t words,
+                    uint64_t* eq) {
+  for (size_t i = 0; i < m; ++i) {
+    match[i] = static_cast<uint8_t>((std::fabs(px[i] - s.x) <= epsilon) &
+                                    (std::fabs(py[i] - s.y) <= epsilon));
+  }
+  PackMatchBytes(match, words, eq);
+}
+
+inline void BuildEq3(const double* px, const double* py, const double* pz,
+                     size_t m, Point3 s, double epsilon, uint8_t* match,
+                     size_t words, uint64_t* eq) {
+  for (size_t i = 0; i < m; ++i) {
+    match[i] = static_cast<uint8_t>((std::fabs(px[i] - s.x) <= epsilon) &
+                                    (std::fabs(py[i] - s.y) <= epsilon) &
+                                    (std::fabs(pz[i] - s.z) <= epsilon));
+  }
+  PackMatchBytes(match, words, eq);
+}
+
+#endif  // defined(__SSE2__)
+
+// ---------------------------------------------------------------------------
+// Myers' bit-parallel recurrence (Myers 1999, with Hyyro's carry-in
+// correction as implemented in edlib). The pattern is the shorter
+// trajectory; each machine word holds 64 DP rows as vertical-delta bits
+// (vp: +1, vn: -1), and one column of the DP advances with ~15 word ops
+// per word. score tracks D[m][j] via the horizontal-delta bits at row m.
+//
+// Unused high bits of the last word start as vp=1 garbage; every operation
+// propagates information strictly upward (addition carries, shifts), so
+// they never reach the tracked row-m bit and no masking is needed.
+//
+// `bound` enables Hyyro-style early abandoning: adjacent column scores
+// differ by at most 1, so D[m][n] >= score - (columns remaining); once that
+// exceeds the bound the scan stops and returns it (a certified lower bound
+// strictly greater than the bound). Exact callers pass kEdrNoBound.
+// ---------------------------------------------------------------------------
+
+template <typename BuildEqFn>
+int MyersCore(size_t m, size_t n, int bound, EdrScratch& sc,
+              BuildEqFn&& build_eq) {
+  const size_t words = (m + 63) / 64;
+  uint64_t* vp = sc.vp();
+  uint64_t* vn = sc.vn();
+  uint64_t* eq = sc.eq();
+  std::fill_n(vp, words, ~uint64_t{0});
+  std::fill_n(vn, words, uint64_t{0});
+  const uint64_t last_bit = uint64_t{1} << ((m - 1) & 63);
+  const size_t last_word = words - 1;
+  int score = static_cast<int>(m);
+
+  for (size_t j = 0; j < n; ++j) {
+    build_eq(j, eq);
+    int hin = 1;  // D[0][j] - D[0][j-1] = +1: deleting text costs 1 per step.
+    for (size_t w = 0; w < words; ++w) {
+      uint64_t eqw = eq[w];
+      const uint64_t pv = vp[w];
+      const uint64_t mv = vn[w];
+      const uint64_t xv = eqw | mv;
+      eqw |= static_cast<uint64_t>(hin < 0);
+      const uint64_t xh = (((eqw & pv) + pv) ^ pv) | eqw;
+      uint64_t ph = mv | ~(xh | pv);
+      uint64_t mh = pv & xh;
+      if (w == last_word) {
+        if (ph & last_bit) {
+          ++score;
+        } else if (mh & last_bit) {
+          --score;
+        }
+      }
+      const int hout = (ph >> 63) ? 1 : ((mh >> 63) ? -1 : 0);
+      ph = (ph << 1) | static_cast<uint64_t>(hin > 0);
+      mh = (mh << 1) | static_cast<uint64_t>(hin < 0);
+      vp[w] = mh | ~(xv | ph);
+      vn[w] = ph & xv;
+      hin = hout;
+    }
+    const int floor_now = score - static_cast<int>(n - 1 - j);
+    if (floor_now > bound) return floor_now;
+  }
+  return score;
+}
+
+template <typename TrajectoryT>
+int BitParallelEdr(const TrajectoryT& r, const TrajectoryT& s, double epsilon,
+                   int bound, EdrScratch& sc) {
+  // EDR is symmetric; make the shorter trajectory the pattern so the
+  // column loop runs over fewer words.
+  const TrajectoryT* pat = &r;
+  const TrajectoryT* txt = &s;
+  if (pat->size() > txt->size()) std::swap(pat, txt);
+  const size_t m = pat->size();
+  const size_t n = txt->size();
+  if (m == 0) return static_cast<int>(n);
+
+  const int length_bound = static_cast<int>(n - m);
+  if (length_bound > bound) return length_bound;
+
+  sc.ReservePattern(m);
+  FillPattern(sc, *pat);
+  const double* px = sc.px();
+  const double* py = sc.py();
+  const size_t words = (m + 63) / 64;
+  uint8_t* match = sc.match();
+  std::fill(match + m, match + words * 64, uint8_t{0});
+  if constexpr (std::is_same_v<TrajectoryT, Trajectory3>) {
+    const double* pz = sc.pz();
+    const TrajectoryT& text = *txt;
+    return MyersCore(m, n, bound, sc, [&](size_t j, uint64_t* eq) {
+      BuildEq3(px, py, pz, m, text[j], epsilon, match, words, eq);
+    });
+  } else {
+    const TrajectoryT& text = *txt;
+    return MyersCore(m, n, bound, sc, [&](size_t j, uint64_t* eq) {
+      BuildEq(px, py, m, text[j], epsilon, match, words, eq);
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar kernels, identical cell-by-cell to elastic::Edr / elastic::
+// EdrBounded (unbanded) but running out of the reusable scratch rows
+// instead of allocating two vectors per call.
+// ---------------------------------------------------------------------------
+
+template <typename TrajectoryT>
+int ScalarEdr(const TrajectoryT& r, const TrajectoryT& s, double epsilon,
+              EdrScratch& sc) {
+  const size_t m = r.size();
+  const size_t n = s.size();
+  if (m == 0) return static_cast<int>(n);
+  if (n == 0) return static_cast<int>(m);
+
+  sc.ReserveRows(n);
+  int* prev = sc.prev_row();
+  int* curr = sc.curr_row();
+  for (size_t j = 0; j <= n; ++j) prev[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= m; ++i) {
+    curr[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= n; ++j) {
+      const int subcost = Match(r[i - 1], s[j - 1], epsilon) ? 0 : 1;
+      curr[j] = std::min({prev[j - 1] + subcost, prev[j] + 1, curr[j - 1] + 1});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[n];
+}
+
+template <typename TrajectoryT>
+int ScalarEdrBounded(const TrajectoryT& r, const TrajectoryT& s,
+                     double epsilon, int bound, EdrScratch& sc) {
+  const size_t m = r.size();
+  const size_t n = s.size();
+  if (m == 0) return static_cast<int>(n);
+  if (n == 0) return static_cast<int>(m);
+
+  const int length_bound = static_cast<int>(
+      m > n ? m - n : n - m);
+  if (length_bound > bound) return length_bound;
+
+  sc.ReserveRows(n);
+  int* prev = sc.prev_row();
+  int* curr = sc.curr_row();
+  for (size_t j = 0; j <= n; ++j) prev[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= m; ++i) {
+    curr[0] = static_cast<int>(i);
+    int row_min = curr[0];
+    for (size_t j = 1; j <= n; ++j) {
+      const int subcost = Match(r[i - 1], s[j - 1], epsilon) ? 0 : 1;
+      curr[j] = std::min({prev[j - 1] + subcost, prev[j] + 1, curr[j - 1] + 1});
+      row_min = std::min(row_min, curr[j]);
+    }
+    // Every edit path crosses every row, so the row minimum lower-bounds
+    // the final value; above the bound the scan can stop.
+    if (row_min > bound) return row_min;
+    std::swap(prev, curr);
+  }
+  return prev[n];
+}
+
+}  // namespace
+
+const char* EdrKernelName(EdrKernel kernel) {
+  switch (kernel) {
+    case EdrKernel::kScalar: return "scalar";
+    case EdrKernel::kBitParallel: return "bit-parallel";
+  }
+  return "?";
+}
+
+EdrKernel DefaultEdrKernel() {
+  return g_default_kernel.load(std::memory_order_relaxed);
+}
+
+void SetDefaultEdrKernel(EdrKernel kernel) {
+  g_default_kernel.store(kernel, std::memory_order_relaxed);
+}
+
+EdrScratch& ThreadLocalEdrScratch() {
+  static thread_local EdrScratch scratch;
+  return scratch;
+}
+
+int EdrDistanceBitParallel(const Trajectory& r, const Trajectory& s,
+                           double epsilon, EdrScratch& scratch) {
+  return BitParallelEdr(r, s, epsilon, kEdrNoBound, scratch);
+}
+
+int EdrDistanceBitParallel(const Trajectory3& r, const Trajectory3& s,
+                           double epsilon, EdrScratch& scratch) {
+  return BitParallelEdr(r, s, epsilon, kEdrNoBound, scratch);
+}
+
+int EdrDistanceBitParallelBounded(const Trajectory& r, const Trajectory& s,
+                                  double epsilon, int bound,
+                                  EdrScratch& scratch) {
+  return BitParallelEdr(r, s, epsilon, std::min(bound, kEdrNoBound), scratch);
+}
+
+int EdrDistanceBitParallelBounded(const Trajectory3& r, const Trajectory3& s,
+                                  double epsilon, int bound,
+                                  EdrScratch& scratch) {
+  return BitParallelEdr(r, s, epsilon, std::min(bound, kEdrNoBound), scratch);
+}
+
+int EdrDistanceWith(EdrKernel kernel, EdrScratch& scratch, const Trajectory& r,
+                    const Trajectory& s, double epsilon) {
+  return kernel == EdrKernel::kBitParallel
+             ? BitParallelEdr(r, s, epsilon, kEdrNoBound, scratch)
+             : ScalarEdr(r, s, epsilon, scratch);
+}
+
+int EdrDistanceWith(EdrKernel kernel, EdrScratch& scratch,
+                    const Trajectory3& r, const Trajectory3& s,
+                    double epsilon) {
+  return kernel == EdrKernel::kBitParallel
+             ? BitParallelEdr(r, s, epsilon, kEdrNoBound, scratch)
+             : ScalarEdr(r, s, epsilon, scratch);
+}
+
+int EdrDistanceBoundedWith(EdrKernel kernel, EdrScratch& scratch,
+                           const Trajectory& r, const Trajectory& s,
+                           double epsilon, int bound) {
+  bound = std::min(bound, kEdrNoBound);
+  return kernel == EdrKernel::kBitParallel
+             ? BitParallelEdr(r, s, epsilon, bound, scratch)
+             : ScalarEdrBounded(r, s, epsilon, bound, scratch);
+}
+
+int EdrDistanceBoundedWith(EdrKernel kernel, EdrScratch& scratch,
+                           const Trajectory3& r, const Trajectory3& s,
+                           double epsilon, int bound) {
+  bound = std::min(bound, kEdrNoBound);
+  return kernel == EdrKernel::kBitParallel
+             ? BitParallelEdr(r, s, epsilon, bound, scratch)
+             : ScalarEdrBounded(r, s, epsilon, bound, scratch);
+}
+
+}  // namespace edr

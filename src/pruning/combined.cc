@@ -5,7 +5,7 @@
 #include <cmath>
 #include <numeric>
 
-#include "distance/edr.h"
+#include "distance/edr_kernel.h"
 #include "pruning/qgram.h"
 
 namespace edr {
@@ -80,6 +80,8 @@ KnnResult CombinedKnnSearcher::Knn(const Trajectory& query, size_t k) const {
     });
   }
 
+  const EdrKernel kernel = DefaultEdrKernel();
+  EdrScratch& scratch = ThreadLocalEdrScratch();
   std::vector<std::pair<uint32_t, double>> proc_array;
   proc_array.reserve(matrix_.num_refs());
   KnnResultList result(k);
@@ -134,7 +136,11 @@ KnnResult CombinedKnnSearcher::Knn(const Trajectory& query, size_t k) const {
     if (stop_scan) break;
     if (pruned) continue;
 
-    const double dist = static_cast<double>(EdrDistance(query, s, epsilon_));
+    // Bounded refinement; lower-bound reference distances only weaken the
+    // near-triangle prune bound, never unsound it.
+    const double dist = static_cast<double>(
+        EdrDistanceBoundedWith(kernel, scratch, query, s, epsilon_,
+                               EdrBoundFromKthDistance(best)));
     ++computed;
     if (id < matrix_.num_refs() && proc_array.size() < matrix_.num_refs()) {
       proc_array.emplace_back(id, dist);
@@ -176,6 +182,8 @@ KnnResult CombinedKnnSearcher::Range(const Trajectory& query,
     });
   }
 
+  const EdrKernel kernel = DefaultEdrKernel();
+  EdrScratch& scratch = ThreadLocalEdrScratch();
   std::vector<std::pair<uint32_t, double>> proc_array;
   proc_array.reserve(matrix_.num_refs());
   KnnResult out;
@@ -222,7 +230,8 @@ KnnResult CombinedKnnSearcher::Range(const Trajectory& query,
     if (stop_scan) break;
     if (pruned) continue;
 
-    const int dist = EdrDistance(query, s, epsilon_);
+    const int dist =
+        EdrDistanceBoundedWith(kernel, scratch, query, s, epsilon_, radius);
     ++computed;
     if (id < matrix_.num_refs() && proc_array.size() < matrix_.num_refs()) {
       proc_array.emplace_back(id, static_cast<double>(dist));

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
-#include "distance/edr.h"
+#include "distance/edr_kernel.h"
 
 namespace edr {
 
@@ -33,6 +33,8 @@ CseSearcher::CseSearcher(const TrajectoryDataset& db, double epsilon,
 
 KnnResult CseSearcher::Knn(const Trajectory& query, size_t k) const {
   const auto start = std::chrono::steady_clock::now();
+  const EdrKernel kernel = DefaultEdrKernel();
+  EdrScratch& scratch = ThreadLocalEdrScratch();
 
   std::vector<std::pair<uint32_t, double>> proc_array;
   proc_array.reserve(matrix_.num_refs());
@@ -50,7 +52,11 @@ KnnResult CseSearcher::Knn(const Trajectory& query, size_t k) const {
     }
     if (max_prune_dist > best) continue;
 
-    const double dist = static_cast<double>(EdrDistance(query, s, epsilon_));
+    // Bounded refinement; a lower-bound reference distance in proc_array
+    // only weakens (never unsounds) the shifted triangle prune.
+    const double dist = static_cast<double>(
+        EdrDistanceBoundedWith(kernel, scratch, query, s, epsilon_,
+                               EdrBoundFromKthDistance(best)));
     ++computed;
     if (s.id() < matrix_.num_refs() &&
         proc_array.size() < matrix_.num_refs()) {

@@ -5,7 +5,7 @@
 #include <numeric>
 #include <vector>
 
-#include "distance/edr.h"
+#include "distance/edr_kernel.h"
 
 namespace edr {
 
@@ -22,6 +22,8 @@ KnnResult HistogramKnnSearcher::Knn(const Trajectory& query,
                                     size_t k) const {
   const auto start = std::chrono::steady_clock::now();
   const HistogramTable::QueryHistogram qh = table_.MakeQueryHistogram(query);
+  const EdrKernel kernel = DefaultEdrKernel();
+  EdrScratch& scratch = ThreadLocalEdrScratch();
 
   KnnResultList result(k);
   size_t computed = 0;
@@ -36,8 +38,9 @@ KnnResult HistogramKnnSearcher::Knn(const Trajectory& query,
       if (static_cast<double>(table_.FastLowerBound(qh, s.id())) > best) {
         continue;
       }
-      const double dist =
-          static_cast<double>(EdrDistance(query, s, epsilon_));
+      const double dist = static_cast<double>(
+          EdrDistanceBoundedWith(kernel, scratch, query, s, epsilon_,
+                                 EdrBoundFromKthDistance(best)));
       ++computed;
       result.Offer(s.id(), dist);
     }
@@ -57,8 +60,9 @@ KnnResult HistogramKnnSearcher::Knn(const Trajectory& query,
     for (const uint32_t id : order) {
       const double best = result.KthDistance();
       if (static_cast<double>(bounds[id]) > best) break;  // All later, too.
-      const double dist =
-          static_cast<double>(EdrDistance(query, db_[id], epsilon_));
+      const double dist = static_cast<double>(
+          EdrDistanceBoundedWith(kernel, scratch, query, db_[id], epsilon_,
+                                 EdrBoundFromKthDistance(best)));
       ++computed;
       result.Offer(id, dist);
     }
@@ -90,11 +94,14 @@ KnnResult HistogramKnnSearcher::Range(const Trajectory& query,
   const auto start = std::chrono::steady_clock::now();
   const HistogramTable::QueryHistogram qh = table_.MakeQueryHistogram(query);
 
+  const EdrKernel kernel = DefaultEdrKernel();
+  EdrScratch& scratch = ThreadLocalEdrScratch();
   KnnResult out;
   size_t computed = 0;
   for (const Trajectory& s : db_) {
     if (table_.FastLowerBound(qh, s.id()) > radius) continue;
-    const int dist = EdrDistance(query, s, epsilon_);
+    const int dist =
+        EdrDistanceBoundedWith(kernel, scratch, query, s, epsilon_, radius);
     ++computed;
     if (dist <= radius) {
       out.neighbors.push_back({s.id(), static_cast<double>(dist)});

@@ -6,7 +6,7 @@
 #include <cmath>
 #include <thread>
 
-#include "distance/edr.h"
+#include "distance/edr_kernel.h"
 
 namespace edr {
 
@@ -16,6 +16,10 @@ PairwiseEdrMatrix PairwiseEdrMatrix::Build(const TrajectoryDataset& db,
   m.num_refs_ = std::min(num_refs, db.size());
   m.db_size_ = db.size();
   m.distances_.assign(m.num_refs_ * m.db_size_, 0);
+  // Matrix entries feed the near-triangle prune bound in both directions,
+  // so they must be exact — no early abandoning here, only the fast kernel.
+  const EdrKernel kernel = DefaultEdrKernel();
+  EdrScratch& scratch = ThreadLocalEdrScratch();
   for (size_t r = 0; r < m.num_refs_; ++r) {
     for (size_t s = 0; s < m.db_size_; ++s) {
       if (s < r) {
@@ -24,7 +28,8 @@ PairwiseEdrMatrix PairwiseEdrMatrix::Build(const TrajectoryDataset& db,
       } else if (s == r) {
         m.distances_[r * m.db_size_ + s] = 0;
       } else {
-        m.distances_[r * m.db_size_ + s] = EdrDistance(db[r], db[s], epsilon);
+        m.distances_[r * m.db_size_ + s] =
+            EdrDistanceWith(kernel, scratch, db[r], db[s], epsilon);
       }
     }
   }
@@ -47,14 +52,18 @@ PairwiseEdrMatrix PairwiseEdrMatrix::BuildParallel(const TrajectoryDataset& db,
 
   // Each worker fills whole rows; since s >= r entries are computed
   // directly (no transposed reuse across workers), results are identical
-  // to the sequential Build.
+  // to the sequential Build. ThreadLocalEdrScratch gives each worker its
+  // own warm buffers.
+  const EdrKernel kernel = DefaultEdrKernel();
   std::atomic<size_t> next_row{0};
   const auto worker = [&]() {
+    EdrScratch& scratch = ThreadLocalEdrScratch();
     for (size_t r = next_row.fetch_add(1); r < m.num_refs_;
          r = next_row.fetch_add(1)) {
       for (size_t s = 0; s < m.db_size_; ++s) {
         m.distances_[r * m.db_size_ + s] =
-            s == r ? 0 : EdrDistance(db[r], db[s], epsilon);
+            s == r ? 0
+                   : EdrDistanceWith(kernel, scratch, db[r], db[s], epsilon);
       }
     }
   };
@@ -89,9 +98,14 @@ NearTriangleSearcher::NearTriangleSearcher(const TrajectoryDataset& db,
 
 KnnResult NearTriangleSearcher::Knn(const Trajectory& query, size_t k) const {
   const auto start = std::chrono::steady_clock::now();
+  const EdrKernel kernel = DefaultEdrKernel();
+  EdrScratch& scratch = ThreadLocalEdrScratch();
 
-  // procArray: references (ids < num_refs) whose true distance to the
-  // query has been computed, with that distance.
+  // procArray: references (ids < num_refs) whose distance to the query has
+  // been computed, with that distance. A bounded-refinement value may be a
+  // lower bound on EDR(Q, ref); substituting it into the Figure 4 prune
+  // bound only shrinks the bound, so pruning stays lossless (it just
+  // prunes a little less than with the exact reference distance).
   std::vector<std::pair<uint32_t, double>> proc_array;
   proc_array.reserve(matrix_.num_refs());
 
@@ -111,7 +125,9 @@ KnnResult NearTriangleSearcher::Knn(const Trajectory& query, size_t k) const {
     }
     if (max_prune_dist > best) continue;  // Pruned; no false dismissal.
 
-    const double dist = static_cast<double>(EdrDistance(query, s, epsilon_));
+    const double dist = static_cast<double>(
+        EdrDistanceBoundedWith(kernel, scratch, query, s, epsilon_,
+                               EdrBoundFromKthDistance(best)));
     ++computed;
     if (s.id() < matrix_.num_refs() &&
         proc_array.size() < matrix_.num_refs()) {
@@ -134,6 +150,8 @@ KnnResult NearTriangleSearcher::Knn(const Trajectory& query, size_t k) const {
 KnnResult NearTriangleSearcher::Range(const Trajectory& query,
                                       int radius) const {
   const auto start = std::chrono::steady_clock::now();
+  const EdrKernel kernel = DefaultEdrKernel();
+  EdrScratch& scratch = ThreadLocalEdrScratch();
   std::vector<std::pair<uint32_t, double>> proc_array;
   proc_array.reserve(matrix_.num_refs());
 
@@ -148,7 +166,8 @@ KnnResult NearTriangleSearcher::Range(const Trajectory& query,
     }
     if (max_prune_dist > static_cast<double>(radius)) continue;
 
-    const int dist = EdrDistance(query, s, epsilon_);
+    const int dist =
+        EdrDistanceBoundedWith(kernel, scratch, query, s, epsilon_, radius);
     ++computed;
     if (s.id() < matrix_.num_refs() &&
         proc_array.size() < matrix_.num_refs()) {

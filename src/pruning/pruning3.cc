@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "distance/distance3.h"
+#include "distance/edr_kernel.h"
 
 namespace edr {
 
@@ -29,9 +30,12 @@ KnnResult SequentialScanKnn3(const std::vector<Trajectory3>& db,
                              const Trajectory3& query, size_t k,
                              double epsilon) {
   const auto start = std::chrono::steady_clock::now();
+  const EdrKernel kernel = DefaultEdrKernel();
+  EdrScratch& scratch = ThreadLocalEdrScratch();
   KnnResultList result(k);
   for (uint32_t i = 0; i < db.size(); ++i) {
-    result.Offer(i, static_cast<double>(EdrDistance(query, db[i], epsilon)));
+    result.Offer(i, static_cast<double>(EdrDistanceWith(
+                        kernel, scratch, query, db[i], epsilon)));
   }
   const auto stop = std::chrono::steady_clock::now();
   KnnResult out;
@@ -166,6 +170,8 @@ KnnResult Knn3Searcher::Knn(const Trajectory3& query, size_t k) const {
     return bounds[a] < bounds[b];
   });
 
+  const EdrKernel kernel = DefaultEdrKernel();
+  EdrScratch& scratch = ThreadLocalEdrScratch();
   KnnResultList result(k);
   size_t computed = 0;
   for (const uint32_t id : order) {
@@ -184,8 +190,9 @@ KnnResult Knn3Searcher::Knn(const Trajectory3& query, size_t k) const {
       }
     }
 
-    const double dist =
-        static_cast<double>(EdrDistance(query, db_[id], epsilon_));
+    const double dist = static_cast<double>(
+        EdrDistanceBoundedWith(kernel, scratch, query, db_[id], epsilon_,
+                               EdrBoundFromKthDistance(best)));
     ++computed;
     result.Offer(id, dist);
   }

@@ -4,7 +4,7 @@
 #include <chrono>
 #include <numeric>
 
-#include "distance/edr.h"
+#include "distance/edr_kernel.h"
 #include "pruning/qgram.h"
 
 namespace edr {
@@ -136,6 +136,8 @@ KnnResult QgramKnnSearcher::Knn(const Trajectory& query, size_t k) const {
     return counts[a] > counts[b];
   });
 
+  const EdrKernel kernel = DefaultEdrKernel();
+  EdrScratch& scratch = ThreadLocalEdrScratch();
   KnnResultList result(k);
   size_t computed = 0;
   const long query_len = static_cast<long>(query.size());
@@ -144,8 +146,8 @@ KnnResult QgramKnnSearcher::Knn(const Trajectory& query, size_t k) const {
   // Seed: the first k trajectories by descending count get true distances.
   for (; i < order.size() && i < k; ++i) {
     const Trajectory& s = db_[order[i]];
-    result.Offer(s.id(),
-                 static_cast<double>(EdrDistance(query, s, epsilon_)));
+    result.Offer(s.id(), static_cast<double>(EdrDistanceWith(
+                             kernel, scratch, query, s, epsilon_)));
     ++computed;
   }
 
@@ -166,8 +168,11 @@ KnnResult QgramKnnSearcher::Knn(const Trajectory& query, size_t k) const {
         QgramCountThreshold(query.size(), s.size(), q_, best_k);
     if (count < threshold) continue;  // Theorem 3: EDR(Q, S) > bestSoFar.
 
-    const double dist =
-        static_cast<double>(EdrDistance(query, s, epsilon_));
+    // Refinement with the running k-th distance as an early-abandon bound:
+    // exact when the candidate could enter the result, otherwise some
+    // lower bound > bestSoFar that Offer rejects just the same.
+    const double dist = static_cast<double>(EdrDistanceBoundedWith(
+        kernel, scratch, query, s, epsilon_, static_cast<int>(best)));
     ++computed;
     result.Offer(s.id(), dist);
   }
@@ -191,6 +196,8 @@ std::string QgramKnnSearcher::name() const {
 KnnResult QgramKnnSearcher::Range(const Trajectory& query, int radius) const {
   const auto start = std::chrono::steady_clock::now();
   const std::vector<size_t> counts = MatchCounts(query);
+  const EdrKernel kernel = DefaultEdrKernel();
+  EdrScratch& scratch = ThreadLocalEdrScratch();
 
   KnnResult out;
   size_t computed = 0;
@@ -199,7 +206,9 @@ KnnResult QgramKnnSearcher::Range(const Trajectory& query, int radius) const {
     const long threshold =
         QgramCountThreshold(query.size(), s.size(), q_, radius);
     if (static_cast<long>(counts[id]) < threshold) continue;  // Theorem 1.
-    const int dist = EdrDistance(query, s, epsilon_);
+    // Exact whenever dist <= radius (the only candidates reported).
+    const int dist =
+        EdrDistanceBoundedWith(kernel, scratch, query, s, epsilon_, radius);
     ++computed;
     if (dist <= radius) {
       out.neighbors.push_back({id, static_cast<double>(dist)});

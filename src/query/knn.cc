@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "distance/edr.h"
+#include "distance/edr_kernel.h"
 
 namespace edr {
 
@@ -24,19 +25,19 @@ KnnResult SequentialScanKnn(const TrajectoryDataset& db,
                             const Trajectory& query, size_t k, double epsilon,
                             const SeqScanOptions& options) {
   const auto start = std::chrono::steady_clock::now();
+  const EdrKernel kernel = DefaultEdrKernel();
+  EdrScratch& scratch = ThreadLocalEdrScratch();
   KnnResultList result(k);
   size_t computed = 0;
   for (const Trajectory& s : db) {
     double dist = 0.0;
     if (options.early_abandon) {
-      const double best = result.KthDistance();
-      const int bound = std::isinf(best)
-                            ? std::numeric_limits<int>::max() / 4
-                            : static_cast<int>(best);
+      const int bound = EdrBoundFromKthDistance(result.KthDistance());
       dist = static_cast<double>(
-          EdrDistanceBounded(query, s, epsilon, bound));
+          EdrDistanceBoundedWith(kernel, scratch, query, s, epsilon, bound));
     } else {
-      dist = static_cast<double>(EdrDistance(query, s, epsilon));
+      dist = static_cast<double>(
+          EdrDistanceWith(kernel, scratch, query, s, epsilon));
     }
     ++computed;
     result.Offer(s.id(), dist);
@@ -56,9 +57,11 @@ KnnResult SequentialScanRange(const TrajectoryDataset& db,
                               const Trajectory& query, int radius,
                               double epsilon) {
   const auto start = std::chrono::steady_clock::now();
+  const EdrKernel kernel = DefaultEdrKernel();
+  EdrScratch& scratch = ThreadLocalEdrScratch();
   KnnResult out;
   for (const Trajectory& s : db) {
-    const int dist = EdrDistance(query, s, epsilon);
+    const int dist = EdrDistanceWith(kernel, scratch, query, s, epsilon);
     if (dist <= radius) {
       out.neighbors.push_back({s.id(), static_cast<double>(dist)});
     }

@@ -17,6 +17,9 @@ std::vector<KnnResult> ParallelKnn(
                              threads, static_cast<unsigned>(queries.size())));
 
   std::atomic<size_t> next{0};
+  // Each worker thread owns a ThreadLocalEdrScratch(), so the kernel-
+  // dispatched searchers invoked through `search` run allocation-free and
+  // unsynchronized once the per-thread buffers are warm.
   const auto worker = [&]() {
     for (size_t i = next.fetch_add(1); i < queries.size();
          i = next.fetch_add(1)) {
