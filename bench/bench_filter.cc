@@ -1,0 +1,175 @@
+// Filter-path microbench: the vectorized whole-database lower-bound sweep
+// against the per-row bound loop it replaced, on a 10k-trajectory random
+// walk database, plus the flat Q-gram posting-array counting pass.
+//
+// Emits JSON (stdout, or the file named by argv[1]):
+//
+//   ./bench/bench_filter BENCH_filter.json
+//
+// Numbers are machine-dependent; treat the committed BENCH_filter.json as
+// a same-machine baseline for *ratios* (speedups), not absolute times.
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/trajectory.h"
+#include "data/generators.h"
+#include "pruning/histogram.h"
+#include "pruning/qgram.h"
+
+namespace edr {
+namespace {
+
+double SecondsPerCall(const std::function<void()>& fn, int min_iters = 3,
+                      double min_seconds = 0.2) {
+  fn();  // Warm-up sizes scratch and faults the tables in.
+  int iters = min_iters;
+  for (;;) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) fn();
+    const auto stop = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(stop - start).count();
+    if (secs >= min_seconds || iters >= (1 << 20)) return secs / iters;
+    iters *= 4;
+  }
+}
+
+struct SweepRow {
+  const char* kind = "";
+  double per_row_s = 0.0;
+  double sweep_scalar_s = 0.0;
+  double sweep_simd_s = 0.0;
+  bool identical = true;
+};
+
+}  // namespace
+}  // namespace edr
+
+int main(int argc, char** argv) {
+  using namespace edr;
+
+  std::FILE* out = stdout;
+  if (argc > 1) {
+    out = std::fopen(argv[1], "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+  }
+
+  constexpr double kEps = 0.25;
+  constexpr size_t kDbSize = 10000;
+  constexpr size_t kQueries = 5;
+
+  RandomWalkOptions walk_options;
+  walk_options.count = kDbSize;
+  walk_options.min_length = 20;
+  walk_options.max_length = 60;
+  walk_options.seed = 17;
+  const TrajectoryDataset db = GenRandomWalk(walk_options);
+  std::vector<Trajectory> queries;
+  for (size_t q = 0; q < kQueries; ++q) {
+    queries.push_back(db[(q * db.size()) / kQueries]);
+  }
+
+  // --- Lower-bound sweep vs the per-row loop, both histogram kinds.
+  bool all_identical = true;
+  std::vector<SweepRow> rows;
+  for (const HistogramTable::Kind kind :
+       {HistogramTable::Kind::k2D, HistogramTable::Kind::k1D}) {
+    const HistogramTable table(db, kEps, kind, 1);
+    std::vector<HistogramTable::QueryHistogram> qhs;
+    for (const Trajectory& q : queries) {
+      qhs.push_back(table.MakeQueryHistogram(q));
+    }
+
+    SweepRow row;
+    row.kind = kind == HistogramTable::Kind::k2D ? "2D" : "1D";
+    std::vector<int> bounds(db.size());
+    row.per_row_s = SecondsPerCall([&] {
+      for (const auto& qh : qhs) {
+        for (uint32_t id = 0; id < db.size(); ++id) {
+          bounds[id] = table.FastLowerBound(qh, id);
+        }
+      }
+    });
+    std::vector<int> sweep;
+    row.sweep_simd_s = SecondsPerCall([&] {
+      for (const auto& qh : qhs) table.FastLowerBoundSweep(qh, &sweep);
+    });
+    std::vector<int> scalar;
+    row.sweep_scalar_s = SecondsPerCall([&] {
+      for (const auto& qh : qhs) table.FastLowerBoundSweepScalar(qh, &scalar);
+    });
+
+    // Certify equivalence on the last query's arrays plus a full pass.
+    for (const auto& qh : qhs) {
+      table.FastLowerBoundSweep(qh, &sweep);
+      table.FastLowerBoundSweepScalar(qh, &scalar);
+      for (uint32_t id = 0; id < db.size(); ++id) {
+        if (sweep[id] != table.FastLowerBound(qh, id) ||
+            scalar[id] != sweep[id]) {
+          row.identical = false;
+        }
+      }
+    }
+    all_identical = all_identical && row.identical;
+    std::fprintf(stderr,
+                 "%s: per_row=%.3fms sweep=%.3fms scalar=%.3fms "
+                 "(simd %.2fx vs per-row) identical=%s\n",
+                 row.kind, row.per_row_s * 1e3, row.sweep_simd_s * 1e3,
+                 row.sweep_scalar_s * 1e3, row.per_row_s / row.sweep_simd_s,
+                 row.identical ? "yes" : "NO");
+    rows.push_back(row);
+  }
+
+  // --- Flat Q-gram posting arrays: the PS2-style counting pass.
+  const QgramMeansTable means_table(db, /*q=*/1, /*dims=*/2);
+  double qgram_count_s = 0.0;
+  {
+    std::vector<size_t> counts(db.size());
+    std::vector<std::vector<Point2>> query_means;
+    for (const Trajectory& q : queries) {
+      std::vector<Point2> means = MeanValueQgrams(q, 1);
+      SortMeans(means);
+      query_means.push_back(std::move(means));
+    }
+    qgram_count_s = SecondsPerCall([&] {
+      for (const auto& qm : query_means) {
+        for (uint32_t id = 0; id < db.size(); ++id) {
+          counts[id] = means_table.CountMatches2D(qm, kEps, id);
+        }
+      }
+    });
+    std::fprintf(stderr, "qgram flat count pass: %.3fms per %zu queries\n",
+                 qgram_count_s * 1e3, queries.size());
+  }
+
+  // --- JSON out.
+  std::fprintf(out,
+               "{\n  \"bench\": \"filter_path\",\n  \"db_size\": %zu,\n"
+               "  \"queries\": %zu,\n  \"epsilon\": %.3f,\n  \"sweeps\": [\n",
+               db.size(), queries.size(), kEps);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& r = rows[i];
+    std::fprintf(out,
+                 "    {\"kind\": \"%s\", \"per_row_ms\": %.3f, "
+                 "\"sweep_simd_ms\": %.3f, \"sweep_scalar_ms\": %.3f, "
+                 "\"speedup_sweep_vs_per_row\": %.2f, "
+                 "\"speedup_simd_vs_scalar\": %.2f, \"identical\": %s}%s\n",
+                 r.kind, r.per_row_s * 1e3, r.sweep_simd_s * 1e3,
+                 r.sweep_scalar_s * 1e3, r.per_row_s / r.sweep_simd_s,
+                 r.sweep_scalar_s / r.sweep_simd_s,
+                 r.identical ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n  \"qgram_flat_count_ms\": %.3f,\n"
+               "  \"identical\": %s\n}\n",
+               qgram_count_s * 1e3, all_identical ? "true" : "false");
+  if (out != stdout) std::fclose(out);
+  return all_identical ? 0 : 1;
+}

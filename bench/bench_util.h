@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/dataset.h"
@@ -65,6 +66,12 @@ inline std::vector<WorkloadResult> RunSuite(
   seq.queries = queries.size();
   seq.avg_seconds = base;
   seq.speedup = 1.0;
+  std::vector<double> seq_latencies;
+  seq_latencies.reserve(gt.size());
+  for (const KnnResult& r : gt) {
+    seq_latencies.push_back(r.stats.elapsed_seconds);
+  }
+  FillLatencyPercentiles(&seq, std::move(seq_latencies));
   std::printf("%s\n", FormatWorkloadRow(seq).c_str());
 
   std::vector<WorkloadResult> results;

@@ -11,6 +11,7 @@ set(EDR_PAPER_BENCHES
   bench_fig12_13_combined.cc
   bench_ablation.cc
   bench_kernel.cc
+  bench_filter.cc
 )
 
 foreach(src ${EDR_PAPER_BENCHES})

@@ -5,7 +5,7 @@
 #include <cstring>
 #include <type_traits>
 
-#if defined(__SSE2__)
+#if defined(__SSE2__) && !defined(EDR_DISABLE_SIMD)
 #include <emmintrin.h>
 #endif
 
@@ -65,7 +65,7 @@ inline void PackMatchBytes(const uint8_t* match, size_t words, uint64_t* eq) {
   }
 }
 
-#if defined(__SSE2__)
+#if defined(__SSE2__) && !defined(EDR_DISABLE_SIMD)
 
 // SSE2 path (baseline on x86-64): |d| <= eps computed exactly as the
 // scalar Match() — fabs is a sign-bit clear, the compare is the same
@@ -142,7 +142,7 @@ inline void BuildEq3(const double* px, const double* py, const double* pz,
   }
 }
 
-#else  // !defined(__SSE2__)
+#else  // !defined(__SSE2__) || defined(EDR_DISABLE_SIMD)
 
 inline void BuildEq(const double* px, const double* py, size_t m, Point2 s,
                     double epsilon, uint8_t* match, size_t words,
@@ -165,7 +165,7 @@ inline void BuildEq3(const double* px, const double* py, const double* pz,
   PackMatchBytes(match, words, eq);
 }
 
-#endif  // defined(__SSE2__)
+#endif  // defined(__SSE2__) && !defined(EDR_DISABLE_SIMD)
 
 // ---------------------------------------------------------------------------
 // Myers' bit-parallel recurrence (Myers 1999, with Hyyro's carry-in

@@ -1,7 +1,9 @@
 #include "eval/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <utility>
 
 namespace edr {
 
@@ -14,10 +16,13 @@ WorkloadResult RunWorkload(const NamedSearcher& searcher,
   out.queries = queries.size();
   double power_sum = 0.0;
   double seconds_sum = 0.0;
+  std::vector<double> latencies;
+  latencies.reserve(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
     const KnnResult result = searcher.search(queries[i], k);
     power_sum += result.stats.PruningPower();
     seconds_sum += result.stats.elapsed_seconds;
+    latencies.push_back(result.stats.elapsed_seconds);
     if (ground_truth != nullptr &&
         !SameKnnDistances((*ground_truth)[i], result)) {
       out.lossless = false;
@@ -27,6 +32,7 @@ WorkloadResult RunWorkload(const NamedSearcher& searcher,
     out.avg_pruning_power = power_sum / static_cast<double>(queries.size());
     out.avg_seconds = seconds_sum / static_cast<double>(queries.size());
   }
+  FillLatencyPercentiles(&out, std::move(latencies));
   if (baseline_seconds > 0.0 && out.avg_seconds > 0.0) {
     out.speedup = baseline_seconds / out.avg_seconds;
   }
@@ -51,6 +57,27 @@ double MeanSeconds(const std::vector<KnnResult>& results) {
   return sum / static_cast<double>(results.size());
 }
 
+double LatencyPercentile(std::vector<double> seconds, double q) {
+  if (seconds.empty()) return 0.0;
+  std::sort(seconds.begin(), seconds.end());
+  // Nearest-rank: the smallest value with at least q of the mass at or
+  // below it.
+  const double rank = q * static_cast<double>(seconds.size());
+  size_t idx = static_cast<size_t>(std::ceil(rank));
+  idx = idx > 0 ? idx - 1 : 0;
+  idx = std::min(idx, seconds.size() - 1);
+  return seconds[idx];
+}
+
+void FillLatencyPercentiles(WorkloadResult* result,
+                            std::vector<double> seconds) {
+  if (seconds.empty()) return;
+  std::sort(seconds.begin(), seconds.end());
+  result->max_seconds = seconds.back();
+  result->p50_seconds = LatencyPercentile(seconds, 0.50);
+  result->p95_seconds = LatencyPercentile(seconds, 0.95);
+}
+
 std::vector<Trajectory> SampleQueries(const TrajectoryDataset& db,
                                       size_t count) {
   std::vector<Trajectory> queries;
@@ -65,18 +92,21 @@ std::vector<Trajectory> SampleQueries(const TrajectoryDataset& db,
 }
 
 std::string FormatWorkloadHeader() {
-  char buf[128];
-  std::snprintf(buf, sizeof(buf), "%-14s %10s %12s %10s %9s", "method",
-                "pruning", "avg_ms", "speedup", "lossless");
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "%-14s %10s %12s %12s %12s %12s %10s %9s",
+                "method", "pruning", "avg_ms", "p50_ms", "p95_ms", "max_ms",
+                "speedup", "lossless");
   return buf;
 }
 
 std::string FormatWorkloadRow(const WorkloadResult& result) {
-  char buf[160];
-  std::snprintf(buf, sizeof(buf), "%-14s %10.3f %12.3f %10.2f %9s",
+  char buf[224];
+  std::snprintf(buf, sizeof(buf),
+                "%-14s %10.3f %12.3f %12.3f %12.3f %12.3f %10.2f %9s",
                 result.method.c_str(), result.avg_pruning_power,
-                result.avg_seconds * 1000.0, result.speedup,
-                result.lossless ? "yes" : "NO");
+                result.avg_seconds * 1000.0, result.p50_seconds * 1000.0,
+                result.p95_seconds * 1000.0, result.max_seconds * 1000.0,
+                result.speedup, result.lossless ? "yes" : "NO");
   return buf;
 }
 

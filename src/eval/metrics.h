@@ -19,6 +19,13 @@ struct WorkloadResult {
   double avg_pruning_power = 0.0;
   /// Mean wall-clock seconds per query.
   double avg_seconds = 0.0;
+  /// Latency distribution over the workload (nearest-rank percentiles of
+  /// the per-query wall-clock times): median, 95th percentile, and the
+  /// slowest query. Tail latency is what a pruning filter actually buys —
+  /// the mean hides the queries the filter failed to prune.
+  double p50_seconds = 0.0;
+  double p95_seconds = 0.0;
+  double max_seconds = 0.0;
   /// Sequential-scan mean seconds / this method's mean seconds
   /// (0 when no baseline was supplied).
   double speedup = 0.0;
@@ -44,6 +51,15 @@ std::vector<KnnResult> RunGroundTruth(const QueryEngine& engine,
 
 /// Mean per-query seconds of a set of results.
 double MeanSeconds(const std::vector<KnnResult>& results);
+
+/// Nearest-rank percentile (q in [0, 1]) of a list of per-query latencies;
+/// 0 when the list is empty. q = 0.5 is the median, q = 1.0 the max.
+double LatencyPercentile(std::vector<double> seconds, double q);
+
+/// Fills the p50/p95/max latency fields of `result` from raw per-query
+/// times (one entry per query, any order).
+void FillLatencyPercentiles(WorkloadResult* result,
+                            std::vector<double> seconds);
 
 /// Draws `count` query trajectories from the dataset, evenly spaced (the
 /// paper probes with queries from the data distribution).

@@ -42,14 +42,8 @@ CombinedKnnSearcher::CombinedKnnSearcher(const TrajectoryDataset& db,
       options_(options),
       histograms_(db, epsilon, options.histogram_kind,
                   options.histogram_delta),
-      matrix_(std::move(matrix)) {
-  sorted_means_.reserve(db_.size());
-  for (const Trajectory& t : db_) {
-    std::vector<Point2> means = MeanValueQgrams(t, options_.q);
-    SortMeans(means);
-    sorted_means_.push_back(std::move(means));
-  }
-}
+      qgram_means_(db, options.q, /*dims=*/2),
+      matrix_(std::move(matrix)) {}
 
 KnnResult CombinedKnnSearcher::Knn(const Trajectory& query, size_t k) const {
   const auto start = std::chrono::steady_clock::now();
@@ -63,18 +57,17 @@ KnnResult CombinedKnnSearcher::Knn(const Trajectory& query, size_t k) const {
       options_.order[0] == PruneStep::kHistogram &&
       options_.sorted_histogram_scan;
 
+  // Every prune order contains the histogram step, so all fast lower
+  // bounds are produced up front by one vectorized sweep — far cheaper
+  // than per-row calls even for ids a preceding filter would have pruned.
   // When the histogram filter runs first (and sorted scanning is enabled)
-  // we adopt the HSR strategy: all fast lower bounds up front, candidates
-  // in ascending-bound order, hard stop at the first bound above the k-th
-  // distance.
+  // we additionally adopt the HSR strategy: candidates in ascending-bound
+  // order, hard stop at the first bound above the k-th distance.
   std::vector<int> bounds;
+  histograms_.FastLowerBoundSweep(qh, &bounds);
   std::vector<uint32_t> order(db_.size());
   std::iota(order.begin(), order.end(), 0);
   if (histogram_first) {
-    bounds.resize(db_.size());
-    for (size_t i = 0; i < db_.size(); ++i) {
-      bounds[i] = histograms_.FastLowerBound(qh, static_cast<uint32_t>(i));
-    }
     std::sort(order.begin(), order.end(), [&bounds](uint32_t a, uint32_t b) {
       return bounds[a] < bounds[b];
     });
@@ -99,9 +92,7 @@ KnnResult CombinedKnnSearcher::Knn(const Trajectory& query, size_t k) const {
           // The linear-time transport bound; the exact max-flow bound adds
           // almost no pruning at many times the cost (see bench_ablation)
           // and is not consulted on the query path.
-          const double fast = static_cast<double>(
-              histogram_first ? bounds[id]
-                              : histograms_.FastLowerBound(qh, id));
+          const double fast = static_cast<double>(bounds[id]);
           if (fast > best) {
             pruned = true;
             // In sorted order every remaining fast bound is >= this one.
@@ -115,8 +106,8 @@ KnnResult CombinedKnnSearcher::Knn(const Trajectory& query, size_t k) const {
           const long threshold = QgramCountThreshold(
               query.size(), s.size(), options_.q, best_k);
           if (threshold <= 0) break;
-          const long count = static_cast<long>(CountMatchingMeans2D(
-              query_means, sorted_means_[id], epsilon_));
+          const long count = static_cast<long>(
+              qgram_means_.CountMatches2D(query_means, epsilon_, id));
           if (count < threshold) pruned = true;
           break;
         }
@@ -170,13 +161,10 @@ KnnResult CombinedKnnSearcher::Range(const Trajectory& query,
       options_.order[0] == PruneStep::kHistogram &&
       options_.sorted_histogram_scan;
   std::vector<int> bounds;
+  histograms_.FastLowerBoundSweep(qh, &bounds);
   std::vector<uint32_t> order(db_.size());
   std::iota(order.begin(), order.end(), 0);
   if (histogram_first) {
-    bounds.resize(db_.size());
-    for (size_t i = 0; i < db_.size(); ++i) {
-      bounds[i] = histograms_.FastLowerBound(qh, static_cast<uint32_t>(i));
-    }
     std::sort(order.begin(), order.end(), [&bounds](uint32_t a, uint32_t b) {
       return bounds[a] < bounds[b];
     });
@@ -196,9 +184,7 @@ KnnResult CombinedKnnSearcher::Range(const Trajectory& query,
     for (const PruneStep step : options_.order) {
       switch (step) {
         case PruneStep::kHistogram: {
-          const int fast = histogram_first
-                               ? bounds[id]
-                               : histograms_.FastLowerBound(qh, id);
+          const int fast = bounds[id];
           if (fast > radius) {
             pruned = true;
             if (histogram_first) stop_scan = true;
@@ -209,8 +195,8 @@ KnnResult CombinedKnnSearcher::Range(const Trajectory& query,
           const long threshold = QgramCountThreshold(
               query.size(), s.size(), options_.q, radius);
           if (threshold <= 0) break;
-          const long count = static_cast<long>(CountMatchingMeans2D(
-              query_means, sorted_means_[id], epsilon_));
+          const long count = static_cast<long>(
+              qgram_means_.CountMatches2D(query_means, epsilon_, id));
           if (count < threshold) pruned = true;
           break;
         }

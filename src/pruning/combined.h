@@ -9,6 +9,7 @@
 #include "core/dataset.h"
 #include "pruning/histogram.h"
 #include "pruning/near_triangle.h"
+#include "pruning/qgram.h"
 #include "query/knn.h"
 
 namespace edr {
@@ -84,7 +85,7 @@ class CombinedKnnSearcher {
   double epsilon_;
   CombinedOptions options_;
   HistogramTable histograms_;
-  std::vector<std::vector<Point2>> sorted_means_;  // per-trajectory Q-grams
+  QgramMeansTable qgram_means_;  // flat sorted per-trajectory Q-gram means
   PairwiseEdrMatrix matrix_;
 };
 

@@ -7,6 +7,11 @@
 #include <queue>
 #include <unordered_map>
 
+#if defined(__SSE2__) && !defined(EDR_DISABLE_SIMD)
+#include <emmintrin.h>
+#define EDR_HISTOGRAM_SIMD 1
+#endif
+
 namespace edr {
 
 namespace {
@@ -187,45 +192,94 @@ std::vector<std::pair<int, int>> SparseOf(const std::vector<int>& h) {
   return bins;
 }
 
-/// One side of the linear transport upper bound, sparse occupied list
-/// against a dense counterpart, 3x3 grid neighborhoods. Hand-rolled loops:
-/// this is the hottest filter in the combined searchers.
-int SideBound2D(const std::vector<std::pair<int, int>>& from,
-                const std::vector<int>& to_dense, int nx, int ny) {
-  int bound = 0;
-  for (const auto& [bin, count] : from) {
-    const int bx = bin % nx;
-    const int by = bin / nx;
-    int reachable = 0;
-    for (int dy = -1; dy <= 1; ++dy) {
-      const int y = by + dy;
-      if (y < 0 || y >= ny) continue;
-      const int row = y * nx;
-      const int x_lo = bx > 0 ? bx - 1 : 0;
-      const int x_hi = bx < nx - 1 ? bx + 1 : nx - 1;
-      for (int x = x_lo; x <= x_hi; ++x) {
-        reachable += to_dense[static_cast<size_t>(row + x)];
-      }
+/// Dense neighborhood sums: nbr[b] = total mass of `h` over b's
+/// same-or-adjacent bins, computed separably (a horizontal 3-window pass,
+/// then a vertical one; ny == 1 degenerates to the path neighborhood).
+std::vector<int32_t> NeighborhoodSums(const std::vector<int>& h, int nx,
+                                      int ny) {
+  std::vector<int32_t> hsum(h.size());
+  for (int y = 0; y < ny; ++y) {
+    const int row = y * nx;
+    for (int x = 0; x < nx; ++x) {
+      int32_t s = h[static_cast<size_t>(row + x)];
+      if (x > 0) s += h[static_cast<size_t>(row + x - 1)];
+      if (x < nx - 1) s += h[static_cast<size_t>(row + x + 1)];
+      hsum[static_cast<size_t>(row + x)] = s;
     }
-    bound += std::min(count, reachable);
   }
-  return bound;
+  if (ny == 1) return hsum;
+  std::vector<int32_t> nbr(h.size());
+  for (int y = 0; y < ny; ++y) {
+    const int row = y * nx;
+    for (int x = 0; x < nx; ++x) {
+      int32_t s = hsum[static_cast<size_t>(row + x)];
+      if (y > 0) s += hsum[static_cast<size_t>(row - nx + x)];
+      if (y < ny - 1) s += hsum[static_cast<size_t>(row + nx + x)];
+      nbr[static_cast<size_t>(row + x)] = s;
+    }
+  }
+  return nbr;
 }
 
-/// 1-D analogue of SideBound2D (path neighborhoods).
-int SideBound1D(const std::vector<std::pair<int, int>>& from,
-                const std::vector<int>& to_dense) {
-  const int n = static_cast<int>(to_dense.size());
-  int bound = 0;
-  for (const auto& [bin, count] : from) {
-    int reachable = 0;
-    for (int b = std::max(0, bin - 1); b <= std::min(n - 1, bin + 1); ++b) {
-      reachable += to_dense[static_cast<size_t>(b)];
-    }
-    bound += std::min(count, reachable);
-  }
-  return bound;
+// ---------------------------------------------------------------------------
+// Sweep kernels. The dense ("side A") half of the fast bound sums up to
+// nine bin-major columns element-wise across a block of trajectory ids,
+// then clamps by the query bin's mass — pure int32 lane arithmetic, so the
+// SSE2 and scalar versions produce identical integers in any order.
+// ---------------------------------------------------------------------------
+
+/// Ids per cache block: 3 int32 stack arrays of this size (~12 KB) plus
+/// the active column segments stay L1/L2-resident while every query bin
+/// streams over the block.
+constexpr size_t kSweepBlock = 1024;
+
+inline void AddColumnScalar(const int32_t* col, int32_t* acc, size_t len) {
+  for (size_t i = 0; i < len; ++i) acc[i] += col[i];
 }
+
+inline void MinCapAccumScalar(int32_t cap, const int32_t* acc, int32_t* a,
+                              size_t len) {
+  for (size_t i = 0; i < len; ++i) a[i] += std::min(cap, acc[i]);
+}
+
+#if defined(EDR_HISTOGRAM_SIMD)
+
+inline __m128i MinI32(__m128i a, __m128i b) {
+  // SSE2 has no epi32 min; compose it from a compare mask (SSE4.1's
+  // pminsd computes exactly this).
+  const __m128i lt = _mm_cmplt_epi32(a, b);
+  return _mm_or_si128(_mm_and_si128(lt, a), _mm_andnot_si128(lt, b));
+}
+
+inline void AddColumnSimd(const int32_t* col, int32_t* acc, size_t len) {
+  size_t i = 0;
+  for (; i + 4 <= len; i += 4) {
+    const __m128i c =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(col + i));
+    const __m128i a =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(acc + i),
+                     _mm_add_epi32(a, c));
+  }
+  for (; i < len; ++i) acc[i] += col[i];
+}
+
+inline void MinCapAccumSimd(int32_t cap, const int32_t* acc, int32_t* a,
+                            size_t len) {
+  const __m128i vcap = _mm_set1_epi32(cap);
+  size_t i = 0;
+  for (; i + 4 <= len; i += 4) {
+    const __m128i r =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc + i));
+    const __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(a + i),
+                     _mm_add_epi32(s, MinI32(vcap, r)));
+  }
+  for (; i < len; ++i) a[i] += std::min(cap, acc[i]);
+}
+
+#endif  // defined(EDR_HISTOGRAM_SIMD)
 
 }  // namespace
 
@@ -359,32 +413,74 @@ int HistogramDistance1DFast(const std::vector<int>& hr,
                              });
 }
 
+namespace {
+
+/// Builds one flat SoA table: dense counts scattered into the bin-major
+/// block, sparse (bin, count) lists appended to the flat posting arrays.
+/// `build_one(t)` produces the dense histogram of a single trajectory.
+template <typename BuildOneFn>
+void BuildFlatTable(const TrajectoryDataset& db, int nx, int ny,
+                    BuildOneFn&& build_one, std::vector<int32_t>* dense,
+                    std::vector<int32_t>* sparse_bins,
+                    std::vector<int32_t>* sparse_counts,
+                    std::vector<uint32_t>* sparse_offsets) {
+  const size_t n = db.size();
+  const size_t num_bins = static_cast<size_t>(nx) * static_cast<size_t>(ny);
+  dense->assign(num_bins * n, 0);
+  sparse_offsets->reserve(n + 1);
+  sparse_offsets->push_back(0);
+  for (size_t id = 0; id < n; ++id) {
+    const std::vector<int> h = build_one(db[id]);
+    for (size_t b = 0; b < h.size(); ++b) {
+      if (h[b] == 0) continue;
+      (*dense)[b * n + id] = h[b];
+      sparse_bins->push_back(static_cast<int32_t>(b));
+      sparse_counts->push_back(h[b]);
+    }
+    sparse_offsets->push_back(static_cast<uint32_t>(sparse_bins->size()));
+  }
+}
+
+}  // namespace
+
 HistogramTable::HistogramTable(const TrajectoryDataset& db, double epsilon,
                                Kind kind, int delta)
     : kind_(kind), delta_(std::max(1, delta)) {
   grid_ = HistogramGrid::For(db.Stats(), epsilon * delta_);
   totals_.reserve(db.size());
   for (const Trajectory& t : db) {
-    totals_.push_back(static_cast<int>(t.size()));
+    totals_.push_back(static_cast<int32_t>(t.size()));
   }
   if (kind_ == Kind::k2D) {
-    h2d_.reserve(db.size());
-    sparse_2d_.reserve(db.size());
-    for (const Trajectory& t : db) {
-      h2d_.push_back(BuildHistogram2D(t, grid_));
-      sparse_2d_.push_back(SparseOf(h2d_.back()));
-    }
+    flat_2d_.nx = grid_.nx;
+    flat_2d_.ny = grid_.ny;
+    flat_2d_.n = db.size();
+    BuildFlatTable(
+        db, grid_.nx, grid_.ny,
+        [this](const Trajectory& t) { return BuildHistogram2D(t, grid_); },
+        &flat_2d_.dense, &flat_2d_.sparse_bins,
+        &flat_2d_.sparse_counts, &flat_2d_.sparse_offsets);
   } else {
-    hx_.reserve(db.size());
-    hy_.reserve(db.size());
-    sparse_x_.reserve(db.size());
-    sparse_y_.reserve(db.size());
-    for (const Trajectory& t : db) {
-      hx_.push_back(BuildHistogram1D(t, grid_, /*use_x=*/true));
-      hy_.push_back(BuildHistogram1D(t, grid_, /*use_x=*/false));
-      sparse_x_.push_back(SparseOf(hx_.back()));
-      sparse_y_.push_back(SparseOf(hy_.back()));
-    }
+    flat_x_.nx = grid_.nx;
+    flat_x_.ny = 1;
+    flat_x_.n = db.size();
+    BuildFlatTable(
+        db, grid_.nx, 1,
+        [this](const Trajectory& t) {
+          return BuildHistogram1D(t, grid_, /*use_x=*/true);
+        },
+        &flat_x_.dense, &flat_x_.sparse_bins,
+        &flat_x_.sparse_counts, &flat_x_.sparse_offsets);
+    flat_y_.nx = grid_.ny;  // the y subranges laid out as a 1-row grid
+    flat_y_.ny = 1;
+    flat_y_.n = db.size();
+    BuildFlatTable(
+        db, grid_.ny, 1,
+        [this](const Trajectory& t) {
+          return BuildHistogram1D(t, grid_, /*use_x=*/false);
+        },
+        &flat_y_.dense, &flat_y_.sparse_bins,
+        &flat_y_.sparse_counts, &flat_y_.sparse_offsets);
   }
 }
 
@@ -395,41 +491,251 @@ HistogramTable::QueryHistogram HistogramTable::MakeQueryHistogram(
   if (kind_ == Kind::k2D) {
     qh.h2d = BuildHistogram2D(query, grid_);
     qh.sparse_2d = SparseOf(qh.h2d);
+    qh.nbr_2d = NeighborhoodSums(qh.h2d, grid_.nx, grid_.ny);
   } else {
     qh.hx = BuildHistogram1D(query, grid_, /*use_x=*/true);
     qh.hy = BuildHistogram1D(query, grid_, /*use_x=*/false);
     qh.sparse_x = SparseOf(qh.hx);
     qh.sparse_y = SparseOf(qh.hy);
+    qh.nbr_x = NeighborhoodSums(qh.hx, grid_.nx, 1);
+    qh.nbr_y = NeighborhoodSums(qh.hy, grid_.ny, 1);
   }
   return qh;
 }
 
+namespace {
+
+/// Rebuilds the occupied-bin list of one trajectory from its flat sparse
+/// slice (exact-bound path only; the fast paths read the slice in place).
+std::vector<OccupiedBin> OccupiedFromSlice(const std::vector<int32_t>& bins,
+                                           const std::vector<int32_t>& counts,
+                                           uint32_t begin, uint32_t end) {
+  std::vector<OccupiedBin> out;
+  out.reserve(end - begin);
+  for (uint32_t e = begin; e < end; ++e) {
+    out.push_back({bins[e], counts[e]});
+  }
+  return out;
+}
+
+std::vector<OccupiedBin> OccupiedFromPairs(
+    const std::vector<std::pair<int, int>>& sparse) {
+  std::vector<OccupiedBin> out;
+  out.reserve(sparse.size());
+  for (const auto& [bin, count] : sparse) out.push_back({bin, count});
+  return out;
+}
+
+}  // namespace
+
 int HistogramTable::LowerBound(const QueryHistogram& query,
                                uint32_t id) const {
   if (kind_ == Kind::k2D) {
-    return HistogramDistance2D(query.h2d, h2d_[id], grid_);
+    return TransportDistance(
+        OccupiedFromPairs(query.sparse_2d),
+        OccupiedFromSlice(flat_2d_.sparse_bins, flat_2d_.sparse_counts,
+                          flat_2d_.sparse_offsets[id],
+                          flat_2d_.sparse_offsets[id + 1]),
+        GridNeighbors(grid_));
   }
   // Each per-dimension HD lower-bounds EDR (Corollary 1); take the max.
-  const int dx = HistogramDistance1D(query.hx, hx_[id]);
-  const int dy = HistogramDistance1D(query.hy, hy_[id]);
+  const auto path = [](int bin, const std::function<void(int)>& emit) {
+    emit(bin - 1);
+    emit(bin);
+    emit(bin + 1);
+  };
+  const int dx = TransportDistance(
+      OccupiedFromPairs(query.sparse_x),
+      OccupiedFromSlice(flat_x_.sparse_bins, flat_x_.sparse_counts,
+                        flat_x_.sparse_offsets[id],
+                        flat_x_.sparse_offsets[id + 1]),
+      path);
+  const int dy = TransportDistance(
+      OccupiedFromPairs(query.sparse_y),
+      OccupiedFromSlice(flat_y_.sparse_bins, flat_y_.sparse_counts,
+                        flat_y_.sparse_offsets[id],
+                        flat_y_.sparse_offsets[id + 1]),
+      path);
   return std::max(dx, dy);
 }
 
+namespace {
+
+/// One trajectory's linear transport upper bound against the query, off
+/// the flat tables: min over the two sides of the relaxation. Shared by
+/// the per-row FastLowerBound; the sweep computes identical integers
+/// block-wise.
+int TransportSideScalar(const HistogramTable::QueryHistogram& /*unused*/,
+                        const std::vector<std::pair<int, int>>& q_sparse,
+                        const std::vector<int32_t>& qnbr, int nx, int ny,
+                        size_t n, const std::vector<int32_t>& dense,
+                        const std::vector<int32_t>& sparse_bins,
+                        const std::vector<int32_t>& sparse_counts,
+                        uint32_t begin, uint32_t end, uint32_t id) {
+  // Side A: query bins against the trajectory's dense neighborhood mass.
+  int side_a = 0;
+  for (const auto& [qbin, qcount] : q_sparse) {
+    const int bx = qbin % nx;
+    const int by = qbin / nx;
+    int32_t reach = 0;
+    const int y_lo = by > 0 ? by - 1 : 0;
+    const int y_hi = by < ny - 1 ? by + 1 : ny - 1;
+    const int x_lo = bx > 0 ? bx - 1 : 0;
+    const int x_hi = bx < nx - 1 ? bx + 1 : nx - 1;
+    for (int y = y_lo; y <= y_hi; ++y) {
+      for (int x = x_lo; x <= x_hi; ++x) {
+        reach += dense[static_cast<size_t>(y * nx + x) * n + id];
+      }
+    }
+    side_a += std::min(qcount, static_cast<int>(reach));
+  }
+  // Side B: the trajectory's occupied bins against the query's
+  // precomputed neighborhood sums.
+  int side_b = 0;
+  for (uint32_t e = begin; e < end; ++e) {
+    side_b += std::min(sparse_counts[e],
+                       qnbr[static_cast<size_t>(sparse_bins[e])]);
+  }
+  return std::min(side_a, side_b);
+}
+
+}  // namespace
+
 int HistogramTable::FastLowerBound(const QueryHistogram& query,
                                    uint32_t id) const {
-  const int longer = std::max(query.total, totals_[id]);
+  const int longer = std::max(query.total, static_cast<int>(totals_[id]));
   if (kind_ == Kind::k2D) {
-    const int transport =
-        std::min(SideBound2D(query.sparse_2d, h2d_[id], grid_.nx, grid_.ny),
-                 SideBound2D(sparse_2d_[id], query.h2d, grid_.nx, grid_.ny));
+    const int transport = TransportSideScalar(
+        query, query.sparse_2d, query.nbr_2d, flat_2d_.nx, flat_2d_.ny,
+        flat_2d_.n, flat_2d_.dense, flat_2d_.sparse_bins,
+        flat_2d_.sparse_counts, flat_2d_.sparse_offsets[id],
+        flat_2d_.sparse_offsets[id + 1], id);
     return longer - transport;
   }
-  const int tx = std::min(SideBound1D(query.sparse_x, hx_[id]),
-                          SideBound1D(sparse_x_[id], query.hx));
-  const int ty = std::min(SideBound1D(query.sparse_y, hy_[id]),
-                          SideBound1D(sparse_y_[id], query.hy));
+  const int tx = TransportSideScalar(
+      query, query.sparse_x, query.nbr_x, flat_x_.nx, 1, flat_x_.n,
+      flat_x_.dense, flat_x_.sparse_bins, flat_x_.sparse_counts,
+      flat_x_.sparse_offsets[id], flat_x_.sparse_offsets[id + 1], id);
+  const int ty = TransportSideScalar(
+      query, query.sparse_y, query.nbr_y, flat_y_.nx, 1, flat_y_.n,
+      flat_y_.dense, flat_y_.sparse_bins, flat_y_.sparse_counts,
+      flat_y_.sparse_offsets[id], flat_y_.sparse_offsets[id + 1], id);
   // Each per-dimension bound is a valid EDR lower bound; take the max.
   return std::max(longer - tx, longer - ty);
+}
+
+namespace {
+
+/// min(side A, side B) of the linear transport bound for every id in the
+/// block [i0, i0 + len), len <= kSweepBlock. Side A streams bin-major
+/// columns (SIMD when `use_simd`); side B walks the flat sparse slices.
+void TransportBlock(int nx, int ny, size_t n,
+                    const std::vector<int32_t>& dense,
+                    const std::vector<int32_t>& sparse_bins,
+                    const std::vector<int32_t>& sparse_counts,
+                    const std::vector<uint32_t>& sparse_offsets,
+                    const std::vector<std::pair<int, int>>& q_sparse,
+                    const std::vector<int32_t>& qnbr, bool use_simd,
+                    size_t i0, size_t len, int32_t* out) {
+  alignas(16) int32_t acc[kSweepBlock];
+  alignas(16) int32_t side_a[kSweepBlock];
+  std::fill_n(side_a, len, 0);
+#if !defined(EDR_HISTOGRAM_SIMD)
+  (void)use_simd;
+#endif
+  for (const auto& [qbin, qcount] : q_sparse) {
+    std::fill_n(acc, len, 0);
+    const int bx = qbin % nx;
+    const int by = qbin / nx;
+    const int y_lo = by > 0 ? by - 1 : 0;
+    const int y_hi = by < ny - 1 ? by + 1 : ny - 1;
+    const int x_lo = bx > 0 ? bx - 1 : 0;
+    const int x_hi = bx < nx - 1 ? bx + 1 : nx - 1;
+    for (int y = y_lo; y <= y_hi; ++y) {
+      for (int x = x_lo; x <= x_hi; ++x) {
+        const int32_t* col =
+            dense.data() + static_cast<size_t>(y * nx + x) * n + i0;
+#if defined(EDR_HISTOGRAM_SIMD)
+        if (use_simd) {
+          AddColumnSimd(col, acc, len);
+        } else {
+          AddColumnScalar(col, acc, len);
+        }
+#else
+        AddColumnScalar(col, acc, len);
+#endif
+      }
+    }
+#if defined(EDR_HISTOGRAM_SIMD)
+    if (use_simd) {
+      MinCapAccumSimd(qcount, acc, side_a, len);
+    } else {
+      MinCapAccumScalar(qcount, acc, side_a, len);
+    }
+#else
+    MinCapAccumScalar(qcount, acc, side_a, len);
+#endif
+  }
+  for (size_t j = 0; j < len; ++j) {
+    const size_t id = i0 + j;
+    int32_t side_b = 0;
+    for (uint32_t e = sparse_offsets[id]; e < sparse_offsets[id + 1]; ++e) {
+      side_b += std::min(sparse_counts[e],
+                         qnbr[static_cast<size_t>(sparse_bins[e])]);
+    }
+    out[j] = std::min(side_a[j], side_b);
+  }
+}
+
+}  // namespace
+
+void HistogramTable::SweepImpl(const QueryHistogram& query, bool use_simd,
+                               std::vector<int>* out) const {
+  const size_t n = totals_.size();
+  out->resize(n);
+  for (size_t i0 = 0; i0 < n; i0 += kSweepBlock) {
+    const size_t len = std::min(kSweepBlock, n - i0);
+    if (kind_ == Kind::k2D) {
+      alignas(16) int32_t t[kSweepBlock];
+      TransportBlock(flat_2d_.nx, flat_2d_.ny, n, flat_2d_.dense,
+                     flat_2d_.sparse_bins, flat_2d_.sparse_counts,
+                     flat_2d_.sparse_offsets, query.sparse_2d, query.nbr_2d,
+                     use_simd, i0, len, t);
+      for (size_t j = 0; j < len; ++j) {
+        const int longer =
+            std::max(query.total, static_cast<int>(totals_[i0 + j]));
+        (*out)[i0 + j] = longer - t[j];
+      }
+    } else {
+      alignas(16) int32_t tx[kSweepBlock];
+      alignas(16) int32_t ty[kSweepBlock];
+      TransportBlock(flat_x_.nx, 1, n, flat_x_.dense, flat_x_.sparse_bins,
+                     flat_x_.sparse_counts, flat_x_.sparse_offsets,
+                     query.sparse_x, query.nbr_x, use_simd, i0, len, tx);
+      TransportBlock(flat_y_.nx, 1, n, flat_y_.dense, flat_y_.sparse_bins,
+                     flat_y_.sparse_counts, flat_y_.sparse_offsets,
+                     query.sparse_y, query.nbr_y, use_simd, i0, len, ty);
+      for (size_t j = 0; j < len; ++j) {
+        const int longer =
+            std::max(query.total, static_cast<int>(totals_[i0 + j]));
+        (*out)[i0 + j] = std::max(longer - tx[j], longer - ty[j]);
+      }
+    }
+  }
+}
+
+void HistogramTable::FastLowerBoundSweep(const QueryHistogram& query,
+                                         std::vector<int>* out) const {
+#if defined(EDR_HISTOGRAM_SIMD)
+  SweepImpl(query, /*use_simd=*/true, out);
+#else
+  SweepImpl(query, /*use_simd=*/false, out);
+#endif
+}
+
+void HistogramTable::FastLowerBoundSweepScalar(const QueryHistogram& query,
+                                               std::vector<int>* out) const {
+  SweepImpl(query, /*use_simd=*/false, out);
 }
 
 int HistogramTable::LowerBound(const Trajectory& query, uint32_t id) const {

@@ -2,6 +2,8 @@
 #define EDR_PRUNING_HISTOGRAM_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/dataset.h"
@@ -90,6 +92,16 @@ int HistogramDistance1DFast(const std::vector<int>& hr,
 
 /// Precomputed histograms for a whole dataset, shared by the histogram
 /// searchers and the combined searcher.
+///
+/// Storage is one flat structure-of-arrays block per dimension, not one
+/// vector per trajectory:
+///
+///  - dense counts live *bin-major* (`dense[bin * n + id]`), so the value
+///    of one bin across the whole database is a contiguous int32 column —
+///    the layout FastLowerBoundSweep streams over with SIMD;
+///  - the occupied (bin, count) lists of all trajectories are concatenated
+///    into two parallel flat arrays sliced by per-trajectory offsets, so a
+///    database-order scan of the sparse side never chases pointers.
 class HistogramTable {
  public:
   enum class Kind {
@@ -108,8 +120,11 @@ class HistogramTable {
   int LowerBound(const Trajectory& query, uint32_t id) const;
 
   /// Precomputes the query-side histogram once; returns an opaque handle.
-  /// Each histogram is kept both dense (for the exact bound) and as a
-  /// sparse (bin, count) list (for the linear fast bound).
+  /// Each histogram is kept dense (for the exact bound), as a sparse
+  /// (bin, count) list, and as the dense *neighborhood-sum* array
+  /// `nbr_*[b] = sum of the histogram over b's same-or-adjacent bins`,
+  /// which turns the per-bin reachable-mass term of the fast bound into a
+  /// single lookup.
   struct QueryHistogram {
     std::vector<int> h2d;
     std::vector<int> hx;
@@ -117,6 +132,9 @@ class HistogramTable {
     std::vector<std::pair<int, int>> sparse_2d;
     std::vector<std::pair<int, int>> sparse_x;
     std::vector<std::pair<int, int>> sparse_y;
+    std::vector<int32_t> nbr_2d;
+    std::vector<int32_t> nbr_x;
+    std::vector<int32_t> nbr_y;
     int total = 0;
   };
   QueryHistogram MakeQueryHistogram(const Trajectory& query) const;
@@ -126,21 +144,52 @@ class HistogramTable {
   /// EDR lower bound); used as a first-stage filter by the searchers.
   int FastLowerBound(const QueryHistogram& query, uint32_t id) const;
 
+  /// FastLowerBound for the *entire database* in one cache-blocked pass:
+  /// `(*out)[id] == FastLowerBound(query, id)` for every id, bit for bit.
+  /// The dense side of the bound is evaluated column-wise over the
+  /// bin-major block (SSE2-vectorized where available), the sparse side
+  /// as a linear scan of the flat posting arrays — this is what HSE/HSR
+  /// and the combined searcher consume instead of n per-row calls.
+  void FastLowerBoundSweep(const QueryHistogram& query,
+                           std::vector<int>* out) const;
+
+  /// Portable scalar reference for FastLowerBoundSweep: identical results
+  /// on every platform (and the only path when SSE2 is unavailable or
+  /// EDR_DISABLE_SIMD is defined). Exposed so tests can certify the SIMD
+  /// sweep bit-identical.
+  void FastLowerBoundSweepScalar(const QueryHistogram& query,
+                                 std::vector<int>* out) const;
+
   Kind kind() const { return kind_; }
   int delta() const { return delta_; }
   const HistogramGrid& grid() const { return grid_; }
+  size_t size() const { return totals_.size(); }
 
  private:
+  /// Flat SoA storage for one histogram dimension (the 2-D grid, or the
+  /// x / y subranges). `nx * ny` spans the bin space; 1-D tables use
+  /// ny == 1, which makes the shared 3x3-clamped neighborhood enumeration
+  /// degenerate to the path neighborhood.
+  struct FlatHistograms {
+    int nx = 0;
+    int ny = 1;
+    size_t n = 0;
+    std::vector<int32_t> dense;            ///< bin-major: dense[b * n + id]
+    std::vector<int32_t> sparse_bins;      ///< concatenated occupied bins
+    std::vector<int32_t> sparse_counts;    ///< parallel counts
+    std::vector<uint32_t> sparse_offsets;  ///< n + 1 slice boundaries
+  };
+
+  void SweepImpl(const QueryHistogram& query, bool use_simd,
+                 std::vector<int>* out) const;
+
   Kind kind_;
   int delta_;
   HistogramGrid grid_;
-  std::vector<std::vector<int>> h2d_;
-  std::vector<std::vector<int>> hx_;
-  std::vector<std::vector<int>> hy_;
-  std::vector<std::vector<std::pair<int, int>>> sparse_2d_;
-  std::vector<std::vector<std::pair<int, int>>> sparse_x_;
-  std::vector<std::vector<std::pair<int, int>>> sparse_y_;
-  std::vector<int> totals_;
+  FlatHistograms flat_2d_;
+  FlatHistograms flat_x_;
+  FlatHistograms flat_y_;
+  std::vector<int32_t> totals_;
 };
 
 }  // namespace edr

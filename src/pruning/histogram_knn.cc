@@ -28,14 +28,20 @@ KnnResult HistogramKnnSearcher::Knn(const Trajectory& query,
   KnnResultList result(k);
   size_t computed = 0;
 
+  // Both scans consume the whole bound array anyway, so it is produced by
+  // one vectorized sweep over the flat tables instead of n per-row calls.
+  // (The exact max-flow bound prunes almost nothing beyond the fast bound
+  // at ~25x the cost, so the searchers do not consult it; see
+  // bench_ablation for the measured tightness gap.)
+  std::vector<int> bounds;
+  table_.FastLowerBoundSweep(qh, &bounds);
+
   if (scan_ == HistogramScan::kSequential) {
     // HSE: one pass in database order, filtering with the linear-time
-    // transport bound. (The exact max-flow bound prunes almost nothing
-    // beyond it at ~25x the cost, so the searchers do not consult it; see
-    // bench_ablation for the measured tightness gap.)
+    // transport bound.
     for (const Trajectory& s : db_) {
       const double best = result.KthDistance();
-      if (static_cast<double>(table_.FastLowerBound(qh, s.id())) > best) {
+      if (static_cast<double>(bounds[s.id()]) > best) {
         continue;
       }
       const double dist = static_cast<double>(
@@ -45,13 +51,9 @@ KnnResult HistogramKnnSearcher::Knn(const Trajectory& query,
       result.Offer(s.id(), dist);
     }
   } else {
-    // HSR: compute every (fast) lower bound, then visit in ascending
-    // order; the scan stops outright once the bound exceeds the k-th
-    // distance — every later candidate has an even larger bound.
-    std::vector<int> bounds(db_.size());
-    for (size_t i = 0; i < db_.size(); ++i) {
-      bounds[i] = table_.FastLowerBound(qh, static_cast<uint32_t>(i));
-    }
+    // HSR: visit candidates in ascending bound order; the scan stops
+    // outright once the bound exceeds the k-th distance — every later
+    // candidate has an even larger bound.
     std::vector<uint32_t> order(db_.size());
     std::iota(order.begin(), order.end(), 0);
     std::sort(order.begin(), order.end(), [&bounds](uint32_t a, uint32_t b) {
@@ -96,10 +98,12 @@ KnnResult HistogramKnnSearcher::Range(const Trajectory& query,
 
   const EdrKernel kernel = DefaultEdrKernel();
   EdrScratch& scratch = ThreadLocalEdrScratch();
+  std::vector<int> bounds;
+  table_.FastLowerBoundSweep(qh, &bounds);
   KnnResult out;
   size_t computed = 0;
   for (const Trajectory& s : db_) {
-    if (table_.FastLowerBound(qh, s.id()) > radius) continue;
+    if (bounds[s.id()] > radius) continue;
     const int dist =
         EdrDistanceBoundedWith(kernel, scratch, query, s, epsilon_, radius);
     ++computed;

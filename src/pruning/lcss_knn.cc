@@ -14,14 +14,8 @@ LcssKnnSearcher::LcssKnnSearcher(const TrajectoryDataset& db, double epsilon,
     : db_(db),
       epsilon_(epsilon),
       filter_(filter),
-      histograms_(db, epsilon, HistogramTable::Kind::k2D, 1) {
-  sorted_means_.reserve(db_.size());
-  for (const Trajectory& t : db_) {
-    std::vector<Point2> means = MeanValueQgrams(t, 1);
-    SortMeans(means);
-    sorted_means_.push_back(std::move(means));
-  }
-}
+      histograms_(db, epsilon, HistogramTable::Kind::k2D, 1),
+      qgram_means_(db, /*q=*/1, /*dims=*/2) {}
 
 KnnResult LcssKnnSearcher::Knn(const Trajectory& query, size_t k) const {
   const auto start = std::chrono::steady_clock::now();
@@ -55,14 +49,15 @@ KnnResult LcssKnnSearcher::Knn(const Trajectory& query, size_t k) const {
   std::vector<uint32_t> order(db_.size());
   std::iota(order.begin(), order.end(), 0);
   if (use_histogram) {
+    std::vector<int> edr_bounds;
+    histograms_.FastLowerBoundSweep(qh, &edr_bounds);
     bounds.resize(db_.size());
     for (size_t i = 0; i < db_.size(); ++i) {
       const size_t n = db_[i].size();
-      // FastLowerBound returns max(m, n) - U with U >= T* >= LCSS; recover
+      // The sweep returns max(m, n) - U with U >= T* >= LCSS; recover
       // the score cap U (clamped to min(m, n) inside distance_bound).
       const long total = static_cast<long>(std::max(m, n));
-      const long transport_cap =
-          total - histograms_.FastLowerBound(qh, static_cast<uint32_t>(i));
+      const long transport_cap = total - edr_bounds[i];
       bounds[i] = distance_bound(n, transport_cap);
     }
     std::sort(order.begin(), order.end(), [&bounds](uint32_t a, uint32_t b) {
@@ -78,7 +73,7 @@ KnnResult LcssKnnSearcher::Knn(const Trajectory& query, size_t k) const {
     if (use_histogram && bounds[id] > best) break;  // Sorted: all later too.
     if (use_qgram) {
       const long count = static_cast<long>(
-          CountMatchingMeans2D(query_means, sorted_means_[id], epsilon_));
+          qgram_means_.CountMatches2D(query_means, epsilon_, id));
       if (distance_bound(s.size(), count) > best) continue;
     }
     const double dist = LcssDistance(query, s, epsilon_);

@@ -6,6 +6,7 @@
 
 #include "core/dataset.h"
 #include "pruning/histogram.h"
+#include "pruning/qgram.h"
 #include "query/knn.h"
 
 namespace edr {
@@ -49,7 +50,7 @@ class LcssKnnSearcher {
   double epsilon_;
   LcssFilter filter_;
   HistogramTable histograms_;
-  std::vector<std::vector<Point2>> sorted_means_;  // q = 1 element means
+  QgramMeansTable qgram_means_;  // q = 1 element means, flat and sorted
 };
 
 }  // namespace edr

@@ -1,12 +1,11 @@
 #include "pruning/near_triangle.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cmath>
-#include <thread>
 
 #include "distance/edr_kernel.h"
+#include "query/thread_pool.h"
 
 namespace edr {
 
@@ -46,31 +45,23 @@ PairwiseEdrMatrix PairwiseEdrMatrix::BuildParallel(const TrajectoryDataset& db,
   m.distances_.assign(m.num_refs_ * m.db_size_, 0);
   if (m.num_refs_ == 0) return m;
 
-  if (threads == 0) threads = std::thread::hardware_concurrency();
-  threads = std::max(1u, std::min<unsigned>(
-                             threads, static_cast<unsigned>(m.num_refs_)));
-
-  // Each worker fills whole rows; since s >= r entries are computed
-  // directly (no transposed reuse across workers), results are identical
-  // to the sequential Build. ThreadLocalEdrScratch gives each worker its
-  // own warm buffers.
+  // Each pool item fills one whole row; since s >= r entries are computed
+  // directly (no transposed reuse across rows), results are identical to
+  // the sequential Build. The persistent pool workers keep their
+  // ThreadLocalEdrScratch buffers warm across rows and across builds.
   const EdrKernel kernel = DefaultEdrKernel();
-  std::atomic<size_t> next_row{0};
-  const auto worker = [&]() {
-    EdrScratch& scratch = ThreadLocalEdrScratch();
-    for (size_t r = next_row.fetch_add(1); r < m.num_refs_;
-         r = next_row.fetch_add(1)) {
-      for (size_t s = 0; s < m.db_size_; ++s) {
-        m.distances_[r * m.db_size_ + s] =
-            s == r ? 0
-                   : EdrDistanceWith(kernel, scratch, db[r], db[s], epsilon);
-      }
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned i = 0; i < threads; ++i) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
+  ThreadPool::Global().ParallelFor(
+      m.num_refs_,
+      [&](size_t r) {
+        EdrScratch& scratch = ThreadLocalEdrScratch();
+        for (size_t s = 0; s < m.db_size_; ++s) {
+          m.distances_[r * m.db_size_ + s] =
+              s == r ? 0
+                     : EdrDistanceWith(kernel, scratch, db[r], db[s],
+                                       epsilon);
+        }
+      },
+      threads);
   return m;
 }
 

@@ -101,4 +101,81 @@ size_t CountMatchingMeans1D(const std::vector<double>& query_means,
   return count;
 }
 
+namespace {
+
+/// First index in [begin, end) with xs[idx] >= limit, by galloping:
+/// exponential probe from `begin`, then binary search the bracketed run.
+/// Equivalent to std::lower_bound but O(log gap) when the answer is near
+/// `begin` — the common case for sorted merge windows that only advance.
+size_t GallopLowerBound(const double* xs, size_t begin, size_t end,
+                        double limit) {
+  if (begin >= end || xs[begin] >= limit) return begin;
+  size_t offset = 1;
+  while (begin + offset < end && xs[begin + offset] < limit) offset <<= 1;
+  // xs[begin + offset/2] < limit held on the last passing probe; the
+  // answer lies in (begin + offset/2, min(begin + offset, end)].
+  const double* lo = xs + begin + offset / 2 + 1;
+  const double* hi = xs + std::min(begin + offset, end);
+  return static_cast<size_t>(std::lower_bound(lo, hi, limit) - xs);
+}
+
+}  // namespace
+
+QgramMeansTable::QgramMeansTable(const TrajectoryDataset& db, int q,
+                                 int dims)
+    : dims_(dims) {
+  offsets_.reserve(db.size() + 1);
+  offsets_.push_back(0);
+  if (dims_ == 2) {
+    for (const Trajectory& t : db) {
+      std::vector<Point2> means = MeanValueQgrams(t, q);
+      SortMeans(means);
+      for (const Point2& m : means) {
+        xs_.push_back(m.x);
+        ys_.push_back(m.y);
+      }
+      offsets_.push_back(static_cast<uint32_t>(xs_.size()));
+    }
+  } else {
+    for (const Trajectory& t : db) {
+      std::vector<double> means = MeanValueQgrams1D(t, q, /*use_x=*/true);
+      std::sort(means.begin(), means.end());
+      xs_.insert(xs_.end(), means.begin(), means.end());
+      offsets_.push_back(static_cast<uint32_t>(xs_.size()));
+    }
+  }
+}
+
+size_t QgramMeansTable::CountMatches2D(const std::vector<Point2>& query_means,
+                                       double epsilon, uint32_t id) const {
+  const size_t end = offsets_[id + 1];
+  size_t count = 0;
+  size_t window_start = offsets_[id];
+  for (const Point2& qm : query_means) {
+    window_start =
+        GallopLowerBound(xs_.data(), window_start, end, qm.x - epsilon);
+    for (size_t j = window_start; j < end; ++j) {
+      if (xs_[j] > qm.x + epsilon) break;
+      if (std::fabs(ys_[j] - qm.y) <= epsilon) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+size_t QgramMeansTable::CountMatches1D(const std::vector<double>& query_means,
+                                       double epsilon, uint32_t id) const {
+  const size_t end = offsets_[id + 1];
+  size_t count = 0;
+  size_t window_start = offsets_[id];
+  for (const double qm : query_means) {
+    window_start =
+        GallopLowerBound(xs_.data(), window_start, end, qm - epsilon);
+    if (window_start < end && xs_[window_start] <= qm + epsilon) ++count;
+  }
+  return count;
+}
+
 }  // namespace edr

@@ -2,8 +2,10 @@
 #define EDR_PRUNING_QGRAM_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
+#include "core/dataset.h"
 #include "core/trajectory.h"
 
 namespace edr {
@@ -51,6 +53,49 @@ size_t CountMatchingMeans1D(const std::vector<double>& query_means,
 
 /// Sorts means into the order expected by CountMatchingMeans2D.
 void SortMeans(std::vector<Point2>& means);
+
+/// Per-trajectory sorted Q-gram mean lists for a whole dataset, stored as
+/// flat posting arrays: every trajectory's sorted means are concatenated
+/// into contiguous parallel buffers (`xs_` / `ys_`) sliced by n + 1
+/// offsets, instead of one heap-allocated vector per trajectory. A
+/// database-order counting pass (MatchCounts in the PS1/PS2 searchers, the
+/// "P" step of the combined searcher, the LCSS count bound) then streams
+/// one flat array front to back.
+///
+/// The count kernels mirror CountMatchingMeans2D/1D exactly — the same
+/// query means matched against the same sorted data means — but advance
+/// the merge window by *galloping* (exponential probe + binary search), so
+/// a query mean far past the window costs O(log gap) rather than O(gap).
+class QgramMeansTable {
+ public:
+  /// Builds the table over every trajectory of `db`. `dims` == 2 stores
+  /// (x, y) mean pairs sorted by x then y; `dims` == 1 stores means of the
+  /// x-projection sorted ascending (Theorem 4), leaving ys() empty.
+  QgramMeansTable(const TrajectoryDataset& db, int q, int dims);
+
+  size_t size() const { return offsets_.size() - 1; }
+  int dims() const { return dims_; }
+
+  /// Number of means stored for trajectory `id`.
+  size_t count(uint32_t id) const {
+    return offsets_[id + 1] - offsets_[id];
+  }
+
+  /// CountMatchingMeans2D(query_means, <means of id>, epsilon), off the
+  /// flat slice; `query_means` must be sorted with SortMeans.
+  size_t CountMatches2D(const std::vector<Point2>& query_means,
+                        double epsilon, uint32_t id) const;
+
+  /// CountMatchingMeans1D analogue; `query_means` sorted ascending.
+  size_t CountMatches1D(const std::vector<double>& query_means,
+                        double epsilon, uint32_t id) const;
+
+ private:
+  int dims_;
+  std::vector<double> xs_;
+  std::vector<double> ys_;  ///< parallel to xs_; empty when dims_ == 1
+  std::vector<uint32_t> offsets_;
+};
 
 }  // namespace edr
 

@@ -43,21 +43,11 @@ QgramKnnSearcher::QgramKnnSearcher(const TrajectoryDataset& db,
       break;
     }
     case QgramVariant::kMerge2D: {
-      sorted_means_2d_.reserve(db_.size());
-      for (const Trajectory& t : db_) {
-        std::vector<Point2> means = MeanValueQgrams(t, q_);
-        SortMeans(means);
-        sorted_means_2d_.push_back(std::move(means));
-      }
+      means_ = std::make_unique<QgramMeansTable>(db_, q_, /*dims=*/2);
       break;
     }
     case QgramVariant::kMerge1D: {
-      sorted_means_1d_.reserve(db_.size());
-      for (const Trajectory& t : db_) {
-        std::vector<double> means = MeanValueQgrams1D(t, q_, /*use_x=*/true);
-        std::sort(means.begin(), means.end());
-        sorted_means_1d_.push_back(std::move(means));
-      }
+      means_ = std::make_unique<QgramMeansTable>(db_, q_, /*dims=*/1);
       break;
     }
   }
@@ -103,7 +93,8 @@ std::vector<size_t> QgramKnnSearcher::MatchCounts(
       std::vector<Point2> means = MeanValueQgrams(query, q_);
       SortMeans(means);
       for (size_t i = 0; i < db_.size(); ++i) {
-        counts[i] = CountMatchingMeans2D(means, sorted_means_2d_[i], epsilon_);
+        counts[i] =
+            means_->CountMatches2D(means, epsilon_, static_cast<uint32_t>(i));
       }
       break;
     }
@@ -111,7 +102,8 @@ std::vector<size_t> QgramKnnSearcher::MatchCounts(
       std::vector<double> means = MeanValueQgrams1D(query, q_, /*use_x=*/true);
       std::sort(means.begin(), means.end());
       for (size_t i = 0; i < db_.size(); ++i) {
-        counts[i] = CountMatchingMeans1D(means, sorted_means_1d_[i], epsilon_);
+        counts[i] =
+            means_->CountMatches1D(means, epsilon_, static_cast<uint32_t>(i));
       }
       break;
     }

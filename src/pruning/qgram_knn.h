@@ -9,6 +9,7 @@
 #include "core/dataset.h"
 #include "index/bplus_tree.h"
 #include "index/rstar_tree.h"
+#include "pruning/qgram.h"
 #include "query/knn.h"
 
 namespace edr {
@@ -75,9 +76,8 @@ class QgramKnnSearcher {
   std::unique_ptr<RStarTree> rtree_;
   // PB: one entry per projected Q-gram mean, payload = trajectory id.
   std::unique_ptr<BPlusTree> btree_;
-  // PS2 / PS1: per-trajectory sorted mean lists.
-  std::vector<std::vector<Point2>> sorted_means_2d_;
-  std::vector<std::vector<double>> sorted_means_1d_;
+  // PS2 / PS1: flat sorted posting arrays of per-trajectory means.
+  std::unique_ptr<QgramMeansTable> means_;
 };
 
 }  // namespace edr

@@ -2,10 +2,18 @@
 
 #include <tuple>
 
+#include "query/parallel.h"
+
 namespace edr {
 
 QueryEngine::QueryEngine(const TrajectoryDataset& db, double epsilon)
     : db_(db), epsilon_(epsilon) {}
+
+std::vector<KnnResult> QueryEngine::KnnBatch(
+    const NamedSearcher& searcher, const std::vector<Trajectory>& queries,
+    size_t k, unsigned threads) const {
+  return ParallelKnn(searcher.search, queries, k, threads);
+}
 
 KnnResult QueryEngine::SeqScan(const Trajectory& query, size_t k,
                                bool early_abandon) const {

@@ -46,6 +46,16 @@ class QueryEngine {
   KnnResult SeqScan(const Trajectory& query, size_t k,
                     bool early_abandon = false) const;
 
+  /// Answers a batch of k-NN queries with `searcher`, fanning the queries
+  /// out over the persistent query thread pool (at most `threads` threads;
+  /// 0 = hardware concurrency). Results come back in query order and are
+  /// identical to calling `searcher.search` sequentially — the batch is
+  /// a pure throughput knob. Single-query batches run on the caller's
+  /// thread without touching the pool.
+  std::vector<KnnResult> KnnBatch(const NamedSearcher& searcher,
+                                  const std::vector<Trajectory>& queries,
+                                  size_t k, unsigned threads = 0) const;
+
   /// Mean-value Q-gram searcher (Section 4.1), cached per (variant, q).
   const QgramKnnSearcher& Qgram(QgramVariant variant, int q);
 

@@ -1,8 +1,6 @@
 #include "query/parallel.h"
 
-#include <algorithm>
-#include <atomic>
-#include <thread>
+#include "query/thread_pool.h"
 
 namespace edr {
 
@@ -12,24 +10,22 @@ std::vector<KnnResult> ParallelKnn(
   std::vector<KnnResult> results(queries.size());
   if (queries.empty()) return results;
 
-  if (threads == 0) threads = std::thread::hardware_concurrency();
-  threads = std::max(1u, std::min<unsigned>(
-                             threads, static_cast<unsigned>(queries.size())));
+  // A batch of one query cannot be split across workers (parallelism here
+  // is across queries, not within one), so it runs straight on the
+  // caller's thread — no pool handoff, no wakeups.
+  if (queries.size() == 1) {
+    results[0] = search(queries[0], k);
+    return results;
+  }
 
-  std::atomic<size_t> next{0};
-  // Each worker thread owns a ThreadLocalEdrScratch(), so the kernel-
-  // dispatched searchers invoked through `search` run allocation-free and
-  // unsynchronized once the per-thread buffers are warm.
-  const auto worker = [&]() {
-    for (size_t i = next.fetch_add(1); i < queries.size();
-         i = next.fetch_add(1)) {
-      results[i] = search(queries[i], k);
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned i = 0; i < threads; ++i) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
+  // The persistent pool replaces the former spawn-and-join std::threads:
+  // repeated batch calls reuse the same workers, whose warm
+  // ThreadLocalEdrScratch buffers keep the searchers allocation-free.
+  // Results are written by query index, so the output order is
+  // deterministic and identical to a sequential run.
+  ThreadPool::Global().ParallelFor(
+      queries.size(),
+      [&](size_t i) { results[i] = search(queries[i], k); }, threads);
   return results;
 }
 

@@ -9,11 +9,17 @@
 
 namespace edr {
 
-/// Runs a batch of k-NN queries concurrently over `threads` workers
-/// (0 = hardware concurrency). Results are returned in query order,
-/// identical to running the queries sequentially: every searcher in this
-/// library is read-only at query time, so concurrent `search` calls on
-/// one searcher are safe.
+/// Runs a batch of k-NN queries concurrently over at most `threads`
+/// threads (0 = hardware concurrency). Results are returned in query
+/// order, identical to running the queries sequentially: every searcher
+/// in this library is read-only at query time, so concurrent `search`
+/// calls on one searcher are safe.
+///
+/// Queries are executed on the persistent work-stealing pool
+/// (ThreadPool::Global()), not on freshly spawned threads, so repeated
+/// batches pay no thread create/join cost. Parallelism is across queries:
+/// it is capped by the batch size, and a batch of a single query runs
+/// directly on the caller's thread.
 ///
 /// Per-query stats are preserved; note that wall-clock `elapsed_seconds`
 /// of individual queries overlap under concurrency, so speedup ratios

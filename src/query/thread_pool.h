@@ -1,0 +1,93 @@
+#ifndef EDR_QUERY_THREAD_POOL_H_
+#define EDR_QUERY_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace edr {
+
+/// A persistent work-stealing thread pool for batch query execution.
+///
+/// Workers are spawned once and parked on a condition variable between
+/// jobs, so repeated ParallelFor calls (ParallelKnn, QueryEngine::KnnBatch,
+/// PairwiseEdrMatrix builds) pay no thread create/join cost per call.
+/// Because the workers are persistent, each worker's ThreadLocalEdrScratch
+/// stays warm across calls: after the first batch, no distance computation
+/// on the pool touches the allocator.
+///
+/// Scheduling: a ParallelFor over n items splits [0, n) into one
+/// contiguous range per participant (the calling thread plus up to
+/// `max_parallelism - 1` workers). Each participant drains its own range
+/// through an atomic cursor and then steals from the other ranges, so a
+/// skewed batch (one slow query) keeps every thread busy. Which thread
+/// runs an item is nondeterministic; *what* runs — fn(i) exactly once for
+/// every i — is not, so callers that write results by index get
+/// deterministic output.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 = hardware concurrency - 1, so the pool
+  /// plus the calling thread saturate the machine).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of pool workers (excluding callers that join jobs).
+  unsigned num_workers() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Runs fn(i) exactly once for every i in [0, n), on the calling thread
+  /// plus at most `max_parallelism - 1` pool workers (0 = all workers).
+  /// Blocks until every item has completed.
+  ///
+  /// n <= 1 (or max_parallelism == 1) runs entirely on the calling thread
+  /// with no synchronization at all. Jobs are serialized: a second caller
+  /// blocks until the current job finishes. A nested ParallelFor from
+  /// inside fn runs inline on the calling worker (no deadlock).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                   unsigned max_parallelism = 0);
+
+  /// The process-wide pool shared by the batch query entry points. Created
+  /// on first use; sized to hardware concurrency - 1.
+  static ThreadPool& Global();
+
+ private:
+  /// One participant's contiguous slice of a job, padded to its own cache
+  /// line so cursor bumps don't false-share.
+  struct alignas(64) Slice {
+    std::atomic<size_t> next{0};
+    size_t end = 0;
+  };
+
+  void WorkerLoop(unsigned self);
+  /// Drains slice `self`, then steals from every other active slice.
+  void Participate(unsigned self, const std::function<void(size_t)>& fn,
+                   unsigned participants);
+
+  std::vector<std::thread> workers_;
+  std::unique_ptr<Slice[]> slices_;  // one per worker + one for the caller
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers park here between jobs
+  std::condition_variable done_cv_;  // the caller waits here
+  uint64_t epoch_ = 0;               // bumped once per job
+  unsigned participants_ = 0;        // slices active in the current job
+  unsigned active_ = 0;              // workers currently inside the job
+  const std::function<void(size_t)>* job_ = nullptr;
+  std::atomic<size_t> remaining_{0};  // items not yet completed
+  bool shutdown_ = false;
+
+  std::mutex job_mu_;  // serializes whole jobs
+};
+
+}  // namespace edr
+
+#endif  // EDR_QUERY_THREAD_POOL_H_

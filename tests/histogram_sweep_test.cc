@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.h"
+#include "pruning/histogram.h"
+#include "test_util.h"
+
+namespace edr {
+namespace {
+
+constexpr double kEps = 0.25;
+
+/// A dataset large enough (> 1000 trajectories) that the sweep crosses
+/// several cache blocks and exercises remainder lanes of every SIMD loop.
+TrajectoryDataset LargeDataset(uint64_t seed, size_t count) {
+  Rng rng(seed);
+  TrajectoryDataset db("sweep");
+  for (size_t i = 0; i < count; ++i) {
+    // Lengths 1..40, deliberately including tiny trajectories.
+    const size_t len = static_cast<size_t>(rng.UniformInt(1, 40));
+    db.Add(testutil::RandomWalk(rng, len));
+  }
+  db.NormalizeAll();
+  return db;
+}
+
+void ExpectSweepMatchesPerRow(const HistogramTable& table,
+                              const TrajectoryDataset& db,
+                              const std::vector<Trajectory>& queries) {
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const HistogramTable::QueryHistogram qh =
+        table.MakeQueryHistogram(queries[qi]);
+    std::vector<int> sweep;
+    table.FastLowerBoundSweep(qh, &sweep);
+    std::vector<int> scalar;
+    table.FastLowerBoundSweepScalar(qh, &scalar);
+    ASSERT_EQ(sweep.size(), db.size());
+    ASSERT_EQ(scalar.size(), db.size());
+    for (uint32_t id = 0; id < db.size(); ++id) {
+      const int per_row = table.FastLowerBound(qh, id);
+      ASSERT_EQ(sweep[id], per_row) << "query " << qi << " id " << id;
+      ASSERT_EQ(scalar[id], per_row) << "query " << qi << " id " << id;
+    }
+  }
+}
+
+TEST(HistogramSweepTest, SweepEqualsPerRowBound2D) {
+  const TrajectoryDataset db = LargeDataset(901, 1200);
+  const HistogramTable table(db, kEps, HistogramTable::Kind::k2D, 1);
+  ExpectSweepMatchesPerRow(table, db, testutil::MakeQueries(db, 902, 6));
+}
+
+TEST(HistogramSweepTest, SweepEqualsPerRowBound1D) {
+  const TrajectoryDataset db = LargeDataset(903, 1200);
+  const HistogramTable table(db, kEps, HistogramTable::Kind::k1D, 1);
+  ExpectSweepMatchesPerRow(table, db, testutil::MakeQueries(db, 904, 6));
+}
+
+TEST(HistogramSweepTest, SweepEqualsPerRowBoundCoarseDelta) {
+  const TrajectoryDataset db = LargeDataset(905, 1024);  // exact block size
+  const HistogramTable table(db, kEps, HistogramTable::Kind::k2D, 4);
+  ExpectSweepMatchesPerRow(table, db, testutil::MakeQueries(db, 906, 4));
+}
+
+TEST(HistogramSweepTest, SweepNeverExceedsExactBoundOrEdr) {
+  // Spot-check soundness on a smaller set: the fast bound must never
+  // exceed the exact transport bound (which itself lower-bounds EDR).
+  const TrajectoryDataset db = LargeDataset(907, 64);
+  const HistogramTable table(db, kEps, HistogramTable::Kind::k2D, 1);
+  const std::vector<Trajectory> queries = testutil::MakeQueries(db, 908, 3);
+  for (const Trajectory& q : queries) {
+    const HistogramTable::QueryHistogram qh = table.MakeQueryHistogram(q);
+    std::vector<int> sweep;
+    table.FastLowerBoundSweep(qh, &sweep);
+    for (uint32_t id = 0; id < db.size(); ++id) {
+      EXPECT_LE(sweep[id], table.LowerBound(qh, id)) << id;
+    }
+  }
+}
+
+TEST(HistogramSweepTest, EmptyQueryAndShortTrajectories) {
+  Rng rng(909);
+  TrajectoryDataset db("edge");
+  db.Add(testutil::RandomWalk(rng, 1));
+  db.Add(testutil::RandomWalk(rng, 2));
+  db.Add(testutil::RandomWalk(rng, 30));
+  db.NormalizeAll();
+  const HistogramTable table(db, kEps, HistogramTable::Kind::k2D, 1);
+
+  const Trajectory empty;
+  const HistogramTable::QueryHistogram qh = table.MakeQueryHistogram(empty);
+  std::vector<int> sweep;
+  table.FastLowerBoundSweep(qh, &sweep);
+  ASSERT_EQ(sweep.size(), db.size());
+  for (uint32_t id = 0; id < db.size(); ++id) {
+    // An empty query cannot match anything: the bound is |S| exactly.
+    EXPECT_EQ(sweep[id], static_cast<int>(db[id].size()));
+    EXPECT_EQ(sweep[id], table.FastLowerBound(qh, id));
+  }
+}
+
+}  // namespace
+}  // namespace edr

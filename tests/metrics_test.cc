@@ -73,6 +73,36 @@ TEST(MetricsTest, RunWorkloadDetectsFalseDismissals) {
   EXPECT_FALSE(r.lossless);
 }
 
+TEST(MetricsTest, LatencyPercentilesNearestRank) {
+  EXPECT_EQ(LatencyPercentile({}, 0.5), 0.0);
+  EXPECT_EQ(LatencyPercentile({3.0}, 0.5), 3.0);
+  EXPECT_EQ(LatencyPercentile({3.0}, 0.95), 3.0);
+  // 10 sorted values 1..10: p50 -> 5th value, p95 -> 10th, p100 -> 10th.
+  std::vector<double> v{10, 1, 9, 2, 8, 3, 7, 4, 6, 5};
+  EXPECT_EQ(LatencyPercentile(v, 0.50), 5.0);
+  EXPECT_EQ(LatencyPercentile(v, 0.95), 10.0);
+  EXPECT_EQ(LatencyPercentile(v, 1.00), 10.0);
+  EXPECT_EQ(LatencyPercentile(v, 0.20), 2.0);
+
+  WorkloadResult r;
+  FillLatencyPercentiles(&r, v);
+  EXPECT_EQ(r.p50_seconds, 5.0);
+  EXPECT_EQ(r.p95_seconds, 10.0);
+  EXPECT_EQ(r.max_seconds, 10.0);
+}
+
+TEST(MetricsTest, RunWorkloadFillsLatencyDistribution) {
+  const TrajectoryDataset db = testutil::SmallDataset(126, 40, 6, 50);
+  QueryEngine engine(db, kEps);
+  const std::vector<Trajectory> queries = SampleQueries(db, 4);
+  const WorkloadResult r =
+      RunWorkload(engine.MakeSeqScan(), queries, 5, nullptr, 0.0);
+  EXPECT_GT(r.p50_seconds, 0.0);
+  EXPECT_LE(r.p50_seconds, r.p95_seconds);
+  EXPECT_LE(r.p95_seconds, r.max_seconds);
+  EXPECT_LE(r.avg_seconds, r.max_seconds);
+}
+
 TEST(MetricsTest, FormattingProducesAlignedColumns) {
   WorkloadResult r;
   r.method = "PS2(q=1)";
@@ -83,8 +113,12 @@ TEST(MetricsTest, FormattingProducesAlignedColumns) {
   const std::string row = FormatWorkloadRow(r);
   EXPECT_NE(header.find("method"), std::string::npos);
   EXPECT_NE(header.find("speedup"), std::string::npos);
+  EXPECT_NE(header.find("p50_ms"), std::string::npos);
+  EXPECT_NE(header.find("p95_ms"), std::string::npos);
+  EXPECT_NE(header.find("max_ms"), std::string::npos);
   EXPECT_NE(row.find("PS2(q=1)"), std::string::npos);
   EXPECT_NE(row.find("yes"), std::string::npos);
+  EXPECT_EQ(header.size(), row.size());
 }
 
 }  // namespace
