@@ -12,6 +12,7 @@ set(EDR_PAPER_BENCHES
   bench_ablation.cc
   bench_kernel.cc
   bench_filter.cc
+  bench_intra_query.cc
 )
 
 foreach(src ${EDR_PAPER_BENCHES})

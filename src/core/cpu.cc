@@ -1,0 +1,18 @@
+#include "core/cpu.h"
+
+namespace edr {
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(EDR_DISABLE_SIMD)
+
+bool CpuHasAvx2() {
+  static const bool has = __builtin_cpu_supports("avx2") != 0;
+  return has;
+}
+
+#else
+
+bool CpuHasAvx2() { return false; }
+
+#endif
+
+}  // namespace edr

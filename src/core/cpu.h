@@ -1,0 +1,14 @@
+#ifndef EDR_CORE_CPU_H_
+#define EDR_CORE_CPU_H_
+
+namespace edr {
+
+/// True when the running CPU supports AVX2 *and* the build can emit it
+/// (x86-64, GCC/Clang, SIMD not disabled). The result is computed once;
+/// kernels use it to dispatch between their AVX2 and SSE2/scalar bodies at
+/// runtime, so one binary runs correctly on any x86-64 machine.
+bool CpuHasAvx2();
+
+}  // namespace edr
+
+#endif  // EDR_CORE_CPU_H_

@@ -16,12 +16,16 @@ WorkloadResult RunWorkload(const NamedSearcher& searcher,
   out.queries = queries.size();
   double power_sum = 0.0;
   double seconds_sum = 0.0;
+  double filter_sum = 0.0;
+  double refine_sum = 0.0;
   std::vector<double> latencies;
   latencies.reserve(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
     const KnnResult result = searcher.search(queries[i], k);
     power_sum += result.stats.PruningPower();
     seconds_sum += result.stats.elapsed_seconds;
+    filter_sum += result.stats.filter_seconds;
+    refine_sum += result.stats.refine_seconds;
     latencies.push_back(result.stats.elapsed_seconds);
     if (ground_truth != nullptr &&
         !SameKnnDistances((*ground_truth)[i], result)) {
@@ -29,8 +33,11 @@ WorkloadResult RunWorkload(const NamedSearcher& searcher,
     }
   }
   if (!queries.empty()) {
-    out.avg_pruning_power = power_sum / static_cast<double>(queries.size());
-    out.avg_seconds = seconds_sum / static_cast<double>(queries.size());
+    const double n = static_cast<double>(queries.size());
+    out.avg_pruning_power = power_sum / n;
+    out.avg_seconds = seconds_sum / n;
+    out.avg_filter_seconds = filter_sum / n;
+    out.avg_refine_seconds = refine_sum / n;
   }
   FillLatencyPercentiles(&out, std::move(latencies));
   if (baseline_seconds > 0.0 && out.avg_seconds > 0.0) {
@@ -92,21 +99,24 @@ std::vector<Trajectory> SampleQueries(const TrajectoryDataset& db,
 }
 
 std::string FormatWorkloadHeader() {
-  char buf[192];
-  std::snprintf(buf, sizeof(buf), "%-14s %10s %12s %12s %12s %12s %10s %9s",
-                "method", "pruning", "avg_ms", "p50_ms", "p95_ms", "max_ms",
-                "speedup", "lossless");
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-14s %10s %12s %10s %10s %12s %12s %12s %10s %9s",
+                "method", "pruning", "avg_ms", "filter_ms", "refine_ms",
+                "p50_ms", "p95_ms", "max_ms", "speedup", "lossless");
   return buf;
 }
 
 std::string FormatWorkloadRow(const WorkloadResult& result) {
-  char buf[224];
-  std::snprintf(buf, sizeof(buf),
-                "%-14s %10.3f %12.3f %12.3f %12.3f %12.3f %10.2f %9s",
-                result.method.c_str(), result.avg_pruning_power,
-                result.avg_seconds * 1000.0, result.p50_seconds * 1000.0,
-                result.p95_seconds * 1000.0, result.max_seconds * 1000.0,
-                result.speedup, result.lossless ? "yes" : "NO");
+  char buf[288];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%-14s %10.3f %12.3f %10.3f %10.3f %12.3f %12.3f %12.3f %10.2f %9s",
+      result.method.c_str(), result.avg_pruning_power,
+      result.avg_seconds * 1000.0, result.avg_filter_seconds * 1000.0,
+      result.avg_refine_seconds * 1000.0, result.p50_seconds * 1000.0,
+      result.p95_seconds * 1000.0, result.max_seconds * 1000.0,
+      result.speedup, result.lossless ? "yes" : "NO");
   return buf;
 }
 

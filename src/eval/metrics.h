@@ -26,6 +26,11 @@ struct WorkloadResult {
   double p50_seconds = 0.0;
   double p95_seconds = 0.0;
   double max_seconds = 0.0;
+  /// Mean per-query seconds split by phase: filter (lower-bound sweeps /
+  /// candidate ordering) vs refine (exact DP on the survivors). Zero for
+  /// searchers that do not report the split.
+  double avg_filter_seconds = 0.0;
+  double avg_refine_seconds = 0.0;
   /// Sequential-scan mean seconds / this method's mean seconds
   /// (0 when no baseline was supplied).
   double speedup = 0.0;

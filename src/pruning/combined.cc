@@ -7,6 +7,8 @@
 
 #include "distance/edr_kernel.h"
 #include "pruning/qgram.h"
+#include "query/intra_query.h"
+#include "query/topk.h"
 
 namespace edr {
 
@@ -45,8 +47,12 @@ CombinedKnnSearcher::CombinedKnnSearcher(const TrajectoryDataset& db,
       qgram_means_(db, options.q, /*dims=*/2),
       matrix_(std::move(matrix)) {}
 
-KnnResult CombinedKnnSearcher::Knn(const Trajectory& query, size_t k) const {
+KnnResult CombinedKnnSearcher::Knn(const Trajectory& query, size_t k,
+                                   const KnnOptions& options) const {
   const auto start = std::chrono::steady_clock::now();
+  KnnResult out;
+  out.stats.db_size = db_.size();
+  if (k == 0) return out;
 
   const HistogramTable::QueryHistogram qh =
       histograms_.MakeQueryHistogram(query);
@@ -58,46 +64,33 @@ KnnResult CombinedKnnSearcher::Knn(const Trajectory& query, size_t k) const {
       options_.sorted_histogram_scan;
 
   // Every prune order contains the histogram step, so all fast lower
-  // bounds are produced up front by one vectorized sweep — far cheaper
-  // than per-row calls even for ids a preceding filter would have pruned.
-  // When the histogram filter runs first (and sorted scanning is enabled)
-  // we additionally adopt the HSR strategy: candidates in ascending-bound
-  // order, hard stop at the first bound above the k-th distance.
+  // bounds are produced up front by one vectorized sweep (sharded over the
+  // pool) — far cheaper than per-row calls even for ids a preceding filter
+  // would have pruned. When the histogram filter runs first (and sorted
+  // scanning is enabled) we additionally adopt the HSR strategy:
+  // candidates in ascending-bound order, hard stop at the first bound
+  // above the k-th distance.
   std::vector<int> bounds;
-  histograms_.FastLowerBoundSweep(qh, &bounds);
-  std::vector<uint32_t> order(db_.size());
-  std::iota(order.begin(), order.end(), 0);
-  if (histogram_first) {
-    std::sort(order.begin(), order.end(), [&bounds](uint32_t a, uint32_t b) {
-      return bounds[a] < bounds[b];
-    });
-  }
+  histograms_.FastLowerBoundSweepParallel(qh, &bounds, options);
+  const auto filter_done = std::chrono::steady_clock::now();
 
   const EdrKernel kernel = DefaultEdrKernel();
-  EdrScratch& scratch = ThreadLocalEdrScratch();
-  std::vector<std::pair<uint32_t, double>> proc_array;
-  proc_array.reserve(matrix_.num_refs());
-  KnnResultList result(k);
-  size_t computed = 0;
+  const unsigned slots = ResolveIntraQueryWorkers(options);
+  std::vector<std::vector<std::pair<uint32_t, double>>> proc(slots);
+  for (auto& p : proc) p.reserve(matrix_.num_refs());
+  std::vector<size_t> computed(slots, 0);
 
-  for (const uint32_t id : order) {
+  const auto refine = [&](unsigned slot, uint32_t id, double best,
+                          double* dist) {
     const Trajectory& s = db_[id];
-    const double best = result.KthDistance();
-
-    bool pruned = false;
-    bool stop_scan = false;
+    std::vector<std::pair<uint32_t, double>>& proc_array = proc[slot];
     for (const PruneStep step : options_.order) {
       switch (step) {
         case PruneStep::kHistogram: {
           // The linear-time transport bound; the exact max-flow bound adds
           // almost no pruning at many times the cost (see bench_ablation)
           // and is not consulted on the query path.
-          const double fast = static_cast<double>(bounds[id]);
-          if (fast > best) {
-            pruned = true;
-            // In sorted order every remaining fast bound is >= this one.
-            if (histogram_first) stop_scan = true;
-          }
+          if (static_cast<double>(bounds[id]) > best) return false;
           break;
         }
         case PruneStep::kQgram: {
@@ -108,7 +101,7 @@ KnnResult CombinedKnnSearcher::Knn(const Trajectory& query, size_t k) const {
           if (threshold <= 0) break;
           const long count = static_cast<long>(
               qgram_means_.CountMatches2D(query_means, epsilon_, id));
-          if (count < threshold) pruned = true;
+          if (count < threshold) return false;
           break;
         }
         case PruneStep::kNearTriangle: {
@@ -118,39 +111,54 @@ KnnResult CombinedKnnSearcher::Knn(const Trajectory& query, size_t k) const {
                                  static_cast<double>(s.size());
             max_prune_dist = std::max(max_prune_dist, bound);
           }
-          if (max_prune_dist > best) pruned = true;
+          if (max_prune_dist > best) return false;
           break;
         }
       }
-      if (pruned) break;
     }
-    if (stop_scan) break;
-    if (pruned) continue;
 
     // Bounded refinement; lower-bound reference distances only weaken the
     // near-triangle prune bound, never unsound it.
-    const double dist = static_cast<double>(
-        EdrDistanceBoundedWith(kernel, scratch, query, s, epsilon_,
-                               EdrBoundFromKthDistance(best)));
-    ++computed;
+    const int bound = EdrBoundFromKthDistance(best);
+    const int d = EdrDistanceBoundedWith(kernel, ThreadLocalEdrScratch(),
+                                         query, s, epsilon_, bound);
+    ++computed[slot];
     if (id < matrix_.num_refs() && proc_array.size() < matrix_.num_refs()) {
-      proc_array.emplace_back(id, dist);
+      proc_array.emplace_back(id, static_cast<double>(d));
     }
-    result.Offer(id, dist);
+    if (d > bound) return false;
+    *dist = static_cast<double>(d);
+    return true;
+  };
+
+  if (histogram_first) {
+    std::vector<StreamingOrder<int>::Entry> entries(db_.size());
+    for (size_t i = 0; i < db_.size(); ++i) {
+      entries[i] = {bounds[i], static_cast<uint32_t>(i)};
+    }
+    // In sorted order every remaining fast bound is >= the stopping one.
+    const auto stop = [](int key, double threshold) {
+      return static_cast<double>(key) > threshold;
+    };
+    out.neighbors =
+        RefineInKeyOrder<int>(std::move(entries), k, options, refine, stop);
+  } else {
+    out.neighbors = RefineInDbOrder(db_.size(), k, options, refine);
   }
 
-  const auto stop = std::chrono::steady_clock::now();
-  KnnResult out;
-  out.neighbors = std::move(result).TakeNeighbors();
-  out.stats.db_size = db_.size();
-  out.stats.edr_computed = computed;
+  const auto stop_time = std::chrono::steady_clock::now();
+  for (const size_t c : computed) out.stats.edr_computed += c;
   out.stats.elapsed_seconds =
-      std::chrono::duration<double>(stop - start).count();
+      std::chrono::duration<double>(stop_time - start).count();
+  out.stats.filter_seconds =
+      std::chrono::duration<double>(filter_done - start).count();
+  out.stats.refine_seconds =
+      std::chrono::duration<double>(stop_time - filter_done).count();
   return out;
 }
 
-KnnResult CombinedKnnSearcher::Range(const Trajectory& query,
-                                     int radius) const {
+KnnResult CombinedKnnSearcher::Range(const Trajectory& query, int radius,
+                                     size_t max_results) const {
   const auto start = std::chrono::steady_clock::now();
   const HistogramTable::QueryHistogram qh =
       histograms_.MakeQueryHistogram(query);
@@ -227,11 +235,7 @@ KnnResult CombinedKnnSearcher::Range(const Trajectory& query,
     }
   }
 
-  std::sort(out.neighbors.begin(), out.neighbors.end(),
-            [](const Neighbor& a, const Neighbor& b) {
-              if (a.distance != b.distance) return a.distance < b.distance;
-              return a.id < b.id;
-            });
+  SortNeighborsAscending(&out.neighbors, max_results);
   const auto stop = std::chrono::steady_clock::now();
   out.stats.db_size = db_.size();
   out.stats.edr_computed = computed;

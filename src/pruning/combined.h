@@ -68,12 +68,18 @@ class CombinedKnnSearcher {
                       const CombinedOptions& options,
                       PairwiseEdrMatrix matrix);
 
-  KnnResult Knn(const Trajectory& query, size_t k) const;
+  /// `options` shards the bound sweep and refinement over the thread pool;
+  /// results are bit-identical for every worker count.
+  KnnResult Knn(const Trajectory& query, size_t k,
+                const KnnOptions& options = {}) const;
 
   /// Range query combining all three filters against the fixed `radius`
   /// bound; with sorted histogram scanning the scan stops at the first
-  /// bound above the radius. Lossless.
-  KnnResult Range(const Trajectory& query, int radius) const;
+  /// bound above the radius. Lossless. A nonzero `max_results` keeps only
+  /// that many nearest matches via partial selection instead of a full
+  /// sort of the result list.
+  KnnResult Range(const Trajectory& query, int radius,
+                  size_t max_results = 0) const;
 
   /// e.g. "2HPN", "1HPN", "2PNH" — histogram kind prefix plus the order.
   std::string name() const;

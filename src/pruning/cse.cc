@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "distance/edr_kernel.h"
+#include "query/intra_query.h"
 
 namespace edr {
 
@@ -31,47 +32,53 @@ CseSearcher::CseSearcher(const TrajectoryDataset& db, double epsilon,
   shift_ = MaxTriangleViolation(matrix_);
 }
 
-KnnResult CseSearcher::Knn(const Trajectory& query, size_t k) const {
+KnnResult CseSearcher::Knn(const Trajectory& query, size_t k,
+                           const KnnOptions& options) const {
   const auto start = std::chrono::steady_clock::now();
+  KnnResult out;
+  out.stats.db_size = db_.size();
+  if (k == 0) return out;
   const EdrKernel kernel = DefaultEdrKernel();
-  EdrScratch& scratch = ThreadLocalEdrScratch();
 
-  std::vector<std::pair<uint32_t, double>> proc_array;
-  proc_array.reserve(matrix_.num_refs());
+  // Per-slot reference arrays, as in NearTriangleSearcher::Knn: any
+  // computed reference distance is a valid prune input, so sharding them
+  // only changes how much is pruned, never what is returned.
+  const unsigned slots = ResolveIntraQueryWorkers(options);
+  std::vector<std::vector<std::pair<uint32_t, double>>> proc(slots);
+  for (auto& p : proc) p.reserve(matrix_.num_refs());
+  std::vector<size_t> computed(slots, 0);
 
-  KnnResultList result(k);
-  size_t computed = 0;
-
-  for (const Trajectory& s : db_) {
-    const double best = result.KthDistance();
+  const auto refine = [&](unsigned slot, uint32_t id, double threshold,
+                          double* dist) {
+    std::vector<std::pair<uint32_t, double>>& proc_array = proc[slot];
     double max_prune_dist = 0.0;
     for (const auto& [ref_id, ref_dist] : proc_array) {
-      const double bound =
-          ref_dist - matrix_.at(ref_id, s.id()) - shift_;
+      const double bound = ref_dist - matrix_.at(ref_id, id) - shift_;
       max_prune_dist = std::max(max_prune_dist, bound);
     }
-    if (max_prune_dist > best) continue;
+    if (max_prune_dist > threshold) return false;
 
     // Bounded refinement; a lower-bound reference distance in proc_array
     // only weakens (never unsounds) the shifted triangle prune.
-    const double dist = static_cast<double>(
-        EdrDistanceBoundedWith(kernel, scratch, query, s, epsilon_,
-                               EdrBoundFromKthDistance(best)));
-    ++computed;
-    if (s.id() < matrix_.num_refs() &&
+    const int bound = EdrBoundFromKthDistance(threshold);
+    const int d = EdrDistanceBoundedWith(kernel, ThreadLocalEdrScratch(),
+                                         query, db_[id], epsilon_, bound);
+    ++computed[slot];
+    if (id < matrix_.num_refs() &&
         proc_array.size() < matrix_.num_refs()) {
-      proc_array.emplace_back(s.id(), dist);
+      proc_array.emplace_back(id, static_cast<double>(d));
     }
-    result.Offer(s.id(), dist);
-  }
+    if (d > bound) return false;
+    *dist = static_cast<double>(d);
+    return true;
+  };
+  out.neighbors = RefineInDbOrder(db_.size(), k, options, refine);
 
   const auto stop = std::chrono::steady_clock::now();
-  KnnResult out;
-  out.neighbors = std::move(result).TakeNeighbors();
-  out.stats.db_size = db_.size();
-  out.stats.edr_computed = computed;
+  for (const size_t c : computed) out.stats.edr_computed += c;
   out.stats.elapsed_seconds =
       std::chrono::duration<double>(stop - start).count();
+  out.stats.refine_seconds = out.stats.elapsed_seconds;
   return out;
 }
 

@@ -34,7 +34,8 @@ class CseSearcher {
   CseSearcher(const TrajectoryDataset& db, double epsilon,
               PairwiseEdrMatrix matrix);
 
-  KnnResult Knn(const Trajectory& query, size_t k) const;
+  KnnResult Knn(const Trajectory& query, size_t k,
+                const KnnOptions& options = {}) const;
 
   /// The derived shift constant.
   double shift() const { return shift_; }

@@ -7,9 +7,18 @@
 #include <queue>
 #include <unordered_map>
 
+#include "core/cpu.h"
+#include "query/intra_query.h"
+#include "query/thread_pool.h"
+
 #if defined(__SSE2__) && !defined(EDR_DISABLE_SIMD)
 #include <emmintrin.h>
 #define EDR_HISTOGRAM_SIMD 1
+#endif
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(EDR_DISABLE_SIMD)
+#include <immintrin.h>
+#define EDR_HISTOGRAM_AVX2 1
 #endif
 
 namespace edr {
@@ -281,6 +290,74 @@ inline void MinCapAccumSimd(int32_t cap, const int32_t* acc, int32_t* a,
 
 #endif  // defined(EDR_HISTOGRAM_SIMD)
 
+#if defined(EDR_HISTOGRAM_AVX2)
+
+// AVX2 bodies compiled via the target attribute (no extra compile flags),
+// selected at runtime through the dispatch pointers below — the lane math
+// is identical int32 adds/mins, only twice as wide as the SSE2 kernels.
+
+__attribute__((target("avx2"))) void AddColumnAvx2(const int32_t* col,
+                                                   int32_t* acc, size_t len) {
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    const __m256i c =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(col + i));
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i),
+                        _mm256_add_epi32(a, c));
+  }
+  for (; i < len; ++i) acc[i] += col[i];
+}
+
+__attribute__((target("avx2"))) void MinCapAccumAvx2(int32_t cap,
+                                                     const int32_t* acc,
+                                                     int32_t* a, size_t len) {
+  const __m256i vcap = _mm256_set1_epi32(cap);
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    const __m256i r =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + i),
+                        _mm256_add_epi32(s, _mm256_min_epi32(vcap, r)));
+  }
+  for (; i < len; ++i) a[i] += std::min(cap, acc[i]);
+}
+
+#endif  // defined(EDR_HISTOGRAM_AVX2)
+
+using AddColumnFn = void (*)(const int32_t*, int32_t*, size_t);
+using MinCapAccumFn = void (*)(int32_t, const int32_t*, int32_t*, size_t);
+
+/// Widest kernel pair the CPU supports, resolved once per process:
+/// AVX2 > SSE2 > scalar. All three compute identical int32 results.
+AddColumnFn ResolveAddColumn() {
+#if defined(EDR_HISTOGRAM_AVX2)
+  if (CpuHasAvx2()) return AddColumnAvx2;
+#endif
+#if defined(EDR_HISTOGRAM_SIMD)
+  return AddColumnSimd;
+#else
+  return AddColumnScalar;
+#endif
+}
+
+MinCapAccumFn ResolveMinCapAccum() {
+#if defined(EDR_HISTOGRAM_AVX2)
+  if (CpuHasAvx2()) return MinCapAccumAvx2;
+#endif
+#if defined(EDR_HISTOGRAM_SIMD)
+  return MinCapAccumSimd;
+#else
+  return MinCapAccumScalar;
+#endif
+}
+
+const AddColumnFn g_add_column = ResolveAddColumn();
+const MinCapAccumFn g_min_cap_accum = ResolveMinCapAccum();
+
 }  // namespace
 
 HistogramGrid HistogramGrid::For(const DatasetStats& stats, double bin_size) {
@@ -416,8 +493,15 @@ int HistogramDistance1DFast(const std::vector<int>& hr,
 namespace {
 
 /// Builds one flat SoA table: dense counts scattered into the bin-major
-/// block, sparse (bin, count) lists appended to the flat posting arrays.
-/// `build_one(t)` produces the dense histogram of a single trajectory.
+/// block, sparse (bin, count) lists concatenated into the flat posting
+/// arrays. `build_one(t)` produces the dense histogram of one trajectory.
+///
+/// Per-trajectory work (histogram build + dense scatter + occupied-bin
+/// extraction) fans out over the thread pool: trajectory `id` writes only
+/// the `dense[b * n + id]` lanes and its own occupied list, so items are
+/// disjoint. The flat posting arrays are then stitched sequentially from a
+/// prefix sum of per-trajectory occupied counts — deterministic output,
+/// bit-identical to a fully sequential build.
 template <typename BuildOneFn>
 void BuildFlatTable(const TrajectoryDataset& db, int nx, int ny,
                     BuildOneFn&& build_one, std::vector<int32_t>* dense,
@@ -427,17 +511,33 @@ void BuildFlatTable(const TrajectoryDataset& db, int nx, int ny,
   const size_t n = db.size();
   const size_t num_bins = static_cast<size_t>(nx) * static_cast<size_t>(ny);
   dense->assign(num_bins * n, 0);
-  sparse_offsets->reserve(n + 1);
-  sparse_offsets->push_back(0);
-  for (size_t id = 0; id < n; ++id) {
+
+  std::vector<std::vector<OccupiedBin>> occupied(n);
+  ThreadPool::Global().ParallelFor(n, [&](size_t id) {
     const std::vector<int> h = build_one(db[id]);
+    std::vector<OccupiedBin>& occ = occupied[id];
     for (size_t b = 0; b < h.size(); ++b) {
       if (h[b] == 0) continue;
       (*dense)[b * n + id] = h[b];
-      sparse_bins->push_back(static_cast<int32_t>(b));
-      sparse_counts->push_back(h[b]);
+      occ.push_back({static_cast<int>(b), h[b]});
     }
-    sparse_offsets->push_back(static_cast<uint32_t>(sparse_bins->size()));
+  });
+
+  sparse_offsets->assign(n + 1, 0);
+  for (size_t id = 0; id < n; ++id) {
+    (*sparse_offsets)[id + 1] =
+        (*sparse_offsets)[id] + static_cast<uint32_t>(occupied[id].size());
+  }
+  const size_t total = (*sparse_offsets)[n];
+  sparse_bins->resize(total);
+  sparse_counts->resize(total);
+  for (size_t id = 0; id < n; ++id) {
+    uint32_t e = (*sparse_offsets)[id];
+    for (const OccupiedBin& b : occupied[id]) {
+      (*sparse_bins)[e] = b.bin;
+      (*sparse_counts)[e] = b.count;
+      ++e;
+    }
   }
 }
 
@@ -637,12 +737,14 @@ void TransportBlock(int nx, int ny, size_t n,
                     const std::vector<std::pair<int, int>>& q_sparse,
                     const std::vector<int32_t>& qnbr, bool use_simd,
                     size_t i0, size_t len, int32_t* out) {
-  alignas(16) int32_t acc[kSweepBlock];
-  alignas(16) int32_t side_a[kSweepBlock];
+  alignas(32) int32_t acc[kSweepBlock];
+  alignas(32) int32_t side_a[kSweepBlock];
   std::fill_n(side_a, len, 0);
-#if !defined(EDR_HISTOGRAM_SIMD)
-  (void)use_simd;
-#endif
+  // Widest-available kernels (AVX2/SSE2/scalar, resolved once at startup)
+  // when vectorization is requested; the portable scalar bodies otherwise.
+  const AddColumnFn add_column = use_simd ? g_add_column : AddColumnScalar;
+  const MinCapAccumFn min_cap_accum =
+      use_simd ? g_min_cap_accum : MinCapAccumScalar;
   for (const auto& [qbin, qcount] : q_sparse) {
     std::fill_n(acc, len, 0);
     const int bx = qbin % nx;
@@ -655,26 +757,10 @@ void TransportBlock(int nx, int ny, size_t n,
       for (int x = x_lo; x <= x_hi; ++x) {
         const int32_t* col =
             dense.data() + static_cast<size_t>(y * nx + x) * n + i0;
-#if defined(EDR_HISTOGRAM_SIMD)
-        if (use_simd) {
-          AddColumnSimd(col, acc, len);
-        } else {
-          AddColumnScalar(col, acc, len);
-        }
-#else
-        AddColumnScalar(col, acc, len);
-#endif
+        add_column(col, acc, len);
       }
     }
-#if defined(EDR_HISTOGRAM_SIMD)
-    if (use_simd) {
-      MinCapAccumSimd(qcount, acc, side_a, len);
-    } else {
-      MinCapAccumScalar(qcount, acc, side_a, len);
-    }
-#else
-    MinCapAccumScalar(qcount, acc, side_a, len);
-#endif
+    min_cap_accum(qcount, acc, side_a, len);
   }
   for (size_t j = 0; j < len; ++j) {
     const size_t id = i0 + j;
@@ -689,14 +775,15 @@ void TransportBlock(int nx, int ny, size_t n,
 
 }  // namespace
 
-void HistogramTable::SweepImpl(const QueryHistogram& query, bool use_simd,
-                               std::vector<int>* out) const {
+void HistogramTable::SweepBlocks(const QueryHistogram& query, bool use_simd,
+                                 size_t block_begin, size_t block_end,
+                                 std::vector<int>* out) const {
   const size_t n = totals_.size();
-  out->resize(n);
-  for (size_t i0 = 0; i0 < n; i0 += kSweepBlock) {
+  for (size_t block = block_begin; block < block_end; ++block) {
+    const size_t i0 = block * kSweepBlock;
     const size_t len = std::min(kSweepBlock, n - i0);
     if (kind_ == Kind::k2D) {
-      alignas(16) int32_t t[kSweepBlock];
+      alignas(32) int32_t t[kSweepBlock];
       TransportBlock(flat_2d_.nx, flat_2d_.ny, n, flat_2d_.dense,
                      flat_2d_.sparse_bins, flat_2d_.sparse_counts,
                      flat_2d_.sparse_offsets, query.sparse_2d, query.nbr_2d,
@@ -707,8 +794,8 @@ void HistogramTable::SweepImpl(const QueryHistogram& query, bool use_simd,
         (*out)[i0 + j] = longer - t[j];
       }
     } else {
-      alignas(16) int32_t tx[kSweepBlock];
-      alignas(16) int32_t ty[kSweepBlock];
+      alignas(32) int32_t tx[kSweepBlock];
+      alignas(32) int32_t ty[kSweepBlock];
       TransportBlock(flat_x_.nx, 1, n, flat_x_.dense, flat_x_.sparse_bins,
                      flat_x_.sparse_counts, flat_x_.sparse_offsets,
                      query.sparse_x, query.nbr_x, use_simd, i0, len, tx);
@@ -724,6 +811,13 @@ void HistogramTable::SweepImpl(const QueryHistogram& query, bool use_simd,
   }
 }
 
+void HistogramTable::SweepImpl(const QueryHistogram& query, bool use_simd,
+                               std::vector<int>* out) const {
+  const size_t n = totals_.size();
+  out->resize(n);
+  SweepBlocks(query, use_simd, 0, (n + kSweepBlock - 1) / kSweepBlock, out);
+}
+
 void HistogramTable::FastLowerBoundSweep(const QueryHistogram& query,
                                          std::vector<int>* out) const {
 #if defined(EDR_HISTOGRAM_SIMD)
@@ -731,6 +825,36 @@ void HistogramTable::FastLowerBoundSweep(const QueryHistogram& query,
 #else
   SweepImpl(query, /*use_simd=*/false, out);
 #endif
+}
+
+void HistogramTable::FastLowerBoundSweepParallel(
+    const QueryHistogram& query, std::vector<int>* out,
+    const KnnOptions& options) const {
+  const unsigned workers = ResolveIntraQueryWorkers(options);
+  const size_t n = totals_.size();
+  const size_t num_blocks = (n + kSweepBlock - 1) / kSweepBlock;
+  if (workers <= 1 || num_blocks <= 1) {
+    FastLowerBoundSweep(query, out);
+    return;
+  }
+#if defined(EDR_HISTOGRAM_SIMD)
+  constexpr bool use_simd = true;
+#else
+  constexpr bool use_simd = false;
+#endif
+  out->resize(n);
+  // Contiguous block ranges, one per participant; every block writes only
+  // its own kSweepBlock-aligned output slice, so the sharded sweep is
+  // bit-identical to the sequential one.
+  const size_t ranges = std::min<size_t>(workers, num_blocks);
+  IntraQueryPool(options).ParallelFor(
+      ranges,
+      [&](size_t r) {
+        const size_t begin = r * num_blocks / ranges;
+        const size_t end = (r + 1) * num_blocks / ranges;
+        SweepBlocks(query, use_simd, begin, end, out);
+      },
+      static_cast<unsigned>(ranges));
 }
 
 void HistogramTable::FastLowerBoundSweepScalar(const QueryHistogram& query,

@@ -8,6 +8,7 @@
 
 #include "core/dataset.h"
 #include "core/trajectory.h"
+#include "query/knn.h"
 
 namespace edr {
 
@@ -153,6 +154,15 @@ class HistogramTable {
   void FastLowerBoundSweep(const QueryHistogram& query,
                            std::vector<int>* out) const;
 
+  /// FastLowerBoundSweep with its cache blocks sharded over the intra-query
+  /// thread pool (options.intra_query_workers participants; 1 = the plain
+  /// sequential sweep, no pool touched). Every block writes its own output
+  /// range by index, so the result is bit-identical to FastLowerBoundSweep
+  /// for any worker count.
+  void FastLowerBoundSweepParallel(const QueryHistogram& query,
+                                   std::vector<int>* out,
+                                   const KnnOptions& options) const;
+
   /// Portable scalar reference for FastLowerBoundSweep: identical results
   /// on every platform (and the only path when SSE2 is unavailable or
   /// EDR_DISABLE_SIMD is defined). Exposed so tests can certify the SIMD
@@ -182,6 +192,11 @@ class HistogramTable {
 
   void SweepImpl(const QueryHistogram& query, bool use_simd,
                  std::vector<int>* out) const;
+  /// Sweeps the kSweepBlock-aligned blocks [block_begin, block_end) into
+  /// the already-sized output array.
+  void SweepBlocks(const QueryHistogram& query, bool use_simd,
+                   size_t block_begin, size_t block_end,
+                   std::vector<int>* out) const;
 
   Kind kind_;
   int delta_;

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "distance/edr_kernel.h"
+#include "query/intra_query.h"
+#include "query/topk.h"
 
 namespace edr {
 
@@ -18,15 +20,15 @@ HistogramKnnSearcher::HistogramKnnSearcher(const TrajectoryDataset& db,
       scan_(scan),
       table_(db, epsilon, kind, delta) {}
 
-KnnResult HistogramKnnSearcher::Knn(const Trajectory& query,
-                                    size_t k) const {
+KnnResult HistogramKnnSearcher::Knn(const Trajectory& query, size_t k,
+                                    const KnnOptions& options) const {
   const auto start = std::chrono::steady_clock::now();
+  KnnResult out;
+  out.stats.db_size = db_.size();
+  if (k == 0) return out;
+
   const HistogramTable::QueryHistogram qh = table_.MakeQueryHistogram(query);
   const EdrKernel kernel = DefaultEdrKernel();
-  EdrScratch& scratch = ThreadLocalEdrScratch();
-
-  KnnResultList result(k);
-  size_t computed = 0;
 
   // Both scans consume the whole bound array anyway, so it is produced by
   // one vectorized sweep over the flat tables instead of n per-row calls.
@@ -34,49 +36,52 @@ KnnResult HistogramKnnSearcher::Knn(const Trajectory& query,
   // at ~25x the cost, so the searchers do not consult it; see
   // bench_ablation for the measured tightness gap.)
   std::vector<int> bounds;
-  table_.FastLowerBoundSweep(qh, &bounds);
+  table_.FastLowerBoundSweepParallel(qh, &bounds, options);
+  const auto filter_done = std::chrono::steady_clock::now();
+
+  const unsigned slots = ResolveIntraQueryWorkers(options);
+  std::vector<size_t> computed(slots, 0);
+  // Refines one candidate against the running k-th distance; true iff the
+  // bounded DP ran to an exact value (<= the bound it was given).
+  const auto refine = [&](unsigned slot, uint32_t id, double threshold,
+                          double* dist) {
+    if (static_cast<double>(bounds[id]) > threshold) return false;
+    const int bound = EdrBoundFromKthDistance(threshold);
+    const int d = EdrDistanceBoundedWith(kernel, ThreadLocalEdrScratch(),
+                                         query, db_[id], epsilon_, bound);
+    ++computed[slot];
+    if (d > bound) return false;  // Abandoned: a lower bound, not exact.
+    *dist = static_cast<double>(d);
+    return true;
+  };
 
   if (scan_ == HistogramScan::kSequential) {
     // HSE: one pass in database order, filtering with the linear-time
     // transport bound.
-    for (const Trajectory& s : db_) {
-      const double best = result.KthDistance();
-      if (static_cast<double>(bounds[s.id()]) > best) {
-        continue;
-      }
-      const double dist = static_cast<double>(
-          EdrDistanceBoundedWith(kernel, scratch, query, s, epsilon_,
-                                 EdrBoundFromKthDistance(best)));
-      ++computed;
-      result.Offer(s.id(), dist);
-    }
+    out.neighbors = RefineInDbOrder(db_.size(), k, options, refine);
   } else {
     // HSR: visit candidates in ascending bound order; the scan stops
     // outright once the bound exceeds the k-th distance — every later
     // candidate has an even larger bound.
-    std::vector<uint32_t> order(db_.size());
-    std::iota(order.begin(), order.end(), 0);
-    std::sort(order.begin(), order.end(), [&bounds](uint32_t a, uint32_t b) {
-      return bounds[a] < bounds[b];
-    });
-    for (const uint32_t id : order) {
-      const double best = result.KthDistance();
-      if (static_cast<double>(bounds[id]) > best) break;  // All later, too.
-      const double dist = static_cast<double>(
-          EdrDistanceBoundedWith(kernel, scratch, query, db_[id], epsilon_,
-                                 EdrBoundFromKthDistance(best)));
-      ++computed;
-      result.Offer(id, dist);
+    std::vector<StreamingOrder<int>::Entry> entries(db_.size());
+    for (size_t i = 0; i < db_.size(); ++i) {
+      entries[i] = {bounds[i], static_cast<uint32_t>(i)};
     }
+    const auto stop = [](int key, double threshold) {
+      return static_cast<double>(key) > threshold;
+    };
+    out.neighbors =
+        RefineInKeyOrder<int>(std::move(entries), k, options, refine, stop);
   }
 
-  const auto stop = std::chrono::steady_clock::now();
-  KnnResult out;
-  out.neighbors = std::move(result).TakeNeighbors();
-  out.stats.db_size = db_.size();
-  out.stats.edr_computed = computed;
+  const auto stop_time = std::chrono::steady_clock::now();
+  for (const size_t c : computed) out.stats.edr_computed += c;
   out.stats.elapsed_seconds =
-      std::chrono::duration<double>(stop - start).count();
+      std::chrono::duration<double>(stop_time - start).count();
+  out.stats.filter_seconds =
+      std::chrono::duration<double>(filter_done - start).count();
+  out.stats.refine_seconds =
+      std::chrono::duration<double>(stop_time - filter_done).count();
   return out;
 }
 
@@ -111,11 +116,7 @@ KnnResult HistogramKnnSearcher::Range(const Trajectory& query,
       out.neighbors.push_back({s.id(), static_cast<double>(dist)});
     }
   }
-  std::sort(out.neighbors.begin(), out.neighbors.end(),
-            [](const Neighbor& a, const Neighbor& b) {
-              if (a.distance != b.distance) return a.distance < b.distance;
-              return a.id < b.id;
-            });
+  SortNeighborsAscending(&out.neighbors);
   const auto stop = std::chrono::steady_clock::now();
   out.stats.db_size = db_.size();
   out.stats.edr_computed = computed;

@@ -32,7 +32,10 @@ class HistogramKnnSearcher {
                        HistogramTable::Kind kind, int delta,
                        HistogramScan scan);
 
-  KnnResult Knn(const Trajectory& query, size_t k) const;
+  /// `options` shards the bound sweep and refinement over the thread pool;
+  /// results are bit-identical for every worker count.
+  KnnResult Knn(const Trajectory& query, size_t k,
+                const KnnOptions& options = {}) const;
 
   /// Range query: prunes every candidate whose histogram lower bound
   /// exceeds `radius`, computes EDR for the rest. Lossless.

@@ -6,6 +6,8 @@
 
 #include "distance/lcss.h"
 #include "pruning/qgram.h"
+#include "query/intra_query.h"
+#include "query/topk.h"
 
 namespace edr {
 
@@ -17,8 +19,12 @@ LcssKnnSearcher::LcssKnnSearcher(const TrajectoryDataset& db, double epsilon,
       histograms_(db, epsilon, HistogramTable::Kind::k2D, 1),
       qgram_means_(db, /*q=*/1, /*dims=*/2) {}
 
-KnnResult LcssKnnSearcher::Knn(const Trajectory& query, size_t k) const {
+KnnResult LcssKnnSearcher::Knn(const Trajectory& query, size_t k,
+                               const KnnOptions& options) const {
   const auto start = std::chrono::steady_clock::now();
+  KnnResult out;
+  out.stats.db_size = db_.size();
+  if (k == 0) return out;
   const size_t m = query.size();
 
   const bool use_histogram =
@@ -44,13 +50,12 @@ KnnResult LcssKnnSearcher::Knn(const Trajectory& query, size_t k) const {
     return 1.0 - capped / denom;
   };
 
-  // Visit order: ascending histogram bound (HSR) when available.
+  // Distance lower bounds from the histogram sweep (sharded over the
+  // pool); candidates are later visited in ascending-bound (HSR) order.
   std::vector<double> bounds;
-  std::vector<uint32_t> order(db_.size());
-  std::iota(order.begin(), order.end(), 0);
   if (use_histogram) {
     std::vector<int> edr_bounds;
-    histograms_.FastLowerBoundSweep(qh, &edr_bounds);
+    histograms_.FastLowerBoundSweepParallel(qh, &edr_bounds, options);
     bounds.resize(db_.size());
     for (size_t i = 0; i < db_.size(); ++i) {
       const size_t n = db_[i].size();
@@ -60,34 +65,49 @@ KnnResult LcssKnnSearcher::Knn(const Trajectory& query, size_t k) const {
       const long transport_cap = total - edr_bounds[i];
       bounds[i] = distance_bound(n, transport_cap);
     }
-    std::sort(order.begin(), order.end(), [&bounds](uint32_t a, uint32_t b) {
-      return bounds[a] < bounds[b];
-    });
   }
+  const auto filter_done = std::chrono::steady_clock::now();
 
-  KnnResultList result(k);
-  size_t computed = 0;
-  for (const uint32_t id : order) {
+  const unsigned slots = ResolveIntraQueryWorkers(options);
+  std::vector<size_t> computed(slots, 0);
+  // LcssDistance is always exact (no early abandoning), so refinement
+  // never rejects a computed candidate.
+  const auto refine = [&](unsigned slot, uint32_t id, double threshold,
+                          double* dist) {
     const Trajectory& s = db_[id];
-    const double best = result.KthDistance();
-    if (use_histogram && bounds[id] > best) break;  // Sorted: all later too.
     if (use_qgram) {
       const long count = static_cast<long>(
           qgram_means_.CountMatches2D(query_means, epsilon_, id));
-      if (distance_bound(s.size(), count) > best) continue;
+      if (distance_bound(s.size(), count) > threshold) return false;
     }
-    const double dist = LcssDistance(query, s, epsilon_);
-    ++computed;
-    result.Offer(id, dist);
+    *dist = LcssDistance(query, s, epsilon_);
+    ++computed[slot];
+    return true;
+  };
+
+  if (use_histogram) {
+    std::vector<StreamingOrder<double>::Entry> entries(db_.size());
+    for (size_t i = 0; i < db_.size(); ++i) {
+      entries[i] = {bounds[i], static_cast<uint32_t>(i)};
+    }
+    // In sorted order every remaining bound is >= the stopping one.
+    const auto stop = [](double key, double threshold) {
+      return key > threshold;
+    };
+    out.neighbors = RefineInKeyOrder<double>(std::move(entries), k, options,
+                                             refine, stop);
+  } else {
+    out.neighbors = RefineInDbOrder(db_.size(), k, options, refine);
   }
 
-  const auto stop = std::chrono::steady_clock::now();
-  KnnResult out;
-  out.neighbors = std::move(result).TakeNeighbors();
-  out.stats.db_size = db_.size();
-  out.stats.edr_computed = computed;  // True LCSS computations here.
+  const auto stop_time = std::chrono::steady_clock::now();
+  for (const size_t c : computed) out.stats.edr_computed += c;
   out.stats.elapsed_seconds =
-      std::chrono::duration<double>(stop - start).count();
+      std::chrono::duration<double>(stop_time - start).count();
+  out.stats.filter_seconds =
+      std::chrono::duration<double>(filter_done - start).count();
+  out.stats.refine_seconds =
+      std::chrono::duration<double>(stop_time - filter_done).count();
   return out;
 }
 

@@ -41,7 +41,11 @@ class LcssKnnSearcher {
   LcssKnnSearcher(const TrajectoryDataset& db, double epsilon,
                   LcssFilter filter);
 
-  KnnResult Knn(const Trajectory& query, size_t k) const;
+  /// `options` shards the bound sweep, count filter, and exact-LCSS
+  /// refinement over the thread pool; results are bit-identical for every
+  /// worker count.
+  KnnResult Knn(const Trajectory& query, size_t k,
+                const KnnOptions& options = {}) const;
 
   std::string name() const;
 

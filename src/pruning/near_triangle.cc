@@ -5,7 +5,9 @@
 #include <cmath>
 
 #include "distance/edr_kernel.h"
+#include "query/intra_query.h"
 #include "query/thread_pool.h"
+#include "query/topk.h"
 
 namespace edr {
 
@@ -87,53 +89,61 @@ NearTriangleSearcher::NearTriangleSearcher(const TrajectoryDataset& db,
                                            PairwiseEdrMatrix matrix)
     : db_(db), epsilon_(epsilon), matrix_(std::move(matrix)) {}
 
-KnnResult NearTriangleSearcher::Knn(const Trajectory& query, size_t k) const {
+KnnResult NearTriangleSearcher::Knn(const Trajectory& query, size_t k,
+                                    const KnnOptions& options) const {
   const auto start = std::chrono::steady_clock::now();
+  KnnResult out;
+  out.stats.db_size = db_.size();
+  if (k == 0) return out;
   const EdrKernel kernel = DefaultEdrKernel();
-  EdrScratch& scratch = ThreadLocalEdrScratch();
 
   // procArray: references (ids < num_refs) whose distance to the query has
   // been computed, with that distance. A bounded-refinement value may be a
   // lower bound on EDR(Q, ref); substituting it into the Figure 4 prune
   // bound only shrinks the bound, so pruning stays lossless (it just
-  // prunes a little less than with the exact reference distance).
-  std::vector<std::pair<uint32_t, double>> proc_array;
-  proc_array.reserve(matrix_.num_refs());
+  // prunes a little less than with the exact reference distance). Each
+  // worker slot accumulates its own array — a reference distance is a
+  // valid prune input regardless of which candidates it is applied to, so
+  // per-slot arrays keep pruning sound while the deterministic merge keeps
+  // results schedule-independent.
+  const unsigned slots = ResolveIntraQueryWorkers(options);
+  std::vector<std::vector<std::pair<uint32_t, double>>> proc(slots);
+  for (auto& p : proc) p.reserve(matrix_.num_refs());
+  std::vector<size_t> computed(slots, 0);
 
-  KnnResultList result(k);
-  size_t computed = 0;
-
-  for (const Trajectory& s : db_) {
-    const double best = result.KthDistance();
-
+  const auto refine = [&](unsigned slot, uint32_t id, double threshold,
+                          double* dist) {
+    const Trajectory& s = db_[id];
     // Lower-bound EDR(Q, S) via every reference with a known distance
     // (Figure 4, lines 2-4).
+    std::vector<std::pair<uint32_t, double>>& proc_array = proc[slot];
     double max_prune_dist = 0.0;
     for (const auto& [ref_id, ref_dist] : proc_array) {
-      const double bound = ref_dist - matrix_.at(ref_id, s.id()) -
+      const double bound = ref_dist - matrix_.at(ref_id, id) -
                            static_cast<double>(s.size());
       max_prune_dist = std::max(max_prune_dist, bound);
     }
-    if (max_prune_dist > best) continue;  // Pruned; no false dismissal.
+    if (max_prune_dist > threshold) return false;  // No false dismissal.
 
-    const double dist = static_cast<double>(
-        EdrDistanceBoundedWith(kernel, scratch, query, s, epsilon_,
-                               EdrBoundFromKthDistance(best)));
-    ++computed;
-    if (s.id() < matrix_.num_refs() &&
+    const int bound = EdrBoundFromKthDistance(threshold);
+    const int d = EdrDistanceBoundedWith(kernel, ThreadLocalEdrScratch(),
+                                         query, s, epsilon_, bound);
+    ++computed[slot];
+    if (id < matrix_.num_refs() &&
         proc_array.size() < matrix_.num_refs()) {
-      proc_array.emplace_back(s.id(), dist);
+      proc_array.emplace_back(id, static_cast<double>(d));
     }
-    result.Offer(s.id(), dist);
-  }
+    if (d > bound) return false;
+    *dist = static_cast<double>(d);
+    return true;
+  };
+  out.neighbors = RefineInDbOrder(db_.size(), k, options, refine);
 
   const auto stop = std::chrono::steady_clock::now();
-  KnnResult out;
-  out.neighbors = std::move(result).TakeNeighbors();
-  out.stats.db_size = db_.size();
-  out.stats.edr_computed = computed;
+  for (const size_t c : computed) out.stats.edr_computed += c;
   out.stats.elapsed_seconds =
       std::chrono::duration<double>(stop - start).count();
+  out.stats.refine_seconds = out.stats.elapsed_seconds;
   return out;
 }
 
@@ -168,11 +178,7 @@ KnnResult NearTriangleSearcher::Range(const Trajectory& query,
       out.neighbors.push_back({s.id(), static_cast<double>(dist)});
     }
   }
-  std::sort(out.neighbors.begin(), out.neighbors.end(),
-            [](const Neighbor& a, const Neighbor& b) {
-              if (a.distance != b.distance) return a.distance < b.distance;
-              return a.id < b.id;
-            });
+  SortNeighborsAscending(&out.neighbors);
   const auto stop = std::chrono::steady_clock::now();
   out.stats.db_size = db_.size();
   out.stats.edr_computed = computed;

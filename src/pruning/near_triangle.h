@@ -77,7 +77,10 @@ class NearTriangleSearcher {
   NearTriangleSearcher(const TrajectoryDataset& db, double epsilon,
                        PairwiseEdrMatrix matrix);
 
-  KnnResult Knn(const Trajectory& query, size_t k) const;
+  /// `options` shards the refinement scan over the thread pool (per-worker
+  /// reference arrays); results are bit-identical for every worker count.
+  KnnResult Knn(const Trajectory& query, size_t k,
+                const KnnOptions& options = {}) const;
 
   /// Range query: prunes candidates whose reference-based lower bound
   /// exceeds `radius`. Lossless.

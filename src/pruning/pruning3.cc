@@ -8,6 +8,7 @@
 
 #include "distance/distance3.h"
 #include "distance/edr_kernel.h"
+#include "query/topk.h"
 
 namespace edr {
 
@@ -159,22 +160,24 @@ KnnResult Knn3Searcher::Knn(const Trajectory3& query, size_t k) const {
   const SparseHistogram qh = BuildHistogram(query);
 
   // HSR strategy: every histogram bound up front, ascending order, hard
-  // stop at the first bound above the k-th distance.
+  // stop at the first bound above the k-th distance. The hard stop
+  // usually fires within the first few hundred candidates, so stream the
+  // ascending order incrementally instead of fully sorting all n bounds.
   std::vector<int> bounds(db_.size());
+  std::vector<StreamingOrder<int>::Entry> entries(db_.size());
   for (uint32_t i = 0; i < db_.size(); ++i) {
     bounds[i] = TransportBound(qh, histograms_[i]);
+    entries[i] = {bounds[i], i};
   }
-  std::vector<uint32_t> order(db_.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&bounds](uint32_t a, uint32_t b) {
-    return bounds[a] < bounds[b];
-  });
+  StreamingOrder<int> order(std::move(entries));
 
   const EdrKernel kernel = DefaultEdrKernel();
   EdrScratch& scratch = ThreadLocalEdrScratch();
   KnnResultList result(k);
   size_t computed = 0;
-  for (const uint32_t id : order) {
+  StreamingOrder<int>::Entry entry;
+  while (order.Next(&entry)) {
+    const uint32_t id = entry.id;
     const double best = result.KthDistance();
     if (static_cast<double>(bounds[id]) > best) break;
 

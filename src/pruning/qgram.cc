@@ -3,6 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/cpu.h"
+#include "query/thread_pool.h"
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(EDR_DISABLE_SIMD)
+#include <immintrin.h>
+#define EDR_QGRAM_AVX2 1
+#endif
+
 namespace edr {
 
 std::vector<Point2> MeanValueQgrams(const Trajectory& t, int q) {
@@ -124,27 +132,103 @@ size_t GallopLowerBound(const double* xs, size_t begin, size_t end,
 QgramMeansTable::QgramMeansTable(const TrajectoryDataset& db, int q,
                                  int dims)
     : dims_(dims) {
-  offsets_.reserve(db.size() + 1);
-  offsets_.push_back(0);
-  if (dims_ == 2) {
-    for (const Trajectory& t : db) {
-      std::vector<Point2> means = MeanValueQgrams(t, q);
-      SortMeans(means);
-      for (const Point2& m : means) {
-        xs_.push_back(m.x);
-        ys_.push_back(m.y);
-      }
-      offsets_.push_back(static_cast<uint32_t>(xs_.size()));
-    }
-  } else {
-    for (const Trajectory& t : db) {
-      std::vector<double> means = MeanValueQgrams1D(t, q, /*use_x=*/true);
-      std::sort(means.begin(), means.end());
-      xs_.insert(xs_.end(), means.begin(), means.end());
-      offsets_.push_back(static_cast<uint32_t>(xs_.size()));
-    }
+  // The number of Q-grams of a trajectory is a pure function of its
+  // length, so the flat offsets can be prefix-summed before any mean is
+  // computed. Each trajectory then sorts and writes its means into its own
+  // disjoint slice, making the build embarrassingly parallel while
+  // producing the exact array a sequential append would.
+  const size_t n = db.size();
+  offsets_.assign(n + 1, 0);
+  for (size_t id = 0; id < n; ++id) {
+    const size_t len = db[id].size();
+    const size_t grams =
+        (q > 0 && len >= static_cast<size_t>(q))
+            ? len - static_cast<size_t>(q) + 1
+            : 0;
+    offsets_[id + 1] = offsets_[id] + static_cast<uint32_t>(grams);
   }
+  xs_.resize(offsets_[n]);
+  if (dims_ == 2) ys_.resize(offsets_[n]);
+
+  ThreadPool::Global().ParallelFor(n, [&](size_t id) {
+    const uint32_t begin = offsets_[id];
+    if (dims_ == 2) {
+      std::vector<Point2> means = MeanValueQgrams(db[id], q);
+      SortMeans(means);
+      for (size_t i = 0; i < means.size(); ++i) {
+        xs_[begin + i] = means[i].x;
+        ys_[begin + i] = means[i].y;
+      }
+    } else {
+      std::vector<double> means = MeanValueQgrams1D(db[id], q, /*use_x=*/true);
+      std::sort(means.begin(), means.end());
+      std::copy(means.begin(), means.end(), xs_.begin() + begin);
+    }
+  });
 }
+
+namespace {
+
+/// One window scan of the 2-D merge-count: true iff some j in
+/// [window_start, end) with xs[j] <= x_hi has |ys[j] - qy| <= epsilon,
+/// stopping at the first j with xs[j] > x_hi (xs is sorted).
+inline bool WindowHasMatchScalar(const double* xs, const double* ys,
+                                 size_t window_start, size_t end, double x_hi,
+                                 double qy, double epsilon) {
+  for (size_t j = window_start; j < end; ++j) {
+    if (xs[j] > x_hi) return false;
+    if (std::fabs(ys[j] - qy) <= epsilon) return true;
+  }
+  return false;
+}
+
+#if defined(EDR_QGRAM_AVX2)
+
+/// AVX2 window scan, 4 mean pairs per step: identical per-lane comparisons
+/// to the scalar loop (no arithmetic reassociation), so the answer is
+/// bit-identical. A block is conclusive as soon as either a lane matches
+/// (in-window x AND y within epsilon) or some lane leaves the x-window —
+/// the match mask already excludes out-of-window lanes, and the sorted xs
+/// guarantee nothing beyond the first out-of-window lane can match.
+__attribute__((target("avx2"))) bool WindowHasMatchAvx2(
+    const double* xs, const double* ys, size_t window_start, size_t end,
+    double x_hi, double qy, double epsilon) {
+  const __m256d v_hi = _mm256_set1_pd(x_hi);
+  const __m256d v_qy = _mm256_set1_pd(qy);
+  const __m256d v_eps = _mm256_set1_pd(epsilon);
+  const __m256d abs_mask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffLL));
+  size_t j = window_start;
+  for (; j + 4 <= end; j += 4) {
+    const __m256d x = _mm256_loadu_pd(xs + j);
+    const __m256d in_window = _mm256_cmp_pd(x, v_hi, _CMP_LE_OQ);
+    const int in_bits = _mm256_movemask_pd(in_window);
+    if (in_bits == 0) return false;  // Whole block past the window.
+    const __m256d y = _mm256_loadu_pd(ys + j);
+    const __m256d dy =
+        _mm256_and_pd(_mm256_sub_pd(y, v_qy), abs_mask);
+    const __m256d y_ok = _mm256_cmp_pd(dy, v_eps, _CMP_LE_OQ);
+    if (_mm256_movemask_pd(_mm256_and_pd(in_window, y_ok)) != 0) return true;
+    if (in_bits != 0xf) return false;  // Window ended inside the block.
+  }
+  return WindowHasMatchScalar(xs, ys, j, end, x_hi, qy, epsilon);
+}
+
+#endif  // defined(EDR_QGRAM_AVX2)
+
+using WindowHasMatchFn = bool (*)(const double*, const double*, size_t,
+                                  size_t, double, double, double);
+
+WindowHasMatchFn ResolveWindowHasMatch() {
+#if defined(EDR_QGRAM_AVX2)
+  if (CpuHasAvx2()) return WindowHasMatchAvx2;
+#endif
+  return WindowHasMatchScalar;
+}
+
+const WindowHasMatchFn g_window_has_match = ResolveWindowHasMatch();
+
+}  // namespace
 
 size_t QgramMeansTable::CountMatches2D(const std::vector<Point2>& query_means,
                                        double epsilon, uint32_t id) const {
@@ -154,12 +238,9 @@ size_t QgramMeansTable::CountMatches2D(const std::vector<Point2>& query_means,
   for (const Point2& qm : query_means) {
     window_start =
         GallopLowerBound(xs_.data(), window_start, end, qm.x - epsilon);
-    for (size_t j = window_start; j < end; ++j) {
-      if (xs_[j] > qm.x + epsilon) break;
-      if (std::fabs(ys_[j] - qm.y) <= epsilon) {
-        ++count;
-        break;
-      }
+    if (g_window_has_match(xs_.data(), ys_.data(), window_start, end,
+                           qm.x + epsilon, qm.y, epsilon)) {
+      ++count;
     }
   }
   return count;

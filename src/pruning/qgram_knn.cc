@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <numeric>
 
 #include "distance/edr_kernel.h"
 #include "pruning/qgram.h"
+#include "query/intra_query.h"
+#include "query/topk.h"
 
 namespace edr {
 
@@ -54,13 +57,14 @@ QgramKnnSearcher::QgramKnnSearcher(const TrajectoryDataset& db,
 }
 
 std::vector<size_t> QgramKnnSearcher::MatchCounts(
-    const Trajectory& query) const {
+    const Trajectory& query, const KnnOptions& options) const {
   std::vector<size_t> counts(db_.size(), 0);
   switch (variant_) {
     case QgramVariant::kRtree2D: {
       // For each query-gram mean, probe the tree with the epsilon square
       // and count each trajectory at most once per query gram (a gram of Q
-      // either matches some gram of S or it does not).
+      // either matches some gram of S or it does not). Probes mutate the
+      // shared last_gram array, so this variant counts sequentially.
       std::vector<size_t> last_gram(db_.size(), static_cast<size_t>(-1));
       const std::vector<Point2> means = MeanValueQgrams(query, q_);
       for (size_t g = 0; g < means.size(); ++g) {
@@ -92,90 +96,95 @@ std::vector<size_t> QgramKnnSearcher::MatchCounts(
     case QgramVariant::kMerge2D: {
       std::vector<Point2> means = MeanValueQgrams(query, q_);
       SortMeans(means);
-      for (size_t i = 0; i < db_.size(); ++i) {
+      // Each trajectory's count reads only its own flat slice and writes
+      // only its own output element — shard the ids over the pool.
+      IntraQueryParallelFor(db_.size(), options, [&](size_t i) {
         counts[i] =
             means_->CountMatches2D(means, epsilon_, static_cast<uint32_t>(i));
-      }
+      });
       break;
     }
     case QgramVariant::kMerge1D: {
       std::vector<double> means = MeanValueQgrams1D(query, q_, /*use_x=*/true);
       std::sort(means.begin(), means.end());
-      for (size_t i = 0; i < db_.size(); ++i) {
+      IntraQueryParallelFor(db_.size(), options, [&](size_t i) {
         counts[i] =
             means_->CountMatches1D(means, epsilon_, static_cast<uint32_t>(i));
-      }
+      });
       break;
     }
   }
   return counts;
 }
 
-KnnResult QgramKnnSearcher::Knn(const Trajectory& query, size_t k) const {
+KnnResult QgramKnnSearcher::Knn(const Trajectory& query, size_t k,
+                                const KnnOptions& options) const {
   const auto start = std::chrono::steady_clock::now();
+  KnnResult out;
+  out.stats.db_size = db_.size();
   if (k == 0) {
     // Nothing can be returned; skip the scan (and the -inf bestSoFar the
     // threshold arithmetic below cannot represent).
-    KnnResult out;
-    out.stats.db_size = db_.size();
     return out;
   }
 
-  const std::vector<size_t> counts = MatchCounts(query);
-  std::vector<uint32_t> order(db_.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&counts](uint32_t a, uint32_t b) {
-    return counts[a] > counts[b];
-  });
+  const std::vector<size_t> counts = MatchCounts(query, options);
+  // Canonical visit order: descending count, ties by ascending id —
+  // drained lazily so only the prefix the scan actually visits is ordered.
+  std::vector<StreamingOrder<long>::Entry> entries(db_.size());
+  for (size_t i = 0; i < db_.size(); ++i) {
+    entries[i] = {-static_cast<long>(counts[i]), static_cast<uint32_t>(i)};
+  }
+  const auto filter_done = std::chrono::steady_clock::now();
 
   const EdrKernel kernel = DefaultEdrKernel();
-  EdrScratch& scratch = ThreadLocalEdrScratch();
-  KnnResultList result(k);
-  size_t computed = 0;
   const long query_len = static_cast<long>(query.size());
+  const unsigned slots = ResolveIntraQueryWorkers(options);
+  std::vector<size_t> computed(slots, 0);
 
-  size_t i = 0;
-  // Seed: the first k trajectories by descending count get true distances.
-  for (; i < order.size() && i < k; ++i) {
-    const Trajectory& s = db_[order[i]];
-    result.Offer(s.id(), static_cast<double>(EdrDistanceWith(
-                             kernel, scratch, query, s, epsilon_)));
-    ++computed;
-  }
-
-  for (; i < order.size(); ++i) {
-    const double best = result.KthDistance();
-    const long best_k = static_cast<long>(best);  // EDR values are integers.
-    const Trajectory& s = db_[order[i]];
-    const long count = static_cast<long>(counts[order[i]]);
-
-    // Smallest threshold any remaining trajectory can have: lengths are at
-    // least |Q| inside max(|Q|, |S|). Counts are non-increasing from here,
-    // so once the count falls below it, everything remaining is pruned.
-    const long universal_threshold =
-        query_len - static_cast<long>(q_) + 1 - best_k * static_cast<long>(q_);
-    if (count < universal_threshold) break;
-
-    const long threshold =
-        QgramCountThreshold(query.size(), s.size(), q_, best_k);
-    if (count < threshold) continue;  // Theorem 3: EDR(Q, S) > bestSoFar.
-
+  const auto refine = [&](unsigned slot, uint32_t id, double threshold,
+                          double* dist) {
+    const Trajectory& s = db_[id];
+    if (!std::isinf(threshold)) {
+      // Theorem 3: fewer matching grams than the per-candidate threshold
+      // means EDR(Q, S) > bestSoFar.
+      const long th = QgramCountThreshold(query.size(), s.size(), q_,
+                                          static_cast<long>(threshold));
+      if (static_cast<long>(counts[id]) < th) return false;
+    }
     // Refinement with the running k-th distance as an early-abandon bound:
     // exact when the candidate could enter the result, otherwise some
-    // lower bound > bestSoFar that Offer rejects just the same.
-    const double dist = static_cast<double>(EdrDistanceBoundedWith(
-        kernel, scratch, query, s, epsilon_, static_cast<int>(best)));
-    ++computed;
-    result.Offer(s.id(), dist);
-  }
+    // lower bound > bestSoFar that the selection rejects just the same.
+    const int bound = EdrBoundFromKthDistance(threshold);
+    const int d = EdrDistanceBoundedWith(kernel, ThreadLocalEdrScratch(),
+                                         query, s, epsilon_, bound);
+    ++computed[slot];
+    if (d > bound) return false;
+    *dist = static_cast<double>(d);
+    return true;
+  };
+  // Smallest Theorem-3 threshold any remaining trajectory can have:
+  // lengths are at least |Q| inside max(|Q|, |S|). Counts only decrease
+  // from here, so once the count falls below it, everything remaining is
+  // pruned and the whole scan stops.
+  const auto stop = [&](long key, double threshold) {
+    if (std::isinf(threshold)) return false;
+    const long universal_threshold =
+        query_len - static_cast<long>(q_) + 1 -
+        static_cast<long>(threshold) * static_cast<long>(q_);
+    return -key < universal_threshold;
+  };
+  out.neighbors =
+      RefineInKeyOrder<long>(std::move(entries), k, options, refine, stop);
 
-  const auto stop = std::chrono::steady_clock::now();
-  KnnResult out;
-  out.neighbors = std::move(result).TakeNeighbors();
-  out.stats.db_size = db_.size();
-  out.stats.edr_computed = computed;
+  const auto stop_time = std::chrono::steady_clock::now();
+  for (const size_t c : computed) out.stats.edr_computed += c;
   out.stats.elapsed_seconds =
-      std::chrono::duration<double>(stop - start).count();
+      std::chrono::duration<double>(stop_time - start).count();
+  out.stats.filter_seconds =
+      std::chrono::duration<double>(filter_done - start).count();
+  out.stats.refine_seconds =
+      std::chrono::duration<double>(stop_time - filter_done).count();
   return out;
 }
 
@@ -185,7 +194,8 @@ std::string QgramKnnSearcher::name() const {
 }
 
 
-KnnResult QgramKnnSearcher::Range(const Trajectory& query, int radius) const {
+KnnResult QgramKnnSearcher::Range(const Trajectory& query, int radius,
+                                  size_t max_results) const {
   const auto start = std::chrono::steady_clock::now();
   const std::vector<size_t> counts = MatchCounts(query);
   const EdrKernel kernel = DefaultEdrKernel();
@@ -206,11 +216,7 @@ KnnResult QgramKnnSearcher::Range(const Trajectory& query, int radius) const {
       out.neighbors.push_back({id, static_cast<double>(dist)});
     }
   }
-  std::sort(out.neighbors.begin(), out.neighbors.end(),
-            [](const Neighbor& a, const Neighbor& b) {
-              if (a.distance != b.distance) return a.distance < b.distance;
-              return a.id < b.id;
-            });
+  SortNeighborsAscending(&out.neighbors, max_results);
   const auto stop = std::chrono::steady_clock::now();
   out.stats.db_size = db_.size();
   out.stats.edr_computed = computed;

@@ -50,17 +50,26 @@ class QgramKnnSearcher {
 
   /// Answers a k-NN query. Thread-compatible: concurrent calls on distinct
   /// searchers are safe; a single searcher is read-only at query time.
-  KnnResult Knn(const Trajectory& query, size_t k) const;
+  /// `options` shards the counting and refinement passes over the thread
+  /// pool; results are bit-identical for every worker count.
+  KnnResult Knn(const Trajectory& query, size_t k,
+                const KnnOptions& options = {}) const;
 
   /// Answers a range query (all S with EDR(query, S) <= radius, ascending
   /// distance order) using the Theorem 1 count filter in its original
   /// range form: S is pruned when its matching-gram count falls below
-  /// max(|Q|, |S|) - q + 1 - radius * q. Lossless.
-  KnnResult Range(const Trajectory& query, int radius) const;
+  /// max(|Q|, |S|) - q + 1 - radius * q. Lossless. A nonzero `max_results`
+  /// keeps only that many nearest matches, selected with partial selection
+  /// instead of a full sort of the result list.
+  KnnResult Range(const Trajectory& query, int radius,
+                  size_t max_results = 0) const;
 
   /// Per-trajectory matching-gram counts for a query; exposed for tests
-  /// and for the combined searcher.
-  std::vector<size_t> MatchCounts(const Trajectory& query) const;
+  /// and for the combined searcher. The merge-join variants (PS1/PS2)
+  /// count independent per-trajectory slices, so `options` can shard them
+  /// over the pool; the tree-probe variants (PR/PB) stay sequential.
+  std::vector<size_t> MatchCounts(const Trajectory& query,
+                                  const KnnOptions& options = {}) const;
 
   QgramVariant variant() const { return variant_; }
   int q() const { return q_; }

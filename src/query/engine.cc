@@ -115,39 +115,49 @@ NamedSearcher QueryEngine::MakeSeqScan(bool early_abandon) const {
           }};
 }
 
-NamedSearcher QueryEngine::MakeQgram(QgramVariant variant, int q) {
+NamedSearcher QueryEngine::MakeQgram(QgramVariant variant, int q,
+                                     const KnnOptions& options) {
   const QgramKnnSearcher& searcher = Qgram(variant, q);
-  return {searcher.name(), [&searcher](const Trajectory& q, size_t k) {
-            return searcher.Knn(q, k);
+  return {searcher.name(),
+          [&searcher, options](const Trajectory& q, size_t k) {
+            return searcher.Knn(q, k, options);
           }};
 }
 
 NamedSearcher QueryEngine::MakeHistogram(HistogramTable::Kind kind, int delta,
-                                         HistogramScan scan) {
+                                         HistogramScan scan,
+                                         const KnnOptions& options) {
   const HistogramKnnSearcher& searcher = Histogram(kind, delta, scan);
-  return {searcher.name(), [&searcher](const Trajectory& q, size_t k) {
-            return searcher.Knn(q, k);
+  return {searcher.name(),
+          [&searcher, options](const Trajectory& q, size_t k) {
+            return searcher.Knn(q, k, options);
           }};
 }
 
-NamedSearcher QueryEngine::MakeNearTriangle(size_t max_triangle) {
+NamedSearcher QueryEngine::MakeNearTriangle(size_t max_triangle,
+                                            const KnnOptions& options) {
   const NearTriangleSearcher& searcher = NearTriangle(max_triangle);
-  return {searcher.name(), [&searcher](const Trajectory& q, size_t k) {
-            return searcher.Knn(q, k);
+  return {searcher.name(),
+          [&searcher, options](const Trajectory& q, size_t k) {
+            return searcher.Knn(q, k, options);
           }};
 }
 
-NamedSearcher QueryEngine::MakeCse(size_t max_triangle) {
+NamedSearcher QueryEngine::MakeCse(size_t max_triangle,
+                                   const KnnOptions& options) {
   const CseSearcher& searcher = Cse(max_triangle);
-  return {searcher.name(), [&searcher](const Trajectory& q, size_t k) {
-            return searcher.Knn(q, k);
+  return {searcher.name(),
+          [&searcher, options](const Trajectory& q, size_t k) {
+            return searcher.Knn(q, k, options);
           }};
 }
 
-NamedSearcher QueryEngine::MakeCombined(const CombinedOptions& options) {
+NamedSearcher QueryEngine::MakeCombined(const CombinedOptions& options,
+                                        const KnnOptions& knn_options) {
   const CombinedKnnSearcher& searcher = Combined(options);
-  return {searcher.name(), [&searcher](const Trajectory& q, size_t k) {
-            return searcher.Knn(q, k);
+  return {searcher.name(),
+          [&searcher, knn_options](const Trajectory& q, size_t k) {
+            return searcher.Knn(q, k, knn_options);
           }};
 }
 

@@ -72,14 +72,21 @@ class QueryEngine {
   /// Combined searcher (Section 4.4), cached per configuration.
   const CombinedKnnSearcher& Combined(const CombinedOptions& options);
 
-  /// Convenience wrappers producing NamedSearcher handles.
+  /// Convenience wrappers producing NamedSearcher handles. The bound
+  /// `options` configure intra-query parallelism for every call made
+  /// through the handle; the default is the sequential single-worker path.
   NamedSearcher MakeSeqScan(bool early_abandon = false) const;
-  NamedSearcher MakeQgram(QgramVariant variant, int q);
+  NamedSearcher MakeQgram(QgramVariant variant, int q,
+                          const KnnOptions& options = {});
   NamedSearcher MakeHistogram(HistogramTable::Kind kind, int delta,
-                              HistogramScan scan);
-  NamedSearcher MakeNearTriangle(size_t max_triangle = 400);
-  NamedSearcher MakeCse(size_t max_triangle = 400);
-  NamedSearcher MakeCombined(const CombinedOptions& options);
+                              HistogramScan scan,
+                              const KnnOptions& options = {});
+  NamedSearcher MakeNearTriangle(size_t max_triangle = 400,
+                                 const KnnOptions& options = {});
+  NamedSearcher MakeCse(size_t max_triangle = 400,
+                        const KnnOptions& options = {});
+  NamedSearcher MakeCombined(const CombinedOptions& options,
+                             const KnnOptions& knn_options = {});
 
  private:
   /// Reference-column matrix shared by NTR / CSE / combined searchers.

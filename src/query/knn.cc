@@ -6,6 +6,7 @@
 
 #include "distance/edr.h"
 #include "distance/edr_kernel.h"
+#include "query/topk.h"
 
 namespace edr {
 
@@ -66,11 +67,7 @@ KnnResult SequentialScanRange(const TrajectoryDataset& db,
       out.neighbors.push_back({s.id(), static_cast<double>(dist)});
     }
   }
-  std::sort(out.neighbors.begin(), out.neighbors.end(),
-            [](const Neighbor& a, const Neighbor& b) {
-              if (a.distance != b.distance) return a.distance < b.distance;
-              return a.id < b.id;
-            });
+  SortNeighborsAscending(&out.neighbors);
   const auto stop = std::chrono::steady_clock::now();
   out.stats.db_size = db.size();
   out.stats.edr_computed = db.size();

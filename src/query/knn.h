@@ -11,6 +11,23 @@
 
 namespace edr {
 
+class ThreadPool;
+
+/// Execution options accepted by every searcher's three-argument Knn
+/// overload. The default (one worker) is the fully sequential path; any
+/// other setting shards the query's filter sweep and refinement pass
+/// across the thread pool. Results are bit-identical (ids, distances,
+/// order) for every worker count — parallelism is a pure latency knob.
+struct KnnOptions {
+  /// Participants in the intra-query filter/refine passes, including the
+  /// calling thread. 1 = sequential; 0 = the whole pool plus the caller.
+  unsigned intra_query_workers = 1;
+  /// Pool to shard over; nullptr = ThreadPool::Global(). Tests and benches
+  /// pass a dedicated pool so worker counts are exact regardless of the
+  /// machine's core count.
+  ThreadPool* pool = nullptr;
+};
+
 /// One k-NN answer: a dataset trajectory id and its EDR distance to the
 /// query.
 struct Neighbor {
@@ -34,6 +51,12 @@ struct SearchStats {
   size_t edr_computed = 0;
   /// Wall-clock time spent answering the query, including filter work.
   double elapsed_seconds = 0.0;
+  /// Per-phase split of elapsed_seconds: the filter phase (lower-bound
+  /// sweeps, match counting, candidate ordering) versus the refinement
+  /// phase (true distance computations + result maintenance). Searchers
+  /// that interleave the phases report 0 for both.
+  double filter_seconds = 0.0;
+  double refine_seconds = 0.0;
 
   /// Fraction of trajectories pruned without a true distance computation.
   double PruningPower() const {

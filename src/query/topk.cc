@@ -1,0 +1,71 @@
+#include "query/topk.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace edr {
+
+void BoundedTopK::Offer(uint32_t id, double distance, size_t order) {
+  if (k_ == 0) return;
+  const Item item{distance, order, id};
+  if (heap_.size() < k_) {
+    heap_.push_back(item);
+    std::push_heap(heap_.begin(), heap_.end(), HeapLess);
+    return;
+  }
+  if (!HeapLess(item, heap_.front())) return;  // Not better than the worst.
+  std::pop_heap(heap_.begin(), heap_.end(), HeapLess);
+  heap_.back() = item;
+  std::push_heap(heap_.begin(), heap_.end(), HeapLess);
+}
+
+namespace {
+
+std::vector<Neighbor> FinishItems(std::vector<BoundedTopK::Item> items,
+                                  size_t k) {
+  std::sort(items.begin(), items.end(),
+            [](const BoundedTopK::Item& a, const BoundedTopK::Item& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.order < b.order;
+            });
+  if (items.size() > k) items.resize(k);
+  std::vector<Neighbor> out;
+  out.reserve(items.size());
+  for (const BoundedTopK::Item& item : items) {
+    out.push_back({item.id, item.distance});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Neighbor> BoundedTopK::TakeSortedNeighbors() && {
+  return FinishItems(std::move(heap_), k_);
+}
+
+std::vector<Neighbor> BoundedTopK::Merge(std::vector<BoundedTopK> parts,
+                                         size_t k) {
+  std::vector<Item> all;
+  for (BoundedTopK& part : parts) {
+    all.insert(all.end(), part.heap_.begin(), part.heap_.end());
+  }
+  return FinishItems(std::move(all), k);
+}
+
+void SortNeighborsAscending(std::vector<Neighbor>* neighbors,
+                            size_t max_results) {
+  const auto less = [](const Neighbor& a, const Neighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  };
+  if (max_results > 0 && max_results < neighbors->size()) {
+    std::nth_element(
+        neighbors->begin(),
+        neighbors->begin() + static_cast<ptrdiff_t>(max_results),
+        neighbors->end(), less);
+    neighbors->resize(max_results);
+  }
+  std::sort(neighbors->begin(), neighbors->end(), less);
+}
+
+}  // namespace edr
