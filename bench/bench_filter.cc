@@ -14,6 +14,7 @@
 #include <functional>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/rng.h"
 #include "core/trajectory.h"
 #include "data/generators.h"
@@ -50,6 +51,7 @@ struct SweepRow {
 
 int main(int argc, char** argv) {
   using namespace edr;
+  bench::WarnIfSingleCore();
 
   std::FILE* out = stdout;
   if (argc > 1) {
@@ -168,8 +170,11 @@ int main(int argc, char** argv) {
   }
   std::fprintf(out,
                "  ],\n  \"qgram_flat_count_ms\": %.3f,\n"
+               "  \"host_cores\": %u,\n  \"single_core_warning\": %s,\n"
                "  \"identical\": %s\n}\n",
-               qgram_count_s * 1e3, all_identical ? "true" : "false");
+               qgram_count_s * 1e3, bench::HostCores(),
+               bench::HostCores() <= 1 ? "true" : "false",
+               all_identical ? "true" : "false");
   if (out != stdout) std::fclose(out);
   return all_identical ? 0 : 1;
 }

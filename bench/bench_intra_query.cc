@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/rng.h"
 #include "core/trajectory.h"
 #include "data/generators.h"
@@ -115,6 +116,7 @@ std::vector<LatencyRow> MeasureMethod(
 
 int main(int argc, char** argv) {
   using namespace edr;
+  bench::WarnIfSingleCore();
 
   std::FILE* out = stdout;
   if (argc > 1) {
@@ -193,10 +195,11 @@ int main(int argc, char** argv) {
   std::fprintf(out,
                "{\n  \"bench\": \"intra_query\",\n  \"db_size\": %zu,\n"
                "  \"queries\": %zu,\n  \"k\": %zu,\n  \"epsilon\": %.3f,\n"
-               "  \"host_cores\": %u,\n  \"methods\": [\n%s  ],\n"
+               "  \"host_cores\": %u,\n  \"single_core_warning\": %s,\n"
+               "  \"methods\": [\n%s  ],\n"
                "  \"identical\": %s\n}\n",
-               db.size(), queries.size(), kK, kEps,
-               std::thread::hardware_concurrency(), body.c_str(),
+               db.size(), queries.size(), kK, kEps, bench::HostCores(),
+               bench::HostCores() <= 1 ? "true" : "false", body.c_str(),
                all_identical ? "true" : "false");
   if (out != stdout) std::fclose(out);
   return all_identical ? 0 : 1;

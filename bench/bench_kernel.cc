@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/rng.h"
 #include "core/trajectory.h"
 #include "data/generators.h"
@@ -73,6 +74,7 @@ struct KernelRow {
 
 int main(int argc, char** argv) {
   using namespace edr;
+  bench::WarnIfSingleCore();
 
   std::FILE* out = stdout;
   if (argc > 1) {
@@ -176,6 +178,9 @@ int main(int argc, char** argv) {
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"host_cores\": %u,\n  \"single_core_warning\": %s,\n",
+               bench::HostCores(),
+               bench::HostCores() <= 1 ? "true" : "false");
   std::fprintf(out,
                "  \"knn\": {\"db_size\": %zu, \"k\": %zu, \"queries\": %zu,\n"
                "    \"seqscan_scalar_s\": %.6f, \"seqscan_bitparallel_s\": %.6f,\n"

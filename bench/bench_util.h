@@ -5,15 +5,46 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "core/dataset.h"
 #include "eval/metrics.h"
+#include "obs/obs.h"
 #include "query/engine.h"
 
 namespace edr {
 namespace bench {
+
+/// Hardware concurrency as reported by the host (0 is mapped to 1).
+inline unsigned HostCores() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// Prints a warning banner when the host has a single core: parallel
+/// speedup numbers measured here are meaningless (every "parallel" run
+/// time-slices one core) and should not be quoted.
+inline void WarnIfSingleCore() {
+  if (HostCores() <= 1) {
+    std::fprintf(stderr,
+                 "WARNING: single-core host (host_cores=1); parallel "
+                 "speedups below are not meaningful.\n");
+  }
+}
+
+/// Appends the host-core fields every BENCH_*.json emitter records:
+/// `"host_cores": N` plus a machine-readable single-core warning flag.
+/// The caller owns the surrounding braces/commas (pass the leading comma
+/// in `prefix` as its JSON requires).
+inline void AppendHostJson(std::string* json, const char* prefix = ", ") {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "%s\"host_cores\": %u, \"single_core_warning\": %s", prefix,
+                HostCores(), HostCores() <= 1 ? "true" : "false");
+  *json += buf;
+}
 
 /// Scale control for the paper-reproduction benches.
 ///
@@ -72,6 +103,10 @@ inline std::vector<WorkloadResult> RunSuite(
     seq_latencies.push_back(r.stats.elapsed_seconds);
   }
   FillLatencyPercentiles(&seq, std::move(seq_latencies));
+  for (const KnnResult& r : gt) {
+    seq.stage_totals.Add(r.stats.stages);
+    seq.db_size_total += r.stats.db_size;
+  }
   std::printf("%s\n", FormatWorkloadRow(seq).c_str());
 
   std::vector<WorkloadResult> results;
@@ -80,6 +115,17 @@ inline std::vector<WorkloadResult> RunSuite(
     std::printf("%s\n", FormatWorkloadRow(r).c_str());
     std::fflush(stdout);
     results.push_back(r);
+  }
+
+  // Stage-decomposition companion table: which filter earned the pruning
+  // power above. Compiled out with the observability layer.
+  if constexpr (kObsEnabled) {
+    std::printf("%s\n", FormatStageHeader().c_str());
+    std::printf("%s\n", FormatStageRow(seq).c_str());
+    for (const WorkloadResult& r : results) {
+      std::printf("%s\n", FormatStageRow(r).c_str());
+    }
+    std::fflush(stdout);
   }
   return results;
 }

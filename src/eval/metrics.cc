@@ -26,6 +26,8 @@ WorkloadResult RunWorkload(const NamedSearcher& searcher,
     seconds_sum += result.stats.elapsed_seconds;
     filter_sum += result.stats.filter_seconds;
     refine_sum += result.stats.refine_seconds;
+    out.stage_totals.Add(result.stats.stages);
+    out.db_size_total += result.stats.db_size;
     latencies.push_back(result.stats.elapsed_seconds);
     if (ground_truth != nullptr &&
         !SameKnnDistances((*ground_truth)[i], result)) {
@@ -117,6 +119,38 @@ std::string FormatWorkloadRow(const WorkloadResult& result) {
       result.avg_refine_seconds * 1000.0, result.p50_seconds * 1000.0,
       result.p95_seconds * 1000.0, result.max_seconds * 1000.0,
       result.speedup, result.lossless ? "yes" : "NO");
+  return buf;
+}
+
+std::string FormatStageHeader() {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-14s %10s %10s %10s %10s %10s %10s %12s",
+                "method", "qgram%", "hist%", "tri%", "stopped%", "dp%",
+                "abandon%", "cells/query");
+  return buf;
+}
+
+std::string FormatStageRow(const WorkloadResult& result) {
+  const StageCounters& s = result.stage_totals;
+  const double n = result.db_size_total > 0
+                       ? static_cast<double>(result.db_size_total)
+                       : 1.0;
+  const double dp = s.dp_invoked > 0 ? static_cast<double>(s.dp_invoked)
+                                     : 1.0;
+  const double q = result.queries > 0 ? static_cast<double>(result.queries)
+                                      : 1.0;
+  char buf[288];
+  std::snprintf(buf, sizeof(buf),
+                "%-14s %10.2f %10.2f %10.2f %10.2f %10.2f %10.2f %12.0f",
+                result.method.c_str(),
+                100.0 * static_cast<double>(s.qgram_pruned) / n,
+                100.0 * static_cast<double>(s.histogram_pruned) / n,
+                100.0 * static_cast<double>(s.triangle_pruned) / n,
+                100.0 * static_cast<double>(s.not_visited) / n,
+                100.0 * static_cast<double>(s.dp_invoked) / n,
+                100.0 * static_cast<double>(s.dp_early_abandoned) / dp,
+                static_cast<double>(s.dp_cells) / q);
   return buf;
 }
 

@@ -1,10 +1,12 @@
 #ifndef EDR_EVAL_METRICS_H_
 #define EDR_EVAL_METRICS_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
 #include "core/dataset.h"
+#include "obs/stage_counters.h"
 #include "query/engine.h"
 #include "query/knn.h"
 
@@ -37,6 +39,12 @@ struct WorkloadResult {
   /// True iff every query returned exactly the ground-truth distances
   /// (no false dismissals).
   bool lossless = true;
+  /// Stage-by-stage pruning decomposition summed over the workload (zeros
+  /// in EDR_DISABLE_OBS builds), with the summed db sizes it conserves
+  /// against: stage_totals.Conserves(db_size_total) holds whenever every
+  /// per-query counter set conserved.
+  StageCounters stage_totals;
+  size_t db_size_total = 0;
 };
 
 /// Runs every query through `searcher` and aggregates stats. When
@@ -75,6 +83,13 @@ std::vector<Trajectory> SampleQueries(const TrajectoryDataset& db,
 /// column names instead.
 std::string FormatWorkloadRow(const WorkloadResult& result);
 std::string FormatWorkloadHeader();
+
+/// Stage-decomposition companion table: per-method shares of the database
+/// removed by each filter stage (Q-gram count, histogram bound, triangle
+/// bound, sorted-scan hard stop) plus DP invocation/abandon rates and mean
+/// DP cells per query. All-zero rows in EDR_DISABLE_OBS builds.
+std::string FormatStageRow(const WorkloadResult& result);
+std::string FormatStageHeader();
 
 }  // namespace edr
 

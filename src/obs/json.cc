@@ -1,0 +1,180 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace edr {
+
+namespace {
+
+/// Recursive-descent JSON syntax checker over a cursor into the text.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool ParseDocument() {
+    SkipSpace();
+    if (!ParseValue()) return false;
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  bool Eat(char c) {
+    if (AtEnd() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  void SkipSpace() {
+    while (!AtEnd() && (Peek() == ' ' || Peek() == '\t' || Peek() == '\n' ||
+                        Peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool ParseValue() {
+    if (AtEnd() || depth_ > kMaxDepth) return false;
+    switch (Peek()) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': return ParseString();
+      case 't': return ParseLiteral("true");
+      case 'f': return ParseLiteral("false");
+      case 'n': return ParseLiteral("null");
+      default: return ParseNumber();
+    }
+  }
+
+  bool ParseObject() {
+    ++depth_;
+    if (!Eat('{')) return false;
+    SkipSpace();
+    if (Eat('}')) return --depth_, true;
+    for (;;) {
+      SkipSpace();
+      if (!ParseString()) return false;
+      SkipSpace();
+      if (!Eat(':')) return false;
+      SkipSpace();
+      if (!ParseValue()) return false;
+      SkipSpace();
+      if (Eat('}')) return --depth_, true;
+      if (!Eat(',')) return false;
+    }
+  }
+
+  bool ParseArray() {
+    ++depth_;
+    if (!Eat('[')) return false;
+    SkipSpace();
+    if (Eat(']')) return --depth_, true;
+    for (;;) {
+      SkipSpace();
+      if (!ParseValue()) return false;
+      SkipSpace();
+      if (Eat(']')) return --depth_, true;
+      if (!Eat(',')) return false;
+    }
+  }
+
+  bool ParseString() {
+    if (!Eat('"')) return false;
+    while (!AtEnd()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_++]);
+      if (c == '"') return true;
+      if (c < 0x20) return false;  // Raw control characters are invalid.
+      if (c == '\\') {
+        if (AtEnd()) return false;
+        const char esc = text_[pos_++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (AtEnd() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_++]))) {
+              return false;
+            }
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return false;
+        }
+      }
+    }
+    return false;
+  }
+
+  bool ParseNumber() {
+    const size_t start = pos_;
+    Eat('-');
+    if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+      return false;
+    }
+    if (!Eat('0')) {
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    if (Eat('.')) {
+      if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return false;
+      }
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!Eat('+')) Eat('-');
+      if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return false;
+      }
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    return pos_ > start;
+  }
+
+  bool ParseLiteral(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  static constexpr int kMaxDepth = 256;
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+bool JsonIsValid(std::string_view text) {
+  return JsonParser(text).ParseDocument();
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace edr

@@ -1,0 +1,22 @@
+#ifndef EDR_OBS_JSON_H_
+#define EDR_OBS_JSON_H_
+
+#include <string>
+#include <string_view>
+
+namespace edr {
+
+/// True iff `text` is one syntactically valid JSON value (RFC 8259
+/// grammar: objects, arrays, strings with escapes, numbers, true/false/
+/// null) with nothing but whitespace after it. The observability
+/// exporters emit JSON by hand with snprintf, so tests round-trip every
+/// emitted document through this checker to certify the output parses.
+bool JsonIsValid(std::string_view text);
+
+/// Escapes a string for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string JsonEscape(std::string_view text);
+
+}  // namespace edr
+
+#endif  // EDR_OBS_JSON_H_

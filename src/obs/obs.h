@@ -1,0 +1,23 @@
+#ifndef EDR_OBS_OBS_H_
+#define EDR_OBS_OBS_H_
+
+namespace edr {
+
+/// Compile-time switch for the whole observability layer (trace spans,
+/// stage counters, the metrics registry, thread-pool instrumentation).
+///
+/// The CMake option EDR_DISABLE_OBS defines EDR_DISABLE_OBS, which flips
+/// this to false; every recording site is wrapped in
+/// `if constexpr (kObsEnabled)`, so the disabled build compiles the
+/// instrumentation to nothing — no clock reads, no atomic increments, no
+/// allocations — while the query results stay bit-identical (observability
+/// only ever records, it never steers).
+#ifdef EDR_DISABLE_OBS
+inline constexpr bool kObsEnabled = false;
+#else
+inline constexpr bool kObsEnabled = true;
+#endif
+
+}  // namespace edr
+
+#endif  // EDR_OBS_OBS_H_

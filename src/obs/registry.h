@@ -1,0 +1,130 @@
+#ifndef EDR_OBS_REGISTRY_H_
+#define EDR_OBS_REGISTRY_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace edr {
+
+/// A process-wide monotonic counter, padded to its own cache line so
+/// unrelated counters hammered from different threads never false-share.
+/// Increments are relaxed atomics: counters are statistics, not
+/// synchronization, and a snapshot only needs eventual per-counter
+/// totals.
+struct alignas(64) ObsCounter {
+  std::atomic<uint64_t> value{0};
+
+  void Inc(uint64_t n = 1) {
+    if constexpr (kObsEnabled) {
+      value.fetch_add(n, std::memory_order_relaxed);
+    } else {
+      (void)n;
+    }
+  }
+  uint64_t Load() const { return value.load(std::memory_order_relaxed); }
+  void Reset() { value.store(0, std::memory_order_relaxed); }
+};
+
+static_assert(sizeof(ObsCounter) == 64 && alignof(ObsCounter) == 64,
+              "counters must own their cache line");
+
+/// A log-bucketed latency histogram: bucket b counts samples in
+/// [2^(b-1), 2^b) nanoseconds (bucket 0 is [0, 1ns)), covering ~1ns to
+/// ~78 minutes in 52 buckets. Recording is one relaxed fetch_add — cheap
+/// enough for one sample per query — and percentiles are reconstructed
+/// from the bucket counts at snapshot time with ~2x worst-case value
+/// error (the price of fixed memory and lock-free recording).
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 52;
+
+  void Record(double seconds);
+
+  uint64_t TotalCount() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double TotalSeconds() const {
+    return static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+
+  /// Nearest-rank percentile estimate (q in [0, 1]): the upper edge of
+  /// the bucket holding the q-th sample; 0 when empty.
+  double PercentileSeconds(double q) const;
+
+  std::array<uint64_t, kBuckets> BucketCounts() const;
+
+  void Reset();
+
+ private:
+  static size_t BucketOf(double seconds);
+
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_ns_{0};
+};
+
+/// One exported view of the registry, taken atomically enough for
+/// reporting (counters keep ticking while the snapshot walks them).
+struct MetricsSnapshot {
+  struct CounterRow {
+    std::string name;
+    uint64_t value = 0;
+  };
+  struct HistogramRow {
+    std::string name;
+    uint64_t count = 0;
+    double total_seconds = 0.0;
+    double p50_seconds = 0.0;
+    double p95_seconds = 0.0;
+    double p99_seconds = 0.0;
+  };
+
+  std::vector<CounterRow> counters;
+  std::vector<HistogramRow> histograms;
+
+  /// {"counters": {...}, "histograms": [{...}]} — machine-readable export.
+  std::string ToJson() const;
+
+  /// The aligned-table format the workload reports use: one
+  /// "name value" row per counter, then a latency table with
+  /// count / total / p50 / p95 / p99 columns.
+  std::string ToTable() const;
+};
+
+/// Name-addressed registry of process-wide counters and histograms.
+/// Lookup takes a mutex and is meant for setup (resolve once, keep the
+/// reference — entries are never deleted, so references stay valid for
+/// the process lifetime); the hot path touches only the returned
+/// ObsCounter / LatencyHistogram atomics. In EDR_DISABLE_OBS builds the
+/// registry still exists but every entry stays zero, so exports render
+/// as empty activity rather than breaking callers.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  ObsCounter& Counter(const std::string& name);
+  LatencyHistogram& Histogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered entry (tests only; entries stay registered).
+  void ResetForTest();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<ObsCounter>> counters_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace edr
+
+#endif  // EDR_OBS_REGISTRY_H_

@@ -1,0 +1,131 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/json.h"
+
+namespace edr {
+
+int32_t QueryTrace::Begin(const char* name, int32_t parent) {
+  const double start =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    origin_)
+          .count();
+  std::lock_guard<std::mutex> lock(mu_);
+  Node node;
+  node.name = name;
+  node.start_seconds = start;
+  node.parent = parent;
+  nodes_.push_back(node);
+  return static_cast<int32_t>(nodes_.size()) - 1;
+}
+
+void QueryTrace::End(int32_t id) {
+  const double now =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    origin_)
+          .count();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || static_cast<size_t>(id) >= nodes_.size()) return;
+  nodes_[static_cast<size_t>(id)].seconds =
+      now - nodes_[static_cast<size_t>(id)].start_seconds;
+}
+
+int32_t QueryTrace::AddAggregate(const char* name, double seconds,
+                                 uint64_t count, int32_t parent) {
+  const double start =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    origin_)
+          .count();
+  std::lock_guard<std::mutex> lock(mu_);
+  Node node;
+  node.name = name;
+  node.start_seconds = start;
+  node.seconds = seconds;
+  node.parent = parent;
+  node.count = count;
+  nodes_.push_back(node);
+  return static_cast<int32_t>(nodes_.size()) - 1;
+}
+
+double QueryTrace::PhaseSeconds(const char* name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double sum = 0.0;
+  for (const Node& node : nodes_) {
+    if (std::strcmp(node.name, name) == 0) sum += node.seconds;
+  }
+  return sum;
+}
+
+size_t QueryTrace::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return nodes_.size();
+}
+
+std::vector<QueryTrace::Node> QueryTrace::nodes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return nodes_;
+}
+
+double QueryTrace::ElapsedSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       origin_)
+      .count();
+}
+
+namespace {
+
+void AppendNodeJson(const std::vector<QueryTrace::Node>& nodes,
+                    const std::vector<std::vector<int32_t>>& children,
+                    int32_t id, std::string* out) {
+  const QueryTrace::Node& node = nodes[static_cast<size_t>(id)];
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\": \"%s\", \"start_ms\": %.6f, \"ms\": %.6f, "
+                "\"count\": %llu",
+                JsonEscape(node.name).c_str(), node.start_seconds * 1e3,
+                node.seconds * 1e3,
+                static_cast<unsigned long long>(node.count));
+  *out += buf;
+  const std::vector<int32_t>& kids = children[static_cast<size_t>(id)];
+  if (!kids.empty()) {
+    *out += ", \"children\": [";
+    for (size_t i = 0; i < kids.size(); ++i) {
+      if (i > 0) *out += ", ";
+      AppendNodeJson(nodes, children, kids[i], out);
+    }
+    *out += "]";
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+std::string QueryTrace::ToJson() const {
+  const std::vector<Node> nodes = this->nodes();
+  std::vector<std::vector<int32_t>> children(nodes.size());
+  std::vector<int32_t> roots;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const int32_t parent = nodes[i].parent;
+    if (parent >= 0 && static_cast<size_t>(parent) < nodes.size()) {
+      children[static_cast<size_t>(parent)].push_back(
+          static_cast<int32_t>(i));
+    } else {
+      roots.push_back(static_cast<int32_t>(i));
+    }
+  }
+  std::string out;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "{\"total_ms\": %.6f, \"spans\": [",
+                ElapsedSeconds() * 1e3);
+  out += buf;
+  for (size_t i = 0; i < roots.size(); ++i) {
+    if (i > 0) out += ", ";
+    AppendNodeJson(nodes, children, roots[i], &out);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace edr

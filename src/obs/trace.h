@@ -1,0 +1,135 @@
+#ifndef EDR_OBS_TRACE_H_
+#define EDR_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace edr {
+
+/// A per-query phase tree of scoped timings — which fraction of one query
+/// went to the bound sweep, the candidate ordering, each worker's
+/// refinement shard, the DP verifications. Searchers allocate one trace
+/// per query (when observability is compiled in), record spans into it,
+/// and attach it to the KnnResult.
+///
+/// Span names must be string literals (the trace stores the pointer, not
+/// a copy). Begin/End are thread-safe so the per-worker refinement shards
+/// of one query can record into the shared trace; spans are per-phase and
+/// per-worker, never per-candidate, so the mutex is uncontended in
+/// practice.
+class QueryTrace {
+ public:
+  struct Node {
+    const char* name = "";
+    double start_seconds = 0.0;  ///< Relative to trace construction.
+    double seconds = 0.0;        ///< Filled by End / AddAggregate.
+    int32_t parent = -1;         ///< Index into nodes(); -1 = root.
+    uint64_t count = 1;          ///< >1 for aggregated nodes (e.g. DP calls).
+  };
+
+  QueryTrace() : origin_(std::chrono::steady_clock::now()) {}
+
+  /// Opens a span; returns its node id (pass as `parent` to nest).
+  int32_t Begin(const char* name, int32_t parent = -1);
+
+  /// Closes the span; its duration is now - its Begin time.
+  void End(int32_t id);
+
+  /// Records a pre-aggregated node (e.g. the summed duration of all DP
+  /// calls of one worker) without a Begin/End pair. Zero-count aggregates
+  /// record pure counters (seconds = 0) in the tree.
+  int32_t AddAggregate(const char* name, double seconds, uint64_t count,
+                       int32_t parent = -1);
+
+  /// Sum of the durations of every node with this (literal) name — e.g.
+  /// PhaseSeconds("refine_worker") is total refine busy time across
+  /// workers. Compares by string content, not pointer.
+  double PhaseSeconds(const char* name) const;
+
+  /// Number of recorded nodes.
+  size_t size() const;
+
+  std::vector<Node> nodes() const;
+
+  /// Seconds elapsed since the trace was constructed.
+  double ElapsedSeconds() const;
+
+  /// The phase tree as a nested JSON document:
+  /// {"total_ms": ..., "spans": [{"name", "start_ms", "ms", "count",
+  /// "children": [...]}]}. Children appear in Begin order.
+  std::string ToJson() const;
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+  mutable std::mutex mu_;
+  std::vector<Node> nodes_;
+};
+
+/// RAII scope for one QueryTrace span. A null trace (always the case in
+/// EDR_DISABLE_OBS builds, where MakeQueryTrace() returns nullptr) makes
+/// every operation a no-op, so call sites need no #ifdefs.
+class TraceSpan {
+ public:
+  TraceSpan() = default;
+  TraceSpan(QueryTrace* trace, const char* name, int32_t parent = -1) {
+    if constexpr (kObsEnabled) {
+      if (trace != nullptr) {
+        trace_ = trace;
+        id_ = trace->Begin(name, parent);
+      }
+    } else {
+      (void)trace;
+      (void)name;
+      (void)parent;
+    }
+  }
+  ~TraceSpan() { End(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Ends the span early (idempotent; the destructor is then a no-op).
+  void End() {
+    if constexpr (kObsEnabled) {
+      if (trace_ != nullptr) {
+        trace_->End(id_);
+        trace_ = nullptr;
+      }
+    }
+  }
+
+  /// Node id for nesting children under this span; -1 when inactive.
+  int32_t id() const { return id_; }
+
+ private:
+  QueryTrace* trace_ = nullptr;
+  int32_t id_ = -1;
+};
+
+/// Plumbs a trace (and the parent span for any nodes recorded) through
+/// call layers that do not own the query — the intra-query refinement
+/// drivers record one "refine_worker" span per participating worker.
+struct TraceContext {
+  QueryTrace* trace = nullptr;
+  int32_t parent = -1;
+};
+
+/// A fresh trace for one query, or nullptr when observability is compiled
+/// out — the single allocation point the EDR_DISABLE_OBS build removes.
+inline std::shared_ptr<QueryTrace> MakeQueryTrace() {
+  if constexpr (kObsEnabled) {
+    return std::make_shared<QueryTrace>();
+  } else {
+    return nullptr;
+  }
+}
+
+}  // namespace edr
+
+#endif  // EDR_OBS_TRACE_H_

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "distance/edr_kernel.h"
+#include "obs/trace.h"
 #include "pruning/qgram.h"
 #include "query/intra_query.h"
 #include "query/topk.h"
@@ -52,8 +53,13 @@ KnnResult CombinedKnnSearcher::Knn(const Trajectory& query, size_t k,
   const auto start = std::chrono::steady_clock::now();
   KnnResult out;
   out.stats.db_size = db_.size();
-  if (k == 0) return out;
+  if (k == 0) {
+    out.stats.stages.FinalizeNotVisited(db_.size());
+    return out;
+  }
 
+  std::shared_ptr<QueryTrace> trace = MakeQueryTrace();
+  TraceSpan sweep_span(trace.get(), "bound_sweep");
   const HistogramTable::QueryHistogram qh =
       histograms_.MakeQueryHistogram(query);
   std::vector<Point2> query_means = MeanValueQgrams(query, options_.q);
@@ -72,6 +78,7 @@ KnnResult CombinedKnnSearcher::Knn(const Trajectory& query, size_t k,
   // above the k-th distance.
   std::vector<int> bounds;
   histograms_.FastLowerBoundSweepParallel(qh, &bounds, options);
+  sweep_span.End();
   const auto filter_done = std::chrono::steady_clock::now();
 
   const EdrKernel kernel = DefaultEdrKernel();
@@ -79,10 +86,13 @@ KnnResult CombinedKnnSearcher::Knn(const Trajectory& query, size_t k,
   std::vector<std::vector<std::pair<uint32_t, double>>> proc(slots);
   for (auto& p : proc) p.reserve(matrix_.num_refs());
   std::vector<size_t> computed(slots, 0);
+  std::vector<StageCounters> slot_stages(slots);
 
   const auto refine = [&](unsigned slot, uint32_t id, double best,
                           double* dist) {
     const Trajectory& s = db_[id];
+    StageCounters& st = slot_stages[slot];
+    st.Bump(&StageCounters::considered);
     std::vector<std::pair<uint32_t, double>>& proc_array = proc[slot];
     for (const PruneStep step : options_.order) {
       switch (step) {
@@ -90,7 +100,10 @@ KnnResult CombinedKnnSearcher::Knn(const Trajectory& query, size_t k,
           // The linear-time transport bound; the exact max-flow bound adds
           // almost no pruning at many times the cost (see bench_ablation)
           // and is not consulted on the query path.
-          if (static_cast<double>(bounds[id]) > best) return false;
+          if (static_cast<double>(bounds[id]) > best) {
+            st.Bump(&StageCounters::histogram_pruned);
+            return false;
+          }
           break;
         }
         case PruneStep::kQgram: {
@@ -101,7 +114,10 @@ KnnResult CombinedKnnSearcher::Knn(const Trajectory& query, size_t k,
           if (threshold <= 0) break;
           const long count = static_cast<long>(
               qgram_means_.CountMatches2D(query_means, epsilon_, id));
-          if (count < threshold) return false;
+          if (count < threshold) {
+            st.Bump(&StageCounters::qgram_pruned);
+            return false;
+          }
           break;
         }
         case PruneStep::kNearTriangle: {
@@ -111,7 +127,10 @@ KnnResult CombinedKnnSearcher::Knn(const Trajectory& query, size_t k,
                                  static_cast<double>(s.size());
             max_prune_dist = std::max(max_prune_dist, bound);
           }
-          if (max_prune_dist > best) return false;
+          if (max_prune_dist > best) {
+            st.Bump(&StageCounters::triangle_pruned);
+            return false;
+          }
           break;
         }
       }
@@ -123,14 +142,20 @@ KnnResult CombinedKnnSearcher::Knn(const Trajectory& query, size_t k,
     const int d = EdrDistanceBoundedWith(kernel, ThreadLocalEdrScratch(),
                                          query, s, epsilon_, bound);
     ++computed[slot];
+    st.CountDp(query.size(), s.size());
     if (id < matrix_.num_refs() && proc_array.size() < matrix_.num_refs()) {
       proc_array.emplace_back(id, static_cast<double>(d));
     }
-    if (d > bound) return false;
+    if (d > bound) {
+      st.Bump(&StageCounters::dp_early_abandoned);
+      return false;
+    }
     *dist = static_cast<double>(d);
     return true;
   };
 
+  TraceSpan refine_span(trace.get(), "refine");
+  const TraceContext tc{trace.get(), refine_span.id()};
   if (histogram_first) {
     std::vector<StreamingOrder<int>::Entry> entries(db_.size());
     for (size_t i = 0; i < db_.size(); ++i) {
@@ -140,20 +165,25 @@ KnnResult CombinedKnnSearcher::Knn(const Trajectory& query, size_t k,
     const auto stop = [](int key, double threshold) {
       return static_cast<double>(key) > threshold;
     };
-    out.neighbors =
-        RefineInKeyOrder<int>(std::move(entries), k, options, refine, stop);
+    out.neighbors = RefineInKeyOrder<int>(std::move(entries), k, options,
+                                          refine, stop, tc);
   } else {
-    out.neighbors = RefineInDbOrder(db_.size(), k, options, refine);
+    out.neighbors = RefineInDbOrder(db_.size(), k, options, refine, tc);
   }
+  refine_span.End();
 
   const auto stop_time = std::chrono::steady_clock::now();
   for (const size_t c : computed) out.stats.edr_computed += c;
+  for (const StageCounters& st : slot_stages) out.stats.stages.Add(st);
+  out.stats.stages.FinalizeNotVisited(db_.size());
   out.stats.elapsed_seconds =
       std::chrono::duration<double>(stop_time - start).count();
   out.stats.filter_seconds =
       std::chrono::duration<double>(filter_done - start).count();
   out.stats.refine_seconds =
       std::chrono::duration<double>(stop_time - filter_done).count();
+  out.trace = std::move(trace);
+  RecordQueryMetrics(out.stats);
   return out;
 }
 
@@ -184,11 +214,13 @@ KnnResult CombinedKnnSearcher::Range(const Trajectory& query, int radius,
   proc_array.reserve(matrix_.num_refs());
   KnnResult out;
   size_t computed = 0;
+  StageCounters& stages = out.stats.stages;
 
   for (const uint32_t id : order) {
     const Trajectory& s = db_[id];
     bool pruned = false;
     bool stop_scan = false;
+    PruneStep pruned_by = PruneStep::kHistogram;
     for (const PruneStep step : options_.order) {
       switch (step) {
         case PruneStep::kHistogram: {
@@ -219,19 +251,41 @@ KnnResult CombinedKnnSearcher::Range(const Trajectory& query, int radius,
           break;
         }
       }
-      if (pruned) break;
+      if (pruned) {
+        pruned_by = step;
+        break;
+      }
     }
+    // A stop_scan candidate is never visited — the hard stop fires before
+    // its filter chain is charged.
     if (stop_scan) break;
-    if (pruned) continue;
+    stages.Bump(&StageCounters::considered);
+    if (pruned) {
+      switch (pruned_by) {
+        case PruneStep::kHistogram:
+          stages.Bump(&StageCounters::histogram_pruned);
+          break;
+        case PruneStep::kQgram:
+          stages.Bump(&StageCounters::qgram_pruned);
+          break;
+        case PruneStep::kNearTriangle:
+          stages.Bump(&StageCounters::triangle_pruned);
+          break;
+      }
+      continue;
+    }
 
     const int dist =
         EdrDistanceBoundedWith(kernel, scratch, query, s, epsilon_, radius);
     ++computed;
+    stages.CountDp(query.size(), s.size());
     if (id < matrix_.num_refs() && proc_array.size() < matrix_.num_refs()) {
       proc_array.emplace_back(id, static_cast<double>(dist));
     }
     if (dist <= radius) {
       out.neighbors.push_back({id, static_cast<double>(dist)});
+    } else {
+      stages.Bump(&StageCounters::dp_early_abandoned);
     }
   }
 
@@ -239,8 +293,10 @@ KnnResult CombinedKnnSearcher::Range(const Trajectory& query, int radius,
   const auto stop = std::chrono::steady_clock::now();
   out.stats.db_size = db_.size();
   out.stats.edr_computed = computed;
+  stages.FinalizeNotVisited(db_.size());
   out.stats.elapsed_seconds =
       std::chrono::duration<double>(stop - start).count();
+  RecordQueryMetrics(out.stats);
   return out;
 }
 

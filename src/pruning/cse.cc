@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "distance/edr_kernel.h"
+#include "obs/trace.h"
 #include "query/intra_query.h"
 
 namespace edr {
@@ -37,8 +38,12 @@ KnnResult CseSearcher::Knn(const Trajectory& query, size_t k,
   const auto start = std::chrono::steady_clock::now();
   KnnResult out;
   out.stats.db_size = db_.size();
-  if (k == 0) return out;
+  if (k == 0) {
+    out.stats.stages.FinalizeNotVisited(db_.size());
+    return out;
+  }
   const EdrKernel kernel = DefaultEdrKernel();
+  std::shared_ptr<QueryTrace> trace = MakeQueryTrace();
 
   // Per-slot reference arrays, as in NearTriangleSearcher::Knn: any
   // computed reference distance is a valid prune input, so sharding them
@@ -47,38 +52,80 @@ KnnResult CseSearcher::Knn(const Trajectory& query, size_t k,
   std::vector<std::vector<std::pair<uint32_t, double>>> proc(slots);
   for (auto& p : proc) p.reserve(matrix_.num_refs());
   std::vector<size_t> computed(slots, 0);
+  std::vector<StageCounters> slot_stages(slots);
+  // Interleaved scan: phase split derived from the summed DP wall time,
+  // exactly as in NearTriangleSearcher::Knn.
+  struct alignas(64) SlotSeconds {
+    double v = 0.0;
+  };
+  std::vector<SlotSeconds> dp_seconds(slots);
 
   const auto refine = [&](unsigned slot, uint32_t id, double threshold,
                           double* dist) {
+    StageCounters& st = slot_stages[slot];
+    st.Bump(&StageCounters::considered);
     std::vector<std::pair<uint32_t, double>>& proc_array = proc[slot];
     double max_prune_dist = 0.0;
     for (const auto& [ref_id, ref_dist] : proc_array) {
       const double bound = ref_dist - matrix_.at(ref_id, id) - shift_;
       max_prune_dist = std::max(max_prune_dist, bound);
     }
-    if (max_prune_dist > threshold) return false;
+    if (max_prune_dist > threshold) {
+      st.Bump(&StageCounters::triangle_pruned);
+      return false;
+    }
 
     // Bounded refinement; a lower-bound reference distance in proc_array
     // only weakens (never unsounds) the shifted triangle prune.
+    std::chrono::steady_clock::time_point dp_start;
+    if constexpr (kObsEnabled) dp_start = std::chrono::steady_clock::now();
     const int bound = EdrBoundFromKthDistance(threshold);
     const int d = EdrDistanceBoundedWith(kernel, ThreadLocalEdrScratch(),
                                          query, db_[id], epsilon_, bound);
+    if constexpr (kObsEnabled) {
+      dp_seconds[slot].v +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        dp_start)
+              .count();
+    }
     ++computed[slot];
+    st.CountDp(query.size(), db_[id].size());
     if (id < matrix_.num_refs() &&
         proc_array.size() < matrix_.num_refs()) {
       proc_array.emplace_back(id, static_cast<double>(d));
     }
-    if (d > bound) return false;
+    if (d > bound) {
+      st.Bump(&StageCounters::dp_early_abandoned);
+      return false;
+    }
     *dist = static_cast<double>(d);
     return true;
   };
-  out.neighbors = RefineInDbOrder(db_.size(), k, options, refine);
+  TraceSpan scan_span(trace.get(), "scan");
+  out.neighbors = RefineInDbOrder(db_.size(), k, options, refine,
+                                  {trace.get(), scan_span.id()});
+  scan_span.End();
 
   const auto stop = std::chrono::steady_clock::now();
   for (const size_t c : computed) out.stats.edr_computed += c;
+  for (const StageCounters& st : slot_stages) out.stats.stages.Add(st);
+  out.stats.stages.FinalizeNotVisited(db_.size());
   out.stats.elapsed_seconds =
       std::chrono::duration<double>(stop - start).count();
-  out.stats.refine_seconds = out.stats.elapsed_seconds;
+  if constexpr (kObsEnabled) {
+    double dp_total = 0.0;
+    for (const SlotSeconds& s : dp_seconds) dp_total += s.v;
+    if (trace != nullptr) {
+      trace->AddAggregate("dp", dp_total, out.stats.stages.dp_invoked);
+    }
+    out.stats.refine_seconds = std::min(dp_total, out.stats.elapsed_seconds);
+    out.stats.filter_seconds =
+        out.stats.elapsed_seconds - out.stats.refine_seconds;
+  } else {
+    out.stats.refine_seconds = out.stats.elapsed_seconds;
+  }
+  out.trace = std::move(trace);
+  RecordQueryMetrics(out.stats);
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "distance/edr_kernel.h"
+#include "obs/trace.h"
 #include "query/intra_query.h"
 #include "query/topk.h"
 
@@ -25,8 +26,13 @@ KnnResult HistogramKnnSearcher::Knn(const Trajectory& query, size_t k,
   const auto start = std::chrono::steady_clock::now();
   KnnResult out;
   out.stats.db_size = db_.size();
-  if (k == 0) return out;
+  if (k == 0) {
+    out.stats.stages.FinalizeNotVisited(db_.size());
+    return out;
+  }
 
+  std::shared_ptr<QueryTrace> trace = MakeQueryTrace();
+  TraceSpan sweep_span(trace.get(), "bound_sweep");
   const HistogramTable::QueryHistogram qh = table_.MakeQueryHistogram(query);
   const EdrKernel kernel = DefaultEdrKernel();
 
@@ -37,28 +43,41 @@ KnnResult HistogramKnnSearcher::Knn(const Trajectory& query, size_t k,
   // bench_ablation for the measured tightness gap.)
   std::vector<int> bounds;
   table_.FastLowerBoundSweepParallel(qh, &bounds, options);
+  sweep_span.End();
   const auto filter_done = std::chrono::steady_clock::now();
 
   const unsigned slots = ResolveIntraQueryWorkers(options);
   std::vector<size_t> computed(slots, 0);
+  std::vector<StageCounters> slot_stages(slots);
   // Refines one candidate against the running k-th distance; true iff the
   // bounded DP ran to an exact value (<= the bound it was given).
   const auto refine = [&](unsigned slot, uint32_t id, double threshold,
                           double* dist) {
-    if (static_cast<double>(bounds[id]) > threshold) return false;
+    StageCounters& st = slot_stages[slot];
+    st.Bump(&StageCounters::considered);
+    if (static_cast<double>(bounds[id]) > threshold) {
+      st.Bump(&StageCounters::histogram_pruned);
+      return false;
+    }
     const int bound = EdrBoundFromKthDistance(threshold);
     const int d = EdrDistanceBoundedWith(kernel, ThreadLocalEdrScratch(),
                                          query, db_[id], epsilon_, bound);
     ++computed[slot];
-    if (d > bound) return false;  // Abandoned: a lower bound, not exact.
+    st.CountDp(query.size(), db_[id].size());
+    if (d > bound) {  // Abandoned: a lower bound, not exact.
+      st.Bump(&StageCounters::dp_early_abandoned);
+      return false;
+    }
     *dist = static_cast<double>(d);
     return true;
   };
 
+  TraceSpan refine_span(trace.get(), "refine");
+  const TraceContext tc{trace.get(), refine_span.id()};
   if (scan_ == HistogramScan::kSequential) {
     // HSE: one pass in database order, filtering with the linear-time
     // transport bound.
-    out.neighbors = RefineInDbOrder(db_.size(), k, options, refine);
+    out.neighbors = RefineInDbOrder(db_.size(), k, options, refine, tc);
   } else {
     // HSR: visit candidates in ascending bound order; the scan stops
     // outright once the bound exceeds the k-th distance — every later
@@ -70,18 +89,23 @@ KnnResult HistogramKnnSearcher::Knn(const Trajectory& query, size_t k,
     const auto stop = [](int key, double threshold) {
       return static_cast<double>(key) > threshold;
     };
-    out.neighbors =
-        RefineInKeyOrder<int>(std::move(entries), k, options, refine, stop);
+    out.neighbors = RefineInKeyOrder<int>(std::move(entries), k, options,
+                                          refine, stop, tc);
   }
+  refine_span.End();
 
   const auto stop_time = std::chrono::steady_clock::now();
   for (const size_t c : computed) out.stats.edr_computed += c;
+  for (const StageCounters& st : slot_stages) out.stats.stages.Add(st);
+  out.stats.stages.FinalizeNotVisited(db_.size());
+  out.trace = std::move(trace);
   out.stats.elapsed_seconds =
       std::chrono::duration<double>(stop_time - start).count();
   out.stats.filter_seconds =
       std::chrono::duration<double>(filter_done - start).count();
   out.stats.refine_seconds =
       std::chrono::duration<double>(stop_time - filter_done).count();
+  RecordQueryMetrics(out.stats);
   return out;
 }
 
@@ -107,21 +131,31 @@ KnnResult HistogramKnnSearcher::Range(const Trajectory& query,
   table_.FastLowerBoundSweep(qh, &bounds);
   KnnResult out;
   size_t computed = 0;
+  StageCounters& stages = out.stats.stages;
   for (const Trajectory& s : db_) {
-    if (bounds[s.id()] > radius) continue;
+    stages.Bump(&StageCounters::considered);
+    if (bounds[s.id()] > radius) {
+      stages.Bump(&StageCounters::histogram_pruned);
+      continue;
+    }
     const int dist =
         EdrDistanceBoundedWith(kernel, scratch, query, s, epsilon_, radius);
     ++computed;
+    stages.CountDp(query.size(), s.size());
     if (dist <= radius) {
       out.neighbors.push_back({s.id(), static_cast<double>(dist)});
+    } else {
+      stages.Bump(&StageCounters::dp_early_abandoned);
     }
   }
   SortNeighborsAscending(&out.neighbors);
   const auto stop = std::chrono::steady_clock::now();
   out.stats.db_size = db_.size();
   out.stats.edr_computed = computed;
+  stages.FinalizeNotVisited(db_.size());
   out.stats.elapsed_seconds =
       std::chrono::duration<double>(stop - start).count();
+  RecordQueryMetrics(out.stats);
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "distance/lcss.h"
+#include "obs/trace.h"
 #include "pruning/qgram.h"
 #include "query/intra_query.h"
 #include "query/topk.h"
@@ -24,8 +25,13 @@ KnnResult LcssKnnSearcher::Knn(const Trajectory& query, size_t k,
   const auto start = std::chrono::steady_clock::now();
   KnnResult out;
   out.stats.db_size = db_.size();
-  if (k == 0) return out;
+  if (k == 0) {
+    out.stats.stages.FinalizeNotVisited(db_.size());
+    return out;
+  }
   const size_t m = query.size();
+  std::shared_ptr<QueryTrace> trace = MakeQueryTrace();
+  TraceSpan sweep_span(trace.get(), "bound_sweep");
 
   const bool use_histogram =
       filter_ == LcssFilter::kHistogram || filter_ == LcssFilter::kBoth;
@@ -66,25 +72,37 @@ KnnResult LcssKnnSearcher::Knn(const Trajectory& query, size_t k,
       bounds[i] = distance_bound(n, transport_cap);
     }
   }
+  sweep_span.End();
   const auto filter_done = std::chrono::steady_clock::now();
 
   const unsigned slots = ResolveIntraQueryWorkers(options);
   std::vector<size_t> computed(slots, 0);
+  std::vector<StageCounters> slot_stages(slots);
   // LcssDistance is always exact (no early abandoning), so refinement
   // never rejects a computed candidate.
   const auto refine = [&](unsigned slot, uint32_t id, double threshold,
                           double* dist) {
     const Trajectory& s = db_[id];
+    StageCounters& st = slot_stages[slot];
+    st.Bump(&StageCounters::considered);
     if (use_qgram) {
       const long count = static_cast<long>(
           qgram_means_.CountMatches2D(query_means, epsilon_, id));
-      if (distance_bound(s.size(), count) > threshold) return false;
+      if (distance_bound(s.size(), count) > threshold) {
+        // The score-cap filter is the Q-gram count bound specialized to
+        // LCSS, so it shares the qgram_pruned bucket.
+        st.Bump(&StageCounters::qgram_pruned);
+        return false;
+      }
     }
     *dist = LcssDistance(query, s, epsilon_);
     ++computed[slot];
+    st.CountDp(query.size(), s.size());
     return true;
   };
 
+  TraceSpan refine_span(trace.get(), "refine");
+  const TraceContext tc{trace.get(), refine_span.id()};
   if (use_histogram) {
     std::vector<StreamingOrder<double>::Entry> entries(db_.size());
     for (size_t i = 0; i < db_.size(); ++i) {
@@ -95,19 +113,24 @@ KnnResult LcssKnnSearcher::Knn(const Trajectory& query, size_t k,
       return key > threshold;
     };
     out.neighbors = RefineInKeyOrder<double>(std::move(entries), k, options,
-                                             refine, stop);
+                                             refine, stop, tc);
   } else {
-    out.neighbors = RefineInDbOrder(db_.size(), k, options, refine);
+    out.neighbors = RefineInDbOrder(db_.size(), k, options, refine, tc);
   }
+  refine_span.End();
 
   const auto stop_time = std::chrono::steady_clock::now();
   for (const size_t c : computed) out.stats.edr_computed += c;
+  for (const StageCounters& st : slot_stages) out.stats.stages.Add(st);
+  out.stats.stages.FinalizeNotVisited(db_.size());
   out.stats.elapsed_seconds =
       std::chrono::duration<double>(stop_time - start).count();
   out.stats.filter_seconds =
       std::chrono::duration<double>(filter_done - start).count();
   out.stats.refine_seconds =
       std::chrono::duration<double>(stop_time - filter_done).count();
+  out.trace = std::move(trace);
+  RecordQueryMetrics(out.stats);
   return out;
 }
 

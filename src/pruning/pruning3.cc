@@ -8,6 +8,7 @@
 
 #include "distance/distance3.h"
 #include "distance/edr_kernel.h"
+#include "obs/trace.h"
 #include "query/topk.h"
 
 namespace edr {
@@ -34,9 +35,12 @@ KnnResult SequentialScanKnn3(const std::vector<Trajectory3>& db,
   const EdrKernel kernel = DefaultEdrKernel();
   EdrScratch& scratch = ThreadLocalEdrScratch();
   KnnResultList result(k);
+  StageCounters stages;
   for (uint32_t i = 0; i < db.size(); ++i) {
     result.Offer(i, static_cast<double>(EdrDistanceWith(
                         kernel, scratch, query, db[i], epsilon)));
+    stages.Bump(&StageCounters::considered);
+    stages.CountDp(query.size(), db[i].size());
   }
   const auto stop = std::chrono::steady_clock::now();
   KnnResult out;
@@ -45,6 +49,10 @@ KnnResult SequentialScanKnn3(const std::vector<Trajectory3>& db,
   out.stats.edr_computed = db.size();
   out.stats.elapsed_seconds =
       std::chrono::duration<double>(stop - start).count();
+  out.stats.refine_seconds = out.stats.elapsed_seconds;
+  stages.FinalizeNotVisited(db.size());
+  out.stats.stages = stages;
+  RecordQueryMetrics(out.stats);
   return out;
 }
 
@@ -157,6 +165,8 @@ size_t Knn3Searcher::MatchCount(const Trajectory3& query,
 
 KnnResult Knn3Searcher::Knn(const Trajectory3& query, size_t k) const {
   const auto start = std::chrono::steady_clock::now();
+  std::shared_ptr<QueryTrace> trace = MakeQueryTrace();
+  TraceSpan sweep_span(trace.get(), "bound_sweep");
   const SparseHistogram qh = BuildHistogram(query);
 
   // HSR strategy: every histogram bound up front, ascending order, hard
@@ -170,16 +180,23 @@ KnnResult Knn3Searcher::Knn(const Trajectory3& query, size_t k) const {
     entries[i] = {bounds[i], i};
   }
   StreamingOrder<int> order(std::move(entries));
+  sweep_span.End();
+  const auto filter_done = std::chrono::steady_clock::now();
 
   const EdrKernel kernel = DefaultEdrKernel();
   EdrScratch& scratch = ThreadLocalEdrScratch();
+  TraceSpan refine_span(trace.get(), "refine");
   KnnResultList result(k);
   size_t computed = 0;
+  StageCounters stages;
   StreamingOrder<int>::Entry entry;
   while (order.Next(&entry)) {
     const uint32_t id = entry.id;
     const double best = result.KthDistance();
+    // Hard stop before the candidate is charged: it and everything after
+    // it count as not_visited.
     if (static_cast<double>(bounds[id]) > best) break;
+    stages.Bump(&StageCounters::considered);
 
     // Element-match count bound (Theorem 1 with q = 1, three dimensions):
     // EDR <= bestSoFar requires at least max(m, n) - bestSoFar matches.
@@ -189,24 +206,38 @@ KnnResult Knn3Searcher::Knn(const Trajectory3& query, size_t k) const {
           static_cast<long>(best);
       if (threshold > 0 &&
           static_cast<long>(MatchCount(query, id)) < threshold) {
+        stages.Bump(&StageCounters::qgram_pruned);
         continue;
       }
     }
 
-    const double dist = static_cast<double>(
-        EdrDistanceBoundedWith(kernel, scratch, query, db_[id], epsilon_,
-                               EdrBoundFromKthDistance(best)));
+    const int dp_bound = EdrBoundFromKthDistance(best);
+    const double dist = static_cast<double>(EdrDistanceBoundedWith(
+        kernel, scratch, query, db_[id], epsilon_, dp_bound));
     ++computed;
+    stages.CountDp(query.size(), db_[id].size());
+    if (dist > static_cast<double>(dp_bound)) {
+      stages.Bump(&StageCounters::dp_early_abandoned);
+    }
     result.Offer(id, dist);
   }
+  refine_span.End();
 
   const auto stop = std::chrono::steady_clock::now();
   KnnResult out;
   out.neighbors = std::move(result).TakeNeighbors();
   out.stats.db_size = db_.size();
   out.stats.edr_computed = computed;
+  stages.FinalizeNotVisited(db_.size());
+  out.stats.stages = stages;
   out.stats.elapsed_seconds =
       std::chrono::duration<double>(stop - start).count();
+  out.stats.filter_seconds =
+      std::chrono::duration<double>(filter_done - start).count();
+  out.stats.refine_seconds =
+      std::chrono::duration<double>(stop - filter_done).count();
+  out.trace = std::move(trace);
+  RecordQueryMetrics(out.stats);
   return out;
 }
 

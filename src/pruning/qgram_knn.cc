@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "distance/edr_kernel.h"
+#include "obs/trace.h"
 #include "pruning/qgram.h"
 #include "query/intra_query.h"
 #include "query/topk.h"
@@ -125,32 +126,44 @@ KnnResult QgramKnnSearcher::Knn(const Trajectory& query, size_t k,
   if (k == 0) {
     // Nothing can be returned; skip the scan (and the -inf bestSoFar the
     // threshold arithmetic below cannot represent).
+    out.stats.stages.FinalizeNotVisited(db_.size());
     return out;
   }
 
+  std::shared_ptr<QueryTrace> trace = MakeQueryTrace();
+  TraceSpan filter_span(trace.get(), "match_count");
   const std::vector<size_t> counts = MatchCounts(query, options);
+  filter_span.End();
+  TraceSpan order_span(trace.get(), "order_build");
   // Canonical visit order: descending count, ties by ascending id —
   // drained lazily so only the prefix the scan actually visits is ordered.
   std::vector<StreamingOrder<long>::Entry> entries(db_.size());
   for (size_t i = 0; i < db_.size(); ++i) {
     entries[i] = {-static_cast<long>(counts[i]), static_cast<uint32_t>(i)};
   }
+  order_span.End();
   const auto filter_done = std::chrono::steady_clock::now();
 
   const EdrKernel kernel = DefaultEdrKernel();
   const long query_len = static_cast<long>(query.size());
   const unsigned slots = ResolveIntraQueryWorkers(options);
   std::vector<size_t> computed(slots, 0);
+  std::vector<StageCounters> slot_stages(slots);
 
   const auto refine = [&](unsigned slot, uint32_t id, double threshold,
                           double* dist) {
     const Trajectory& s = db_[id];
+    StageCounters& st = slot_stages[slot];
+    st.Bump(&StageCounters::considered);
     if (!std::isinf(threshold)) {
       // Theorem 3: fewer matching grams than the per-candidate threshold
       // means EDR(Q, S) > bestSoFar.
       const long th = QgramCountThreshold(query.size(), s.size(), q_,
                                           static_cast<long>(threshold));
-      if (static_cast<long>(counts[id]) < th) return false;
+      if (static_cast<long>(counts[id]) < th) {
+        st.Bump(&StageCounters::qgram_pruned);
+        return false;
+      }
     }
     // Refinement with the running k-th distance as an early-abandon bound:
     // exact when the candidate could enter the result, otherwise some
@@ -159,7 +172,11 @@ KnnResult QgramKnnSearcher::Knn(const Trajectory& query, size_t k,
     const int d = EdrDistanceBoundedWith(kernel, ThreadLocalEdrScratch(),
                                          query, s, epsilon_, bound);
     ++computed[slot];
-    if (d > bound) return false;
+    st.CountDp(query.size(), s.size());
+    if (d > bound) {
+      st.Bump(&StageCounters::dp_early_abandoned);
+      return false;
+    }
     *dist = static_cast<double>(d);
     return true;
   };
@@ -174,17 +191,24 @@ KnnResult QgramKnnSearcher::Knn(const Trajectory& query, size_t k,
         static_cast<long>(threshold) * static_cast<long>(q_);
     return -key < universal_threshold;
   };
-  out.neighbors =
-      RefineInKeyOrder<long>(std::move(entries), k, options, refine, stop);
+  TraceSpan refine_span(trace.get(), "refine");
+  out.neighbors = RefineInKeyOrder<long>(std::move(entries), k, options,
+                                         refine, stop,
+                                         {trace.get(), refine_span.id()});
+  refine_span.End();
 
   const auto stop_time = std::chrono::steady_clock::now();
   for (const size_t c : computed) out.stats.edr_computed += c;
+  for (const StageCounters& st : slot_stages) out.stats.stages.Add(st);
+  out.stats.stages.FinalizeNotVisited(db_.size());
   out.stats.elapsed_seconds =
       std::chrono::duration<double>(stop_time - start).count();
   out.stats.filter_seconds =
       std::chrono::duration<double>(filter_done - start).count();
   out.stats.refine_seconds =
       std::chrono::duration<double>(stop_time - filter_done).count();
+  out.trace = std::move(trace);
+  RecordQueryMetrics(out.stats);
   return out;
 }
 
@@ -203,25 +227,35 @@ KnnResult QgramKnnSearcher::Range(const Trajectory& query, int radius,
 
   KnnResult out;
   size_t computed = 0;
+  StageCounters& stages = out.stats.stages;
   for (uint32_t id = 0; id < db_.size(); ++id) {
     const Trajectory& s = db_[id];
+    stages.Bump(&StageCounters::considered);
     const long threshold =
         QgramCountThreshold(query.size(), s.size(), q_, radius);
-    if (static_cast<long>(counts[id]) < threshold) continue;  // Theorem 1.
+    if (static_cast<long>(counts[id]) < threshold) {  // Theorem 1.
+      stages.Bump(&StageCounters::qgram_pruned);
+      continue;
+    }
     // Exact whenever dist <= radius (the only candidates reported).
     const int dist =
         EdrDistanceBoundedWith(kernel, scratch, query, s, epsilon_, radius);
     ++computed;
+    stages.CountDp(query.size(), s.size());
     if (dist <= radius) {
       out.neighbors.push_back({id, static_cast<double>(dist)});
+    } else {
+      stages.Bump(&StageCounters::dp_early_abandoned);
     }
   }
   SortNeighborsAscending(&out.neighbors, max_results);
   const auto stop = std::chrono::steady_clock::now();
   out.stats.db_size = db_.size();
   out.stats.edr_computed = computed;
+  stages.FinalizeNotVisited(db_.size());
   out.stats.elapsed_seconds =
       std::chrono::duration<double>(stop - start).count();
+  RecordQueryMetrics(out.stats);
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <tuple>
 
 #include "query/parallel.h"
+#include "query/thread_pool.h"
 
 namespace edr {
 
@@ -13,6 +14,18 @@ std::vector<KnnResult> QueryEngine::KnnBatch(
     const NamedSearcher& searcher, const std::vector<Trajectory>& queries,
     size_t k, unsigned threads) const {
   return ParallelKnn(searcher.search, queries, k, threads);
+}
+
+std::vector<KnnResult> QueryEngine::KnnBatch(
+    const NamedSearcher& searcher, const std::vector<Trajectory>& queries,
+    size_t k, unsigned threads, ThreadPoolStats* pool_stats) const {
+  const ThreadPoolStats before = ThreadPool::Global().Stats();
+  std::vector<KnnResult> results =
+      ParallelKnn(searcher.search, queries, k, threads);
+  if (pool_stats != nullptr) {
+    *pool_stats = ThreadPool::Global().Stats().Since(before);
+  }
+  return results;
 }
 
 KnnResult QueryEngine::SeqScan(const Trajectory& query, size_t k,

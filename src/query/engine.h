@@ -19,6 +19,8 @@
 
 namespace edr {
 
+struct ThreadPoolStats;
+
 /// A type-erased k-NN searcher with a display name, the unit the
 /// benchmark harness sweeps over.
 struct NamedSearcher {
@@ -55,6 +57,16 @@ class QueryEngine {
   std::vector<KnnResult> KnnBatch(const NamedSearcher& searcher,
                                   const std::vector<Trajectory>& queries,
                                   size_t k, unsigned threads = 0) const;
+
+  /// As above, and additionally reports what the batch cost the shared
+  /// pool: `*pool_stats` receives the delta of ThreadPool::Global()'s
+  /// cumulative counters across the batch (jobs, items, steals, per-worker
+  /// busy time). All-zero in EDR_DISABLE_OBS builds. The delta is exact
+  /// when no other thread drives the pool concurrently.
+  std::vector<KnnResult> KnnBatch(const NamedSearcher& searcher,
+                                  const std::vector<Trajectory>& queries,
+                                  size_t k, unsigned threads,
+                                  ThreadPoolStats* pool_stats) const;
 
   /// Mean-value Q-gram searcher (Section 4.1), cached per (variant, q).
   const QgramKnnSearcher& Qgram(QgramVariant variant, int q);

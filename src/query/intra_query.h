@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
 #include "query/knn.h"
 #include "query/thread_pool.h"
 #include "query/topk.h"
@@ -124,15 +125,21 @@ class KeyOrderStream {
 };
 
 /// Runs `loop(slot)` on `slots` participants of the pool (or inline when
-/// one slot suffices), then merges the per-slot top-k structures.
+/// one slot suffices), then merges the per-slot top-k structures. Each
+/// slot's run is recorded as a "refine_worker" span under `tc` so the
+/// per-query trace shows the worker shard breakdown.
 template <typename LoopFn>
 std::vector<Neighbor> RunSlots(size_t k, unsigned slots, ThreadPool& pool,
                                std::vector<BoundedTopK>* locals,
-                               LoopFn&& loop) {
+                               LoopFn&& loop, const TraceContext& tc = {}) {
+  auto traced = [&](size_t slot) {
+    TraceSpan span(tc.trace, "refine_worker", tc.parent);
+    loop(slot);
+  };
   if (slots <= 1) {
-    loop(size_t{0});
+    traced(size_t{0});
   } else {
-    pool.ParallelFor(slots, loop, slots);
+    pool.ParallelFor(slots, traced, slots);
   }
   return BoundedTopK::Merge(std::move(*locals), k);
 }
@@ -156,7 +163,8 @@ std::vector<Neighbor> RunSlots(size_t k, unsigned slots, ThreadPool& pool,
 template <typename ProcessFn>
 std::vector<Neighbor> RefineInDbOrder(size_t n, size_t k,
                                       const KnnOptions& options,
-                                      ProcessFn&& process) {
+                                      ProcessFn&& process,
+                                      const TraceContext& tc = {}) {
   const unsigned slots = ResolveIntraQueryWorkers(options);
   ThreadPool& pool = IntraQueryPool(options);
   internal::DbOrderStream stream(n);
@@ -177,7 +185,7 @@ std::vector<Neighbor> RefineInDbOrder(size_t n, size_t k,
       if (local.full()) shared.Publish(local.Threshold());
     }
   };
-  return internal::RunSlots(k, slots, pool, &locals, loop);
+  return internal::RunSlots(k, slots, pool, &locals, loop, tc);
 }
 
 /// Parallel filter-and-refine over candidates in ascending canonical
@@ -192,7 +200,8 @@ std::vector<Neighbor> RefineInDbOrder(size_t n, size_t k,
 template <typename Key, typename ProcessFn, typename StopFn>
 std::vector<Neighbor> RefineInKeyOrder(
     std::vector<typename StreamingOrder<Key>::Entry> entries, size_t k,
-    const KnnOptions& options, ProcessFn&& process, StopFn&& stop) {
+    const KnnOptions& options, ProcessFn&& process, StopFn&& stop,
+    const TraceContext& tc = {}) {
   const unsigned slots = ResolveIntraQueryWorkers(options);
   ThreadPool& pool = IntraQueryPool(options);
   internal::KeyOrderStream<Key> stream(
@@ -219,7 +228,7 @@ std::vector<Neighbor> RefineInKeyOrder(
       if (local.full()) shared.Publish(local.Threshold());
     }
   };
-  return internal::RunSlots(k, slots, pool, &locals, loop);
+  return internal::RunSlots(k, slots, pool, &locals, loop, tc);
 }
 
 }  // namespace edr

@@ -4,14 +4,17 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "core/dataset.h"
 #include "core/trajectory.h"
+#include "obs/stage_counters.h"
 
 namespace edr {
 
 class ThreadPool;
+class QueryTrace;
 
 /// Execution options accepted by every searcher's three-argument Knn
 /// overload. The default (one worker) is the fully sequential path; any
@@ -54,9 +57,20 @@ struct SearchStats {
   /// Per-phase split of elapsed_seconds: the filter phase (lower-bound
   /// sweeps, match counting, candidate ordering) versus the refinement
   /// phase (true distance computations + result maintenance). Searchers
-  /// that interleave the phases report 0 for both.
+  /// with a distinct filter pass report it directly; searchers that
+  /// interleave the phases (NTR / CSE) derive the split from the
+  /// per-query trace — refine is the summed DP time, filter the rest —
+  /// so the columns are never silently zero. (In EDR_DISABLE_OBS builds
+  /// the interleaved searchers fall back to filter = 0,
+  /// refine = elapsed.)
   double filter_seconds = 0.0;
   double refine_seconds = 0.0;
+
+  /// Stage-by-stage decomposition of the pruning: which filter removed
+  /// each candidate, how many DPs ran and how many early-abandoned.
+  /// Recorded only when observability is compiled in (zeros otherwise);
+  /// satisfies StageCounters::Conserves(db_size) for every schedule.
+  StageCounters stages;
 
   /// Fraction of trajectories pruned without a true distance computation.
   double PruningPower() const {
@@ -71,7 +85,17 @@ struct SearchStats {
 struct KnnResult {
   std::vector<Neighbor> neighbors;
   SearchStats stats;
+  /// The per-query phase tree (bound sweep, ordering, per-worker refine
+  /// shards, DP aggregates); null in EDR_DISABLE_OBS builds. Export with
+  /// trace->ToJson().
+  std::shared_ptr<const QueryTrace> trace;
 };
+
+/// Folds one finished query into the process-wide MetricsRegistry
+/// (query count + latency histogram, DP and pruning counters). Called by
+/// every searcher at the end of Knn; compiles to nothing when
+/// observability is disabled.
+void RecordQueryMetrics(const SearchStats& stats);
 
 /// A bounded list of the k nearest neighbors seen so far, kept sorted in
 /// ascending distance. This is the paper's `result` array; `KthDistance()`

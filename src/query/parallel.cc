@@ -1,12 +1,40 @@
 #include "query/parallel.h"
 
+#include <chrono>
+
+#include "obs/registry.h"
 #include "query/thread_pool.h"
 
 namespace edr {
 
+namespace {
+
+/// Process-wide batch accounting: how many batches ran, how many queries
+/// they carried, and the whole-batch wall-time distribution (the outer
+/// timer per-query elapsed_seconds cannot replace under concurrency).
+void RecordBatchMetrics(size_t queries, double seconds) {
+  if constexpr (kObsEnabled) {
+    static ObsCounter& batches =
+        MetricsRegistry::Global().Counter("batch.count");
+    static ObsCounter& batch_queries =
+        MetricsRegistry::Global().Counter("batch.queries");
+    static LatencyHistogram& latency =
+        MetricsRegistry::Global().Histogram("batch.seconds");
+    batches.Inc();
+    batch_queries.Inc(queries);
+    latency.Record(seconds);
+  } else {
+    (void)queries;
+    (void)seconds;
+  }
+}
+
+}  // namespace
+
 std::vector<KnnResult> ParallelKnn(
     const std::function<KnnResult(const Trajectory&, size_t)>& search,
     const std::vector<Trajectory>& queries, size_t k, unsigned threads) {
+  const auto start = std::chrono::steady_clock::now();
   std::vector<KnnResult> results(queries.size());
   if (queries.empty()) return results;
 
@@ -15,6 +43,10 @@ std::vector<KnnResult> ParallelKnn(
   // caller's thread — no pool handoff, no wakeups.
   if (queries.size() == 1) {
     results[0] = search(queries[0], k);
+    RecordBatchMetrics(
+        1, std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+               .count());
     return results;
   }
 
@@ -26,6 +58,10 @@ std::vector<KnnResult> ParallelKnn(
   ThreadPool::Global().ParallelFor(
       queries.size(),
       [&](size_t i) { results[i] = search(queries[i], k); }, threads);
+  RecordBatchMetrics(
+      queries.size(),
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
   return results;
 }
 

@@ -1,8 +1,33 @@
 #include "query/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace edr {
+
+ThreadPoolStats ThreadPoolStats::Since(const ThreadPoolStats& baseline) const {
+  ThreadPoolStats delta;
+  delta.jobs = jobs - baseline.jobs;
+  delta.items = items - baseline.items;
+  delta.steals = steals - baseline.steals;
+  delta.busy_seconds = busy_seconds - baseline.busy_seconds;
+  const size_t slots =
+      std::min(worker_items.size(), baseline.worker_items.size());
+  delta.worker_items.resize(worker_items.size(), 0);
+  delta.worker_steals.resize(worker_items.size(), 0);
+  delta.worker_busy_seconds.resize(worker_items.size(), 0.0);
+  for (size_t s = 0; s < worker_items.size(); ++s) {
+    delta.worker_items[s] = worker_items[s];
+    delta.worker_steals[s] = worker_steals[s];
+    delta.worker_busy_seconds[s] = worker_busy_seconds[s];
+    if (s < slots) {
+      delta.worker_items[s] -= baseline.worker_items[s];
+      delta.worker_steals[s] -= baseline.worker_steals[s];
+      delta.worker_busy_seconds[s] -= baseline.worker_busy_seconds[s];
+    }
+  }
+  return delta;
+}
 
 namespace {
 
@@ -19,6 +44,7 @@ ThreadPool::ThreadPool(unsigned threads) {
     threads = hw > 1 ? hw - 1 : 0;
   }
   slices_ = std::make_unique<Slice[]>(static_cast<size_t>(threads) + 1);
+  obs_ = std::make_unique<WorkerObs[]>(static_cast<size_t>(threads) + 1);
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i) {
     // Worker i owns slice i + 1; slice 0 belongs to the caller.
@@ -67,6 +93,9 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
     job_ = &fn;
     remaining_.store(n, std::memory_order_release);
     ++epoch_;
+    if constexpr (kObsEnabled) {
+      jobs_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   work_cv_.notify_all();
 
@@ -116,7 +145,10 @@ void ThreadPool::WorkerLoop(unsigned self) {
 void ThreadPool::Participate(unsigned self,
                              const std::function<void(size_t)>& fn,
                              unsigned participants) {
+  std::chrono::steady_clock::time_point t0;
+  if constexpr (kObsEnabled) t0 = std::chrono::steady_clock::now();
   size_t done = 0;
+  size_t stolen = 0;
   // Own slice first (contiguous, cache-friendly), then sweep the others.
   // A cursor may overshoot its end by one per thief; the bound check
   // discards those, so every index still runs exactly once.
@@ -127,14 +159,50 @@ void ThreadPool::Participate(unsigned self,
          i = slice.next.fetch_add(1, std::memory_order_relaxed)) {
       fn(i);
       ++done;
+      if (v > 0) ++stolen;
     }
   }
   if (done > 0) remaining_.fetch_sub(done, std::memory_order_acq_rel);
+  if constexpr (kObsEnabled) {
+    // One write-back per Participate call, never per item.
+    WorkerObs& o = obs_[self];
+    o.items.fetch_add(done, std::memory_order_relaxed);
+    o.steals.fetch_add(stolen, std::memory_order_relaxed);
+    const auto busy = std::chrono::steady_clock::now() - t0;
+    o.busy_ns.fetch_add(
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(busy)
+                .count()),
+        std::memory_order_relaxed);
+  }
 }
 
 ThreadPool& ThreadPool::Global() {
   static ThreadPool* pool = new ThreadPool();  // intentionally leaked
   return *pool;
+}
+
+ThreadPoolStats ThreadPool::Stats() const {
+  ThreadPoolStats stats;
+  const size_t slots = static_cast<size_t>(num_workers()) + 1;
+  stats.worker_items.resize(slots, 0);
+  stats.worker_steals.resize(slots, 0);
+  stats.worker_busy_seconds.resize(slots, 0.0);
+  if constexpr (kObsEnabled) {
+    stats.jobs = jobs_.load(std::memory_order_relaxed);
+    for (size_t s = 0; s < slots; ++s) {
+      const WorkerObs& o = obs_[s];
+      stats.worker_items[s] = o.items.load(std::memory_order_relaxed);
+      stats.worker_steals[s] = o.steals.load(std::memory_order_relaxed);
+      stats.worker_busy_seconds[s] =
+          static_cast<double>(o.busy_ns.load(std::memory_order_relaxed)) *
+          1e-9;
+      stats.items += stats.worker_items[s];
+      stats.steals += stats.worker_steals[s];
+      stats.busy_seconds += stats.worker_busy_seconds[s];
+    }
+  }
+  return stats;
 }
 
 }  // namespace edr

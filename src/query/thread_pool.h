@@ -4,13 +4,39 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "obs/obs.h"
+
 namespace edr {
+
+/// A snapshot of pool activity — cumulative since construction, or a
+/// per-batch delta via Since(). Slot 0 aggregates every calling thread
+/// that joined a job; slots 1..num_workers are the pool workers. All
+/// fields stay zero in EDR_DISABLE_OBS builds.
+struct ThreadPoolStats {
+  /// Jobs actually dispatched to the pool (inline fast-path runs — n <= 1,
+  /// a single-thread cap, nested calls — are not counted).
+  uint64_t jobs = 0;
+  /// Items executed across all participants.
+  uint64_t items = 0;
+  /// Items a participant claimed out of another participant's slice.
+  uint64_t steals = 0;
+  /// Summed wall time every participant spent inside jobs.
+  double busy_seconds = 0.0;
+  std::vector<uint64_t> worker_items;
+  std::vector<uint64_t> worker_steals;
+  std::vector<double> worker_busy_seconds;
+
+  /// Element-wise difference against an earlier snapshot of the same pool
+  /// (per-batch attribution for KnnBatch and the bench harnesses).
+  ThreadPoolStats Since(const ThreadPoolStats& baseline) const;
+};
 
 /// A persistent work-stealing thread pool for batch query execution.
 ///
@@ -59,12 +85,32 @@ class ThreadPool {
   /// on first use; sized to hardware concurrency - 1.
   static ThreadPool& Global();
 
+  /// Cumulative activity totals since construction (all zeros when
+  /// observability is compiled out). Relaxed reads; exact once the pool is
+  /// quiescent, a live lower bound while a job runs.
+  ThreadPoolStats Stats() const;
+
+  /// Items of the current job not yet completed (0 between jobs) — the
+  /// instantaneous backlog a would-be caller queues behind.
+  size_t QueueDepth() const {
+    return remaining_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// One participant's contiguous slice of a job, padded to its own cache
   /// line so cursor bumps don't false-share.
   struct alignas(64) Slice {
     std::atomic<size_t> next{0};
     size_t end = 0;
+  };
+
+  /// Per-slot activity counters, cache-line padded like Slice. Written
+  /// once per Participate call (not per item), so the instrumentation cost
+  /// is a handful of relaxed adds per job.
+  struct alignas(64) WorkerObs {
+    std::atomic<uint64_t> items{0};
+    std::atomic<uint64_t> steals{0};
+    std::atomic<uint64_t> busy_ns{0};
   };
 
   void WorkerLoop(unsigned self);
@@ -74,6 +120,8 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::unique_ptr<Slice[]> slices_;  // one per worker + one for the caller
+  std::unique_ptr<WorkerObs[]> obs_;  // same indexing as slices_
+  std::atomic<uint64_t> jobs_{0};     // pool-dispatched jobs
 
   std::mutex mu_;
   std::condition_variable work_cv_;  // workers park here between jobs

@@ -91,6 +91,87 @@ TEST(MetricsTest, LatencyPercentilesNearestRank) {
   EXPECT_EQ(r.max_seconds, 10.0);
 }
 
+TEST(MetricsTest, LatencyPercentileEdgeQuantiles) {
+  std::vector<double> v{4.0, 2.0, 1.0, 3.0};
+  // q = 0 clamps to the smallest sample rather than indexing before it.
+  EXPECT_EQ(LatencyPercentile(v, 0.0), 1.0);
+  EXPECT_EQ(LatencyPercentile(v, 1.0), 4.0);
+  // Rank boundaries: q*n exactly integral picks that rank, a hair more
+  // rounds up to the next.
+  EXPECT_EQ(LatencyPercentile(v, 0.25), 1.0);
+  EXPECT_EQ(LatencyPercentile(v, 0.26), 2.0);
+  EXPECT_EQ(LatencyPercentile(v, 0.75), 3.0);
+  EXPECT_EQ(LatencyPercentile(v, 0.76), 4.0);
+  // Duplicates collapse to the same value across a rank span.
+  EXPECT_EQ(LatencyPercentile({5.0, 5.0, 5.0}, 0.5), 5.0);
+}
+
+TEST(MetricsTest, FillLatencyPercentilesEdgeCases) {
+  WorkloadResult untouched;
+  untouched.p50_seconds = 42.0;
+  FillLatencyPercentiles(&untouched, {});
+  // An empty sample list leaves the result untouched instead of zeroing.
+  EXPECT_EQ(untouched.p50_seconds, 42.0);
+  EXPECT_EQ(untouched.max_seconds, 0.0);
+
+  WorkloadResult single;
+  FillLatencyPercentiles(&single, {7.0});
+  EXPECT_EQ(single.p50_seconds, 7.0);
+  EXPECT_EQ(single.p95_seconds, 7.0);
+  EXPECT_EQ(single.max_seconds, 7.0);
+}
+
+TEST(MetricsTest, RunWorkloadAggregatesStageTotals) {
+  const TrajectoryDataset db = testutil::SmallDataset(127, 40, 6, 50);
+  QueryEngine engine(db, kEps);
+  const std::vector<Trajectory> queries = SampleQueries(db, 3);
+  const WorkloadResult r =
+      RunWorkload(engine.MakeSeqScan(), queries, 5, nullptr, 0.0);
+  EXPECT_EQ(r.db_size_total, db.size() * queries.size());
+  if constexpr (kObsEnabled) {
+    // Per-query conservation survives the workload summation.
+    EXPECT_TRUE(r.stage_totals.Conserves(r.db_size_total));
+    EXPECT_EQ(r.stage_totals.dp_invoked, r.db_size_total);
+  } else {
+    EXPECT_EQ(r.stage_totals.considered, 0u);
+  }
+}
+
+TEST(MetricsTest, StageFormattingProducesAlignedColumns) {
+  WorkloadResult r;
+  r.method = "2HPN";
+  r.queries = 2;
+  r.db_size_total = 200;
+  r.stage_totals.considered = 150;
+  r.stage_totals.qgram_pruned = 50;
+  r.stage_totals.histogram_pruned = 60;
+  r.stage_totals.triangle_pruned = 20;
+  r.stage_totals.dp_invoked = 20;
+  r.stage_totals.dp_cells = 5000;
+  r.stage_totals.not_visited = 50;
+  const std::string header = FormatStageHeader();
+  const std::string row = FormatStageRow(r);
+  EXPECT_NE(header.find("qgram%"), std::string::npos);
+  EXPECT_NE(header.find("dp%"), std::string::npos);
+  EXPECT_NE(header.find("cells/query"), std::string::npos);
+  EXPECT_NE(row.find("2HPN"), std::string::npos);
+  EXPECT_NE(row.find("25.00"), std::string::npos);   // qgram 50/200.
+  EXPECT_NE(row.find("30.00"), std::string::npos);   // hist 60/200.
+  EXPECT_NE(row.find("2500"), std::string::npos);    // 5000 cells / 2.
+  EXPECT_EQ(header.size(), row.size());
+}
+
+TEST(MetricsTest, StageFormattingHandlesEmptyWorkload) {
+  // All-zero counters (EDR_DISABLE_OBS builds, or a zero-query workload)
+  // must render without dividing by zero.
+  WorkloadResult r;
+  r.method = "SeqScan";
+  const std::string row = FormatStageRow(r);
+  EXPECT_NE(row.find("SeqScan"), std::string::npos);
+  EXPECT_EQ(row.find("nan"), std::string::npos);
+  EXPECT_EQ(row.find("inf"), std::string::npos);
+}
+
 TEST(MetricsTest, RunWorkloadFillsLatencyDistribution) {
   const TrajectoryDataset db = testutil::SmallDataset(126, 40, 6, 50);
   QueryEngine engine(db, kEps);

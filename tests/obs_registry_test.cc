@@ -1,0 +1,209 @@
+#include "obs/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/obs.h"
+#include "query/thread_pool.h"
+
+namespace edr {
+namespace {
+
+// Process-wide registry state is shared across tests in this binary, so
+// every test namespaces its entries ("test_registry.<case>.*") and resets
+// only what it owns via the returned references.
+
+TEST(ObsRegistryTest, CounterIncLoadReset) {
+  ObsCounter& c =
+      MetricsRegistry::Global().Counter("test_registry.basic.count");
+  c.Reset();
+  c.Inc();
+  c.Inc(4);
+  if constexpr (kObsEnabled) {
+    EXPECT_EQ(c.Load(), 5u);
+  } else {
+    EXPECT_EQ(c.Load(), 0u);  // Inc compiles to nothing.
+  }
+  c.Reset();
+  EXPECT_EQ(c.Load(), 0u);
+}
+
+TEST(ObsRegistryTest, SameNameReturnsSameCounter) {
+  ObsCounter& a =
+      MetricsRegistry::Global().Counter("test_registry.alias.count");
+  ObsCounter& b =
+      MetricsRegistry::Global().Counter("test_registry.alias.count");
+  EXPECT_EQ(&a, &b);
+  LatencyHistogram& h =
+      MetricsRegistry::Global().Histogram("test_registry.alias.seconds");
+  LatencyHistogram& h2 =
+      MetricsRegistry::Global().Histogram("test_registry.alias.seconds");
+  EXPECT_EQ(&h, &h2);
+}
+
+TEST(ObsRegistryTest, CounterAggregatesAcrossPoolWorkers) {
+  ObsCounter& c =
+      MetricsRegistry::Global().Counter("test_registry.pool.count");
+  c.Reset();
+  ThreadPool pool(3);
+  constexpr size_t kItems = 10000;
+  pool.ParallelFor(kItems, [&c](size_t) { c.Inc(); });
+  if constexpr (kObsEnabled) {
+    // Relaxed atomics still never lose increments.
+    EXPECT_EQ(c.Load(), kItems);
+  } else {
+    EXPECT_EQ(c.Load(), 0u);
+  }
+  c.Reset();
+}
+
+TEST(ObsRegistryTest, HistogramRecordsAndBrackets) {
+  LatencyHistogram h;
+  h.Record(1e-6);
+  h.Record(1e-3);
+  h.Record(1e-3);
+  h.Record(0.5);
+  if constexpr (!kObsEnabled) {
+    EXPECT_EQ(h.TotalCount(), 0u);
+    return;
+  }
+  EXPECT_EQ(h.TotalCount(), 4u);
+  EXPECT_NEAR(h.TotalSeconds(), 0.502001, 1e-4);
+  uint64_t bucket_sum = 0;
+  for (const uint64_t b : h.BucketCounts()) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, 4u);
+  // Log-bucketed percentiles are the bucket's upper edge: within 2x of
+  // the true value, never below it.
+  const double p50 = h.PercentileSeconds(0.5);
+  EXPECT_GE(p50, 1e-3);
+  EXPECT_LE(p50, 2e-3);
+  const double p100 = h.PercentileSeconds(1.0);
+  EXPECT_GE(p100, 0.5);
+  EXPECT_LE(p100, 1.0);
+  h.Reset();
+  EXPECT_EQ(h.TotalCount(), 0u);
+  EXPECT_EQ(h.PercentileSeconds(0.5), 0.0);
+}
+
+TEST(ObsRegistryTest, HistogramPercentileEdgeCases) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.PercentileSeconds(0.5), 0.0);  // Empty.
+  h.Record(1e-4);
+  if constexpr (kObsEnabled) {
+    // A single sample is every percentile.
+    EXPECT_EQ(h.PercentileSeconds(0.0), h.PercentileSeconds(1.0));
+    EXPECT_GE(h.PercentileSeconds(0.5), 1e-4);
+  }
+}
+
+TEST(ObsRegistryTest, SnapshotExportsJsonAndTable) {
+  ObsCounter& c =
+      MetricsRegistry::Global().Counter("test_registry.snapshot.count");
+  LatencyHistogram& h =
+      MetricsRegistry::Global().Histogram("test_registry.snapshot.seconds");
+  c.Reset();
+  h.Reset();
+  c.Inc(3);
+  h.Record(0.001);
+  h.Record(0.002);
+
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  bool counter_found = false;
+  for (const MetricsSnapshot::CounterRow& row : snap.counters) {
+    if (row.name == "test_registry.snapshot.count") {
+      counter_found = true;
+      EXPECT_EQ(row.value, kObsEnabled ? 3u : 0u);
+    }
+  }
+  EXPECT_TRUE(counter_found);
+  bool histogram_found = false;
+  for (const MetricsSnapshot::HistogramRow& row : snap.histograms) {
+    if (row.name == "test_registry.snapshot.seconds") {
+      histogram_found = true;
+      EXPECT_EQ(row.count, kObsEnabled ? 2u : 0u);
+      if constexpr (kObsEnabled) {
+        EXPECT_LE(row.p50_seconds, row.p95_seconds);
+        EXPECT_LE(row.p95_seconds, row.p99_seconds);
+      }
+    }
+  }
+  EXPECT_TRUE(histogram_found);
+
+  const std::string json = snap.ToJson();
+  EXPECT_TRUE(JsonIsValid(json)) << json;
+  EXPECT_NE(json.find("test_registry.snapshot.count"), std::string::npos);
+  EXPECT_NE(json.find("test_registry.snapshot.seconds"), std::string::npos);
+  const std::string table = snap.ToTable();
+  EXPECT_NE(table.find("test_registry.snapshot.count"), std::string::npos);
+  c.Reset();
+  h.Reset();
+}
+
+TEST(ObsRegistryTest, EmptySnapshotJsonIsValid) {
+  // Whatever other tests registered, the export must stay one valid JSON
+  // document.
+  EXPECT_TRUE(JsonIsValid(MetricsRegistry::Global().Snapshot().ToJson()));
+}
+
+TEST(ObsRegistryTest, ResetForTestZeroesEverything) {
+  ObsCounter& c =
+      MetricsRegistry::Global().Counter("test_registry.reset.count");
+  LatencyHistogram& h =
+      MetricsRegistry::Global().Histogram("test_registry.reset.seconds");
+  c.Inc(7);
+  h.Record(0.25);
+  MetricsRegistry::Global().ResetForTest();
+  EXPECT_EQ(c.Load(), 0u);
+  EXPECT_EQ(h.TotalCount(), 0u);
+  // Entries stay registered after the reset.
+  EXPECT_EQ(&MetricsRegistry::Global().Counter("test_registry.reset.count"),
+            &c);
+}
+
+TEST(ObsRegistryTest, PoolStatsCountJobsItemsAndSteals) {
+  ThreadPool pool(3);
+  const ThreadPoolStats before = pool.Stats();
+  ASSERT_EQ(before.worker_items.size(), 4u);  // Caller slot + 3 workers.
+  constexpr size_t kItems = 64;
+  pool.ParallelFor(kItems, [](size_t) {
+    volatile double sink = 0.0;
+    for (int i = 0; i < 500; ++i) sink = sink + static_cast<double>(i);
+    (void)sink;
+  });
+  const ThreadPoolStats delta = pool.Stats().Since(before);
+  if constexpr (kObsEnabled) {
+    EXPECT_EQ(delta.jobs, 1u);
+    EXPECT_EQ(delta.items, kItems);
+    uint64_t sum = 0;
+    for (const uint64_t v : delta.worker_items) sum += v;
+    EXPECT_EQ(sum, kItems);  // Per-slot counts conserve the total.
+    EXPECT_GT(delta.busy_seconds, 0.0);
+    // Steals are schedule-dependent but can never exceed the items run.
+    EXPECT_LE(delta.steals, delta.items);
+  } else {
+    EXPECT_EQ(delta.jobs, 0u);
+    EXPECT_EQ(delta.items, 0u);
+    EXPECT_EQ(delta.busy_seconds, 0.0);
+  }
+}
+
+TEST(ObsRegistryTest, PoolInlinePathIsNotCountedAsJob) {
+  ThreadPool pool(3);
+  const ThreadPoolStats before = pool.Stats();
+  pool.ParallelFor(1, [](size_t) {});                        // n <= 1.
+  pool.ParallelFor(16, [](size_t) {}, /*max_parallelism=*/1);  // Capped.
+  const ThreadPoolStats delta = pool.Stats().Since(before);
+  EXPECT_EQ(delta.jobs, 0u);
+  EXPECT_EQ(delta.items, 0u);
+}
+
+TEST(ObsRegistryTest, PaddingKeepsCountersOnOwnCacheLines) {
+  static_assert(sizeof(ObsCounter) == 64, "one line per counter");
+  static_assert(alignof(ObsCounter) == 64, "line-aligned");
+}
+
+}  // namespace
+}  // namespace edr

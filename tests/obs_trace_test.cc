@@ -1,0 +1,201 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/obs.h"
+
+namespace edr {
+namespace {
+
+// Every trace test that records spans does so through the raw QueryTrace
+// API (always compiled) and asserts on structure; assertions about the
+// *gated* entry points (MakeQueryTrace, TraceSpan with a null trace) are
+// split by kObsEnabled so the same test source passes in both builds.
+
+TEST(ObsTraceTest, BeginEndRecordsNestedSpans) {
+  QueryTrace trace;
+  const int32_t outer = trace.Begin("filter");
+  const int32_t inner = trace.Begin("sweep", outer);
+  trace.End(inner);
+  trace.End(outer);
+  const int32_t sibling = trace.Begin("refine");
+  trace.End(sibling);
+
+  ASSERT_EQ(trace.size(), 3u);
+  const std::vector<QueryTrace::Node> nodes = trace.nodes();
+  EXPECT_STREQ(nodes[0].name, "filter");
+  EXPECT_EQ(nodes[0].parent, -1);
+  EXPECT_STREQ(nodes[1].name, "sweep");
+  EXPECT_EQ(nodes[1].parent, outer);
+  EXPECT_STREQ(nodes[2].name, "refine");
+  EXPECT_EQ(nodes[2].parent, -1);
+}
+
+TEST(ObsTraceTest, DurationsAreMonotoneAndNested) {
+  QueryTrace trace;
+  const int32_t outer = trace.Begin("outer");
+  const int32_t inner = trace.Begin("inner", outer);
+  // Burn a little time so the inner span has a measurable duration.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 10000; ++i) sink = sink + static_cast<double>(i);
+  (void)sink;
+  trace.End(inner);
+  trace.End(outer);
+
+  const std::vector<QueryTrace::Node> nodes = trace.nodes();
+  EXPECT_GE(nodes[0].seconds, 0.0);
+  EXPECT_GE(nodes[1].seconds, 0.0);
+  // The child opened after and closed before its parent, so it cannot be
+  // longer; starts are relative to trace construction and ordered.
+  EXPECT_LE(nodes[1].seconds, nodes[0].seconds);
+  EXPECT_GE(nodes[1].start_seconds, nodes[0].start_seconds);
+  EXPECT_GE(trace.ElapsedSeconds(), nodes[0].seconds);
+}
+
+TEST(ObsTraceTest, PhaseSecondsSumsByName) {
+  QueryTrace trace;
+  const int32_t a = trace.Begin("refine_worker");
+  trace.End(a);
+  const int32_t b = trace.Begin("refine_worker");
+  trace.End(b);
+  trace.AddAggregate("dp", 0.25, 7);
+  trace.AddAggregate("dp", 0.5, 3);
+
+  EXPECT_DOUBLE_EQ(trace.PhaseSeconds("dp"), 0.75);
+  EXPECT_GE(trace.PhaseSeconds("refine_worker"), 0.0);
+  EXPECT_EQ(trace.PhaseSeconds("no_such_phase"), 0.0);
+  // Lookup is by string content, not pointer identity.
+  const std::string key = std::string("d") + "p";
+  EXPECT_DOUBLE_EQ(trace.PhaseSeconds(key.c_str()), 0.75);
+}
+
+TEST(ObsTraceTest, AddAggregateRecordsCountAndParent) {
+  QueryTrace trace;
+  const int32_t scan = trace.Begin("scan");
+  const int32_t agg = trace.AddAggregate("dp", 0.125, 42, scan);
+  trace.End(scan);
+
+  const std::vector<QueryTrace::Node> nodes = trace.nodes();
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(agg, 1);
+  EXPECT_STREQ(nodes[1].name, "dp");
+  EXPECT_EQ(nodes[1].parent, scan);
+  EXPECT_EQ(nodes[1].count, 42u);
+  EXPECT_DOUBLE_EQ(nodes[1].seconds, 0.125);
+}
+
+TEST(ObsTraceTest, ToJsonIsValidAndNamesAppear) {
+  QueryTrace trace;
+  const int32_t outer = trace.Begin("bound_sweep");
+  const int32_t inner = trace.Begin("refine_worker", outer);
+  trace.End(inner);
+  trace.AddAggregate("dp", 0.001, 5, outer);
+  trace.End(outer);
+
+  const std::string json = trace.ToJson();
+  EXPECT_TRUE(JsonIsValid(json)) << json;
+  EXPECT_NE(json.find("bound_sweep"), std::string::npos);
+  EXPECT_NE(json.find("refine_worker"), std::string::npos);
+  EXPECT_NE(json.find("\"count\""), std::string::npos);
+  EXPECT_NE(json.find("total_ms"), std::string::npos);
+}
+
+TEST(ObsTraceTest, EmptyTraceToJsonIsValid) {
+  QueryTrace trace;
+  EXPECT_TRUE(JsonIsValid(trace.ToJson())) << trace.ToJson();
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(ObsTraceTest, ConcurrentSpanRecordingIsSafe) {
+  QueryTrace trace;
+  const int32_t root = trace.Begin("refine");
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&trace, root] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        const int32_t id = trace.Begin("refine_worker", root);
+        trace.End(id);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  trace.End(root);
+
+  EXPECT_EQ(trace.size(), 1u + kThreads * kSpansPerThread);
+  for (const QueryTrace::Node& node : trace.nodes()) {
+    EXPECT_GE(node.seconds, 0.0);
+  }
+  EXPECT_TRUE(JsonIsValid(trace.ToJson()));
+}
+
+TEST(ObsTraceTest, TraceSpanRaiiAndIdempotentEnd) {
+  QueryTrace trace;
+  if constexpr (kObsEnabled) {
+    int32_t outer_id = -1;
+    {
+      TraceSpan outer(&trace, "outer");
+      outer_id = outer.id();
+      EXPECT_EQ(outer_id, 0);
+      TraceSpan inner(&trace, "inner", outer.id());
+      inner.End();
+      inner.End();  // Idempotent: second End must not touch the node.
+    }
+    ASSERT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace.nodes()[1].parent, outer_id);
+  } else {
+    TraceSpan span(&trace, "outer");
+    EXPECT_EQ(span.id(), -1);
+    span.End();
+    EXPECT_EQ(trace.size(), 0u);
+  }
+}
+
+TEST(ObsTraceTest, NullTraceSpanIsNoOp) {
+  // The universal call-site shape: a span over a possibly-null trace.
+  TraceSpan span(nullptr, "anything");
+  EXPECT_EQ(span.id(), -1);
+  span.End();  // Must not crash.
+}
+
+TEST(ObsTraceTest, MakeQueryTraceMatchesBuildMode) {
+  const std::shared_ptr<QueryTrace> trace = MakeQueryTrace();
+  if constexpr (kObsEnabled) {
+    ASSERT_NE(trace, nullptr);
+    EXPECT_EQ(trace->size(), 0u);
+  } else {
+    EXPECT_EQ(trace, nullptr);
+  }
+}
+
+TEST(ObsTraceTest, JsonEscapeHandlesSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_NE(JsonEscape("a\nb").find("\\n"), std::string::npos);
+  // An escaped string embeds into a valid JSON document.
+  const std::string doc = "{\"k\": \"" + JsonEscape("x\"\\\n\ty") + "\"}";
+  EXPECT_TRUE(JsonIsValid(doc)) << doc;
+}
+
+TEST(ObsTraceTest, JsonIsValidAcceptsAndRejects) {
+  EXPECT_TRUE(JsonIsValid("{}"));
+  EXPECT_TRUE(JsonIsValid("[1, 2.5, -3e2, \"s\", true, false, null]"));
+  EXPECT_TRUE(JsonIsValid("  {\"a\": [{\"b\": 1}]}  "));
+  EXPECT_FALSE(JsonIsValid(""));
+  EXPECT_FALSE(JsonIsValid("{"));
+  EXPECT_FALSE(JsonIsValid("{\"a\": }"));
+  EXPECT_FALSE(JsonIsValid("{} trailing"));
+  EXPECT_FALSE(JsonIsValid("{'a': 1}"));
+  EXPECT_FALSE(JsonIsValid("[1,]"));
+}
+
+}  // namespace
+}  // namespace edr

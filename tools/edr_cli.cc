@@ -12,6 +12,13 @@
 // format. Methods: scan, ea, ps2, ps1, pr, pb, ntr, hsr2, hsr1, 2hpn,
 // 1hpn (default 2hpn). Datasets are normalized before querying; pass an
 // explicit epsilon to override the quarter-of-max-std-dev default.
+//
+// Observability flags (any command, position-independent):
+//   --trace-json=FILE    write the per-query phase trace of a `knn` query
+//   --metrics-json=FILE  write the process-wide metrics registry snapshot
+// Both write "{}"-style JSON; in an EDR_DISABLE_OBS build the trace file
+// is not written (a note goes to stderr) and the metrics snapshot is
+// empty.
 
 #include <cstdio>
 #include <cstdlib>
@@ -22,9 +29,71 @@
 #include "data/io.h"
 #include "data/simplify.h"
 #include "eval/epsilon.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "query/engine.h"
 
 namespace {
+
+std::string g_trace_json_path;
+std::string g_metrics_json_path;
+
+/// Removes --trace-json=/--metrics-json= from argv (recording their
+/// values) so the positional command parsing below stays untouched.
+/// Returns the new argc.
+int StripObsFlags(int argc, char** argv) {
+  int out = 0;
+  for (int i = 0; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--trace-json=", 13) == 0) {
+      g_trace_json_path = arg + 13;
+    } else if (std::strncmp(arg, "--metrics-json=", 15) == 0) {
+      g_metrics_json_path = arg + 15;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  return out;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = written == content.size() && std::fclose(f) == 0;
+  if (!ok && written == content.size()) return false;
+  return ok;
+}
+
+/// Honors --metrics-json after a query command ran.
+void MaybeExportMetrics() {
+  if (g_metrics_json_path.empty()) return;
+  const std::string json = edr::MetricsRegistry::Global().Snapshot().ToJson();
+  if (!WriteTextFile(g_metrics_json_path, json)) {
+    std::fprintf(stderr, "warning: could not write %s\n",
+                 g_metrics_json_path.c_str());
+  } else {
+    std::printf("metrics written to %s\n", g_metrics_json_path.c_str());
+  }
+}
+
+/// Honors --trace-json for the query that produced `result`.
+void MaybeExportTrace(const edr::KnnResult& result) {
+  if (g_trace_json_path.empty()) return;
+  if (result.trace == nullptr) {
+    std::fprintf(stderr,
+                 "note: no trace recorded (EDR_DISABLE_OBS build or "
+                 "method without tracing); %s not written\n",
+                 g_trace_json_path.c_str());
+    return;
+  }
+  if (!WriteTextFile(g_trace_json_path, result.trace->ToJson())) {
+    std::fprintf(stderr, "warning: could not write %s\n",
+                 g_trace_json_path.c_str());
+  } else {
+    std::printf("trace written to %s\n", g_trace_json_path.c_str());
+  }
+}
 
 bool IsCsv(const std::string& path) {
   return path.size() >= 4 && path.substr(path.size() - 4) == ".csv";
@@ -55,7 +124,10 @@ int Usage() {
       "  edr_cli simplify <in> <out> <tolerance>\n"
       "  edr_cli probe-epsilon <file>\n"
       "  edr_cli knn <file> <query-index> <k> [method] [epsilon]\n"
-      "  edr_cli range <file> <query-index> <radius> [epsilon]\n");
+      "  edr_cli range <file> <query-index> <radius> [epsilon]\n"
+      "flags (any command):\n"
+      "  --trace-json=FILE    per-query phase trace (knn only)\n"
+      "  --metrics-json=FILE  process-wide metrics snapshot\n");
   return 2;
 }
 
@@ -206,6 +278,8 @@ int Knn(int argc, char** argv) {
               result.stats.edr_computed, result.stats.db_size,
               result.stats.PruningPower(),
               result.stats.elapsed_seconds * 1e3);
+  MaybeExportTrace(result);
+  MaybeExportMetrics();
   return 0;
 }
 
@@ -233,12 +307,15 @@ int RangeQuery(int argc, char** argv) {
   for (const edr::Neighbor& n : result.neighbors) {
     std::printf("  id=%-6u EDR=%.0f\n", n.id, n.distance);
   }
+  MaybeExportTrace(result);
+  MaybeExportMetrics();
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  argc = StripObsFlags(argc, argv);
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   if (command == "generate") return Generate(argc, argv);
