@@ -13,6 +13,7 @@ set(EDR_PAPER_BENCHES
   bench_kernel.cc
   bench_filter.cc
   bench_intra_query.cc
+  bench_scheduler.cc
 )
 
 foreach(src ${EDR_PAPER_BENCHES})

@@ -34,7 +34,11 @@ void LatencyHistogram::Record(double seconds) {
 }
 
 double LatencyHistogram::PercentileSeconds(double q) const {
-  const std::array<uint64_t, kBuckets> counts = BucketCounts();
+  return PercentileFromBuckets(BucketCounts(), q);
+}
+
+double LatencyHistogram::PercentileFromBuckets(
+    const std::array<uint64_t, kBuckets>& counts, double q) {
   uint64_t total = 0;
   for (const uint64_t c : counts) total += c;
   if (total == 0) return 0.0;
@@ -72,6 +76,16 @@ void LatencyHistogram::Reset() {
   sum_ns_.store(0, std::memory_order_relaxed);
 }
 
+LatencyHistogram::Drained LatencyHistogram::Drain() {
+  Drained out;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    out.buckets[b] = buckets_[b].exchange(0, std::memory_order_relaxed);
+  }
+  out.count = count_.exchange(0, std::memory_order_relaxed);
+  out.sum_ns = sum_ns_.exchange(0, std::memory_order_relaxed);
+  return out;
+}
+
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* registry = new MetricsRegistry();  // leaked
   return *registry;
@@ -107,6 +121,28 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     row.p50_seconds = histogram->PercentileSeconds(0.50);
     row.p95_seconds = histogram->PercentileSeconds(0.95);
     row.p99_seconds = histogram->PercentileSeconds(0.99);
+    snapshot.histograms.push_back(std::move(row));
+  }
+  return snapshot;
+}
+
+MetricsSnapshot MetricsRegistry::SnapshotAndReset() {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back({name, counter->Drain()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    const LatencyHistogram::Drained d = histogram->Drain();
+    MetricsSnapshot::HistogramRow row;
+    row.name = name;
+    row.count = d.count;
+    row.total_seconds = static_cast<double>(d.sum_ns) * 1e-9;
+    row.p50_seconds = LatencyHistogram::PercentileFromBuckets(d.buckets, 0.50);
+    row.p95_seconds = LatencyHistogram::PercentileFromBuckets(d.buckets, 0.95);
+    row.p99_seconds = LatencyHistogram::PercentileFromBuckets(d.buckets, 0.99);
     snapshot.histograms.push_back(std::move(row));
   }
   return snapshot;

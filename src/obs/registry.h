@@ -31,6 +31,10 @@ struct alignas(64) ObsCounter {
   }
   uint64_t Load() const { return value.load(std::memory_order_relaxed); }
   void Reset() { value.store(0, std::memory_order_relaxed); }
+  /// Atomically reads and zeroes — the delta-scrape primitive. Increments
+  /// racing the exchange land after it and count toward the next scrape,
+  /// so no increment is ever double-reported or lost.
+  uint64_t Drain() { return value.exchange(0, std::memory_order_relaxed); }
 };
 
 static_assert(sizeof(ObsCounter) == 64 && alignof(ObsCounter) == 64,
@@ -63,6 +67,23 @@ class LatencyHistogram {
   std::array<uint64_t, kBuckets> BucketCounts() const;
 
   void Reset();
+
+  /// Atomically moves the histogram's contents out (buckets, count, sum)
+  /// and zeroes it — LatencyHistogram's half of a delta scrape. Per-bucket
+  /// exchanges are not a single atomic cut: a sample recorded mid-drain
+  /// lands wholly in this scrape or wholly in the next, never in both,
+  /// which is the granularity a periodic scraper needs.
+  struct Drained {
+    std::array<uint64_t, kBuckets> buckets = {};
+    uint64_t count = 0;
+    uint64_t sum_ns = 0;
+  };
+  Drained Drain();
+
+  /// Nearest-rank percentile over an explicit bucket array (the shared
+  /// math behind PercentileSeconds and the delta-snapshot path).
+  static double PercentileFromBuckets(
+      const std::array<uint64_t, kBuckets>& counts, double q);
 
  private:
   static size_t BucketOf(double seconds);
@@ -115,6 +136,13 @@ class MetricsRegistry {
   LatencyHistogram& Histogram(const std::string& name);
 
   MetricsSnapshot Snapshot() const;
+
+  /// Delta-snapshot: returns everything accumulated since the previous
+  /// SnapshotAndReset (or process start) and atomically zeroes the
+  /// registry, so a long-lived process can be scraped periodically
+  /// without the client doing monotonic-counter subtraction. Entries stay
+  /// registered; activity racing the scrape rolls into the next delta.
+  MetricsSnapshot SnapshotAndReset();
 
   /// Zeroes every registered entry (tests only; entries stay registered).
   void ResetForTest();

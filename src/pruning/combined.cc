@@ -8,6 +8,7 @@
 #include "distance/edr_kernel.h"
 #include "obs/trace.h"
 #include "pruning/qgram.h"
+#include "query/feature_cache.h"
 #include "query/intra_query.h"
 #include "query/topk.h"
 
@@ -59,11 +60,23 @@ KnnResult CombinedKnnSearcher::Knn(const Trajectory& query, size_t k,
   }
 
   std::shared_ptr<QueryTrace> trace = MakeQueryTrace();
+  RecordSchedBudget(trace.get(), options);
   TraceSpan sweep_span(trace.get(), "bound_sweep");
-  const HistogramTable::QueryHistogram qh =
-      histograms_.MakeQueryHistogram(query);
-  std::vector<Point2> query_means = MeanValueQgrams(query, options_.q);
-  SortMeans(query_means);
+  // Both query features go through the cache under the same keys the
+  // standalone histogram / PS2 searchers use, so a mixed workload shares
+  // entries across methods.
+  const auto qh_ptr = GetOrBuildFeature<HistogramTable::QueryHistogram>(
+      options.feature_cache, histograms_.feature_key(), query,
+      [&] { return histograms_.MakeQueryHistogram(query); });
+  const HistogramTable::QueryHistogram& qh = *qh_ptr;
+  const auto means_ptr = GetOrBuildFeature<std::vector<Point2>>(
+      options.feature_cache,
+      "qgram.means2d.sorted/q=" + std::to_string(options_.q), query, [&] {
+        std::vector<Point2> m = MeanValueQgrams(query, options_.q);
+        SortMeans(m);
+        return m;
+      });
+  const std::vector<Point2>& query_means = *means_ptr;
 
   const bool histogram_first =
       options_.order[0] == PruneStep::kHistogram &&

@@ -44,6 +44,7 @@ KnnResult CseSearcher::Knn(const Trajectory& query, size_t k,
   }
   const EdrKernel kernel = DefaultEdrKernel();
   std::shared_ptr<QueryTrace> trace = MakeQueryTrace();
+  RecordSchedBudget(trace.get(), options);
 
   // Per-slot reference arrays, as in NearTriangleSearcher::Knn: any
   // computed reference distance is a valid prune input, so sharding them

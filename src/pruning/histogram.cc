@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <functional>
 #include <limits>
 #include <queue>
@@ -547,6 +548,15 @@ HistogramTable::HistogramTable(const TrajectoryDataset& db, double epsilon,
                                Kind kind, int delta)
     : kind_(kind), delta_(std::max(1, delta)) {
   grid_ = HistogramGrid::For(db.Stats(), epsilon * delta_);
+  {
+    // %.17g round-trips doubles exactly, so equal keys <=> equal grids.
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "hist.%s/grid=%d.%d/%.17g,%.17g,%.17g",
+                  kind_ == Kind::k2D ? "2d" : "1d", grid_.nx, grid_.ny,
+                  grid_.min_x, grid_.min_y, grid_.bin_size);
+    feature_key_ = buf;
+  }
   totals_.reserve(db.size());
   for (const Trajectory& t : db) {
     totals_.push_back(static_cast<int32_t>(t.size()));

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -175,6 +176,12 @@ class HistogramTable {
   const HistogramGrid& grid() const { return grid_; }
   size_t size() const { return totals_.size(); }
 
+  /// FeatureCache config key for this table's query histograms. Encodes
+  /// everything MakeQueryHistogram depends on — the kind and the exact
+  /// grid geometry — so two tables with equal keys produce bit-identical
+  /// QueryHistograms and may share cache entries across searchers.
+  const std::string& feature_key() const { return feature_key_; }
+
  private:
   /// Flat SoA storage for one histogram dimension (the 2-D grid, or the
   /// x / y subranges). `nx * ny` spans the bin space; 1-D tables use
@@ -201,6 +208,7 @@ class HistogramTable {
   Kind kind_;
   int delta_;
   HistogramGrid grid_;
+  std::string feature_key_;
   FlatHistograms flat_2d_;
   FlatHistograms flat_x_;
   FlatHistograms flat_y_;

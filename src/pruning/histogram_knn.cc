@@ -7,6 +7,7 @@
 
 #include "distance/edr_kernel.h"
 #include "obs/trace.h"
+#include "query/feature_cache.h"
 #include "query/intra_query.h"
 #include "query/topk.h"
 
@@ -32,8 +33,13 @@ KnnResult HistogramKnnSearcher::Knn(const Trajectory& query, size_t k,
   }
 
   std::shared_ptr<QueryTrace> trace = MakeQueryTrace();
+  RecordSchedBudget(trace.get(), options);
   TraceSpan sweep_span(trace.get(), "bound_sweep");
-  const HistogramTable::QueryHistogram qh = table_.MakeQueryHistogram(query);
+  const std::shared_ptr<const HistogramTable::QueryHistogram> qh_ptr =
+      GetOrBuildFeature<HistogramTable::QueryHistogram>(
+          options.feature_cache, table_.feature_key(), query,
+          [&] { return table_.MakeQueryHistogram(query); });
+  const HistogramTable::QueryHistogram& qh = *qh_ptr;
   const EdrKernel kernel = DefaultEdrKernel();
 
   // Both scans consume the whole bound array anyway, so it is produced by

@@ -7,6 +7,7 @@
 #include "distance/lcss.h"
 #include "obs/trace.h"
 #include "pruning/qgram.h"
+#include "query/feature_cache.h"
 #include "query/intra_query.h"
 #include "query/topk.h"
 
@@ -31,6 +32,7 @@ KnnResult LcssKnnSearcher::Knn(const Trajectory& query, size_t k,
   }
   const size_t m = query.size();
   std::shared_ptr<QueryTrace> trace = MakeQueryTrace();
+  RecordSchedBudget(trace.get(), options);
   TraceSpan sweep_span(trace.get(), "bound_sweep");
 
   const bool use_histogram =
@@ -38,14 +40,30 @@ KnnResult LcssKnnSearcher::Knn(const Trajectory& query, size_t k,
   const bool use_qgram =
       filter_ == LcssFilter::kQgram || filter_ == LcssFilter::kBoth;
 
-  const HistogramTable::QueryHistogram qh =
-      use_histogram ? histograms_.MakeQueryHistogram(query)
-                    : HistogramTable::QueryHistogram{};
-  std::vector<Point2> query_means;
-  if (use_qgram) {
-    query_means = MeanValueQgrams(query, 1);
-    SortMeans(query_means);
+  // Cached under the same keys the EDR searchers use (the table geometry
+  // and q=1 sorted means are method-agnostic), so an EDR query warming the
+  // cache also warms the LCSS path and vice versa.
+  std::shared_ptr<const HistogramTable::QueryHistogram> qh_ptr;
+  if (use_histogram) {
+    qh_ptr = GetOrBuildFeature<HistogramTable::QueryHistogram>(
+        options.feature_cache, histograms_.feature_key(), query,
+        [&] { return histograms_.MakeQueryHistogram(query); });
+  } else {
+    qh_ptr = std::make_shared<const HistogramTable::QueryHistogram>();
   }
+  const HistogramTable::QueryHistogram& qh = *qh_ptr;
+  std::shared_ptr<const std::vector<Point2>> means_ptr;
+  if (use_qgram) {
+    means_ptr = GetOrBuildFeature<std::vector<Point2>>(
+        options.feature_cache, "qgram.means2d.sorted/q=1", query, [&] {
+          std::vector<Point2> m = MeanValueQgrams(query, 1);
+          SortMeans(m);
+          return m;
+        });
+  } else {
+    means_ptr = std::make_shared<const std::vector<Point2>>();
+  }
+  const std::vector<Point2>& query_means = *means_ptr;
 
   // Distance lower bound from an upper bound `score_cap` on LCSS(Q, S).
   const auto distance_bound = [m](size_t n, long score_cap) {

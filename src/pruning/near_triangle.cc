@@ -101,6 +101,7 @@ KnnResult NearTriangleSearcher::Knn(const Trajectory& query, size_t k,
   }
   const EdrKernel kernel = DefaultEdrKernel();
   std::shared_ptr<QueryTrace> trace = MakeQueryTrace();
+  RecordSchedBudget(trace.get(), options);
 
   // procArray: references (ids < num_refs) whose distance to the query has
   // been computed, with that distance. A bounded-refinement value may be a

@@ -8,6 +8,7 @@
 #include "distance/edr_kernel.h"
 #include "obs/trace.h"
 #include "pruning/qgram.h"
+#include "query/feature_cache.h"
 #include "query/intra_query.h"
 #include "query/topk.h"
 
@@ -27,6 +28,20 @@ QgramKnnSearcher::QgramKnnSearcher(const TrajectoryDataset& db,
                                    double epsilon, int q,
                                    QgramVariant variant)
     : db_(db), epsilon_(epsilon), q_(q), variant_(variant) {
+  switch (variant_) {
+    case QgramVariant::kRtree2D:
+      feature_key_ = "qgram.means2d.raw/q=" + std::to_string(q_);
+      break;
+    case QgramVariant::kBtree1D:
+      feature_key_ = "qgram.means1d.raw/q=" + std::to_string(q_);
+      break;
+    case QgramVariant::kMerge2D:
+      feature_key_ = "qgram.means2d.sorted/q=" + std::to_string(q_);
+      break;
+    case QgramVariant::kMerge1D:
+      feature_key_ = "qgram.means1d.sorted/q=" + std::to_string(q_);
+      break;
+  }
   switch (variant_) {
     case QgramVariant::kRtree2D: {
       rtree_ = std::make_unique<RStarTree>();
@@ -67,7 +82,10 @@ std::vector<size_t> QgramKnnSearcher::MatchCounts(
       // either matches some gram of S or it does not). Probes mutate the
       // shared last_gram array, so this variant counts sequentially.
       std::vector<size_t> last_gram(db_.size(), static_cast<size_t>(-1));
-      const std::vector<Point2> means = MeanValueQgrams(query, q_);
+      const auto means_ptr = GetOrBuildFeature<std::vector<Point2>>(
+          options.feature_cache, feature_key_, query,
+          [&] { return MeanValueQgrams(query, q_); });
+      const std::vector<Point2>& means = *means_ptr;
       for (size_t g = 0; g < means.size(); ++g) {
         rtree_->SearchRange(Rect::Around(means[g], epsilon_),
                             [&](uint32_t id) {
@@ -81,8 +99,10 @@ std::vector<size_t> QgramKnnSearcher::MatchCounts(
     }
     case QgramVariant::kBtree1D: {
       std::vector<size_t> last_gram(db_.size(), static_cast<size_t>(-1));
-      const std::vector<double> means =
-          MeanValueQgrams1D(query, q_, /*use_x=*/true);
+      const auto means_ptr = GetOrBuildFeature<std::vector<double>>(
+          options.feature_cache, feature_key_, query,
+          [&] { return MeanValueQgrams1D(query, q_, /*use_x=*/true); });
+      const std::vector<double>& means = *means_ptr;
       for (size_t g = 0; g < means.size(); ++g) {
         btree_->SearchRange(means[g] - epsilon_, means[g] + epsilon_,
                             [&](double, uint32_t id) {
@@ -95,8 +115,13 @@ std::vector<size_t> QgramKnnSearcher::MatchCounts(
       break;
     }
     case QgramVariant::kMerge2D: {
-      std::vector<Point2> means = MeanValueQgrams(query, q_);
-      SortMeans(means);
+      const auto means_ptr = GetOrBuildFeature<std::vector<Point2>>(
+          options.feature_cache, feature_key_, query, [&] {
+            std::vector<Point2> m = MeanValueQgrams(query, q_);
+            SortMeans(m);
+            return m;
+          });
+      const std::vector<Point2>& means = *means_ptr;
       // Each trajectory's count reads only its own flat slice and writes
       // only its own output element — shard the ids over the pool.
       IntraQueryParallelFor(db_.size(), options, [&](size_t i) {
@@ -106,8 +131,13 @@ std::vector<size_t> QgramKnnSearcher::MatchCounts(
       break;
     }
     case QgramVariant::kMerge1D: {
-      std::vector<double> means = MeanValueQgrams1D(query, q_, /*use_x=*/true);
-      std::sort(means.begin(), means.end());
+      const auto means_ptr = GetOrBuildFeature<std::vector<double>>(
+          options.feature_cache, feature_key_, query, [&] {
+            std::vector<double> m = MeanValueQgrams1D(query, q_, /*use_x=*/true);
+            std::sort(m.begin(), m.end());
+            return m;
+          });
+      const std::vector<double>& means = *means_ptr;
       IntraQueryParallelFor(db_.size(), options, [&](size_t i) {
         counts[i] =
             means_->CountMatches1D(means, epsilon_, static_cast<uint32_t>(i));
@@ -131,6 +161,7 @@ KnnResult QgramKnnSearcher::Knn(const Trajectory& query, size_t k,
   }
 
   std::shared_ptr<QueryTrace> trace = MakeQueryTrace();
+  RecordSchedBudget(trace.get(), options);
   TraceSpan filter_span(trace.get(), "match_count");
   const std::vector<size_t> counts = MatchCounts(query, options);
   filter_span.End();

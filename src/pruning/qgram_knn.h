@@ -80,6 +80,11 @@ class QgramKnnSearcher {
   double epsilon_;
   int q_;
   QgramVariant variant_;
+  /// FeatureCache config key for this searcher's query mean vector —
+  /// encodes the dimensionality, sortedness, and q, the only inputs
+  /// besides the query itself. PS2's sorted-2D key matches the combined
+  /// and LCSS searchers at equal q, so they share cache entries.
+  std::string feature_key_;
 
   // PR: one entry per Q-gram mean, payload = trajectory id.
   std::unique_ptr<RStarTree> rtree_;

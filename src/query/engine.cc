@@ -2,7 +2,7 @@
 
 #include <tuple>
 
-#include "query/parallel.h"
+#include "query/scheduler.h"
 #include "query/thread_pool.h"
 
 namespace edr {
@@ -13,15 +13,18 @@ QueryEngine::QueryEngine(const TrajectoryDataset& db, double epsilon)
 std::vector<KnnResult> QueryEngine::KnnBatch(
     const NamedSearcher& searcher, const std::vector<Trajectory>& queries,
     size_t k, unsigned threads) const {
-  return ParallelKnn(searcher.search, queries, k, threads);
+  SchedulerPolicy policy;
+  policy.max_threads = threads;
+  return RunScheduled(searcher, queries, k, policy);
 }
 
 std::vector<KnnResult> QueryEngine::KnnBatch(
     const NamedSearcher& searcher, const std::vector<Trajectory>& queries,
     size_t k, unsigned threads, ThreadPoolStats* pool_stats) const {
   const ThreadPoolStats before = ThreadPool::Global().Stats();
-  std::vector<KnnResult> results =
-      ParallelKnn(searcher.search, queries, k, threads);
+  SchedulerPolicy policy;
+  policy.max_threads = threads;
+  std::vector<KnnResult> results = RunScheduled(searcher, queries, k, policy);
   if (pool_stats != nullptr) {
     *pool_stats = ThreadPool::Global().Stats().Since(before);
   }
@@ -121,57 +124,82 @@ const CombinedKnnSearcher& QueryEngine::Combined(
   return *it->second;
 }
 
+namespace {
+
+/// The bound Make*-time options overlaid with what the scheduler grants
+/// per call: the budget always comes from the call, the pool and cache
+/// only when the scheduler actually has one (so a handle bound to a
+/// dedicated pool keeps it under a default-pool scheduler).
+KnnOptions MergeScheduled(const KnnOptions& bound,
+                          const KnnOptions& per_call) {
+  KnnOptions merged = bound;
+  merged.intra_query_workers = per_call.intra_query_workers;
+  if (per_call.pool != nullptr) merged.pool = per_call.pool;
+  if (per_call.feature_cache != nullptr) {
+    merged.feature_cache = per_call.feature_cache;
+  }
+  return merged;
+}
+
+/// Builds the NamedSearcher pair of entry points over any searcher with a
+/// Knn(query, k, options) method.
+template <typename Searcher>
+NamedSearcher MakeNamed(const Searcher& searcher,
+                        const KnnOptions& options) {
+  NamedSearcher named;
+  named.name = searcher.name();
+  named.search = [&searcher, options](const Trajectory& q, size_t k) {
+    return searcher.Knn(q, k, options);
+  };
+  named.search_with = [&searcher, options](const Trajectory& q, size_t k,
+                                           const KnnOptions& per_call) {
+    return searcher.Knn(q, k, MergeScheduled(options, per_call));
+  };
+  return named;
+}
+
+}  // namespace
+
 NamedSearcher QueryEngine::MakeSeqScan(bool early_abandon) const {
-  return {early_abandon ? "SeqScan-EA" : "SeqScan",
-          [this, early_abandon](const Trajectory& q, size_t k) {
-            return SeqScan(q, k, early_abandon);
-          }};
+  NamedSearcher named;
+  named.name = early_abandon ? "SeqScan-EA" : "SeqScan";
+  named.search = [this, early_abandon](const Trajectory& q, size_t k) {
+    return SeqScan(q, k, early_abandon);
+  };
+  // The scan has no filter features and no intra-query sharding; the
+  // budget-aware overload exists so the scheduler can treat every handle
+  // uniformly, and simply ignores the grant.
+  named.search_with = [this, early_abandon](const Trajectory& q, size_t k,
+                                            const KnnOptions&) {
+    return SeqScan(q, k, early_abandon);
+  };
+  return named;
 }
 
 NamedSearcher QueryEngine::MakeQgram(QgramVariant variant, int q,
                                      const KnnOptions& options) {
-  const QgramKnnSearcher& searcher = Qgram(variant, q);
-  return {searcher.name(),
-          [&searcher, options](const Trajectory& q, size_t k) {
-            return searcher.Knn(q, k, options);
-          }};
+  return MakeNamed(Qgram(variant, q), options);
 }
 
 NamedSearcher QueryEngine::MakeHistogram(HistogramTable::Kind kind, int delta,
                                          HistogramScan scan,
                                          const KnnOptions& options) {
-  const HistogramKnnSearcher& searcher = Histogram(kind, delta, scan);
-  return {searcher.name(),
-          [&searcher, options](const Trajectory& q, size_t k) {
-            return searcher.Knn(q, k, options);
-          }};
+  return MakeNamed(Histogram(kind, delta, scan), options);
 }
 
 NamedSearcher QueryEngine::MakeNearTriangle(size_t max_triangle,
                                             const KnnOptions& options) {
-  const NearTriangleSearcher& searcher = NearTriangle(max_triangle);
-  return {searcher.name(),
-          [&searcher, options](const Trajectory& q, size_t k) {
-            return searcher.Knn(q, k, options);
-          }};
+  return MakeNamed(NearTriangle(max_triangle), options);
 }
 
 NamedSearcher QueryEngine::MakeCse(size_t max_triangle,
                                    const KnnOptions& options) {
-  const CseSearcher& searcher = Cse(max_triangle);
-  return {searcher.name(),
-          [&searcher, options](const Trajectory& q, size_t k) {
-            return searcher.Knn(q, k, options);
-          }};
+  return MakeNamed(Cse(max_triangle), options);
 }
 
 NamedSearcher QueryEngine::MakeCombined(const CombinedOptions& options,
                                         const KnnOptions& knn_options) {
-  const CombinedKnnSearcher& searcher = Combined(options);
-  return {searcher.name(),
-          [&searcher, knn_options](const Trajectory& q, size_t k) {
-            return searcher.Knn(q, k, knn_options);
-          }};
+  return MakeNamed(Combined(options), knn_options);
 }
 
 }  // namespace edr

@@ -26,6 +26,14 @@ struct ThreadPoolStats;
 struct NamedSearcher {
   std::string name;
   std::function<KnnResult(const Trajectory&, size_t)> search;
+  /// Budget-aware entry point used by the adaptive scheduler: the KnnOptions
+  /// carry the per-call worker budget, pool, and feature cache, which are
+  /// merged over the options bound at Make* time (a null per-call pool keeps
+  /// the bound one). Optional — searchers without it (or handles built
+  /// before this field existed) fall back to `search`, which simply ignores
+  /// the budget. Results are identical either way.
+  std::function<KnnResult(const Trajectory&, size_t, const KnnOptions&)>
+      search_with;
 };
 
 /// Facade over every retrieval method in the library for one dataset and
@@ -48,12 +56,16 @@ class QueryEngine {
   KnnResult SeqScan(const Trajectory& query, size_t k,
                     bool early_abandon = false) const;
 
-  /// Answers a batch of k-NN queries with `searcher`, fanning the queries
-  /// out over the persistent query thread pool (at most `threads` threads;
-  /// 0 = hardware concurrency). Results come back in query order and are
-  /// identical to calling `searcher.search` sequentially — the batch is
-  /// a pure throughput knob. Single-query batches run on the caller's
-  /// thread without touching the pool.
+  /// Answers a batch of k-NN queries with `searcher` through the adaptive
+  /// scheduler (query/scheduler.h): a deep backlog shards queries across
+  /// the pool one-per-worker, and the final stragglers widen their
+  /// intra-query fan-out so the pool never idles at the tail. At most
+  /// `threads` threads total (0 = hardware concurrency; 1 = fully
+  /// sequential on the caller). Results come back in query order and are
+  /// bit-identical to calling `searcher.search` sequentially — the batch
+  /// is a pure throughput knob. A single-query batch is the degenerate
+  /// schedule: one query granted the whole budget, so it honors
+  /// intra-query parallelism instead of silently running serial.
   std::vector<KnnResult> KnnBatch(const NamedSearcher& searcher,
                                   const std::vector<Trajectory>& queries,
                                   size_t k, unsigned threads = 0) const;

@@ -1,0 +1,122 @@
+#ifndef EDR_QUERY_FEATURE_CACHE_H_
+#define EDR_QUERY_FEATURE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/point.h"
+#include "core/trajectory.h"
+
+namespace edr {
+
+/// 64-bit FNV-1a over the trajectory's length and the raw bit patterns of
+/// its coordinates. Two trajectories with equal points always hash equal;
+/// the cache additionally verifies the stored points element-for-element
+/// on every hit, so a hash collision degrades to a miss, never to a wrong
+/// feature vector.
+uint64_t TrajectoryFingerprint(const Trajectory& t);
+
+/// A bounded LRU cache of per-query filter features — the histogram /
+/// Q-gram feature vectors every filter-and-refine searcher derives from
+/// the query before it can prune anything. Entries are keyed by
+/// (trajectory fingerprint, searcher config key): the config key encodes
+/// every parameter the feature depends on (grid geometry, Q-gram size,
+/// sortedness), so two searchers with semantically identical configs
+/// share entries, and a repeated or re-ranked query skips its filter
+/// precomputation entirely.
+///
+/// Values are immutable once inserted (handed out as shared_ptr<const T>),
+/// so cached features can feed concurrent queries; all map/LRU state is
+/// mutex-protected. Feature construction runs outside the lock — two
+/// threads missing on the same key both build, and the second insert wins,
+/// which is benign because both builds produce identical values.
+///
+/// Hits / misses / evictions are counted per instance (available in every
+/// build) and mirrored into the process-wide MetricsRegistry
+/// ("feature_cache.hits" / ".misses" / ".evictions") when observability is
+/// compiled in.
+class FeatureCache {
+ public:
+  /// `capacity` bounds the number of cached feature vectors; the least
+  /// recently used entry is evicted when a new insert would exceed it.
+  explicit FeatureCache(size_t capacity = 128);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+  };
+  Stats stats() const;
+
+  size_t capacity() const { return capacity_; }
+
+  /// Drops every entry (counters are kept).
+  void Clear();
+
+  /// Returns the cached feature for (config_key, query), building and
+  /// inserting it with `build()` on a miss. `build` must be a pure
+  /// function of the query and the configuration named by `config_key` —
+  /// the determinism of the warm path rests on that.
+  template <typename T, typename BuildFn>
+  std::shared_ptr<const T> GetOrBuild(const std::string& config_key,
+                                      const Trajectory& query,
+                                      BuildFn&& build) {
+    const uint64_t fingerprint = TrajectoryFingerprint(query);
+    if (std::shared_ptr<const void> hit =
+            Lookup(config_key, fingerprint, query)) {
+      return std::static_pointer_cast<const T>(hit);
+    }
+    auto value = std::make_shared<const T>(build());
+    Insert(config_key, fingerprint, query, value);
+    return value;
+  }
+
+ private:
+  struct Entry {
+    std::pair<std::string, uint64_t> key;
+    std::vector<Point2> points;  ///< exact-match guard against collisions
+    std::shared_ptr<const void> value;
+  };
+
+  std::shared_ptr<const void> Lookup(const std::string& config_key,
+                                     uint64_t fingerprint,
+                                     const Trajectory& query);
+  void Insert(const std::string& config_key, uint64_t fingerprint,
+              const Trajectory& query, std::shared_ptr<const void> value);
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< most recently used at the front
+  std::map<std::pair<std::string, uint64_t>, std::list<Entry>::iterator>
+      index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+/// The cached-or-built feature for searchers: consults `cache` when one is
+/// attached to the query's KnnOptions, otherwise builds directly. Either
+/// way the caller receives an immutable feature whose contents are
+/// bit-identical to a plain `build()` — the cache is a pure cost knob.
+template <typename T, typename BuildFn>
+std::shared_ptr<const T> GetOrBuildFeature(FeatureCache* cache,
+                                           const std::string& config_key,
+                                           const Trajectory& query,
+                                           BuildFn&& build) {
+  if (cache != nullptr) {
+    return cache->GetOrBuild<T>(config_key, query,
+                                std::forward<BuildFn>(build));
+  }
+  return std::make_shared<const T>(build());
+}
+
+}  // namespace edr
+
+#endif  // EDR_QUERY_FEATURE_CACHE_H_

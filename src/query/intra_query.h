@@ -59,6 +59,21 @@ inline unsigned ResolveIntraQueryWorkers(const KnnOptions& options) {
   return IntraQueryPool(options).num_workers() + 1;
 }
 
+/// Records the worker budget this query was granted as a `sched` node on
+/// the query's trace (count = resolved participant count, zero duration —
+/// the budget is a decision, not a phase). Every searcher calls this at
+/// the top of Knn so traces show the schedule the batch scheduler chose.
+inline void RecordSchedBudget(QueryTrace* trace, const KnnOptions& options) {
+  if constexpr (kObsEnabled) {
+    if (trace != nullptr) {
+      trace->AddAggregate("sched", 0.0, ResolveIntraQueryWorkers(options));
+    }
+  } else {
+    (void)trace;
+    (void)options;
+  }
+}
+
 /// fn(i) for every i in [0, n), sharded per the intra-query options; the
 /// sequential setting (1 worker) runs a plain loop without touching the
 /// pool. Callers must write results by index for deterministic output.

@@ -15,6 +15,7 @@ namespace edr {
 
 class ThreadPool;
 class QueryTrace;
+class FeatureCache;
 
 /// Execution options accepted by every searcher's three-argument Knn
 /// overload. The default (one worker) is the fully sequential path; any
@@ -29,6 +30,11 @@ struct KnnOptions {
   /// pass a dedicated pool so worker counts are exact regardless of the
   /// machine's core count.
   ThreadPool* pool = nullptr;
+  /// Optional memo of per-query filter features (query histograms, Q-gram
+  /// mean vectors) shared across calls and searchers; nullptr = build the
+  /// features fresh every call. Cached features are bit-identical to
+  /// freshly built ones, so attaching a cache never changes results.
+  FeatureCache* feature_cache = nullptr;
 };
 
 /// One k-NN answer: a dataset trajectory id and its EDR distance to the

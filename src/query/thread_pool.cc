@@ -145,6 +145,7 @@ void ThreadPool::WorkerLoop(unsigned self) {
 void ThreadPool::Participate(unsigned self,
                              const std::function<void(size_t)>& fn,
                              unsigned participants) {
+  busy_slots_.fetch_add(1, std::memory_order_relaxed);
   std::chrono::steady_clock::time_point t0;
   if constexpr (kObsEnabled) t0 = std::chrono::steady_clock::now();
   size_t done = 0;
@@ -163,6 +164,7 @@ void ThreadPool::Participate(unsigned self,
     }
   }
   if (done > 0) remaining_.fetch_sub(done, std::memory_order_acq_rel);
+  busy_slots_.fetch_sub(1, std::memory_order_relaxed);
   if constexpr (kObsEnabled) {
     // One write-back per Participate call, never per item.
     WorkerObs& o = obs_[self];

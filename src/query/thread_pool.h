@@ -96,6 +96,14 @@ class ThreadPool {
     return remaining_.load(std::memory_order_relaxed);
   }
 
+  /// Participants (workers + joined callers) currently executing pool work.
+  /// Unlike the WorkerObs stats this is maintained in every build — the
+  /// batch scheduler reads it as a live occupancy signal, so it cannot be
+  /// allowed to flatline under EDR_DISABLE_OBS.
+  unsigned BusyWorkers() const {
+    return busy_slots_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// One participant's contiguous slice of a job, padded to its own cache
   /// line so cursor bumps don't false-share.
@@ -131,6 +139,7 @@ class ThreadPool {
   unsigned active_ = 0;              // workers currently inside the job
   const std::function<void(size_t)>* job_ = nullptr;
   std::atomic<size_t> remaining_{0};  // items not yet completed
+  std::atomic<unsigned> busy_slots_{0};  // participants inside Participate
   bool shutdown_ = false;
 
   std::mutex job_mu_;  // serializes whole jobs

@@ -142,6 +142,87 @@ TEST(ObsRegistryTest, SnapshotExportsJsonAndTable) {
   h.Reset();
 }
 
+TEST(ObsRegistryTest, CounterDrainReadsAndZeroes) {
+  ObsCounter& c =
+      MetricsRegistry::Global().Counter("test_registry.drain.count");
+  c.Reset();
+  c.Inc(6);
+  EXPECT_EQ(c.Drain(), kObsEnabled ? 6u : 0u);
+  EXPECT_EQ(c.Load(), 0u);
+  EXPECT_EQ(c.Drain(), 0u);  // Second drain sees nothing.
+}
+
+TEST(ObsRegistryTest, HistogramDrainMovesContentsOut) {
+  LatencyHistogram h;
+  h.Record(1e-3);
+  h.Record(2e-3);
+  const LatencyHistogram::Drained d = h.Drain();
+  if constexpr (!kObsEnabled) {
+    EXPECT_EQ(d.count, 0u);
+    return;
+  }
+  EXPECT_EQ(d.count, 2u);
+  EXPECT_NEAR(static_cast<double>(d.sum_ns) * 1e-9, 3e-3, 1e-6);
+  uint64_t bucket_sum = 0;
+  for (const uint64_t b : d.buckets) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, 2u);
+  // Percentiles computed from the drained buckets match the live math.
+  const double p50 = LatencyHistogram::PercentileFromBuckets(d.buckets, 0.5);
+  EXPECT_GE(p50, 1e-3);
+  EXPECT_LE(p50, 2e-3);
+  // The histogram itself is empty after the drain.
+  EXPECT_EQ(h.TotalCount(), 0u);
+  EXPECT_EQ(h.TotalSeconds(), 0.0);
+  EXPECT_EQ(h.Drain().count, 0u);
+}
+
+TEST(ObsRegistryTest, SnapshotAndResetYieldsDeltas) {
+  ObsCounter& c =
+      MetricsRegistry::Global().Counter("test_registry.delta.count");
+  LatencyHistogram& h =
+      MetricsRegistry::Global().Histogram("test_registry.delta.seconds");
+  c.Reset();
+  h.Reset();
+  c.Inc(5);
+  h.Record(0.004);
+
+  const auto find_counter = [](const MetricsSnapshot& snap,
+                               const std::string& name) -> uint64_t {
+    for (const MetricsSnapshot::CounterRow& row : snap.counters) {
+      if (row.name == name) return row.value;
+    }
+    ADD_FAILURE() << name << " missing from snapshot";
+    return 0;
+  };
+  const auto find_histogram_count = [](const MetricsSnapshot& snap,
+                                       const std::string& name) -> uint64_t {
+    for (const MetricsSnapshot::HistogramRow& row : snap.histograms) {
+      if (row.name == name) return row.count;
+    }
+    ADD_FAILURE() << name << " missing from snapshot";
+    return 0;
+  };
+
+  // First scrape returns everything since the last reset...
+  const MetricsSnapshot first = MetricsRegistry::Global().SnapshotAndReset();
+  EXPECT_EQ(find_counter(first, "test_registry.delta.count"),
+            kObsEnabled ? 5u : 0u);
+  EXPECT_EQ(find_histogram_count(first, "test_registry.delta.seconds"),
+            kObsEnabled ? 1u : 0u);
+
+  // ...and the second scrape sees only activity after the first, not the
+  // cumulative total (the delta-scrape contract).
+  c.Inc(2);
+  const MetricsSnapshot second = MetricsRegistry::Global().SnapshotAndReset();
+  EXPECT_EQ(find_counter(second, "test_registry.delta.count"),
+            kObsEnabled ? 2u : 0u);
+  EXPECT_EQ(find_histogram_count(second, "test_registry.delta.seconds"), 0u);
+
+  // Entries stay registered after the reset.
+  EXPECT_EQ(&MetricsRegistry::Global().Counter("test_registry.delta.count"),
+            &c);
+}
+
 TEST(ObsRegistryTest, EmptySnapshotJsonIsValid) {
   // Whatever other tests registered, the export must stay one valid JSON
   // document.

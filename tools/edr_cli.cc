@@ -7,19 +7,30 @@
 //   edr_cli probe-epsilon <file>
 //   edr_cli knn <file> <query-index> <k> [method] [epsilon]
 //   edr_cli range <file> <query-index> <radius> [epsilon]
+//   edr_cli batch <file> <num-queries> <k> [method] [repeats] [epsilon]
 //
 // Files ending in .csv use the text format; anything else the binary
 // format. Methods: scan, ea, ps2, ps1, pr, pb, ntr, hsr2, hsr1, 2hpn,
 // 1hpn (default 2hpn). Datasets are normalized before querying; pass an
 // explicit epsilon to override the quarter-of-max-std-dev default.
 //
+// `batch` streams the first <num-queries> trajectories through a
+// QuerySession (the adaptive scheduler) with a shared feature cache,
+// <repeats> passes over the same queries (default 2, so the second pass
+// exercises warm cache hits), and prints per-pass latency plus the
+// scheduler and cache statistics.
+//
 // Observability flags (any command, position-independent):
 //   --trace-json=FILE    write the per-query phase trace of a `knn` query
 //   --metrics-json=FILE  write the process-wide metrics registry snapshot
-// Both write "{}"-style JSON; in an EDR_DISABLE_OBS build the trace file
-// is not written (a note goes to stderr) and the metrics snapshot is
+//   --metrics-reset      make --metrics-json a delta scrape: export, then
+//                        atomically zero the registry (reset-on-scrape)
+// Both files hold "{}"-style JSON; in an EDR_DISABLE_OBS build the trace
+// file is not written (a note goes to stderr) and the metrics snapshot is
 // empty.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,15 +43,18 @@
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "query/engine.h"
+#include "query/feature_cache.h"
+#include "query/scheduler.h"
 
 namespace {
 
 std::string g_trace_json_path;
 std::string g_metrics_json_path;
+bool g_metrics_reset = false;
 
-/// Removes --trace-json=/--metrics-json= from argv (recording their
-/// values) so the positional command parsing below stays untouched.
-/// Returns the new argc.
+/// Removes --trace-json=/--metrics-json=/--metrics-reset from argv
+/// (recording their values) so the positional command parsing below stays
+/// untouched. Returns the new argc.
 int StripObsFlags(int argc, char** argv) {
   int out = 0;
   for (int i = 0; i < argc; ++i) {
@@ -49,6 +63,8 @@ int StripObsFlags(int argc, char** argv) {
       g_trace_json_path = arg + 13;
     } else if (std::strncmp(arg, "--metrics-json=", 15) == 0) {
       g_metrics_json_path = arg + 15;
+    } else if (std::strcmp(arg, "--metrics-reset") == 0) {
+      g_metrics_reset = true;
     } else {
       argv[out++] = argv[i];
     }
@@ -65,10 +81,14 @@ bool WriteTextFile(const std::string& path, const std::string& content) {
   return ok;
 }
 
-/// Honors --metrics-json after a query command ran.
+/// Honors --metrics-json after a query command ran; with --metrics-reset
+/// the export is a delta scrape that zeroes the registry behind it.
 void MaybeExportMetrics() {
   if (g_metrics_json_path.empty()) return;
-  const std::string json = edr::MetricsRegistry::Global().Snapshot().ToJson();
+  const std::string json =
+      g_metrics_reset
+          ? edr::MetricsRegistry::Global().SnapshotAndReset().ToJson()
+          : edr::MetricsRegistry::Global().Snapshot().ToJson();
   if (!WriteTextFile(g_metrics_json_path, json)) {
     std::fprintf(stderr, "warning: could not write %s\n",
                  g_metrics_json_path.c_str());
@@ -125,9 +145,13 @@ int Usage() {
       "  edr_cli probe-epsilon <file>\n"
       "  edr_cli knn <file> <query-index> <k> [method] [epsilon]\n"
       "  edr_cli range <file> <query-index> <radius> [epsilon]\n"
+      "  edr_cli batch <file> <num-queries> <k> [method] [repeats] "
+      "[epsilon]\n"
       "flags (any command):\n"
       "  --trace-json=FILE    per-query phase trace (knn only)\n"
-      "  --metrics-json=FILE  process-wide metrics snapshot\n");
+      "  --metrics-json=FILE  process-wide metrics snapshot\n"
+      "  --metrics-reset      snapshot is a delta scrape (reset after "
+      "export)\n");
   return 2;
 }
 
@@ -283,6 +307,64 @@ int Knn(int argc, char** argv) {
   return 0;
 }
 
+int Batch(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  edr::Result<edr::TrajectoryDataset> loaded = LoadAny(argv[2]);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  edr::TrajectoryDataset db = std::move(loaded).value();
+  db.NormalizeAll();
+
+  const size_t num_queries = static_cast<size_t>(std::atoll(argv[3]));
+  const size_t k = static_cast<size_t>(std::atoll(argv[4]));
+  if (num_queries == 0 || num_queries > db.size()) {
+    return Fail("num-queries must be in [1, dataset size]");
+  }
+  const std::string method = argc > 5 ? argv[5] : "2hpn";
+  const size_t repeats =
+      argc > 6 ? std::max<size_t>(1, static_cast<size_t>(std::atoll(argv[6])))
+               : 2;
+  const double epsilon =
+      argc > 7 ? std::atof(argv[7]) : db.SuggestedEpsilon();
+
+  edr::QueryEngine engine(db, epsilon);
+  const edr::NamedSearcher searcher = PickMethod(engine, method);
+  edr::FeatureCache cache(/*capacity=*/2 * num_queries);
+
+  std::printf("streaming %zu queries x%zu through %s (eps=%.3f, k=%zu)\n",
+              num_queries, repeats, searcher.name.c_str(), epsilon, k);
+  edr::SchedulerStats last_stats;
+  for (size_t pass = 0; pass < repeats; ++pass) {
+    edr::QuerySession::Options options;
+    options.k = k;
+    options.feature_cache = &cache;
+    edr::QuerySession session(searcher, options);
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < num_queries; ++i) session.Submit(db[i]);
+    session.Drain();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    last_stats = session.stats();
+    std::printf("  pass %zu: %.1f ms total, %.3f ms/query%s\n", pass + 1,
+                seconds * 1e3,
+                seconds * 1e3 / static_cast<double>(num_queries),
+                pass == 0 ? " (cold cache)" : " (warm cache)");
+  }
+  std::printf("scheduler: %zu queries, %zu waves (%zu queries), "
+              "%zu widened, max budget %u\n",
+              last_stats.queries, last_stats.waves, last_stats.wave_queries,
+              last_stats.widened_queries, last_stats.max_budget);
+  const edr::FeatureCache::Stats cs = cache.stats();
+  std::printf("feature cache: %llu hits, %llu misses, %llu evictions, "
+              "%zu entries\n",
+              static_cast<unsigned long long>(cs.hits),
+              static_cast<unsigned long long>(cs.misses),
+              static_cast<unsigned long long>(cs.evictions), cs.entries);
+  MaybeExportMetrics();
+  return 0;
+}
+
 int RangeQuery(int argc, char** argv) {
   if (argc < 5) return Usage();
   edr::Result<edr::TrajectoryDataset> loaded = LoadAny(argv[2]);
@@ -325,5 +407,6 @@ int main(int argc, char** argv) {
   if (command == "probe-epsilon") return ProbeEpsilon(argc, argv);
   if (command == "knn") return Knn(argc, argv);
   if (command == "range") return RangeQuery(argc, argv);
+  if (command == "batch") return Batch(argc, argv);
   return Usage();
 }
