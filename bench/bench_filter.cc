@@ -1,17 +1,23 @@
 // Filter-path microbench: the vectorized whole-database lower-bound sweep
 // against the per-row bound loop it replaced, on a 10k-trajectory random
-// walk database, plus the flat Q-gram posting-array counting pass.
+// walk database; the adaptive column-storage layouts against the all-dense
+// baseline on a coarse and a fine (delta = 1-class) grid; and the flat
+// Q-gram posting-array counting pass.
 //
 // Emits JSON (stdout, or the file named by argv[1]):
 //
 //   ./bench/bench_filter BENCH_filter.json
+//   ./bench/bench_filter --smoke        # seconds-scale CI contract check
 //
 // Numbers are machine-dependent; treat the committed BENCH_filter.json as
-// a same-machine baseline for *ratios* (speedups), not absolute times.
+// a same-machine baseline for *ratios* (speedups, memory reductions), not
+// absolute times.
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -24,8 +30,9 @@
 namespace edr {
 namespace {
 
-double SecondsPerCall(const std::function<void()>& fn, int min_iters = 3,
-                      double min_seconds = 0.2) {
+double g_min_seconds = 0.2;
+
+double SecondsPerCall(const std::function<void()>& fn, int min_iters = 3) {
   fn();  // Warm-up sizes scratch and faults the tables in.
   int iters = min_iters;
   for (;;) {
@@ -33,7 +40,7 @@ double SecondsPerCall(const std::function<void()>& fn, int min_iters = 3,
     for (int i = 0; i < iters; ++i) fn();
     const auto stop = std::chrono::steady_clock::now();
     const double secs = std::chrono::duration<double>(stop - start).count();
-    if (secs >= min_seconds || iters >= (1 << 20)) return secs / iters;
+    if (secs >= g_min_seconds || iters >= (1 << 20)) return secs / iters;
     iters *= 4;
   }
 }
@@ -46,6 +53,22 @@ struct SweepRow {
   bool identical = true;
 };
 
+/// One adaptive-vs-dense comparison: a histogram configuration (grid
+/// resolution) measured for memory and sweep throughput in both layouts.
+struct LayoutRow {
+  const char* grid = "";
+  size_t bins = 0;
+  HistogramStorageStats stats;      // of the adaptive table
+  double sweep_adaptive_s = 0.0;
+  double sweep_dense_s = -1.0;      // < 0: dense table infeasible, skipped
+  bool identical = true;
+};
+
+/// Building the all-dense table allocates stats.dense_equivalent_bytes in
+/// one block; cap what the bench will actually try (the fine grid's dense
+/// block is tens of GB at full scale — that infeasibility is the point).
+constexpr size_t kDenseFeasibleBytes = size_t{512} << 20;
+
 }  // namespace
 }  // namespace edr
 
@@ -53,28 +76,38 @@ int main(int argc, char** argv) {
   using namespace edr;
   bench::WarnIfSingleCore();
 
+  bool smoke = false;
+  const char* out_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
   std::FILE* out = stdout;
-  if (argc > 1) {
-    out = std::fopen(argv[1], "w");
+  if (out_path != nullptr) {
+    out = std::fopen(out_path, "w");
     if (out == nullptr) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", out_path);
       return 1;
     }
   }
+  if (smoke) g_min_seconds = 0.01;
 
   constexpr double kEps = 0.25;
-  constexpr size_t kDbSize = 10000;
-  constexpr size_t kQueries = 5;
+  const size_t db_size = smoke ? 600 : 10000;
+  const size_t num_queries = smoke ? 2 : 5;
 
   RandomWalkOptions walk_options;
-  walk_options.count = kDbSize;
+  walk_options.count = db_size;
   walk_options.min_length = 20;
   walk_options.max_length = 60;
   walk_options.seed = 17;
   const TrajectoryDataset db = GenRandomWalk(walk_options);
   std::vector<Trajectory> queries;
-  for (size_t q = 0; q < kQueries; ++q) {
-    queries.push_back(db[(q * db.size()) / kQueries]);
+  for (size_t q = 0; q < num_queries; ++q) {
+    queries.push_back(db[(q * db.size()) / num_queries]);
   }
 
   // --- Lower-bound sweep vs the per-row loop, both histogram kinds.
@@ -107,7 +140,7 @@ int main(int argc, char** argv) {
       for (const auto& qh : qhs) table.FastLowerBoundSweepScalar(qh, &scalar);
     });
 
-    // Certify equivalence on the last query's arrays plus a full pass.
+    // Certify equivalence on every query: sweep == scalar sweep == per-row.
     for (const auto& qh : qhs) {
       table.FastLowerBoundSweep(qh, &sweep);
       table.FastLowerBoundSweepScalar(qh, &scalar);
@@ -126,6 +159,75 @@ int main(int argc, char** argv) {
                  row.sweep_scalar_s * 1e3, row.per_row_s / row.sweep_simd_s,
                  row.identical ? "yes" : "NO");
     rows.push_back(row);
+  }
+
+  // --- Adaptive column layouts vs the all-dense block, coarse and fine
+  // grids. The fine grid is the delta = 1-class configuration the adaptive
+  // layout exists for: a tiny epsilon clamps to the ~512-bins-per-dimension
+  // cap, where the dense block costs bins * n * 4 bytes (GBs at full
+  // scale) while the columns are overwhelmingly sparse.
+  std::vector<LayoutRow> layout_rows;
+  for (const bool fine : {false, true}) {
+    const double eps = fine ? kEps / 4096.0 : kEps;
+    const HistogramTable adaptive(db, eps, HistogramTable::Kind::k2D, 1,
+                                  HistogramLayout::kAdaptive);
+    LayoutRow row;
+    row.grid = fine ? "fine" : "coarse";
+    row.bins = static_cast<size_t>(adaptive.grid().NumBins2D());
+    row.stats = adaptive.storage_stats();
+
+    std::vector<HistogramTable::QueryHistogram> qhs;
+    for (const Trajectory& q : queries) {
+      qhs.push_back(adaptive.MakeQueryHistogram(q));
+    }
+    std::vector<int> a_bounds;
+    row.sweep_adaptive_s = SecondsPerCall([&] {
+      for (const auto& qh : qhs) adaptive.FastLowerBoundSweep(qh, &a_bounds);
+    });
+
+    if (row.stats.dense_equivalent_bytes <= kDenseFeasibleBytes) {
+      const HistogramTable dense(db, eps, HistogramTable::Kind::k2D, 1,
+                                 HistogramLayout::kDense);
+      std::vector<int> d_bounds;
+      row.sweep_dense_s = SecondsPerCall([&] {
+        for (const auto& qh : qhs) dense.FastLowerBoundSweep(qh, &d_bounds);
+      });
+      // Bit-identical bounds across layouts, every query, every id.
+      for (const auto& qh : qhs) {
+        adaptive.FastLowerBoundSweep(qh, &a_bounds);
+        dense.FastLowerBoundSweep(qh, &d_bounds);
+        if (a_bounds != d_bounds) row.identical = false;
+      }
+    } else {
+      // Dense block infeasible here; certify adaptive against the per-row
+      // bound of the same table instead.
+      for (const auto& qh : qhs) {
+        adaptive.FastLowerBoundSweep(qh, &a_bounds);
+        for (uint32_t id = 0; id < db.size(); ++id) {
+          if (a_bounds[id] != adaptive.FastLowerBound(qh, id)) {
+            row.identical = false;
+          }
+        }
+      }
+    }
+    all_identical = all_identical && row.identical;
+    std::fprintf(
+        stderr,
+        "layout[%s]: bins=%zu cols(d/b/s/e)=%zu/%zu/%zu/%zu "
+        "bytes=%.1fMB dense_equiv=%.1fMB (%.1fx) sweep=%.3fms dense=%s "
+        "identical=%s\n",
+        row.grid, row.bins, row.stats.dense_columns, row.stats.bitmap_columns,
+        row.stats.sparse_columns, row.stats.empty_columns,
+        row.stats.column_bytes / 1048576.0,
+        row.stats.dense_equivalent_bytes / 1048576.0,
+        static_cast<double>(row.stats.dense_equivalent_bytes) /
+            static_cast<double>(row.stats.column_bytes),
+        row.sweep_adaptive_s * 1e3,
+        row.sweep_dense_s < 0
+            ? "skipped"
+            : (std::to_string(row.sweep_dense_s * 1e3) + "ms").c_str(),
+        row.identical ? "yes" : "NO");
+    layout_rows.push_back(row);
   }
 
   // --- Flat Q-gram posting arrays: the PS2-style counting pass.
@@ -152,9 +254,12 @@ int main(int argc, char** argv) {
 
   // --- JSON out.
   std::fprintf(out,
-               "{\n  \"bench\": \"filter_path\",\n  \"db_size\": %zu,\n"
-               "  \"queries\": %zu,\n  \"epsilon\": %.3f,\n  \"sweeps\": [\n",
-               db.size(), queries.size(), kEps);
+               "{\n  \"bench\": \"filter_path\",\n  \"smoke\": %s,\n"
+               "  \"db_size\": %zu,\n"
+               "  \"queries\": %zu,\n  \"epsilon\": %.3f,\n",
+               smoke ? "true" : "false", db.size(), queries.size(), kEps);
+  bench::FprintHostJson(out);
+  std::fprintf(out, "  \"sweeps\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const SweepRow& r = rows[i];
     std::fprintf(out,
@@ -168,13 +273,38 @@ int main(int argc, char** argv) {
                  r.identical ? "true" : "false",
                  i + 1 < rows.size() ? "," : "");
   }
+  std::fprintf(out, "  ],\n  \"layouts\": [\n");
+  for (size_t i = 0; i < layout_rows.size(); ++i) {
+    const LayoutRow& r = layout_rows[i];
+    std::fprintf(out,
+                 "    {\"grid\": \"%s\", \"bins\": %zu, "
+                 "\"dense_columns\": %zu, \"bitmap_columns\": %zu, "
+                 "\"sparse_columns\": %zu, \"empty_columns\": %zu,\n"
+                 "     \"adaptive_bytes\": %zu, \"dense_bytes\": %zu, "
+                 "\"memory_reduction\": %.2f,\n"
+                 "     \"sweep_adaptive_ms\": %.3f, ",
+                 r.grid, r.bins, r.stats.dense_columns,
+                 r.stats.bitmap_columns, r.stats.sparse_columns,
+                 r.stats.empty_columns, r.stats.column_bytes,
+                 r.stats.dense_equivalent_bytes,
+                 static_cast<double>(r.stats.dense_equivalent_bytes) /
+                     static_cast<double>(r.stats.column_bytes),
+                 r.sweep_adaptive_s * 1e3);
+    if (r.sweep_dense_s < 0) {
+      std::fprintf(out, "\"sweep_dense_ms\": null, ");
+    } else {
+      std::fprintf(out,
+                   "\"sweep_dense_ms\": %.3f, \"adaptive_vs_dense\": %.3f, ",
+                   r.sweep_dense_s * 1e3,
+                   r.sweep_dense_s / r.sweep_adaptive_s);
+    }
+    std::fprintf(out, "\"identical\": %s}%s\n", r.identical ? "true" : "false",
+                 i + 1 < layout_rows.size() ? "," : "");
+  }
   std::fprintf(out,
                "  ],\n  \"qgram_flat_count_ms\": %.3f,\n"
-               "  \"host_cores\": %u,\n  \"single_core_warning\": %s,\n"
                "  \"identical\": %s\n}\n",
-               qgram_count_s * 1e3, bench::HostCores(),
-               bench::HostCores() <= 1 ? "true" : "false",
-               all_identical ? "true" : "false");
+               qgram_count_s * 1e3, all_identical ? "true" : "false");
   if (out != stdout) std::fclose(out);
   return all_identical ? 0 : 1;
 }

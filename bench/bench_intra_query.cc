@@ -194,13 +194,13 @@ int main(int argc, char** argv) {
 
   std::fprintf(out,
                "{\n  \"bench\": \"intra_query\",\n  \"db_size\": %zu,\n"
-               "  \"queries\": %zu,\n  \"k\": %zu,\n  \"epsilon\": %.3f,\n"
-               "  \"host_cores\": %u,\n  \"single_core_warning\": %s,\n"
+               "  \"queries\": %zu,\n  \"k\": %zu,\n  \"epsilon\": %.3f,\n",
+               db.size(), queries.size(), kK, kEps);
+  bench::FprintHostJson(out);
+  std::fprintf(out,
                "  \"methods\": [\n%s  ],\n"
                "  \"identical\": %s\n}\n",
-               db.size(), queries.size(), kK, kEps, bench::HostCores(),
-               bench::HostCores() <= 1 ? "true" : "false", body.c_str(),
-               all_identical ? "true" : "false");
+               body.c_str(), all_identical ? "true" : "false");
   if (out != stdout) std::fclose(out);
   return all_identical ? 0 : 1;
 }

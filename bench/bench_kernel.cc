@@ -178,9 +178,7 @@ int main(int argc, char** argv) {
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
-  std::fprintf(out, "  \"host_cores\": %u,\n  \"single_core_warning\": %s,\n",
-               bench::HostCores(),
-               bench::HostCores() <= 1 ? "true" : "false");
+  bench::FprintHostJson(out);
   std::fprintf(out,
                "  \"knn\": {\"db_size\": %zu, \"k\": %zu, \"queries\": %zu,\n"
                "    \"seqscan_scalar_s\": %.6f, \"seqscan_bitparallel_s\": %.6f,\n"

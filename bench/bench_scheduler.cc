@@ -248,15 +248,15 @@ int main(int argc, char** argv) {
   std::fprintf(out,
                "{\n  \"bench\": \"scheduler\",\n  \"smoke\": %s,\n"
                "  \"db_size\": %zu,\n  \"queries\": %zu,\n  \"k\": %zu,\n"
-               "  \"epsilon\": %.3f,\n  \"host_cores\": %u,\n"
-               "  \"single_core_warning\": %s,\n"
+               "  \"epsilon\": %.3f,\n",
+               smoke ? "true" : "false", db.size(), queries.size(), k, kEps);
+  bench::FprintHostJson(out);
+  std::fprintf(out,
                "  \"scheduler\": [\n%s  ],\n"
                "  \"cache\": [\n%s  ],\n"
                "  \"identical\": %s\n}\n",
-               smoke ? "true" : "false", db.size(), queries.size(), k, kEps,
-               bench::HostCores(),
-               bench::HostCores() <= 1 ? "true" : "false", sched_body.c_str(),
-               cache_body.c_str(), all_identical ? "true" : "false");
+               sched_body.c_str(), cache_body.c_str(),
+               all_identical ? "true" : "false");
   if (out != stdout) std::fclose(out);
   return all_identical ? 0 : 1;
 }

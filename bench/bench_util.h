@@ -34,16 +34,14 @@ inline void WarnIfSingleCore() {
   }
 }
 
-/// Appends the host-core fields every BENCH_*.json emitter records:
-/// `"host_cores": N` plus a machine-readable single-core warning flag.
-/// The caller owns the surrounding braces/commas (pass the leading comma
-/// in `prefix` as its JSON requires).
-inline void AppendHostJson(std::string* json, const char* prefix = ", ") {
-  char buf[96];
-  std::snprintf(buf, sizeof(buf),
-                "%s\"host_cores\": %u, \"single_core_warning\": %s", prefix,
-                HostCores(), HostCores() <= 1 ? "true" : "false");
-  *json += buf;
+/// Emits the host-core fields every BENCH_*.json records — two top-level
+/// lines `"host_cores": N` and `"single_core_warning": bool`, both
+/// comma-terminated — so consumers can discount parallel numbers measured
+/// on starved hosts. The single shared emitter: benches must not print
+/// these fields themselves.
+inline void FprintHostJson(std::FILE* out) {
+  std::fprintf(out, "  \"host_cores\": %u,\n  \"single_core_warning\": %s,\n",
+               HostCores(), HostCores() <= 1 ? "true" : "false");
 }
 
 /// Scale control for the paper-reproduction benches.

@@ -5,8 +5,22 @@
 #include <cstring>
 #include <type_traits>
 
+#include "core/cpu.h"
+
 #if defined(__SSE2__) && !defined(EDR_DISABLE_SIMD)
 #include <emmintrin.h>
+#define EDR_EDRKERNEL_SSE2 1
+#endif
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(EDR_DISABLE_SIMD)
+#include <immintrin.h>
+#define EDR_EDRKERNEL_AVX2 1
+#define EDR_EDRKERNEL_AVX512 1
+#endif
+
+#if defined(__aarch64__) && !defined(EDR_DISABLE_SIMD)
+#include <arm_neon.h>
+#define EDR_EDRKERNEL_NEON 1
 #endif
 
 namespace edr {
@@ -65,16 +79,44 @@ inline void PackMatchBytes(const uint8_t* match, size_t words, uint64_t* eq) {
   }
 }
 
-#if defined(__SSE2__) && !defined(EDR_DISABLE_SIMD)
+// Scalar reference bodies: one 0/1 byte per pattern element, then the
+// multiply-pack. Every platform compiles these; they are also the kScalar
+// dispatch target and the only path under EDR_DISABLE_SIMD.
+
+inline void BuildEqScalar(const double* px, const double* py, size_t m,
+                          Point2 s, double epsilon, uint8_t* match,
+                          size_t words, uint64_t* eq) {
+  for (size_t i = 0; i < m; ++i) {
+    match[i] = static_cast<uint8_t>((std::fabs(px[i] - s.x) <= epsilon) &
+                                    (std::fabs(py[i] - s.y) <= epsilon));
+  }
+  PackMatchBytes(match, words, eq);
+}
+
+inline void BuildEq3Scalar(const double* px, const double* py,
+                           const double* pz, size_t m, Point3 s,
+                           double epsilon, uint8_t* match, size_t words,
+                           uint64_t* eq) {
+  for (size_t i = 0; i < m; ++i) {
+    match[i] = static_cast<uint8_t>((std::fabs(px[i] - s.x) <= epsilon) &
+                                    (std::fabs(py[i] - s.y) <= epsilon) &
+                                    (std::fabs(pz[i] - s.z) <= epsilon));
+  }
+  PackMatchBytes(match, words, eq);
+}
+
+#if defined(EDR_EDRKERNEL_SSE2)
 
 // SSE2 path (baseline on x86-64): |d| <= eps computed exactly as the
 // scalar Match() — fabs is a sign-bit clear, the compare is the same
 // IEEE <= — and two lanes at a time drop straight into the bit-vector via
-// movemask, skipping the byte staging buffer entirely.
+// movemask, skipping the byte staging buffer entirely. The wider-lane
+// variants below repeat the same per-lane operations, so every level
+// builds the identical bit-vector.
 
-inline void BuildEq(const double* px, const double* py, size_t m, Point2 s,
-                    double epsilon, uint8_t* /*match*/, size_t words,
-                    uint64_t* eq) {
+inline void BuildEqSse2(const double* px, const double* py, size_t m,
+                        Point2 s, double epsilon, uint8_t* /*match*/,
+                        size_t words, uint64_t* eq) {
   const __m128d sign = _mm_set1_pd(-0.0);
   const __m128d eps = _mm_set1_pd(epsilon);
   const __m128d sx = _mm_set1_pd(s.x);
@@ -104,9 +146,9 @@ inline void BuildEq(const double* px, const double* py, size_t m, Point2 s,
   }
 }
 
-inline void BuildEq3(const double* px, const double* py, const double* pz,
-                     size_t m, Point3 s, double epsilon, uint8_t* /*match*/,
-                     size_t words, uint64_t* eq) {
+inline void BuildEq3Sse2(const double* px, const double* py,
+                         const double* pz, size_t m, Point3 s, double epsilon,
+                         uint8_t* /*match*/, size_t words, uint64_t* eq) {
   const __m128d sign = _mm_set1_pd(-0.0);
   const __m128d eps = _mm_set1_pd(epsilon);
   const __m128d sx = _mm_set1_pd(s.x);
@@ -142,30 +184,276 @@ inline void BuildEq3(const double* px, const double* py, const double* pz,
   }
 }
 
-#else  // !defined(__SSE2__) || defined(EDR_DISABLE_SIMD)
+#endif  // defined(EDR_EDRKERNEL_SSE2)
 
-inline void BuildEq(const double* px, const double* py, size_t m, Point2 s,
-                    double epsilon, uint8_t* match, size_t words,
-                    uint64_t* eq) {
-  for (size_t i = 0; i < m; ++i) {
-    match[i] = static_cast<uint8_t>((std::fabs(px[i] - s.x) <= epsilon) &
-                                    (std::fabs(py[i] - s.y) <= epsilon));
+#if defined(EDR_EDRKERNEL_AVX2)
+
+__attribute__((target("avx2"))) void BuildEqAvx2(const double* px,
+                                                 const double* py, size_t m,
+                                                 Point2 s, double epsilon,
+                                                 uint8_t* /*match*/,
+                                                 size_t words, uint64_t* eq) {
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  const __m256d eps = _mm256_set1_pd(epsilon);
+  const __m256d sx = _mm256_set1_pd(s.x);
+  const __m256d sy = _mm256_set1_pd(s.y);
+  for (size_t w = 0; w < words; ++w) {
+    const size_t base = w * 64;
+    const size_t limit = std::min<size_t>(64, m - base);
+    uint64_t bits = 0;
+    size_t k = 0;
+    for (; k + 4 <= limit; k += 4) {
+      const __m256d cx = _mm256_cmp_pd(
+          _mm256_andnot_pd(sign,
+                           _mm256_sub_pd(_mm256_loadu_pd(px + base + k), sx)),
+          eps, _CMP_LE_OQ);
+      const __m256d cy = _mm256_cmp_pd(
+          _mm256_andnot_pd(sign,
+                           _mm256_sub_pd(_mm256_loadu_pd(py + base + k), sy)),
+          eps, _CMP_LE_OQ);
+      bits |= static_cast<uint64_t>(_mm256_movemask_pd(_mm256_and_pd(cx, cy)))
+              << k;
+    }
+    for (; k < limit; ++k) {
+      const uint64_t one = static_cast<uint64_t>(
+          (std::fabs(px[base + k] - s.x) <= epsilon) &
+          (std::fabs(py[base + k] - s.y) <= epsilon));
+      bits |= one << k;
+    }
+    eq[w] = bits;
   }
-  PackMatchBytes(match, words, eq);
 }
 
-inline void BuildEq3(const double* px, const double* py, const double* pz,
-                     size_t m, Point3 s, double epsilon, uint8_t* match,
-                     size_t words, uint64_t* eq) {
-  for (size_t i = 0; i < m; ++i) {
-    match[i] = static_cast<uint8_t>((std::fabs(px[i] - s.x) <= epsilon) &
-                                    (std::fabs(py[i] - s.y) <= epsilon) &
-                                    (std::fabs(pz[i] - s.z) <= epsilon));
+__attribute__((target("avx2"))) void BuildEq3Avx2(
+    const double* px, const double* py, const double* pz, size_t m, Point3 s,
+    double epsilon, uint8_t* /*match*/, size_t words, uint64_t* eq) {
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  const __m256d eps = _mm256_set1_pd(epsilon);
+  const __m256d sx = _mm256_set1_pd(s.x);
+  const __m256d sy = _mm256_set1_pd(s.y);
+  const __m256d sz = _mm256_set1_pd(s.z);
+  for (size_t w = 0; w < words; ++w) {
+    const size_t base = w * 64;
+    const size_t limit = std::min<size_t>(64, m - base);
+    uint64_t bits = 0;
+    size_t k = 0;
+    for (; k + 4 <= limit; k += 4) {
+      const __m256d cx = _mm256_cmp_pd(
+          _mm256_andnot_pd(sign,
+                           _mm256_sub_pd(_mm256_loadu_pd(px + base + k), sx)),
+          eps, _CMP_LE_OQ);
+      const __m256d cy = _mm256_cmp_pd(
+          _mm256_andnot_pd(sign,
+                           _mm256_sub_pd(_mm256_loadu_pd(py + base + k), sy)),
+          eps, _CMP_LE_OQ);
+      const __m256d cz = _mm256_cmp_pd(
+          _mm256_andnot_pd(sign,
+                           _mm256_sub_pd(_mm256_loadu_pd(pz + base + k), sz)),
+          eps, _CMP_LE_OQ);
+      bits |= static_cast<uint64_t>(_mm256_movemask_pd(
+                  _mm256_and_pd(_mm256_and_pd(cx, cy), cz)))
+              << k;
+    }
+    for (; k < limit; ++k) {
+      const uint64_t one = static_cast<uint64_t>(
+          (std::fabs(px[base + k] - s.x) <= epsilon) &
+          (std::fabs(py[base + k] - s.y) <= epsilon) &
+          (std::fabs(pz[base + k] - s.z) <= epsilon));
+      bits |= one << k;
+    }
+    eq[w] = bits;
   }
-  PackMatchBytes(match, words, eq);
 }
 
-#endif  // defined(__SSE2__) && !defined(EDR_DISABLE_SIMD)
+#endif  // defined(EDR_EDRKERNEL_AVX2)
+
+#if defined(EDR_EDRKERNEL_AVX512)
+
+// AVX-512 drops the movemask: the compares produce mask registers whose
+// bits go straight into the eq word, eight rows per step.
+
+__attribute__((target("avx512f"))) void BuildEqAvx512(
+    const double* px, const double* py, size_t m, Point2 s, double epsilon,
+    uint8_t* /*match*/, size_t words, uint64_t* eq) {
+  const __m512d eps = _mm512_set1_pd(epsilon);
+  const __m512d sx = _mm512_set1_pd(s.x);
+  const __m512d sy = _mm512_set1_pd(s.y);
+  for (size_t w = 0; w < words; ++w) {
+    const size_t base = w * 64;
+    const size_t limit = std::min<size_t>(64, m - base);
+    uint64_t bits = 0;
+    size_t k = 0;
+    for (; k + 8 <= limit; k += 8) {
+      const __mmask8 cx = _mm512_cmp_pd_mask(
+          _mm512_abs_pd(_mm512_sub_pd(_mm512_loadu_pd(px + base + k), sx)),
+          eps, _CMP_LE_OQ);
+      const __mmask8 cy = _mm512_cmp_pd_mask(
+          _mm512_abs_pd(_mm512_sub_pd(_mm512_loadu_pd(py + base + k), sy)),
+          eps, _CMP_LE_OQ);
+      bits |= static_cast<uint64_t>(cx & cy) << k;
+    }
+    for (; k < limit; ++k) {
+      const uint64_t one = static_cast<uint64_t>(
+          (std::fabs(px[base + k] - s.x) <= epsilon) &
+          (std::fabs(py[base + k] - s.y) <= epsilon));
+      bits |= one << k;
+    }
+    eq[w] = bits;
+  }
+}
+
+__attribute__((target("avx512f"))) void BuildEq3Avx512(
+    const double* px, const double* py, const double* pz, size_t m, Point3 s,
+    double epsilon, uint8_t* /*match*/, size_t words, uint64_t* eq) {
+  const __m512d eps = _mm512_set1_pd(epsilon);
+  const __m512d sx = _mm512_set1_pd(s.x);
+  const __m512d sy = _mm512_set1_pd(s.y);
+  const __m512d sz = _mm512_set1_pd(s.z);
+  for (size_t w = 0; w < words; ++w) {
+    const size_t base = w * 64;
+    const size_t limit = std::min<size_t>(64, m - base);
+    uint64_t bits = 0;
+    size_t k = 0;
+    for (; k + 8 <= limit; k += 8) {
+      const __mmask8 cx = _mm512_cmp_pd_mask(
+          _mm512_abs_pd(_mm512_sub_pd(_mm512_loadu_pd(px + base + k), sx)),
+          eps, _CMP_LE_OQ);
+      const __mmask8 cy = _mm512_cmp_pd_mask(
+          _mm512_abs_pd(_mm512_sub_pd(_mm512_loadu_pd(py + base + k), sy)),
+          eps, _CMP_LE_OQ);
+      const __mmask8 cz = _mm512_cmp_pd_mask(
+          _mm512_abs_pd(_mm512_sub_pd(_mm512_loadu_pd(pz + base + k), sz)),
+          eps, _CMP_LE_OQ);
+      bits |= static_cast<uint64_t>(cx & cy & cz) << k;
+    }
+    for (; k < limit; ++k) {
+      const uint64_t one = static_cast<uint64_t>(
+          (std::fabs(px[base + k] - s.x) <= epsilon) &
+          (std::fabs(py[base + k] - s.y) <= epsilon) &
+          (std::fabs(pz[base + k] - s.z) <= epsilon));
+      bits |= one << k;
+    }
+    eq[w] = bits;
+  }
+}
+
+#endif  // defined(EDR_EDRKERNEL_AVX512)
+
+#if defined(EDR_EDRKERNEL_NEON)
+
+// NEON: FABD gives |d| with the same single rounding as fabs(a - b); the
+// two compare lanes land in the eq word via lane extracts.
+
+inline void BuildEqNeon(const double* px, const double* py, size_t m,
+                        Point2 s, double epsilon, uint8_t* /*match*/,
+                        size_t words, uint64_t* eq) {
+  const float64x2_t eps = vdupq_n_f64(epsilon);
+  const float64x2_t sx = vdupq_n_f64(s.x);
+  const float64x2_t sy = vdupq_n_f64(s.y);
+  for (size_t w = 0; w < words; ++w) {
+    const size_t base = w * 64;
+    const size_t limit = std::min<size_t>(64, m - base);
+    uint64_t bits = 0;
+    size_t k = 0;
+    for (; k + 2 <= limit; k += 2) {
+      const uint64x2_t cx = vcleq_f64(vabdq_f64(vld1q_f64(px + base + k), sx),
+                                      eps);
+      const uint64x2_t cy = vcleq_f64(vabdq_f64(vld1q_f64(py + base + k), sy),
+                                      eps);
+      const uint64x2_t c = vandq_u64(cx, cy);
+      bits |= ((vgetq_lane_u64(c, 0) & 1) | ((vgetq_lane_u64(c, 1) & 1) << 1))
+              << k;
+    }
+    if (k < limit) {
+      const uint64_t one = static_cast<uint64_t>(
+          (std::fabs(px[base + k] - s.x) <= epsilon) &
+          (std::fabs(py[base + k] - s.y) <= epsilon));
+      bits |= one << k;
+    }
+    eq[w] = bits;
+  }
+}
+
+inline void BuildEq3Neon(const double* px, const double* py, const double* pz,
+                         size_t m, Point3 s, double epsilon,
+                         uint8_t* /*match*/, size_t words, uint64_t* eq) {
+  const float64x2_t eps = vdupq_n_f64(epsilon);
+  const float64x2_t sx = vdupq_n_f64(s.x);
+  const float64x2_t sy = vdupq_n_f64(s.y);
+  const float64x2_t sz = vdupq_n_f64(s.z);
+  for (size_t w = 0; w < words; ++w) {
+    const size_t base = w * 64;
+    const size_t limit = std::min<size_t>(64, m - base);
+    uint64_t bits = 0;
+    size_t k = 0;
+    for (; k + 2 <= limit; k += 2) {
+      const uint64x2_t cx = vcleq_f64(vabdq_f64(vld1q_f64(px + base + k), sx),
+                                      eps);
+      const uint64x2_t cy = vcleq_f64(vabdq_f64(vld1q_f64(py + base + k), sy),
+                                      eps);
+      const uint64x2_t cz = vcleq_f64(vabdq_f64(vld1q_f64(pz + base + k), sz),
+                                      eps);
+      const uint64x2_t c = vandq_u64(vandq_u64(cx, cy), cz);
+      bits |= ((vgetq_lane_u64(c, 0) & 1) | ((vgetq_lane_u64(c, 1) & 1) << 1))
+              << k;
+    }
+    if (k < limit) {
+      const uint64_t one = static_cast<uint64_t>(
+          (std::fabs(px[base + k] - s.x) <= epsilon) &
+          (std::fabs(py[base + k] - s.y) <= epsilon) &
+          (std::fabs(pz[base + k] - s.z) <= epsilon));
+      bits |= one << k;
+    }
+    eq[w] = bits;
+  }
+}
+
+#endif  // defined(EDR_EDRKERNEL_NEON)
+
+using Eq2Fn = void (*)(const double*, const double*, size_t, Point2, double,
+                       uint8_t*, size_t, uint64_t*);
+using Eq3Fn = void (*)(const double*, const double*, const double*, size_t,
+                       Point3, double, uint8_t*, size_t, uint64_t*);
+
+/// Match-vector builder for a dispatch level, resolved once per
+/// BitParallelEdr call from ActiveKernelLevel(). Levels not compiled into
+/// this build fall back to scalar (ActiveKernelLevel never hands them out;
+/// the mapping just stays total).
+Eq2Fn BuildEqFor(KernelLevel level) {
+  switch (level) {
+#if defined(EDR_EDRKERNEL_AVX512)
+    case KernelLevel::kAvx512: return BuildEqAvx512;
+#endif
+#if defined(EDR_EDRKERNEL_AVX2)
+    case KernelLevel::kAvx2: return BuildEqAvx2;
+#endif
+#if defined(EDR_EDRKERNEL_SSE2)
+    case KernelLevel::kSse2: return BuildEqSse2;
+#endif
+#if defined(EDR_EDRKERNEL_NEON)
+    case KernelLevel::kNeon: return BuildEqNeon;
+#endif
+    default: return BuildEqScalar;
+  }
+}
+
+Eq3Fn BuildEq3For(KernelLevel level) {
+  switch (level) {
+#if defined(EDR_EDRKERNEL_AVX512)
+    case KernelLevel::kAvx512: return BuildEq3Avx512;
+#endif
+#if defined(EDR_EDRKERNEL_AVX2)
+    case KernelLevel::kAvx2: return BuildEq3Avx2;
+#endif
+#if defined(EDR_EDRKERNEL_SSE2)
+    case KernelLevel::kSse2: return BuildEq3Sse2;
+#endif
+#if defined(EDR_EDRKERNEL_NEON)
+    case KernelLevel::kNeon: return BuildEq3Neon;
+#endif
+    default: return BuildEq3Scalar;
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Myers' bit-parallel recurrence (Myers 1999, with Hyyro's carry-in
@@ -252,15 +540,17 @@ int BitParallelEdr(const TrajectoryT& r, const TrajectoryT& s, double epsilon,
   uint8_t* match = sc.match();
   std::fill(match + m, match + words * 64, uint8_t{0});
   if constexpr (std::is_same_v<TrajectoryT, Trajectory3>) {
+    const Eq3Fn build_eq3 = BuildEq3For(ActiveKernelLevel());
     const double* pz = sc.pz();
     const TrajectoryT& text = *txt;
     return MyersCore(m, n, bound, sc, [&](size_t j, uint64_t* eq) {
-      BuildEq3(px, py, pz, m, text[j], epsilon, match, words, eq);
+      build_eq3(px, py, pz, m, text[j], epsilon, match, words, eq);
     });
   } else {
+    const Eq2Fn build_eq2 = BuildEqFor(ActiveKernelLevel());
     const TrajectoryT& text = *txt;
     return MyersCore(m, n, bound, sc, [&](size_t j, uint64_t* eq) {
-      BuildEq(px, py, m, text[j], epsilon, match, words, eq);
+      build_eq2(px, py, m, text[j], epsilon, match, words, eq);
     });
   }
 }

@@ -45,7 +45,7 @@ CombinedKnnSearcher::CombinedKnnSearcher(const TrajectoryDataset& db,
       epsilon_(epsilon),
       options_(options),
       histograms_(db, epsilon, options.histogram_kind,
-                  options.histogram_delta),
+                  options.histogram_delta, options.histogram_layout),
       qgram_means_(db, options.q, /*dims=*/2),
       matrix_(std::move(matrix)) {}
 

@@ -32,6 +32,9 @@ struct CombinedOptions {
   /// ("1HPN", the overall winner in Figures 12-13).
   HistogramTable::Kind histogram_kind = HistogramTable::Kind::k2D;
   int histogram_delta = 1;
+  /// Column storage policy of the histogram table (pure memory/speed knob;
+  /// results are identical across layouts).
+  HistogramLayout histogram_layout = HistogramLayout::kAdaptive;
   /// Q-gram size; the experiments pick the merge-join PS2 filter with
   /// q = 1 (Section 5.4), the best stand-alone Q-gram configuration.
   int q = 1;

@@ -20,6 +20,12 @@
 #if defined(__x86_64__) && defined(__GNUC__) && !defined(EDR_DISABLE_SIMD)
 #include <immintrin.h>
 #define EDR_HISTOGRAM_AVX2 1
+#define EDR_HISTOGRAM_AVX512 1
+#endif
+
+#if defined(__aarch64__) && !defined(EDR_DISABLE_SIMD)
+#include <arm_neon.h>
+#define EDR_HISTOGRAM_NEON 1
 #endif
 
 namespace edr {
@@ -232,16 +238,18 @@ std::vector<int32_t> NeighborhoodSums(const std::vector<int>& h, int nx,
 }
 
 // ---------------------------------------------------------------------------
-// Sweep kernels. The dense ("side A") half of the fast bound sums up to
-// nine bin-major columns element-wise across a block of trajectory ids,
-// then clamps by the query bin's mass — pure int32 lane arithmetic, so the
-// SSE2 and scalar versions produce identical integers in any order.
+// Sweep kernels. The column ("side A") half of the fast bound sums up to
+// nine bin columns element-wise across a block of trajectory ids, then
+// clamps by the query bin's mass — pure int32 lane arithmetic, so every
+// lane width (scalar/SSE2/AVX2/AVX-512/NEON) produces identical integers
+// in any order.
 // ---------------------------------------------------------------------------
 
 /// Ids per cache block: 3 int32 stack arrays of this size (~12 KB) plus
 /// the active column segments stay L1/L2-resident while every query bin
-/// streams over the block.
+/// streams over the block. Must fit uint16 local posting ids.
 constexpr size_t kSweepBlock = 1024;
+static_assert(kSweepBlock <= 65536, "blocked-sparse local ids are uint16");
 
 inline void AddColumnScalar(const int32_t* col, int32_t* acc, size_t len) {
   for (size_t i = 0; i < len; ++i) acc[i] += col[i];
@@ -293,9 +301,9 @@ inline void MinCapAccumSimd(int32_t cap, const int32_t* acc, int32_t* a,
 
 #if defined(EDR_HISTOGRAM_AVX2)
 
-// AVX2 bodies compiled via the target attribute (no extra compile flags),
-// selected at runtime through the dispatch pointers below — the lane math
-// is identical int32 adds/mins, only twice as wide as the SSE2 kernels.
+// AVX2/AVX-512 bodies compiled via the target attribute (no extra compile
+// flags), selected at runtime through ActiveKernelLevel() — the lane math
+// is identical int32 adds/mins, only wider than the SSE2 kernels.
 
 __attribute__((target("avx2"))) void AddColumnAvx2(const int32_t* col,
                                                    int32_t* acc, size_t len) {
@@ -329,35 +337,102 @@ __attribute__((target("avx2"))) void MinCapAccumAvx2(int32_t cap,
 
 #endif  // defined(EDR_HISTOGRAM_AVX2)
 
+#if defined(EDR_HISTOGRAM_AVX512)
+
+__attribute__((target("avx512f"))) void AddColumnAvx512(const int32_t* col,
+                                                        int32_t* acc,
+                                                        size_t len) {
+  size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    const __m512i c = _mm512_loadu_si512(col + i);
+    const __m512i a = _mm512_loadu_si512(acc + i);
+    _mm512_storeu_si512(acc + i, _mm512_add_epi32(a, c));
+  }
+  for (; i < len; ++i) acc[i] += col[i];
+}
+
+__attribute__((target("avx512f"))) void MinCapAccumAvx512(int32_t cap,
+                                                          const int32_t* acc,
+                                                          int32_t* a,
+                                                          size_t len) {
+  const __m512i vcap = _mm512_set1_epi32(cap);
+  size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    const __m512i r = _mm512_loadu_si512(acc + i);
+    const __m512i s = _mm512_loadu_si512(a + i);
+    _mm512_storeu_si512(a + i,
+                        _mm512_add_epi32(s, _mm512_min_epi32(vcap, r)));
+  }
+  for (; i < len; ++i) a[i] += std::min(cap, acc[i]);
+}
+
+#endif  // defined(EDR_HISTOGRAM_AVX512)
+
+#if defined(EDR_HISTOGRAM_NEON)
+
+inline void AddColumnNeon(const int32_t* col, int32_t* acc, size_t len) {
+  size_t i = 0;
+  for (; i + 4 <= len; i += 4) {
+    vst1q_s32(acc + i, vaddq_s32(vld1q_s32(acc + i), vld1q_s32(col + i)));
+  }
+  for (; i < len; ++i) acc[i] += col[i];
+}
+
+inline void MinCapAccumNeon(int32_t cap, const int32_t* acc, int32_t* a,
+                            size_t len) {
+  const int32x4_t vcap = vdupq_n_s32(cap);
+  size_t i = 0;
+  for (; i + 4 <= len; i += 4) {
+    vst1q_s32(a + i, vaddq_s32(vld1q_s32(a + i),
+                               vminq_s32(vcap, vld1q_s32(acc + i))));
+  }
+  for (; i < len; ++i) a[i] += std::min(cap, acc[i]);
+}
+
+#endif  // defined(EDR_HISTOGRAM_NEON)
+
 using AddColumnFn = void (*)(const int32_t*, int32_t*, size_t);
 using MinCapAccumFn = void (*)(int32_t, const int32_t*, int32_t*, size_t);
 
-/// Widest kernel pair the CPU supports, resolved once per process:
-/// AVX2 > SSE2 > scalar. All three compute identical int32 results.
-AddColumnFn ResolveAddColumn() {
+/// Kernel pair for a dispatch level. Levels whose bodies are not compiled
+/// into this build fall back to scalar (ActiveKernelLevel never returns
+/// them, but the mapping stays total). All levels compute identical int32
+/// results.
+AddColumnFn AddColumnFor(KernelLevel level) {
+  switch (level) {
+#if defined(EDR_HISTOGRAM_AVX512)
+    case KernelLevel::kAvx512: return AddColumnAvx512;
+#endif
 #if defined(EDR_HISTOGRAM_AVX2)
-  if (CpuHasAvx2()) return AddColumnAvx2;
+    case KernelLevel::kAvx2: return AddColumnAvx2;
 #endif
 #if defined(EDR_HISTOGRAM_SIMD)
-  return AddColumnSimd;
-#else
-  return AddColumnScalar;
+    case KernelLevel::kSse2: return AddColumnSimd;
 #endif
+#if defined(EDR_HISTOGRAM_NEON)
+    case KernelLevel::kNeon: return AddColumnNeon;
+#endif
+    default: return AddColumnScalar;
+  }
 }
 
-MinCapAccumFn ResolveMinCapAccum() {
+MinCapAccumFn MinCapAccumFor(KernelLevel level) {
+  switch (level) {
+#if defined(EDR_HISTOGRAM_AVX512)
+    case KernelLevel::kAvx512: return MinCapAccumAvx512;
+#endif
 #if defined(EDR_HISTOGRAM_AVX2)
-  if (CpuHasAvx2()) return MinCapAccumAvx2;
+    case KernelLevel::kAvx2: return MinCapAccumAvx2;
 #endif
 #if defined(EDR_HISTOGRAM_SIMD)
-  return MinCapAccumSimd;
-#else
-  return MinCapAccumScalar;
+    case KernelLevel::kSse2: return MinCapAccumSimd;
 #endif
+#if defined(EDR_HISTOGRAM_NEON)
+    case KernelLevel::kNeon: return MinCapAccumNeon;
+#endif
+    default: return MinCapAccumScalar;
+  }
 }
-
-const AddColumnFn g_add_column = ResolveAddColumn();
-const MinCapAccumFn g_min_cap_accum = ResolveMinCapAccum();
 
 }  // namespace
 
@@ -491,70 +566,98 @@ int HistogramDistance1DFast(const std::vector<int>& hr,
                              });
 }
 
+const char* HistogramLayoutName(HistogramLayout layout) {
+  switch (layout) {
+    case HistogramLayout::kAdaptive: return "adaptive";
+    case HistogramLayout::kDense: return "dense";
+  }
+  return "?";
+}
+
 namespace {
 
-/// Builds one flat SoA table: dense counts scattered into the bin-major
-/// block, sparse (bin, count) lists concatenated into the flat posting
-/// arrays. `build_one(t)` produces the dense histogram of one trajectory.
-///
-/// Per-trajectory work (histogram build + dense scatter + occupied-bin
-/// extraction) fans out over the thread pool: trajectory `id` writes only
-/// the `dense[b * n + id]` lanes and its own occupied list, so items are
-/// disjoint. The flat posting arrays are then stitched sequentially from a
-/// prefix sum of per-trajectory occupied counts — deterministic output,
-/// bit-identical to a fully sequential build.
-template <typename BuildOneFn>
-void BuildFlatTable(const TrajectoryDataset& db, int nx, int ny,
-                    BuildOneFn&& build_one, std::vector<int32_t>* dense,
-                    std::vector<int32_t>* sparse_bins,
-                    std::vector<int32_t>* sparse_counts,
-                    std::vector<uint32_t>* sparse_offsets) {
-  const size_t n = db.size();
-  const size_t num_bins = static_cast<size_t>(nx) * static_cast<size_t>(ny);
-  dense->assign(num_bins * n, 0);
+// ---------------------------------------------------------------------------
+// Adaptive per-column storage. A "column" is the value of one bin across
+// the whole database; the sweep touches columns block-wise, so every
+// layout only needs O(1) entry into the [i0, i0 + len) id range.
+// ---------------------------------------------------------------------------
 
-  std::vector<std::vector<OccupiedBin>> occupied(n);
-  ThreadPool::Global().ParallelFor(n, [&](size_t id) {
-    const std::vector<int> h = build_one(db[id]);
-    std::vector<OccupiedBin>& occ = occupied[id];
-    for (size_t b = 0; b < h.size(); ++b) {
-      if (h[b] == 0) continue;
-      (*dense)[b * n + id] = h[b];
-      occ.push_back({static_cast<int>(b), h[b]});
+enum ColLayout : uint8_t {
+  kColEmpty = 0,   ///< no trajectory occupies the bin; nothing stored
+  kColDense = 1,   ///< bin-major int32 column (the PR-2 layout)
+  kColBitmap = 2,  ///< every stored count is 1; one bit per id
+  kColSparse = 3,  ///< (local id, count) postings grouped by sweep block
+};
+
+/// Bitmap words per column.
+inline size_t WordsPerColumn(size_t n) { return (n + 63) / 64; }
+
+/// Column-density thresholds of the adaptive heuristic (ALGORITHMS.md §14).
+/// Bytes per column: dense 4n; bitmap n/8; blocked-sparse ~6*occ plus the
+/// 4*(num_blocks+1) block index. Bitmap wins over postings for all-ones
+/// columns above ~n/48 occupancy; dense only pays once a quarter of the
+/// database occupies the bin (at which point the streaming SIMD add also
+/// beats posting scatter).
+constexpr double kBitmapMinDensity = 1.0 / 32.0;
+constexpr double kDenseMinDensity = 0.25;
+
+uint8_t ClassifyColumn(HistogramLayout layout, uint32_t occ, int32_t max_count,
+                       size_t n) {
+  if (layout == HistogramLayout::kDense) return kColDense;
+  if (occ == 0) return kColEmpty;
+  const double density = static_cast<double>(occ) / static_cast<double>(n);
+  if (max_count == 1 && density >= kBitmapMinDensity) return kColBitmap;
+  if (density >= kDenseMinDensity) return kColDense;
+  return kColSparse;
+}
+
+/// Appends `t`'s occupied (bin, count) list in ascending bin order without
+/// materializing a dense num_bins-sized scratch histogram — at fine grids
+/// (δ = 1) the dense scratch alone would cost O(bins) per trajectory.
+void FillOccupied(const Trajectory& t, const HistogramGrid& grid, int mode,
+                  std::vector<int>* scratch_bins,
+                  std::vector<OccupiedBin>* occ) {
+  scratch_bins->clear();
+  scratch_bins->reserve(t.size());
+  for (const Point2& p : t) {
+    int bin;
+    switch (mode) {
+      case 0: bin = grid.BinY(p.y) * grid.nx + grid.BinX(p.x); break;
+      case 1: bin = grid.BinX(p.x); break;
+      default: bin = grid.BinY(p.y); break;
     }
-  });
-
-  sparse_offsets->assign(n + 1, 0);
-  for (size_t id = 0; id < n; ++id) {
-    (*sparse_offsets)[id + 1] =
-        (*sparse_offsets)[id] + static_cast<uint32_t>(occupied[id].size());
+    scratch_bins->push_back(bin);
   }
-  const size_t total = (*sparse_offsets)[n];
-  sparse_bins->resize(total);
-  sparse_counts->resize(total);
-  for (size_t id = 0; id < n; ++id) {
-    uint32_t e = (*sparse_offsets)[id];
-    for (const OccupiedBin& b : occupied[id]) {
-      (*sparse_bins)[e] = b.bin;
-      (*sparse_counts)[e] = b.count;
-      ++e;
+  std::sort(scratch_bins->begin(), scratch_bins->end());
+  occ->clear();
+  for (size_t i = 0; i < scratch_bins->size();) {
+    size_t j = i;
+    while (j < scratch_bins->size() &&
+           (*scratch_bins)[j] == (*scratch_bins)[i]) {
+      ++j;
     }
+    occ->push_back({(*scratch_bins)[i], static_cast<int>(j - i)});
+    i = j;
   }
 }
 
 }  // namespace
 
 HistogramTable::HistogramTable(const TrajectoryDataset& db, double epsilon,
-                               Kind kind, int delta)
-    : kind_(kind), delta_(std::max(1, delta)) {
+                               Kind kind, int delta, HistogramLayout layout)
+    : kind_(kind), delta_(std::max(1, delta)), layout_(layout) {
   grid_ = HistogramGrid::For(db.Stats(), epsilon * delta_);
   {
     // %.17g round-trips doubles exactly, so equal keys <=> equal grids.
-    char buf[160];
+    // The storage layout never changes a QueryHistogram, but it is part of
+    // the semantic configuration — keying on it guarantees a layout change
+    // can never serve a feature cached under another table config.
+    char buf[176];
     std::snprintf(buf, sizeof(buf),
-                  "hist.%s/grid=%d.%d/%.17g,%.17g,%.17g",
+                  "hist.%s/grid=%d.%d/%.17g,%.17g,%.17g/layout=%s",
                   kind_ == Kind::k2D ? "2d" : "1d", grid_.nx, grid_.ny,
-                  grid_.min_x, grid_.min_y, grid_.bin_size);
+                  grid_.min_x, grid_.min_y, grid_.bin_size,
+                  HistogramLayoutName(layout_));
     feature_key_ = buf;
   }
   totals_.reserve(db.size());
@@ -562,36 +665,169 @@ HistogramTable::HistogramTable(const TrajectoryDataset& db, double epsilon,
     totals_.push_back(static_cast<int32_t>(t.size()));
   }
   if (kind_ == Kind::k2D) {
-    flat_2d_.nx = grid_.nx;
-    flat_2d_.ny = grid_.ny;
-    flat_2d_.n = db.size();
-    BuildFlatTable(
-        db, grid_.nx, grid_.ny,
-        [this](const Trajectory& t) { return BuildHistogram2D(t, grid_); },
-        &flat_2d_.dense, &flat_2d_.sparse_bins,
-        &flat_2d_.sparse_counts, &flat_2d_.sparse_offsets);
+    BuildTable(db, /*mode=*/0, &flat_2d_);
   } else {
-    flat_x_.nx = grid_.nx;
-    flat_x_.ny = 1;
-    flat_x_.n = db.size();
-    BuildFlatTable(
-        db, grid_.nx, 1,
-        [this](const Trajectory& t) {
-          return BuildHistogram1D(t, grid_, /*use_x=*/true);
-        },
-        &flat_x_.dense, &flat_x_.sparse_bins,
-        &flat_x_.sparse_counts, &flat_x_.sparse_offsets);
-    flat_y_.nx = grid_.ny;  // the y subranges laid out as a 1-row grid
-    flat_y_.ny = 1;
-    flat_y_.n = db.size();
-    BuildFlatTable(
-        db, grid_.ny, 1,
-        [this](const Trajectory& t) {
-          return BuildHistogram1D(t, grid_, /*use_x=*/false);
-        },
-        &flat_y_.dense, &flat_y_.sparse_bins,
-        &flat_y_.sparse_counts, &flat_y_.sparse_offsets);
+    BuildTable(db, /*mode=*/1, &flat_x_);
+    BuildTable(db, /*mode=*/2, &flat_y_);
   }
+}
+
+void HistogramTable::BuildTable(const TrajectoryDataset& db, int mode,
+                                FlatHistograms* flat) const {
+  const int nx = mode == 2 ? grid_.ny : grid_.nx;
+  const int ny = mode == 0 ? grid_.ny : 1;
+  const size_t n = db.size();
+  const size_t num_bins = static_cast<size_t>(nx) * static_cast<size_t>(ny);
+  flat->nx = nx;
+  flat->ny = ny;
+  flat->n = n;
+  flat->num_blocks = (n + kSweepBlock - 1) / kSweepBlock;
+
+  // Phase 1: occupied lists, parallel over disjoint trajectories.
+  std::vector<std::vector<OccupiedBin>> occupied(n);
+  ThreadPool::Global().ParallelFor(n, [&](size_t id) {
+    thread_local std::vector<int> scratch;
+    FillOccupied(db[id], grid_, mode, &scratch, &occupied[id]);
+  });
+
+  // Phase 2: column statistics → layout classification.
+  std::vector<uint32_t> occ_count(num_bins, 0);
+  std::vector<int32_t> col_max(num_bins, 0);
+  for (size_t id = 0; id < n; ++id) {
+    for (const OccupiedBin& b : occupied[id]) {
+      const size_t bin = static_cast<size_t>(b.bin);
+      occ_count[bin]++;
+      col_max[bin] = std::max(col_max[bin], b.count);
+    }
+  }
+  flat->col_layout.assign(num_bins, kColEmpty);
+  flat->col_slot.assign(num_bins, 0);
+  uint32_t dense_cols = 0;
+  uint32_t bitmap_cols = 0;
+  uint32_t sparse_cols = 0;
+  size_t sparse_postings = 0;
+  for (size_t b = 0; b < num_bins; ++b) {
+    const uint8_t lay = ClassifyColumn(layout_, occ_count[b], col_max[b], n);
+    flat->col_layout[b] = lay;
+    switch (lay) {
+      case kColDense: flat->col_slot[b] = dense_cols++; break;
+      case kColBitmap: flat->col_slot[b] = bitmap_cols++; break;
+      case kColSparse:
+        flat->col_slot[b] = sparse_cols++;
+        sparse_postings += occ_count[b];
+        break;
+      default: break;
+    }
+  }
+  const size_t wpc = WordsPerColumn(n);
+  flat->dense.assign(static_cast<size_t>(dense_cols) * n, 0);
+  flat->bits.assign(static_cast<size_t>(bitmap_cols) * wpc, 0);
+  flat->sp_block_offsets.assign(
+      static_cast<size_t>(sparse_cols) * (flat->num_blocks + 1), 0);
+  flat->sp_local_ids.resize(sparse_postings);
+  flat->sp_counts.resize(sparse_postings);
+
+  // Posting ranges per sparse column, prefix-summed in bin (= slot) order.
+  std::vector<uint32_t> col_begin(static_cast<size_t>(sparse_cols) + 1, 0);
+  {
+    uint32_t run = 0;
+    for (size_t b = 0; b < num_bins; ++b) {
+      if (flat->col_layout[b] == kColSparse) {
+        col_begin[flat->col_slot[b]] = run;
+        run += occ_count[b];
+      }
+    }
+    col_begin[sparse_cols] = run;
+  }
+
+  // Phase 3: id-major stitching. Iterating ids in order makes every
+  // column's postings arrive sorted by id and reproduces the exact
+  // id-major slices a serial build would write.
+  flat->sparse_offsets.assign(n + 1, 0);
+  for (size_t id = 0; id < n; ++id) {
+    flat->sparse_offsets[id + 1] =
+        flat->sparse_offsets[id] + static_cast<uint32_t>(occupied[id].size());
+  }
+  const size_t total = flat->sparse_offsets[n];
+  flat->sparse_bins.resize(total);
+  flat->sparse_counts.resize(total);
+  std::vector<uint32_t> cursor(col_begin.begin(), col_begin.end() - 1);
+  std::vector<uint32_t> sp_global_ids(sparse_postings);
+  for (size_t id = 0; id < n; ++id) {
+    uint32_t e = flat->sparse_offsets[id];
+    for (const OccupiedBin& b : occupied[id]) {
+      flat->sparse_bins[e] = b.bin;
+      flat->sparse_counts[e] = b.count;
+      ++e;
+      const size_t bin = static_cast<size_t>(b.bin);
+      switch (flat->col_layout[bin]) {
+        case kColDense:
+          flat->dense[static_cast<size_t>(flat->col_slot[bin]) * n + id] =
+              b.count;
+          break;
+        case kColBitmap:
+          flat->bits[static_cast<size_t>(flat->col_slot[bin]) * wpc +
+                     id / 64] |= uint64_t{1} << (id & 63);
+          break;
+        case kColSparse: {
+          const uint32_t p = cursor[flat->col_slot[bin]]++;
+          sp_global_ids[p] = static_cast<uint32_t>(id);
+          flat->sp_counts[p] = b.count;
+          break;
+        }
+        default: break;
+      }
+    }
+  }
+
+  // Phase 4: block index + local ids, sharded over disjoint sparse
+  // columns (deterministic regardless of schedule).
+  ThreadPool::Global().ParallelFor(sparse_cols, [&](size_t slot) {
+    const uint32_t begin = col_begin[slot];
+    const uint32_t end = col_begin[slot + 1];
+    uint32_t* bo = flat->sp_block_offsets.data() + slot * (flat->num_blocks + 1);
+    uint32_t p = begin;
+    for (size_t block = 0; block < flat->num_blocks; ++block) {
+      bo[block] = p;
+      const uint32_t limit =
+          static_cast<uint32_t>((block + 1) * kSweepBlock);
+      const uint32_t base = static_cast<uint32_t>(block * kSweepBlock);
+      while (p < end && sp_global_ids[p] < limit) {
+        flat->sp_local_ids[p] =
+            static_cast<uint16_t>(sp_global_ids[p] - base);
+        ++p;
+      }
+    }
+    bo[flat->num_blocks] = end;
+  });
+}
+
+HistogramStorageStats HistogramTable::storage_stats() const {
+  HistogramStorageStats stats;
+  const auto add = [&stats](const FlatHistograms& f) {
+    if (f.col_layout.empty()) return;
+    stats.columns += f.col_layout.size();
+    for (const uint8_t lay : f.col_layout) {
+      switch (lay) {
+        case kColDense: stats.dense_columns++; break;
+        case kColBitmap: stats.bitmap_columns++; break;
+        case kColSparse: stats.sparse_columns++; break;
+        default: stats.empty_columns++; break;
+      }
+    }
+    stats.column_bytes +=
+        f.dense.size() * sizeof(int32_t) + f.bits.size() * sizeof(uint64_t) +
+        f.sp_block_offsets.size() * sizeof(uint32_t) +
+        f.sp_local_ids.size() * sizeof(uint16_t) +
+        f.sp_counts.size() * sizeof(int32_t) +
+        f.col_layout.size() * (sizeof(uint8_t) + sizeof(uint32_t));
+    stats.dense_equivalent_bytes +=
+        f.col_layout.size() * f.n * sizeof(int32_t);
+  };
+  add(flat_2d_);
+  add(flat_x_);
+  add(flat_y_);
+  return stats;
 }
 
 HistogramTable::QueryHistogram HistogramTable::MakeQueryHistogram(
@@ -671,18 +907,50 @@ int HistogramTable::LowerBound(const QueryHistogram& query,
 
 namespace {
 
+/// One trajectory's count in one bin column, off the adaptive store. The
+/// per-row bound path only; the sweep enters columns block-wise.
+int32_t ColumnCountAt(const HistogramTable::FlatHistograms& f, size_t bin,
+                      uint32_t id) {
+  switch (f.col_layout[bin]) {
+    case kColDense:
+      return f.dense[static_cast<size_t>(f.col_slot[bin]) * f.n + id];
+    case kColBitmap:
+      return static_cast<int32_t>(
+          (f.bits[static_cast<size_t>(f.col_slot[bin]) * WordsPerColumn(f.n) +
+                  id / 64] >>
+           (id & 63)) &
+          1);
+    case kColSparse: {
+      const size_t slot = f.col_slot[bin];
+      const size_t block = id / kSweepBlock;
+      const uint32_t* bo =
+          f.sp_block_offsets.data() + slot * (f.num_blocks + 1);
+      const uint16_t local =
+          static_cast<uint16_t>(id - block * kSweepBlock);
+      const uint16_t* lo = f.sp_local_ids.data() + bo[block];
+      const uint16_t* hi = f.sp_local_ids.data() + bo[block + 1];
+      const uint16_t* it = std::lower_bound(lo, hi, local);
+      if (it != hi && *it == local) {
+        return f.sp_counts[static_cast<size_t>(it - f.sp_local_ids.data())];
+      }
+      return 0;
+    }
+    default:
+      return 0;
+  }
+}
+
 /// One trajectory's linear transport upper bound against the query, off
 /// the flat tables: min over the two sides of the relaxation. Shared by
 /// the per-row FastLowerBound; the sweep computes identical integers
 /// block-wise.
-int TransportSideScalar(const HistogramTable::QueryHistogram& /*unused*/,
-                        const std::vector<std::pair<int, int>>& q_sparse,
-                        const std::vector<int32_t>& qnbr, int nx, int ny,
-                        size_t n, const std::vector<int32_t>& dense,
-                        const std::vector<int32_t>& sparse_bins,
-                        const std::vector<int32_t>& sparse_counts,
-                        uint32_t begin, uint32_t end, uint32_t id) {
-  // Side A: query bins against the trajectory's dense neighborhood mass.
+int TransportSideScalar(const std::vector<std::pair<int, int>>& q_sparse,
+                        const std::vector<int32_t>& qnbr,
+                        const HistogramTable::FlatHistograms& f,
+                        uint32_t id) {
+  const int nx = f.nx;
+  const int ny = f.ny;
+  // Side A: query bins against the trajectory's column neighborhood mass.
   int side_a = 0;
   for (const auto& [qbin, qcount] : q_sparse) {
     const int bx = qbin % nx;
@@ -694,7 +962,7 @@ int TransportSideScalar(const HistogramTable::QueryHistogram& /*unused*/,
     const int x_hi = bx < nx - 1 ? bx + 1 : nx - 1;
     for (int y = y_lo; y <= y_hi; ++y) {
       for (int x = x_lo; x <= x_hi; ++x) {
-        reach += dense[static_cast<size_t>(y * nx + x) * n + id];
+        reach += ColumnCountAt(f, static_cast<size_t>(y * nx + x), id);
       }
     }
     side_a += std::min(qcount, static_cast<int>(reach));
@@ -702,9 +970,9 @@ int TransportSideScalar(const HistogramTable::QueryHistogram& /*unused*/,
   // Side B: the trajectory's occupied bins against the query's
   // precomputed neighborhood sums.
   int side_b = 0;
-  for (uint32_t e = begin; e < end; ++e) {
-    side_b += std::min(sparse_counts[e],
-                       qnbr[static_cast<size_t>(sparse_bins[e])]);
+  for (uint32_t e = f.sparse_offsets[id]; e < f.sparse_offsets[id + 1]; ++e) {
+    side_b += std::min(f.sparse_counts[e],
+                       qnbr[static_cast<size_t>(f.sparse_bins[e])]);
   }
   return std::min(side_a, side_b);
 }
@@ -715,59 +983,102 @@ int HistogramTable::FastLowerBound(const QueryHistogram& query,
                                    uint32_t id) const {
   const int longer = std::max(query.total, static_cast<int>(totals_[id]));
   if (kind_ == Kind::k2D) {
-    const int transport = TransportSideScalar(
-        query, query.sparse_2d, query.nbr_2d, flat_2d_.nx, flat_2d_.ny,
-        flat_2d_.n, flat_2d_.dense, flat_2d_.sparse_bins,
-        flat_2d_.sparse_counts, flat_2d_.sparse_offsets[id],
-        flat_2d_.sparse_offsets[id + 1], id);
+    const int transport =
+        TransportSideScalar(query.sparse_2d, query.nbr_2d, flat_2d_, id);
     return longer - transport;
   }
-  const int tx = TransportSideScalar(
-      query, query.sparse_x, query.nbr_x, flat_x_.nx, 1, flat_x_.n,
-      flat_x_.dense, flat_x_.sparse_bins, flat_x_.sparse_counts,
-      flat_x_.sparse_offsets[id], flat_x_.sparse_offsets[id + 1], id);
-  const int ty = TransportSideScalar(
-      query, query.sparse_y, query.nbr_y, flat_y_.nx, 1, flat_y_.n,
-      flat_y_.dense, flat_y_.sparse_bins, flat_y_.sparse_counts,
-      flat_y_.sparse_offsets[id], flat_y_.sparse_offsets[id + 1], id);
+  const int tx = TransportSideScalar(query.sparse_x, query.nbr_x, flat_x_, id);
+  const int ty = TransportSideScalar(query.sparse_y, query.nbr_y, flat_y_, id);
   // Each per-dimension bound is a valid EDR lower bound; take the max.
   return std::max(longer - tx, longer - ty);
 }
 
 namespace {
 
+/// Adds column `bin` over the id block [i0, i0 + len) into `acc`,
+/// dispatching on the column's storage layout. i0 is kSweepBlock-aligned,
+/// so bitmap reads start on a word boundary and the blocked-sparse block
+/// index applies directly. Every layout adds the same integers the dense
+/// column would, in a different order — int32 addition commutes, so the
+/// accumulator is bit-identical across layouts.
+inline void AddColumnBlock(const HistogramTable::FlatHistograms& f,
+                           size_t bin, size_t i0, size_t len, int32_t* acc,
+                           AddColumnFn add_column) {
+  switch (f.col_layout[bin]) {
+    case kColDense:
+      add_column(f.dense.data() + static_cast<size_t>(f.col_slot[bin]) * f.n +
+                     i0,
+                 acc, len);
+      break;
+    case kColBitmap: {
+      const uint64_t* words =
+          f.bits.data() + static_cast<size_t>(f.col_slot[bin]) *
+                              WordsPerColumn(f.n) +
+          i0 / 64;
+      const size_t word_count = (len + 63) / 64;
+      for (size_t w = 0; w < word_count; ++w) {
+        uint64_t bits = words[w];
+        while (bits != 0) {
+          acc[w * 64 + static_cast<size_t>(__builtin_ctzll(bits))] += 1;
+          bits &= bits - 1;
+        }
+      }
+      break;
+    }
+    case kColSparse: {
+      const size_t slot = f.col_slot[bin];
+      const size_t block = i0 / kSweepBlock;
+      const uint32_t* bo =
+          f.sp_block_offsets.data() + slot * (f.num_blocks + 1);
+      for (uint32_t p = bo[block]; p < bo[block + 1]; ++p) {
+        acc[f.sp_local_ids[p]] += f.sp_counts[p];
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
 /// min(side A, side B) of the linear transport bound for every id in the
-/// block [i0, i0 + len), len <= kSweepBlock. Side A streams bin-major
-/// columns (SIMD when `use_simd`); side B walks the flat sparse slices.
-void TransportBlock(int nx, int ny, size_t n,
-                    const std::vector<int32_t>& dense,
-                    const std::vector<int32_t>& sparse_bins,
-                    const std::vector<int32_t>& sparse_counts,
-                    const std::vector<uint32_t>& sparse_offsets,
+/// block [i0, i0 + len), len <= kSweepBlock. Side A enters each query
+/// bin's neighborhood columns through the per-layout block dispatch (dense
+/// columns stream through the `add_column` lanes); side B walks the flat
+/// id-major slices.
+void TransportBlock(const HistogramTable::FlatHistograms& f,
                     const std::vector<std::pair<int, int>>& q_sparse,
-                    const std::vector<int32_t>& qnbr, bool use_simd,
-                    size_t i0, size_t len, int32_t* out) {
-  alignas(32) int32_t acc[kSweepBlock];
-  alignas(32) int32_t side_a[kSweepBlock];
+                    const std::vector<int32_t>& qnbr, AddColumnFn add_column,
+                    MinCapAccumFn min_cap_accum, size_t i0, size_t len,
+                    int32_t* out) {
+  const int nx = f.nx;
+  const int ny = f.ny;
+  alignas(64) int32_t acc[kSweepBlock];
+  alignas(64) int32_t side_a[kSweepBlock];
   std::fill_n(side_a, len, 0);
-  // Widest-available kernels (AVX2/SSE2/scalar, resolved once at startup)
-  // when vectorization is requested; the portable scalar bodies otherwise.
-  const AddColumnFn add_column = use_simd ? g_add_column : AddColumnScalar;
-  const MinCapAccumFn min_cap_accum =
-      use_simd ? g_min_cap_accum : MinCapAccumScalar;
   for (const auto& [qbin, qcount] : q_sparse) {
-    std::fill_n(acc, len, 0);
     const int bx = qbin % nx;
     const int by = qbin / nx;
     const int y_lo = by > 0 ? by - 1 : 0;
     const int y_hi = by < ny - 1 ? by + 1 : ny - 1;
     const int x_lo = bx > 0 ? bx - 1 : 0;
     const int x_hi = bx < nx - 1 ? bx + 1 : nx - 1;
+    // Skip all-empty neighborhoods outright (adding zeros): at fine grids
+    // most of a query's bins touch no occupied column in a given block.
+    bool any = false;
+    for (int y = y_lo; y <= y_hi && !any; ++y) {
+      for (int x = x_lo; x <= x_hi; ++x) {
+        if (f.col_layout[static_cast<size_t>(y * nx + x)] != kColEmpty) {
+          any = true;
+          break;
+        }
+      }
+    }
+    if (!any) continue;
+    std::fill_n(acc, len, 0);
     for (int y = y_lo; y <= y_hi; ++y) {
       for (int x = x_lo; x <= x_hi; ++x) {
-        const int32_t* col =
-            dense.data() + static_cast<size_t>(y * nx + x) * n + i0;
-        add_column(col, acc, len);
+        AddColumnBlock(f, static_cast<size_t>(y * nx + x), i0, len, acc,
+                       add_column);
       }
     }
     min_cap_accum(qcount, acc, side_a, len);
@@ -775,9 +1086,10 @@ void TransportBlock(int nx, int ny, size_t n,
   for (size_t j = 0; j < len; ++j) {
     const size_t id = i0 + j;
     int32_t side_b = 0;
-    for (uint32_t e = sparse_offsets[id]; e < sparse_offsets[id + 1]; ++e) {
-      side_b += std::min(sparse_counts[e],
-                         qnbr[static_cast<size_t>(sparse_bins[e])]);
+    for (uint32_t e = f.sparse_offsets[id]; e < f.sparse_offsets[id + 1];
+         ++e) {
+      side_b += std::min(f.sparse_counts[e],
+                         qnbr[static_cast<size_t>(f.sparse_bins[e])]);
     }
     out[j] = std::min(side_a[j], side_b);
   }
@@ -785,33 +1097,34 @@ void TransportBlock(int nx, int ny, size_t n,
 
 }  // namespace
 
-void HistogramTable::SweepBlocks(const QueryHistogram& query, bool use_simd,
-                                 size_t block_begin, size_t block_end,
+void HistogramTable::SweepBlocks(const QueryHistogram& query,
+                                 KernelLevel level, size_t block_begin,
+                                 size_t block_end,
                                  std::vector<int>* out) const {
   const size_t n = totals_.size();
+  // Lane kernels for the dense columns, resolved once per call so the
+  // active level (EDR_FORCE_KERNEL / test pins) is honored dynamically.
+  const AddColumnFn add_column = AddColumnFor(level);
+  const MinCapAccumFn min_cap_accum = MinCapAccumFor(level);
   for (size_t block = block_begin; block < block_end; ++block) {
     const size_t i0 = block * kSweepBlock;
     const size_t len = std::min(kSweepBlock, n - i0);
     if (kind_ == Kind::k2D) {
-      alignas(32) int32_t t[kSweepBlock];
-      TransportBlock(flat_2d_.nx, flat_2d_.ny, n, flat_2d_.dense,
-                     flat_2d_.sparse_bins, flat_2d_.sparse_counts,
-                     flat_2d_.sparse_offsets, query.sparse_2d, query.nbr_2d,
-                     use_simd, i0, len, t);
+      alignas(64) int32_t t[kSweepBlock];
+      TransportBlock(flat_2d_, query.sparse_2d, query.nbr_2d, add_column,
+                     min_cap_accum, i0, len, t);
       for (size_t j = 0; j < len; ++j) {
         const int longer =
             std::max(query.total, static_cast<int>(totals_[i0 + j]));
         (*out)[i0 + j] = longer - t[j];
       }
     } else {
-      alignas(32) int32_t tx[kSweepBlock];
-      alignas(32) int32_t ty[kSweepBlock];
-      TransportBlock(flat_x_.nx, 1, n, flat_x_.dense, flat_x_.sparse_bins,
-                     flat_x_.sparse_counts, flat_x_.sparse_offsets,
-                     query.sparse_x, query.nbr_x, use_simd, i0, len, tx);
-      TransportBlock(flat_y_.nx, 1, n, flat_y_.dense, flat_y_.sparse_bins,
-                     flat_y_.sparse_counts, flat_y_.sparse_offsets,
-                     query.sparse_y, query.nbr_y, use_simd, i0, len, ty);
+      alignas(64) int32_t tx[kSweepBlock];
+      alignas(64) int32_t ty[kSweepBlock];
+      TransportBlock(flat_x_, query.sparse_x, query.nbr_x, add_column,
+                     min_cap_accum, i0, len, tx);
+      TransportBlock(flat_y_, query.sparse_y, query.nbr_y, add_column,
+                     min_cap_accum, i0, len, ty);
       for (size_t j = 0; j < len; ++j) {
         const int longer =
             std::max(query.total, static_cast<int>(totals_[i0 + j]));
@@ -821,20 +1134,16 @@ void HistogramTable::SweepBlocks(const QueryHistogram& query, bool use_simd,
   }
 }
 
-void HistogramTable::SweepImpl(const QueryHistogram& query, bool use_simd,
+void HistogramTable::SweepImpl(const QueryHistogram& query, KernelLevel level,
                                std::vector<int>* out) const {
   const size_t n = totals_.size();
   out->resize(n);
-  SweepBlocks(query, use_simd, 0, (n + kSweepBlock - 1) / kSweepBlock, out);
+  SweepBlocks(query, level, 0, (n + kSweepBlock - 1) / kSweepBlock, out);
 }
 
 void HistogramTable::FastLowerBoundSweep(const QueryHistogram& query,
                                          std::vector<int>* out) const {
-#if defined(EDR_HISTOGRAM_SIMD)
-  SweepImpl(query, /*use_simd=*/true, out);
-#else
-  SweepImpl(query, /*use_simd=*/false, out);
-#endif
+  SweepImpl(query, ActiveKernelLevel(), out);
 }
 
 void HistogramTable::FastLowerBoundSweepParallel(
@@ -847,11 +1156,8 @@ void HistogramTable::FastLowerBoundSweepParallel(
     FastLowerBoundSweep(query, out);
     return;
   }
-#if defined(EDR_HISTOGRAM_SIMD)
-  constexpr bool use_simd = true;
-#else
-  constexpr bool use_simd = false;
-#endif
+  // Resolve the level once so every shard of this sweep runs one kernel.
+  const KernelLevel level = ActiveKernelLevel();
   out->resize(n);
   // Contiguous block ranges, one per participant; every block writes only
   // its own kSweepBlock-aligned output slice, so the sharded sweep is
@@ -862,14 +1168,14 @@ void HistogramTable::FastLowerBoundSweepParallel(
       [&](size_t r) {
         const size_t begin = r * num_blocks / ranges;
         const size_t end = (r + 1) * num_blocks / ranges;
-        SweepBlocks(query, use_simd, begin, end, out);
+        SweepBlocks(query, level, begin, end, out);
       },
       static_cast<unsigned>(ranges));
 }
 
 void HistogramTable::FastLowerBoundSweepScalar(const QueryHistogram& query,
                                                std::vector<int>* out) const {
-  SweepImpl(query, /*use_simd=*/false, out);
+  SweepImpl(query, KernelLevel::kScalar, out);
 }
 
 int HistogramTable::LowerBound(const Trajectory& query, uint32_t id) const {

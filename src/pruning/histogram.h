@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/cpu.h"
 #include "core/dataset.h"
 #include "core/trajectory.h"
 #include "query/knn.h"
@@ -92,18 +93,57 @@ int HistogramDistance2DFast(const std::vector<int>& hr,
 int HistogramDistance1DFast(const std::vector<int>& hr,
                             const std::vector<int>& hs);
 
+/// Storage policy for the per-bin filter columns of a HistogramTable.
+///
+/// The PR-2 layout kept one dense bin-major int32 block — O(bins * n)
+/// memory, which blows up at fine grids (delta = 1 on large coordinate
+/// ranges caps out at a ~512x512 grid, i.e. ~n MB per thousand bins).
+/// kAdaptive classifies every bin column at build time from its measured
+/// density and stores it in the cheapest layout that keeps the
+/// cache-blocked column-sweep shape; kDense forces the original all-dense
+/// block (baseline for benchmarks and equivalence tests). Both layouts
+/// produce bit-identical bounds — the policy is a pure memory/speed knob.
+enum class HistogramLayout {
+  kAdaptive,
+  kDense,
+};
+
+/// "adaptive" or "dense".
+const char* HistogramLayoutName(HistogramLayout layout);
+
+/// What the per-column stores of one HistogramTable actually hold, for
+/// memory accounting and the layout benches.
+struct HistogramStorageStats {
+  size_t columns = 0;         ///< bin columns across all dimensions
+  size_t dense_columns = 0;   ///< stored as dense int32 columns
+  size_t bitmap_columns = 0;  ///< near-binary columns stored as bitmaps
+  size_t sparse_columns = 0;  ///< blocked-sparse posting columns
+  size_t empty_columns = 0;   ///< nothing stored at all
+  /// Bytes held by the column stores (dense block + bitmaps + postings +
+  /// block index + per-column layout/slot tables).
+  size_t column_bytes = 0;
+  /// What the all-dense PR-2 block would cost: columns * n * sizeof(int32).
+  size_t dense_equivalent_bytes = 0;
+};
+
 /// Precomputed histograms for a whole dataset, shared by the histogram
 /// searchers and the combined searcher.
 ///
-/// Storage is one flat structure-of-arrays block per dimension, not one
-/// vector per trajectory:
+/// Storage is flat structure-of-arrays per dimension, with the value of
+/// one bin across the whole database ("a bin column") kept in one of four
+/// layouts chosen per column at build time (HistogramLayout::kAdaptive):
 ///
-///  - dense counts live *bin-major* (`dense[bin * n + id]`), so the value
-///    of one bin across the whole database is a contiguous int32 column —
-///    the layout FastLowerBoundSweep streams over with SIMD;
-///  - the occupied (bin, count) lists of all trajectories are concatenated
-///    into two parallel flat arrays sliced by per-trajectory offsets, so a
-///    database-order scan of the sparse side never chases pointers.
+///  - *dense* columns stay bin-major int32 (`dense[slot * n + id]`), the
+///    layout FastLowerBoundSweep streams over with SIMD;
+///  - *bitmap* columns (every stored count is 1) keep one bit per id;
+///  - *blocked-sparse* columns keep (local id, count) postings grouped by
+///    sweep block, entered O(1) via a per-column block index;
+///  - *empty* columns store nothing.
+///
+/// Independently, the occupied (bin, count) lists of all trajectories are
+/// concatenated into two parallel flat arrays sliced by per-trajectory
+/// offsets (id-major), so a database-order scan of the sparse side of the
+/// bound never chases pointers.
 class HistogramTable {
  public:
   enum class Kind {
@@ -116,7 +156,8 @@ class HistogramTable {
   /// bound is the max of the two per-dimension HDs (each lower-bounds EDR
   /// by Corollary 1, so their max does too).
   HistogramTable(const TrajectoryDataset& db, double epsilon, Kind kind,
-                 int delta = 1);
+                 int delta = 1,
+                 HistogramLayout layout = HistogramLayout::kAdaptive);
 
   /// Lower bound of EDR(query, db[id]) from the histogram embedding.
   int LowerBound(const Trajectory& query, uint32_t id) const;
@@ -148,10 +189,13 @@ class HistogramTable {
 
   /// FastLowerBound for the *entire database* in one cache-blocked pass:
   /// `(*out)[id] == FastLowerBound(query, id)` for every id, bit for bit.
-  /// The dense side of the bound is evaluated column-wise over the
-  /// bin-major block (SSE2-vectorized where available), the sparse side
-  /// as a linear scan of the flat posting arrays — this is what HSE/HSR
-  /// and the combined searcher consume instead of n per-row calls.
+  /// The column side of the bound is evaluated block-wise, dispatching per
+  /// bin column on its storage layout — dense columns stream through the
+  /// widest SIMD lanes the host offers (AVX-512/AVX2/SSE2/NEON behind
+  /// ActiveKernelLevel()), bitmap and blocked-sparse columns scatter into
+  /// the same block accumulator — and the id-major side as a linear scan
+  /// of the flat posting arrays. This is what HSE/HSR and the combined
+  /// searcher consume instead of n per-row calls.
   void FastLowerBoundSweep(const QueryHistogram& query,
                            std::vector<int>* out) const;
 
@@ -165,7 +209,7 @@ class HistogramTable {
                                    const KnnOptions& options) const;
 
   /// Portable scalar reference for FastLowerBoundSweep: identical results
-  /// on every platform (and the only path when SSE2 is unavailable or
+  /// on every platform (and the only path when SIMD is unavailable or
   /// EDR_DISABLE_SIMD is defined). Exposed so tests can certify the SIMD
   /// sweep bit-identical.
   void FastLowerBoundSweepScalar(const QueryHistogram& query,
@@ -173,40 +217,71 @@ class HistogramTable {
 
   Kind kind() const { return kind_; }
   int delta() const { return delta_; }
+  HistogramLayout layout() const { return layout_; }
   const HistogramGrid& grid() const { return grid_; }
   size_t size() const { return totals_.size(); }
 
+  /// Layout census + byte counts of the column stores, summed over every
+  /// dimension this table keeps (the 2-D grid, or the x and y subranges).
+  HistogramStorageStats storage_stats() const;
+
   /// FeatureCache config key for this table's query histograms. Encodes
   /// everything MakeQueryHistogram depends on — the kind and the exact
-  /// grid geometry — so two tables with equal keys produce bit-identical
-  /// QueryHistograms and may share cache entries across searchers.
+  /// grid geometry — plus the storage-layout policy, so a layout change
+  /// can never serve a feature cached under another configuration.
   const std::string& feature_key() const { return feature_key_; }
 
- private:
-  /// Flat SoA storage for one histogram dimension (the 2-D grid, or the
-  /// x / y subranges). `nx * ny` spans the bin space; 1-D tables use
+  /// Flat adaptive storage for one histogram dimension (the 2-D grid, or
+  /// the x / y subranges). `nx * ny` spans the bin space; 1-D tables use
   /// ny == 1, which makes the shared 3x3-clamped neighborhood enumeration
-  /// degenerate to the path neighborhood.
+  /// degenerate to the path neighborhood. Public only so the sweep's
+  /// file-local dispatch helpers can take it; not part of the stable API.
   struct FlatHistograms {
     int nx = 0;
     int ny = 1;
     size_t n = 0;
-    std::vector<int32_t> dense;            ///< bin-major: dense[b * n + id]
+    size_t num_blocks = 0;  ///< ceil(n / kSweepBlock) sweep blocks
+
+    // Per-column stores (side A of the fast bound). col_layout[b] selects
+    // the layout (ColLayout code), col_slot[b] the column's index within
+    // that layout's store.
+    std::vector<uint8_t> col_layout;
+    std::vector<uint32_t> col_slot;
+    std::vector<int32_t> dense;     ///< dense cols: dense[slot * n + id]
+    std::vector<uint64_t> bits;     ///< bitmap cols: one bit per id
+    /// Blocked-sparse cols: postings (local id within block, count) in
+    /// ascending id order, entered per block via the block index
+    /// sp_block_offsets[slot * (num_blocks + 1) + block].
+    std::vector<uint32_t> sp_block_offsets;
+    std::vector<uint16_t> sp_local_ids;
+    std::vector<int32_t> sp_counts;
+
+    // Id-major occupied lists (side B of the fast bound + exact bound).
     std::vector<int32_t> sparse_bins;      ///< concatenated occupied bins
     std::vector<int32_t> sparse_counts;    ///< parallel counts
     std::vector<uint32_t> sparse_offsets;  ///< n + 1 slice boundaries
   };
 
-  void SweepImpl(const QueryHistogram& query, bool use_simd,
+ private:
+  /// Builds one dimension's flat adaptive table (mode 0 = the 2-D grid,
+  /// 1 = x subranges, 2 = y subranges): parallel per-trajectory occupied
+  /// lists, sequential column classification + id-major stitching, then a
+  /// parallel per-sparse-column block-index pass — deterministic for any
+  /// worker count.
+  void BuildTable(const TrajectoryDataset& db, int mode,
+                  FlatHistograms* flat) const;
+
+  void SweepImpl(const QueryHistogram& query, KernelLevel level,
                  std::vector<int>* out) const;
   /// Sweeps the kSweepBlock-aligned blocks [block_begin, block_end) into
   /// the already-sized output array.
-  void SweepBlocks(const QueryHistogram& query, bool use_simd,
+  void SweepBlocks(const QueryHistogram& query, KernelLevel level,
                    size_t block_begin, size_t block_end,
                    std::vector<int>* out) const;
 
   Kind kind_;
   int delta_;
+  HistogramLayout layout_;
   HistogramGrid grid_;
   std::string feature_key_;
   FlatHistograms flat_2d_;

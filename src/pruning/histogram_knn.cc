@@ -16,11 +16,12 @@ namespace edr {
 HistogramKnnSearcher::HistogramKnnSearcher(const TrajectoryDataset& db,
                                            double epsilon,
                                            HistogramTable::Kind kind,
-                                           int delta, HistogramScan scan)
+                                           int delta, HistogramScan scan,
+                                           HistogramLayout layout)
     : db_(db),
       epsilon_(epsilon),
       scan_(scan),
-      table_(db, epsilon, kind, delta) {}
+      table_(db, epsilon, kind, delta, layout) {}
 
 KnnResult HistogramKnnSearcher::Knn(const Trajectory& query, size_t k,
                                     const KnnOptions& options) const {

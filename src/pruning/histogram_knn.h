@@ -27,10 +27,13 @@ enum class HistogramScan {
 class HistogramKnnSearcher {
  public:
   /// `kind`/`delta` select the embedding: {k2D, delta} covers the paper's
-  /// 2HE (delta=1) through 2H4E (delta=4); {k1D, 1} is 1HE.
+  /// 2HE (delta=1) through 2H4E (delta=4); {k1D, 1} is 1HE. `layout`
+  /// picks the table's column storage policy (a pure memory/speed knob —
+  /// identical results either way).
   HistogramKnnSearcher(const TrajectoryDataset& db, double epsilon,
                        HistogramTable::Kind kind, int delta,
-                       HistogramScan scan);
+                       HistogramScan scan,
+                       HistogramLayout layout = HistogramLayout::kAdaptive);
 
   /// `options` shards the bound sweep and refinement over the thread pool;
   /// results are bit-identical for every worker count.

@@ -14,11 +14,11 @@
 namespace edr {
 
 LcssKnnSearcher::LcssKnnSearcher(const TrajectoryDataset& db, double epsilon,
-                                 LcssFilter filter)
+                                 LcssFilter filter, HistogramLayout layout)
     : db_(db),
       epsilon_(epsilon),
       filter_(filter),
-      histograms_(db, epsilon, HistogramTable::Kind::k2D, 1),
+      histograms_(db, epsilon, HistogramTable::Kind::k2D, 1, layout),
       qgram_means_(db, /*q=*/1, /*dims=*/2) {}
 
 KnnResult LcssKnnSearcher::Knn(const Trajectory& query, size_t k,

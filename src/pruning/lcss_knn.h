@@ -39,7 +39,8 @@ enum class LcssFilter {
 class LcssKnnSearcher {
  public:
   LcssKnnSearcher(const TrajectoryDataset& db, double epsilon,
-                  LcssFilter filter);
+                  LcssFilter filter,
+                  HistogramLayout layout = HistogramLayout::kAdaptive);
 
   /// `options` shards the bound sweep, count filter, and exact-LCSS
   /// refinement over the thread pool; results are bit-identical for every

@@ -9,6 +9,12 @@
 #if defined(__x86_64__) && defined(__GNUC__) && !defined(EDR_DISABLE_SIMD)
 #include <immintrin.h>
 #define EDR_QGRAM_AVX2 1
+#define EDR_QGRAM_AVX512 1
+#endif
+
+#if defined(__aarch64__) && !defined(EDR_DISABLE_SIMD)
+#include <arm_neon.h>
+#define EDR_QGRAM_NEON 1
 #endif
 
 namespace edr {
@@ -216,30 +222,100 @@ __attribute__((target("avx2"))) bool WindowHasMatchAvx2(
 
 #endif  // defined(EDR_QGRAM_AVX2)
 
+#if defined(EDR_QGRAM_AVX512)
+
+/// AVX-512 window scan, 8 mean pairs per step. Same early-exit logic as
+/// the AVX2 body, using predicate masks directly: sorted xs make the
+/// in-window mask a *prefix* mask, so a match bit can never sit past the
+/// first out-of-window lane and the block verdicts match scalar order.
+__attribute__((target("avx512f"))) bool WindowHasMatchAvx512(
+    const double* xs, const double* ys, size_t window_start, size_t end,
+    double x_hi, double qy, double epsilon) {
+  const __m512d v_hi = _mm512_set1_pd(x_hi);
+  const __m512d v_qy = _mm512_set1_pd(qy);
+  const __m512d v_eps = _mm512_set1_pd(epsilon);
+  size_t j = window_start;
+  for (; j + 8 <= end; j += 8) {
+    const __m512d x = _mm512_loadu_pd(xs + j);
+    const __mmask8 in_window = _mm512_cmp_pd_mask(x, v_hi, _CMP_LE_OQ);
+    if (in_window == 0) return false;  // Whole block past the window.
+    const __m512d y = _mm512_loadu_pd(ys + j);
+    const __m512d dy = _mm512_abs_pd(_mm512_sub_pd(y, v_qy));
+    const __mmask8 y_ok = _mm512_cmp_pd_mask(dy, v_eps, _CMP_LE_OQ);
+    if ((in_window & y_ok) != 0) return true;
+    if (in_window != 0xff) return false;  // Window ended inside the block.
+  }
+  return WindowHasMatchScalar(xs, ys, j, end, x_hi, qy, epsilon);
+}
+
+#endif  // defined(EDR_QGRAM_AVX512)
+
+#if defined(EDR_QGRAM_NEON)
+
+/// NEON window scan, 2 mean pairs per step (FABD computes |y - qy| with a
+/// single rounding of the subtraction, exactly like fabs(y - qy)).
+inline bool WindowHasMatchNeon(const double* xs, const double* ys,
+                               size_t window_start, size_t end, double x_hi,
+                               double qy, double epsilon) {
+  const float64x2_t v_hi = vdupq_n_f64(x_hi);
+  const float64x2_t v_qy = vdupq_n_f64(qy);
+  const float64x2_t v_eps = vdupq_n_f64(epsilon);
+  size_t j = window_start;
+  for (; j + 2 <= end; j += 2) {
+    const float64x2_t x = vld1q_f64(xs + j);
+    const uint64x2_t in_window = vcleq_f64(x, v_hi);
+    const uint64_t in0 = vgetq_lane_u64(in_window, 0);
+    const uint64_t in1 = vgetq_lane_u64(in_window, 1);
+    if ((in0 | in1) == 0) return false;
+    const float64x2_t dy = vabdq_f64(vld1q_f64(ys + j), v_qy);
+    const uint64x2_t y_ok = vcleq_f64(dy, v_eps);
+    if ((in0 & vgetq_lane_u64(y_ok, 0)) != 0 ||
+        (in1 & vgetq_lane_u64(y_ok, 1)) != 0) {
+      return true;
+    }
+    if (in1 == 0) return false;  // Window ended inside the block.
+  }
+  return WindowHasMatchScalar(xs, ys, j, end, x_hi, qy, epsilon);
+}
+
+#endif  // defined(EDR_QGRAM_NEON)
+
 using WindowHasMatchFn = bool (*)(const double*, const double*, size_t,
                                   size_t, double, double, double);
 
-WindowHasMatchFn ResolveWindowHasMatch() {
-#if defined(EDR_QGRAM_AVX2)
-  if (CpuHasAvx2()) return WindowHasMatchAvx2;
+/// Kernel for a dispatch level, resolved per CountMatches2D call from
+/// ActiveKernelLevel() so EDR_FORCE_KERNEL / test pins are honored. The
+/// merge-count has no profitable 128-bit double variant on x86 (2 lanes
+/// don't amortize the mask extraction), so kSse2 shares the scalar body.
+WindowHasMatchFn WindowHasMatchFor(KernelLevel level) {
+  switch (level) {
+#if defined(EDR_QGRAM_AVX512)
+    case KernelLevel::kAvx512: return WindowHasMatchAvx512;
 #endif
-  return WindowHasMatchScalar;
+#if defined(EDR_QGRAM_AVX2)
+    case KernelLevel::kAvx2: return WindowHasMatchAvx2;
+#endif
+#if defined(EDR_QGRAM_NEON)
+    case KernelLevel::kNeon: return WindowHasMatchNeon;
+#endif
+    default: return WindowHasMatchScalar;
+  }
 }
-
-const WindowHasMatchFn g_window_has_match = ResolveWindowHasMatch();
 
 }  // namespace
 
 size_t QgramMeansTable::CountMatches2D(const std::vector<Point2>& query_means,
                                        double epsilon, uint32_t id) const {
   const size_t end = offsets_[id + 1];
+  const WindowHasMatchFn window_has_match =
+      WindowHasMatchFor(ActiveKernelLevel());
   size_t count = 0;
   size_t window_start = offsets_[id];
   for (const Point2& qm : query_means) {
     window_start =
         GallopLowerBound(xs_.data(), window_start, end, qm.x - epsilon);
-    if (g_window_has_match(xs_.data(), ys_.data(), window_start, end,
-                           qm.x + epsilon, qm.y, epsilon)) {
+    if (window_has_match(xs_.data(), ys_.data(), window_start, end,
+                         qm.x + epsilon, qm.y, epsilon)) {
       ++count;
     }
   }

@@ -52,14 +52,16 @@ const QgramKnnSearcher& QueryEngine::Qgram(QgramVariant variant, int q) {
 
 const HistogramKnnSearcher& QueryEngine::Histogram(HistogramTable::Kind kind,
                                                    int delta,
-                                                   HistogramScan scan) {
+                                                   HistogramScan scan,
+                                                   HistogramLayout layout) {
   const auto key = std::make_tuple(static_cast<int>(kind), delta,
-                                   static_cast<int>(scan));
+                                   static_cast<int>(scan),
+                                   static_cast<int>(layout));
   auto it = histograms_.find(key);
   if (it == histograms_.end()) {
     it = histograms_
              .emplace(key, std::make_unique<HistogramKnnSearcher>(
-                               db_, epsilon_, kind, delta, scan))
+                               db_, epsilon_, kind, delta, scan, layout))
              .first;
   }
   return *it->second;
@@ -113,6 +115,8 @@ const CombinedKnnSearcher& QueryEngine::Combined(
   key += "/q" + std::to_string(options.q);
   key += "/t" + std::to_string(options.max_triangle);
   key += options.sorted_histogram_scan ? "/sorted" : "/seq";
+  key += "/";
+  key += HistogramLayoutName(options.histogram_layout);
   auto it = combined_.find(key);
   if (it == combined_.end()) {
     it = combined_
@@ -183,8 +187,9 @@ NamedSearcher QueryEngine::MakeQgram(QgramVariant variant, int q,
 
 NamedSearcher QueryEngine::MakeHistogram(HistogramTable::Kind kind, int delta,
                                          HistogramScan scan,
-                                         const KnnOptions& options) {
-  return MakeNamed(Histogram(kind, delta, scan), options);
+                                         const KnnOptions& options,
+                                         HistogramLayout layout) {
+  return MakeNamed(Histogram(kind, delta, scan, layout), options);
 }
 
 NamedSearcher QueryEngine::MakeNearTriangle(size_t max_triangle,

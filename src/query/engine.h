@@ -83,9 +83,11 @@ class QueryEngine {
   /// Mean-value Q-gram searcher (Section 4.1), cached per (variant, q).
   const QgramKnnSearcher& Qgram(QgramVariant variant, int q);
 
-  /// Histogram searcher (Section 4.3), cached per (kind, delta, scan).
-  const HistogramKnnSearcher& Histogram(HistogramTable::Kind kind, int delta,
-                                        HistogramScan scan);
+  /// Histogram searcher (Section 4.3), cached per (kind, delta, scan,
+  /// layout).
+  const HistogramKnnSearcher& Histogram(
+      HistogramTable::Kind kind, int delta, HistogramScan scan,
+      HistogramLayout layout = HistogramLayout::kAdaptive);
 
   /// Near-triangle searcher (Section 4.2), cached per reference budget.
   const NearTriangleSearcher& NearTriangle(size_t max_triangle = 400);
@@ -102,9 +104,10 @@ class QueryEngine {
   NamedSearcher MakeSeqScan(bool early_abandon = false) const;
   NamedSearcher MakeQgram(QgramVariant variant, int q,
                           const KnnOptions& options = {});
-  NamedSearcher MakeHistogram(HistogramTable::Kind kind, int delta,
-                              HistogramScan scan,
-                              const KnnOptions& options = {});
+  NamedSearcher MakeHistogram(
+      HistogramTable::Kind kind, int delta, HistogramScan scan,
+      const KnnOptions& options = {},
+      HistogramLayout layout = HistogramLayout::kAdaptive);
   NamedSearcher MakeNearTriangle(size_t max_triangle = 400,
                                  const KnnOptions& options = {});
   NamedSearcher MakeCse(size_t max_triangle = 400,
@@ -120,7 +123,8 @@ class QueryEngine {
   double epsilon_;
 
   std::map<std::pair<int, int>, std::unique_ptr<QgramKnnSearcher>> qgrams_;
-  std::map<std::tuple<int, int, int>, std::unique_ptr<HistogramKnnSearcher>>
+  std::map<std::tuple<int, int, int, int>,
+           std::unique_ptr<HistogramKnnSearcher>>
       histograms_;
   std::map<size_t, std::unique_ptr<PairwiseEdrMatrix>> matrices_;
   std::map<size_t, std::unique_ptr<NearTriangleSearcher>> near_triangles_;

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/cpu.h"
+#include "distance/edr.h"
+#include "distance/edr_kernel.h"
+#include "pruning/histogram.h"
+#include "pruning/qgram.h"
+#include "test_util.h"
+
+namespace edr {
+namespace {
+
+constexpr double kEps = 0.25;
+
+const KernelLevel kAllLevels[] = {KernelLevel::kScalar, KernelLevel::kSse2,
+                                  KernelLevel::kAvx2, KernelLevel::kAvx512,
+                                  KernelLevel::kNeon};
+
+/// Restores the environment-resolved dispatch level however a test exits.
+struct LevelGuard {
+  ~LevelGuard() { ResetActiveKernelLevel(); }
+};
+
+TEST(CpuDispatchTest, NamesRoundTrip) {
+  for (const KernelLevel level : kAllLevels) {
+    KernelLevel parsed;
+    ASSERT_TRUE(ParseKernelLevel(KernelLevelName(level), &parsed))
+        << KernelLevelName(level);
+    EXPECT_EQ(parsed, level);
+  }
+  KernelLevel out;
+  EXPECT_FALSE(ParseKernelLevel("sse9", &out));
+  EXPECT_FALSE(ParseKernelLevel("", &out));
+  EXPECT_FALSE(ParseKernelLevel(nullptr, &out));
+}
+
+TEST(CpuDispatchTest, ScalarAlwaysSupported) {
+  EXPECT_TRUE(KernelLevelSupported(KernelLevel::kScalar));
+}
+
+TEST(CpuDispatchTest, ActiveLevelIsSupported) {
+  EXPECT_TRUE(KernelLevelSupported(ActiveKernelLevel()));
+}
+
+TEST(CpuDispatchTest, PinningFollowsSupport) {
+  LevelGuard guard;
+  for (const KernelLevel level : kAllLevels) {
+    const KernelLevel before = ActiveKernelLevel();
+    if (KernelLevelSupported(level)) {
+      EXPECT_TRUE(SetActiveKernelLevel(level));
+      EXPECT_EQ(ActiveKernelLevel(), level);
+    } else {
+      EXPECT_FALSE(SetActiveKernelLevel(level));
+      EXPECT_EQ(ActiveKernelLevel(), before);
+    }
+  }
+}
+
+// Every kernel level available on this host must produce bit-identical
+// results to the pinned-scalar baseline across the three dispatching
+// kernel families: the histogram bound sweep, the Q-gram merge-count, and
+// the bit-parallel EDR match vectors.
+TEST(CpuDispatchTest, AllSupportedLevelsBitIdentical) {
+  LevelGuard guard;
+  const TrajectoryDataset db = testutil::SmallDataset(601, 250, 6, 40);
+  const auto queries = testutil::MakeQueries(db, 602, 3);
+
+  const HistogramTable table(db, kEps, HistogramTable::Kind::k2D, 1);
+  const QgramMeansTable means_table(db, /*q=*/1, /*dims=*/2);
+  std::vector<std::vector<Point2>> query_means;
+  for (const Trajectory& q : queries) {
+    std::vector<Point2> means = MeanValueQgrams(q, 1);
+    SortMeans(means);
+    query_means.push_back(std::move(means));
+  }
+
+  // Scalar baseline.
+  ASSERT_TRUE(SetActiveKernelLevel(KernelLevel::kScalar));
+  std::vector<std::vector<int>> base_sweeps;
+  std::vector<std::vector<size_t>> base_counts;
+  std::vector<std::vector<int>> base_edr;
+  EdrScratch scratch;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const auto qh = table.MakeQueryHistogram(queries[qi]);
+    std::vector<int> sweep;
+    table.FastLowerBoundSweep(qh, &sweep);
+    base_sweeps.push_back(std::move(sweep));
+    std::vector<size_t> counts(db.size());
+    std::vector<int> dists(db.size());
+    for (uint32_t id = 0; id < db.size(); ++id) {
+      counts[id] = means_table.CountMatches2D(query_means[qi], kEps, id);
+      dists[id] = EdrDistanceBitParallel(queries[qi], db[id], kEps, scratch);
+    }
+    base_counts.push_back(std::move(counts));
+    base_edr.push_back(std::move(dists));
+  }
+
+  for (const KernelLevel level : kAllLevels) {
+    if (!KernelLevelSupported(level)) continue;
+    ASSERT_TRUE(SetActiveKernelLevel(level));
+    SCOPED_TRACE(KernelLevelName(level));
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      const auto qh = table.MakeQueryHistogram(queries[qi]);
+      std::vector<int> sweep;
+      table.FastLowerBoundSweep(qh, &sweep);
+      EXPECT_EQ(sweep, base_sweeps[qi]);
+      for (uint32_t id = 0; id < db.size(); ++id) {
+        ASSERT_EQ(means_table.CountMatches2D(query_means[qi], kEps, id),
+                  base_counts[qi][id])
+            << "id=" << id;
+        ASSERT_EQ(EdrDistanceBitParallel(queries[qi], db[id], kEps, scratch),
+                  base_edr[qi][id])
+            << "id=" << id;
+      }
+    }
+  }
+}
+
+// The bounded (early-abandoning) bit-parallel kernel must keep its
+// contract at every level: exact when within bound, certified > bound
+// otherwise.
+TEST(CpuDispatchTest, BoundedEdrContractAtEveryLevel) {
+  LevelGuard guard;
+  const TrajectoryDataset db = testutil::SmallDataset(603, 60, 6, 40);
+  EdrScratch scratch;
+  for (const KernelLevel level : kAllLevels) {
+    if (!KernelLevelSupported(level)) continue;
+    ASSERT_TRUE(SetActiveKernelLevel(level));
+    SCOPED_TRACE(KernelLevelName(level));
+    for (size_t i = 0; i + 1 < db.size(); i += 7) {
+      const int exact =
+          EdrDistanceBitParallel(db[i], db[i + 1], kEps, scratch);
+      for (const int bound : {0, exact - 1, exact, exact + 3}) {
+        if (bound < 0) continue;
+        const int got = EdrDistanceBitParallelBounded(db[i], db[i + 1], kEps,
+                                                      bound, scratch);
+        if (exact <= bound) {
+          EXPECT_EQ(got, exact);
+        } else {
+          EXPECT_GT(got, bound);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace edr
