@@ -1,6 +1,9 @@
 // Adaptive batch scheduler bench: batch throughput under the scheduler
-// versus the sequential path, and cold-versus-warm query-feature-cache
-// latency for repeated queries, on a random-walk database.
+// versus the sequential path, cold-versus-warm query-feature-cache
+// latency for repeated queries, and fused-versus-unfused filter
+// throughput (one multi-query sweep over the database against the
+// per-query sweeps it replaces, plus the scheduled batch with fusion
+// forced off), on a random-walk database.
 //
 // Emits JSON (stdout, or the file named by the first non-flag argument):
 //
@@ -22,8 +25,11 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "core/cpu.h"
 #include "core/trajectory.h"
 #include "data/generators.h"
+#include "pruning/histogram.h"
+#include "pruning/qgram.h"
 #include "query/engine.h"
 #include "query/feature_cache.h"
 #include "query/scheduler.h"
@@ -153,6 +159,228 @@ CacheRow MeasureCache(const NamedSearcher& searcher,
   return row;
 }
 
+struct FusedKernelRow {
+  std::string kernel;
+  size_t group = 0;
+  size_t repeats = 0;
+  double unfused_seconds = 0.0;  ///< best pass, per-query passes, total
+  double fused_seconds = 0.0;    ///< best pass, one fused pass, total
+  bool identical = true;
+};
+
+/// Jittered near-duplicates of one seed query: the batched workload the
+/// fused sweep targets. Concurrent queries over the same region share most
+/// of their histogram bins, so the column side of the fused sweep
+/// accumulates each distinct bin once for the whole group and the posting
+/// side streams the database once instead of once per member.
+std::vector<Trajectory> JitterGroup(const Trajectory& seed, size_t group) {
+  std::vector<Trajectory> out;
+  out.reserve(group);
+  for (size_t f = 0; f < group; ++f) {
+    Trajectory t = seed;
+    for (size_t j = 0; j < t.size(); ++j) {
+      t[j].x += 1e-4 * static_cast<double>((f * 31 + j) % 5);
+      t[j].y += 1e-4 * static_cast<double>((f * 17 + j) % 7);
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+void PrintFusedRow(const FusedKernelRow& row) {
+  const double speedup =
+      row.fused_seconds > 0.0 ? row.unfused_seconds / row.fused_seconds : 0.0;
+  std::fprintf(stderr,
+               "%-22s group=%zu unfused=%.3fms fused=%.3fms speedup=%.2f "
+               "identical=%s\n",
+               row.kernel.c_str(), row.group, row.unfused_seconds * 1e3,
+               row.fused_seconds * 1e3, speedup, row.identical ? "yes" : "NO");
+}
+
+/// Filter throughput of the fused histogram sweep versus the per-query
+/// sweeps it replaces: `group` near-duplicate queries, each side timed as
+/// the best of `passes` passes of `repeats` full-database evaluations.
+FusedKernelRow MeasureFusedHistogram(const HistogramTable& table,
+                                     const std::vector<Trajectory>& group,
+                                     size_t passes, size_t repeats) {
+  FusedKernelRow row;
+  row.kernel = "histogram_sweep_2d";
+  row.group = group.size();
+  row.repeats = repeats;
+
+  std::vector<HistogramTable::QueryHistogram> qhs;
+  qhs.reserve(group.size());
+  for (const Trajectory& q : group) qhs.push_back(table.MakeQueryHistogram(q));
+  std::vector<const HistogramTable::QueryHistogram*> qptrs;
+  for (const auto& qh : qhs) qptrs.push_back(&qh);
+
+  std::vector<std::vector<int>> unfused(group.size());
+  std::vector<std::vector<int>> fused(group.size());
+  std::vector<std::vector<int>*> outs;
+  for (auto& v : fused) outs.push_back(&v);
+
+  // Warm-up sizes the output vectors and faults the table in.
+  for (size_t f = 0; f < qhs.size(); ++f) {
+    table.FastLowerBoundSweep(qhs[f], &unfused[f]);
+  }
+  table.FastLowerBoundSweepFused(qptrs, outs);
+  for (size_t f = 0; f < qhs.size(); ++f) {
+    row.identical = row.identical && unfused[f] == fused[f];
+  }
+
+  for (size_t pass = 0; pass < passes; ++pass) {
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t r = 0; r < repeats; ++r) {
+      for (size_t f = 0; f < qhs.size(); ++f) {
+        table.FastLowerBoundSweep(qhs[f], &unfused[f]);
+      }
+    }
+    const double elapsed = SecondsSince(start);
+    row.unfused_seconds =
+        pass == 0 ? elapsed : std::min(row.unfused_seconds, elapsed);
+  }
+  for (size_t pass = 0; pass < passes; ++pass) {
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t r = 0; r < repeats; ++r) {
+      table.FastLowerBoundSweepFused(qptrs, outs);
+    }
+    const double elapsed = SecondsSince(start);
+    row.fused_seconds =
+        pass == 0 ? elapsed : std::min(row.fused_seconds, elapsed);
+  }
+  PrintFusedRow(row);
+  return row;
+}
+
+/// Same comparison for the Q-gram merge-count filter: unfused is the
+/// per-query database scan PS2 runs (each member streams every posting
+/// slice), fused visits each slice once for the whole group.
+FusedKernelRow MeasureFusedQgram(const QgramMeansTable& table,
+                                 const std::vector<Trajectory>& group,
+                                 double epsilon, int q, size_t passes,
+                                 size_t repeats) {
+  FusedKernelRow row;
+  row.kernel = "qgram_merge_count_2d";
+  row.group = group.size();
+  row.repeats = repeats;
+
+  std::vector<std::vector<Point2>> means;
+  means.reserve(group.size());
+  for (const Trajectory& t : group) {
+    means.push_back(MeanValueQgrams(t, q));
+    SortMeans(means.back());
+  }
+  std::vector<const std::vector<Point2>*> mptrs;
+  for (const auto& m : means) mptrs.push_back(&m);
+
+  const size_t n = table.size();
+  std::vector<std::vector<size_t>> unfused(group.size(),
+                                           std::vector<size_t>(n, 0));
+  std::vector<size_t> counts(group.size(), 0);
+  std::vector<std::vector<size_t>> fused(group.size(),
+                                         std::vector<size_t>(n, 0));
+
+  for (size_t f = 0; f < means.size(); ++f) {
+    for (uint32_t id = 0; id < n; ++id) {
+      unfused[f][id] = table.CountMatches2D(means[f], epsilon, id);
+    }
+  }
+  for (uint32_t id = 0; id < n; ++id) {
+    table.CountMatchesFused2D(mptrs, epsilon, id, counts.data());
+    for (size_t f = 0; f < means.size(); ++f) fused[f][id] = counts[f];
+  }
+  for (size_t f = 0; f < means.size(); ++f) {
+    row.identical = row.identical && unfused[f] == fused[f];
+  }
+
+  for (size_t pass = 0; pass < passes; ++pass) {
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t r = 0; r < repeats; ++r) {
+      for (size_t f = 0; f < means.size(); ++f) {
+        for (uint32_t id = 0; id < n; ++id) {
+          unfused[f][id] = table.CountMatches2D(means[f], epsilon, id);
+        }
+      }
+    }
+    const double elapsed = SecondsSince(start);
+    row.unfused_seconds =
+        pass == 0 ? elapsed : std::min(row.unfused_seconds, elapsed);
+  }
+  for (size_t pass = 0; pass < passes; ++pass) {
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t r = 0; r < repeats; ++r) {
+      for (uint32_t id = 0; id < n; ++id) {
+        table.CountMatchesFused2D(mptrs, epsilon, id, counts.data());
+        for (size_t f = 0; f < means.size(); ++f) fused[f][id] = counts[f];
+      }
+    }
+    const double elapsed = SecondsSince(start);
+    row.fused_seconds =
+        pass == 0 ? elapsed : std::min(row.fused_seconds, elapsed);
+  }
+  PrintFusedRow(row);
+  return row;
+}
+
+struct FusedBatchRow {
+  std::string method;
+  double unfused_seconds = 0.0;  ///< RunScheduled, max_fusion = 1, best pass
+  double fused_seconds = 0.0;    ///< RunScheduled, default policy, best pass
+  SchedulerStats stats;          ///< stats of the fused run
+  bool identical = true;
+};
+
+/// End-to-end scheduled batch with fusion on (default policy) versus
+/// forced off (max_fusion = 1), certified against each other and the
+/// sequential loop. `stats.fused_groups > 0` is the "fused path selected"
+/// assertion the CI smoke leg checks.
+FusedBatchRow MeasureFusedBatch(const NamedSearcher& searcher,
+                                const std::vector<Trajectory>& queries,
+                                size_t k, ThreadPool& pool, size_t passes) {
+  FusedBatchRow row;
+  row.method = searcher.name;
+
+  std::vector<KnnResult> reference;
+  reference.reserve(queries.size());
+  for (const Trajectory& q : queries) {
+    reference.push_back(searcher.search(q, k));
+  }
+
+  SchedulerPolicy unfused_policy;
+  unfused_policy.max_fusion = 1;
+  SchedulerPolicy fused_policy;
+  for (size_t pass = 0; pass < passes; ++pass) {
+    auto start = std::chrono::steady_clock::now();
+    const std::vector<KnnResult> unfused = RunScheduled(
+        searcher, queries, k, unfused_policy, &pool, nullptr, nullptr);
+    const double unfused_elapsed = SecondsSince(start);
+    row.unfused_seconds = pass == 0
+                              ? unfused_elapsed
+                              : std::min(row.unfused_seconds, unfused_elapsed);
+
+    SchedulerStats stats;
+    start = std::chrono::steady_clock::now();
+    const std::vector<KnnResult> fused = RunScheduled(
+        searcher, queries, k, fused_policy, &pool, nullptr, &stats);
+    const double fused_elapsed = SecondsSince(start);
+    if (pass == 0 || fused_elapsed < row.fused_seconds) {
+      row.fused_seconds = fused_elapsed;
+      row.stats = stats;
+    }
+    for (size_t i = 0; i < queries.size(); ++i) {
+      row.identical = row.identical && SameNeighbors(reference[i], unfused[i]) &&
+                      SameNeighbors(reference[i], fused[i]);
+    }
+  }
+  std::fprintf(stderr,
+               "%-22s unfused=%.3fms fused=%.3fms groups=%zu "
+               "fused_queries=%zu identical=%s\n",
+               row.method.c_str(), row.unfused_seconds * 1e3,
+               row.fused_seconds * 1e3, row.stats.fused_groups,
+               row.stats.fused_queries, row.identical ? "yes" : "NO");
+  return row;
+}
+
 }  // namespace
 }  // namespace edr
 
@@ -245,6 +473,74 @@ int main(int argc, char** argv) {
     cache_body += buf;
   }
 
+  // Fused filter throughput: one fusion group of near-duplicate queries
+  // (the workload the fused sweep targets) against the raw filter tables,
+  // plus the scheduled batch with fusion on versus forced off. The kernel
+  // rows keep a database long enough to amortize the fused plan build even
+  // under --smoke: the saving is a database-streaming effect, and a
+  // 300-trajectory pass would measure per-call setup instead of streaming.
+  const size_t fused_passes = smoke ? 3 : 5;
+  const size_t fused_repeats = smoke ? 10 : 20;
+  const size_t fused_db_size = smoke ? 6000 : db_size;
+  TrajectoryDataset fused_db_storage;
+  const TrajectoryDataset* fused_db = &db;
+  if (fused_db_size != db_size) {
+    RandomWalkOptions fused_walks = walk_options;
+    fused_walks.count = fused_db_size;
+    fused_db_storage = GenRandomWalk(fused_walks);
+    fused_db = &fused_db_storage;
+  }
+  const std::vector<Trajectory> fused_group =
+      JitterGroup((*fused_db)[fused_db->size() / 2], kMaxFusionGroup);
+  std::vector<Trajectory> fused_batch;
+  for (size_t rep = 0; rep < 4; ++rep) {
+    for (const Trajectory& q : fused_group) fused_batch.push_back(q);
+  }
+
+  std::string fused_body;
+  {
+    const HistogramTable hist_table(*fused_db, kEps,
+                                    HistogramTable::Kind::k2D, 1);
+    const QgramMeansTable qgram_table(*fused_db, /*q=*/1, /*dims=*/2);
+    const FusedKernelRow kernel_rows[] = {
+        MeasureFusedHistogram(hist_table, fused_group, fused_passes,
+                              fused_repeats),
+        MeasureFusedQgram(qgram_table, fused_group, kEps, /*q=*/1,
+                          fused_passes, fused_repeats),
+    };
+    for (const FusedKernelRow& f : kernel_rows) {
+      all_identical = all_identical && f.identical;
+      std::snprintf(
+          buf, sizeof(buf),
+          "    {\"kernel\": \"%s\", \"db_size\": %zu, \"group\": %zu, "
+          "\"repeats\": %zu, \"unfused_ms\": %.3f, \"fused_ms\": %.3f, "
+          "\"fused_speedup\": %.2f, \"identical\": %s},\n",
+          f.kernel.c_str(), fused_db->size(), f.group, f.repeats,
+          f.unfused_seconds * 1e3, f.fused_seconds * 1e3,
+          f.fused_seconds > 0.0 ? f.unfused_seconds / f.fused_seconds : 0.0,
+          f.identical ? "true" : "false");
+      fused_body += buf;
+    }
+
+    const FusedBatchRow b =
+        MeasureFusedBatch(searchers[0], fused_batch, k, pool, fused_passes);
+    all_identical = all_identical && b.identical;
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"kernel\": \"scheduler_batch\", \"method\": \"%s\", "
+        "\"batch\": %zu, \"unfused_ms\": %.3f, \"fused_ms\": %.3f, "
+        "\"fused_speedup\": %.2f, \"fused_groups\": %zu, "
+        "\"fused_queries\": %zu, \"fused_selected\": %s, "
+        "\"identical\": %s}\n",
+        b.method.c_str(), fused_batch.size(), b.unfused_seconds * 1e3,
+        b.fused_seconds * 1e3,
+        b.fused_seconds > 0.0 ? b.unfused_seconds / b.fused_seconds : 0.0,
+        b.stats.fused_groups, b.stats.fused_queries,
+        b.stats.fused_groups > 0 ? "true" : "false",
+        b.identical ? "true" : "false");
+    fused_body += buf;
+  }
+
   std::fprintf(out,
                "{\n  \"bench\": \"scheduler\",\n  \"smoke\": %s,\n"
                "  \"db_size\": %zu,\n  \"queries\": %zu,\n  \"k\": %zu,\n"
@@ -254,8 +550,9 @@ int main(int argc, char** argv) {
   std::fprintf(out,
                "  \"scheduler\": [\n%s  ],\n"
                "  \"cache\": [\n%s  ],\n"
+               "  \"fused\": [\n%s  ],\n"
                "  \"identical\": %s\n}\n",
-               sched_body.c_str(), cache_body.c_str(),
+               sched_body.c_str(), cache_body.c_str(), fused_body.c_str(),
                all_identical ? "true" : "false");
   if (out != stdout) std::fclose(out);
   return all_identical ? 0 : 1;

@@ -1,7 +1,18 @@
 #ifndef EDR_CORE_CPU_H_
 #define EDR_CORE_CPU_H_
 
+#include <cstddef>
+
 namespace edr {
+
+/// Maximum queries one fused filter sweep evaluates per database pass.
+/// Chosen to match the query-major register blocking of the fused kernels:
+/// eight int32 lanes fill one AVX2 register (one 256-bit min/add per
+/// posting), two NEON/SSE2 registers, or half an AVX-512 register (which
+/// processes two postings per iteration instead). Larger groups are
+/// chunked by the callers, so this is a kernel-shape constant, not a
+/// correctness limit.
+inline constexpr size_t kMaxFusionGroup = 8;
 
 /// Lane widths the integer sweep / merge-count / match-vector kernels are
 /// compiled for. Every level computes bit-identical results — the level is

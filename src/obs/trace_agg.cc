@@ -1,0 +1,100 @@
+#include "obs/trace_agg.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace edr {
+
+int32_t TraceAggregate::Intern(int32_t parent, const char* name) {
+  const auto key = std::make_pair(parent, std::string(name));
+  const auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  const int32_t id = static_cast<int32_t>(nodes_.size());
+  Node node;
+  node.name = key.second;
+  node.parent = parent;
+  nodes_.push_back(std::move(node));
+  if (parent >= 0) nodes_[static_cast<size_t>(parent)].children.push_back(id);
+  index_.emplace(key, id);
+  return id;
+}
+
+void TraceAggregate::Add(const QueryTrace* trace) {
+  if (trace == nullptr) return;
+  const std::vector<QueryTrace::Node> nodes = trace->nodes();
+  // Parents are always created before their children (Begin takes an
+  // already-allocated parent id), so a single forward pass can map every
+  // source node to its aggregate node.
+  std::vector<int32_t> mapped(nodes.size(), -1);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const QueryTrace::Node& node = nodes[i];
+    int32_t parent = -1;
+    if (node.parent >= 0 && static_cast<size_t>(node.parent) < i) {
+      parent = mapped[static_cast<size_t>(node.parent)];
+    }
+    const int32_t id = Intern(parent, node.name);
+    Node& agg = nodes_[static_cast<size_t>(id)];
+    agg.seconds += node.seconds;
+    agg.count += node.count;
+    ++agg.spans;
+    mapped[i] = id;
+  }
+  ++traces_;
+}
+
+double TraceAggregate::PhaseSeconds(const std::string& name) const {
+  double sum = 0.0;
+  for (const Node& node : nodes_) {
+    if (node.name == name) sum += node.seconds;
+  }
+  return sum;
+}
+
+namespace {
+
+void AppendAggNodeJson(const std::vector<TraceAggregate::Node>& nodes,
+                       int32_t id, std::string* out) {
+  const TraceAggregate::Node& node = nodes[static_cast<size_t>(id)];
+  const double avg_ms =
+      node.spans > 0 ? node.seconds * 1e3 / static_cast<double>(node.spans)
+                     : 0.0;
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\": \"%s\", \"ms\": %.6f, \"avg_ms\": %.6f, "
+                "\"count\": %llu, \"spans\": %llu",
+                JsonEscape(node.name).c_str(), node.seconds * 1e3, avg_ms,
+                static_cast<unsigned long long>(node.count),
+                static_cast<unsigned long long>(node.spans));
+  *out += buf;
+  if (!node.children.empty()) {
+    *out += ", \"children\": [";
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      if (i > 0) *out += ", ";
+      AppendAggNodeJson(nodes, node.children[i], out);
+    }
+    *out += "]";
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+std::string TraceAggregate::ToJson() const {
+  std::string out;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "{\"traces\": %llu, \"spans\": [",
+                static_cast<unsigned long long>(traces_));
+  out += buf;
+  bool first = true;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].parent != -1) continue;
+    if (!first) out += ", ";
+    first = false;
+    AppendAggNodeJson(nodes_, static_cast<int32_t>(i), &out);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace edr

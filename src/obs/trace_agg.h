@@ -1,0 +1,68 @@
+#ifndef EDR_OBS_TRACE_AGG_H_
+#define EDR_OBS_TRACE_AGG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace edr {
+
+/// Merges many per-query phase trees (QueryTrace) into one aggregate
+/// profile keyed by name-path: two spans land in the same aggregate node
+/// iff their names match and their parents merged into the same node. The
+/// result answers "where did the whole batch spend its time" — total and
+/// mean duration plus span count per phase, with the tree shape preserved
+/// — without keeping every per-query trace alive.
+///
+/// Single-writer: Add is called from one thread (the batch driver, after
+/// each query completes or while walking finished results). The traces
+/// themselves may have been recorded concurrently; Add reads them through
+/// their own locked snapshot.
+class TraceAggregate {
+ public:
+  struct Node {
+    std::string name;
+    int32_t parent = -1;        ///< Index into nodes(); -1 = root.
+    double seconds = 0.0;       ///< Summed duration across all merged spans.
+    uint64_t count = 0;         ///< Summed Node::count of the merged spans.
+    uint64_t spans = 0;         ///< How many spans merged into this node.
+    std::vector<int32_t> children;  ///< Indexes in first-seen order.
+  };
+
+  /// Folds one query's trace into the aggregate. Null is a convenience
+  /// no-op so EDR_DISABLE_OBS call sites need no guard.
+  void Add(const QueryTrace* trace);
+
+  /// Number of traces merged so far.
+  size_t traces() const { return traces_; }
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Summed duration of every node with this name, like
+  /// QueryTrace::PhaseSeconds but across the whole batch.
+  double PhaseSeconds(const std::string& name) const;
+
+  /// The aggregate as nested JSON:
+  /// {"traces": N, "spans": [{"name", "ms", "avg_ms", "count", "spans",
+  /// "children": [...]}]} — same tree shape as QueryTrace::ToJson, but
+  /// durations are batch totals and avg_ms = ms / spans.
+  std::string ToJson() const;
+
+ private:
+  /// Returns the aggregate node for (parent, name), creating it on first
+  /// sight.
+  int32_t Intern(int32_t parent, const char* name);
+
+  std::vector<Node> nodes_;
+  /// (aggregate parent, span name) -> aggregate node index.
+  std::map<std::pair<int32_t, std::string>, int32_t> index_;
+  size_t traces_ = 0;
+};
+
+}  // namespace edr
+
+#endif  // EDR_OBS_TRACE_AGG_H_

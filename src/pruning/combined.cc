@@ -78,10 +78,6 @@ KnnResult CombinedKnnSearcher::Knn(const Trajectory& query, size_t k,
       });
   const std::vector<Point2>& query_means = *means_ptr;
 
-  const bool histogram_first =
-      options_.order[0] == PruneStep::kHistogram &&
-      options_.sorted_histogram_scan;
-
   // Every prune order contains the histogram step, so all fast lower
   // bounds are produced up front by one vectorized sweep (sharded over the
   // pool) — far cheaper than per-row calls even for ids a preceding filter
@@ -92,8 +88,84 @@ KnnResult CombinedKnnSearcher::Knn(const Trajectory& query, size_t k,
   std::vector<int> bounds;
   histograms_.FastLowerBoundSweepParallel(qh, &bounds, options);
   sweep_span.End();
-  const auto filter_done = std::chrono::steady_clock::now();
+  const double filter_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return RefineWithBounds(query, k, options, bounds, query_means,
+                          std::move(trace), filter_seconds);
+}
 
+std::vector<KnnResult> CombinedKnnSearcher::KnnFused(
+    const std::vector<const Trajectory*>& queries, size_t k,
+    const KnnOptions& options) const {
+  const auto start = std::chrono::steady_clock::now();
+  const size_t group = queries.size();
+  std::vector<KnnResult> results(group);
+  if (group == 0) return results;
+  if (k == 0) {
+    for (KnnResult& r : results) {
+      r.stats.db_size = db_.size();
+      r.stats.stages.FinalizeNotVisited(db_.size());
+    }
+    return results;
+  }
+
+  std::vector<std::shared_ptr<QueryTrace>> traces(group);
+  std::vector<int32_t> span_ids(group, -1);
+  std::vector<std::shared_ptr<const HistogramTable::QueryHistogram>> features(
+      group);
+  std::vector<std::shared_ptr<const std::vector<Point2>>> mean_features(
+      group);
+  std::vector<const HistogramTable::QueryHistogram*> qhs(group);
+  std::vector<std::vector<int>> bounds(group);
+  std::vector<std::vector<int>*> outs(group);
+  for (size_t f = 0; f < group; ++f) {
+    traces[f] = MakeQueryTrace();
+    RecordSchedBudget(traces[f].get(), options);
+    if (traces[f] != nullptr) span_ids[f] = traces[f]->Begin("fused_sweep");
+    features[f] = GetOrBuildFeature<HistogramTable::QueryHistogram>(
+        options.feature_cache, histograms_.feature_key(), *queries[f],
+        [&] { return histograms_.MakeQueryHistogram(*queries[f]); });
+    mean_features[f] = GetOrBuildFeature<std::vector<Point2>>(
+        options.feature_cache,
+        "qgram.means2d.sorted/q=" + std::to_string(options_.q), *queries[f],
+        [&] {
+          std::vector<Point2> m = MeanValueQgrams(*queries[f], options_.q);
+          SortMeans(m);
+          return m;
+        });
+    qhs[f] = features[f].get();
+    outs[f] = &bounds[f];
+  }
+  // The histogram sweep — the one up-front whole-database pass — is fused;
+  // the lazy Q-gram and near-triangle filters run inside each member's
+  // refinement exactly as in the single-query path.
+  histograms_.FastLowerBoundSweepFusedParallel(qhs, outs, options);
+  for (size_t f = 0; f < group; ++f) {
+    if (traces[f] != nullptr) traces[f]->End(span_ids[f]);
+  }
+  const double filter_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  for (size_t f = 0; f < group; ++f) {
+    results[f] =
+        RefineWithBounds(*queries[f], k, options, bounds[f],
+                         *mean_features[f], std::move(traces[f]),
+                         filter_seconds);
+  }
+  return results;
+}
+
+KnnResult CombinedKnnSearcher::RefineWithBounds(
+    const Trajectory& query, size_t k, const KnnOptions& options,
+    const std::vector<int>& bounds, const std::vector<Point2>& query_means,
+    std::shared_ptr<QueryTrace> trace, double filter_seconds) const {
+  const auto refine_start = std::chrono::steady_clock::now();
+  KnnResult out;
+  out.stats.db_size = db_.size();
+  const bool histogram_first = options_.order[0] == PruneStep::kHistogram &&
+                               options_.sorted_histogram_scan;
   const EdrKernel kernel = DefaultEdrKernel();
   const unsigned slots = ResolveIntraQueryWorkers(options);
   std::vector<std::vector<std::pair<uint32_t, double>>> proc(slots);
@@ -189,12 +261,11 @@ KnnResult CombinedKnnSearcher::Knn(const Trajectory& query, size_t k,
   for (const size_t c : computed) out.stats.edr_computed += c;
   for (const StageCounters& st : slot_stages) out.stats.stages.Add(st);
   out.stats.stages.FinalizeNotVisited(db_.size());
-  out.stats.elapsed_seconds =
-      std::chrono::duration<double>(stop_time - start).count();
-  out.stats.filter_seconds =
-      std::chrono::duration<double>(filter_done - start).count();
+  out.stats.filter_seconds = filter_seconds;
   out.stats.refine_seconds =
-      std::chrono::duration<double>(stop_time - filter_done).count();
+      std::chrono::duration<double>(stop_time - refine_start).count();
+  out.stats.elapsed_seconds =
+      out.stats.filter_seconds + out.stats.refine_seconds;
   out.trace = std::move(trace);
   RecordQueryMetrics(out.stats);
   return out;

@@ -76,6 +76,15 @@ class CombinedKnnSearcher {
   KnnResult Knn(const Trajectory& query, size_t k,
                 const KnnOptions& options = {}) const;
 
+  /// Answers a fusion group of queries with one cache-blocked pass over
+  /// the histogram table (the only whole-database filter sweep the
+  /// combined searcher runs up front — Q-gram counts and near-triangle
+  /// bounds are evaluated lazily per candidate and stay per-query).
+  /// `results[i]` is bit-identical to `Knn(*queries[i], k, options)`.
+  std::vector<KnnResult> KnnFused(
+      const std::vector<const Trajectory*>& queries, size_t k,
+      const KnnOptions& options = {}) const;
+
   /// Range query combining all three filters against the fixed `radius`
   /// bound; with sorted histogram scanning the scan stops at the first
   /// bound above the radius. Lossless. A nonzero `max_results` keeps only
@@ -90,6 +99,15 @@ class CombinedKnnSearcher {
   const CombinedOptions& options() const { return options_; }
 
  private:
+  /// The per-query tail shared by Knn and KnnFused: the lazy filter chain
+  /// over precomputed histogram bounds, bounded refinement, stats/trace.
+  KnnResult RefineWithBounds(const Trajectory& query, size_t k,
+                             const KnnOptions& options,
+                             const std::vector<int>& bounds,
+                             const std::vector<Point2>& query_means,
+                             std::shared_ptr<QueryTrace> trace,
+                             double filter_seconds) const;
+
   const TrajectoryDataset& db_;
   double epsilon_;
   CombinedOptions options_;

@@ -391,8 +391,240 @@ inline void MinCapAccumNeon(int32_t cap, const int32_t* acc, int32_t* a,
 
 #endif  // defined(EDR_HISTOGRAM_NEON)
 
+// ---------------------------------------------------------------------------
+// Bitmap and blocked-sparse block kernels. A bitmap column contributes +1
+// per set bit; a sparse column scatters (local id, count) postings. Both
+// add the same integers to distinct accumulator slots whatever the lane
+// shape, so every body below is bit-identical to the scalar walk.
+// ---------------------------------------------------------------------------
+
+/// Scalar reference: count-trailing-zeros walk over the set bits.
+inline void BitmapAccumScalar(const uint64_t* words, size_t word_count,
+                              int32_t* acc) {
+  for (size_t w = 0; w < word_count; ++w) {
+    uint64_t bits = words[w];
+    while (bits != 0) {
+      acc[w * 64 + static_cast<size_t>(__builtin_ctzll(bits))] += 1;
+      bits &= bits - 1;
+    }
+  }
+}
+
+inline void SparseScatterScalar(const uint16_t* local_ids,
+                                const int32_t* counts, uint32_t begin,
+                                uint32_t end, int32_t* acc) {
+  for (uint32_t p = begin; p < end; ++p) {
+    acc[local_ids[p]] += counts[p];
+  }
+}
+
+#if defined(EDR_HISTOGRAM_AVX2)
+
+/// Expands each byte of a word into eight 0/-1 lanes (bit b set <=> lane b
+/// matches its power-of-two probe) and subtracts the mask from the
+/// accumulator — one masked add per byte instead of one scalar add per set
+/// bit. Lanes past a short tail block read and write back unchanged
+/// accumulator slots (their bits are never set), staying inside the
+/// kSweepBlock stack buffer because word_count * 64 <= kSweepBlock.
+__attribute__((target("avx2"))) void BitmapAccumAvx2(const uint64_t* words,
+                                                     size_t word_count,
+                                                     int32_t* acc) {
+  const __m256i bitpos = _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128);
+  for (size_t w = 0; w < word_count; ++w) {
+    const uint64_t bits = words[w];
+    if (bits == 0) continue;
+    int32_t* base = acc + w * 64;
+    for (size_t c = 0; c < 8; ++c) {
+      const int32_t byte = static_cast<int32_t>((bits >> (c * 8)) & 0xFF);
+      if (byte == 0) continue;
+      const __m256i vb = _mm256_set1_epi32(byte);
+      const __m256i m =
+          _mm256_cmpeq_epi32(_mm256_and_si256(vb, bitpos), bitpos);
+      __m256i a =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(base + c * 8));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(base + c * 8),
+                          _mm256_sub_epi32(a, m));
+    }
+  }
+}
+
+#endif  // defined(EDR_HISTOGRAM_AVX2)
+
+#if defined(EDR_HISTOGRAM_AVX512)
+
+/// The word's 16-bit slices are the mask registers directly:
+/// four masked 16-lane +1 adds per word.
+__attribute__((target("avx512f"))) void BitmapAccumAvx512(
+    const uint64_t* words, size_t word_count, int32_t* acc) {
+  const __m512i ones = _mm512_set1_epi32(1);
+  for (size_t w = 0; w < word_count; ++w) {
+    const uint64_t bits = words[w];
+    if (bits == 0) continue;
+    int32_t* base = acc + w * 64;
+    for (size_t c = 0; c < 4; ++c) {
+      const __mmask16 m = static_cast<__mmask16>((bits >> (c * 16)) & 0xFFFF);
+      if (m == 0) continue;
+      __m512i a = _mm512_loadu_si512(base + c * 16);
+      _mm512_storeu_si512(base + c * 16, _mm512_mask_add_epi32(a, m, a, ones));
+    }
+  }
+}
+
+/// Gather/add/scatter over 16 postings at a time. A column stores at most
+/// one posting per trajectory id, so the 16 local ids are distinct and the
+/// scatter is conflict-free — no vpconflictd pass needed (the ROADMAP
+/// histogramming hazard does not arise here).
+__attribute__((target("avx512f"))) void SparseScatterAvx512(
+    const uint16_t* local_ids, const int32_t* counts, uint32_t begin,
+    uint32_t end, int32_t* acc) {
+  uint32_t p = begin;
+  for (; p + 16 <= end; p += 16) {
+    const __m256i raw =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(local_ids + p));
+    const __m512i idx = _mm512_cvtepu16_epi32(raw);
+    const __m512i c = _mm512_loadu_si512(counts + p);
+    // Masked form with an explicit zero source: the plain gather expands
+    // to _mm512_undefined_epi32, which -Wmaybe-uninitialized flags.
+    const __m512i g = _mm512_mask_i32gather_epi32(
+        _mm512_setzero_si512(), static_cast<__mmask16>(0xFFFF), idx, acc, 4);
+    _mm512_i32scatter_epi32(acc, idx, _mm512_add_epi32(g, c), 4);
+  }
+  for (; p < end; ++p) {
+    acc[local_ids[p]] += counts[p];
+  }
+}
+
+#endif  // defined(EDR_HISTOGRAM_AVX512)
+
+// ---------------------------------------------------------------------------
+// Fused side-B kernels: one walk of an id's posting slice serves a whole
+// fusion group. The group's neighborhood sums are interleaved query-major
+// (`nbr[bin * kMaxFusionGroup + f]`, zero-padded past the group), so each
+// posting is one broadcast + min + add over kMaxFusionGroup int32 lanes.
+// Padding lanes stay zero (min(count, 0) == 0 for the strictly positive
+// counts), and per-lane sums are plain int32 additions, so every body is
+// bit-identical to the one-query-at-a-time walk.
+// ---------------------------------------------------------------------------
+
+inline void FusedSideBScalar(const int32_t* bins, const int32_t* counts,
+                             uint32_t begin, uint32_t end, const int32_t* nbr,
+                             int32_t* sb) {
+  for (uint32_t e = begin; e < end; ++e) {
+    const int32_t* row =
+        nbr + static_cast<size_t>(bins[e]) * kMaxFusionGroup;
+    const int32_t c = counts[e];
+    for (size_t f = 0; f < kMaxFusionGroup; ++f) {
+      sb[f] += std::min(c, row[f]);
+    }
+  }
+}
+
+#if defined(EDR_HISTOGRAM_SIMD)
+
+inline void FusedSideBSse2(const int32_t* bins, const int32_t* counts,
+                           uint32_t begin, uint32_t end, const int32_t* nbr,
+                           int32_t* sb) {
+  __m128i s0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(sb));
+  __m128i s1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(sb + 4));
+  for (uint32_t e = begin; e < end; ++e) {
+    const int32_t* row =
+        nbr + static_cast<size_t>(bins[e]) * kMaxFusionGroup;
+    const __m128i vc = _mm_set1_epi32(counts[e]);
+    s0 = _mm_add_epi32(
+        s0, MinI32(vc, _mm_loadu_si128(
+                           reinterpret_cast<const __m128i*>(row))));
+    s1 = _mm_add_epi32(
+        s1, MinI32(vc, _mm_loadu_si128(
+                           reinterpret_cast<const __m128i*>(row + 4))));
+  }
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(sb), s0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(sb + 4), s1);
+}
+
+#endif  // defined(EDR_HISTOGRAM_SIMD)
+
+#if defined(EDR_HISTOGRAM_AVX2)
+
+__attribute__((target("avx2"))) void FusedSideBAvx2(
+    const int32_t* bins, const int32_t* counts, uint32_t begin, uint32_t end,
+    const int32_t* nbr, int32_t* sb) {
+  __m256i vsb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sb));
+  for (uint32_t e = begin; e < end; ++e) {
+    const __m256i row = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+        nbr + static_cast<size_t>(bins[e]) * kMaxFusionGroup));
+    const __m256i vc = _mm256_set1_epi32(counts[e]);
+    vsb = _mm256_add_epi32(vsb, _mm256_min_epi32(vc, row));
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(sb), vsb);
+}
+
+#endif  // defined(EDR_HISTOGRAM_AVX2)
+
+#if defined(EDR_HISTOGRAM_AVX512)
+
+/// Two postings per iteration: lanes 0-7 accumulate the even postings,
+/// lanes 8-15 the odd ones, folded together at the end. Int32 addition
+/// commutes exactly, so the regrouped per-query sums match the sequential
+/// walk bit for bit.
+__attribute__((target("avx512f"))) void FusedSideBAvx512(
+    const int32_t* bins, const int32_t* counts, uint32_t begin, uint32_t end,
+    const int32_t* nbr, int32_t* sb) {
+  __m512i vsb = _mm512_setzero_si512();
+  uint32_t e = begin;
+  for (; e + 2 <= end; e += 2) {
+    const __m256i ra = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+        nbr + static_cast<size_t>(bins[e]) * kMaxFusionGroup));
+    const __m256i rb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+        nbr + static_cast<size_t>(bins[e + 1]) * kMaxFusionGroup));
+    const __m512i row =
+        _mm512_inserti64x4(_mm512_castsi256_si512(ra), rb, 1);
+    const __m512i vc = _mm512_inserti64x4(
+        _mm512_castsi256_si512(_mm256_set1_epi32(counts[e])),
+        _mm256_set1_epi32(counts[e + 1]), 1);
+    vsb = _mm512_add_epi32(vsb, _mm512_min_epi32(vc, row));
+  }
+  __m256i acc8 = _mm256_add_epi32(
+      _mm512_castsi512_si256(vsb), _mm512_extracti64x4_epi64(vsb, 1));
+  acc8 = _mm256_add_epi32(
+      acc8, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sb)));
+  if (e < end) {
+    const __m256i row = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+        nbr + static_cast<size_t>(bins[e]) * kMaxFusionGroup));
+    const __m256i vc = _mm256_set1_epi32(counts[e]);
+    acc8 = _mm256_add_epi32(acc8, _mm256_min_epi32(vc, row));
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(sb), acc8);
+}
+
+#endif  // defined(EDR_HISTOGRAM_AVX512)
+
+#if defined(EDR_HISTOGRAM_NEON)
+
+inline void FusedSideBNeon(const int32_t* bins, const int32_t* counts,
+                           uint32_t begin, uint32_t end, const int32_t* nbr,
+                           int32_t* sb) {
+  int32x4_t s0 = vld1q_s32(sb);
+  int32x4_t s1 = vld1q_s32(sb + 4);
+  for (uint32_t e = begin; e < end; ++e) {
+    const int32_t* row =
+        nbr + static_cast<size_t>(bins[e]) * kMaxFusionGroup;
+    const int32x4_t vc = vdupq_n_s32(counts[e]);
+    s0 = vaddq_s32(s0, vminq_s32(vc, vld1q_s32(row)));
+    s1 = vaddq_s32(s1, vminq_s32(vc, vld1q_s32(row + 4)));
+  }
+  vst1q_s32(sb, s0);
+  vst1q_s32(sb + 4, s1);
+}
+
+#endif  // defined(EDR_HISTOGRAM_NEON)
+
 using AddColumnFn = void (*)(const int32_t*, int32_t*, size_t);
 using MinCapAccumFn = void (*)(int32_t, const int32_t*, int32_t*, size_t);
+using BitmapAccumFn = void (*)(const uint64_t*, size_t, int32_t*);
+using SparseScatterFn = void (*)(const uint16_t*, const int32_t*, uint32_t,
+                                 uint32_t, int32_t*);
+using FusedSideBFn = void (*)(const int32_t*, const int32_t*, uint32_t,
+                              uint32_t, const int32_t*, int32_t*);
 
 /// Kernel pair for a dispatch level. Levels whose bodies are not compiled
 /// into this build fall back to scalar (ActiveKernelLevel never returns
@@ -432,6 +664,53 @@ MinCapAccumFn MinCapAccumFor(KernelLevel level) {
 #endif
     default: return MinCapAccumScalar;
   }
+}
+
+/// The five sweep kernels of one dispatch level, resolved together once
+/// per sweep call. Families without a body at some level (e.g. the SSE2
+/// bitmap walk, or the AVX2 scatter, where gathers without scatters lose
+/// to the scalar loop) fall back to scalar — every combination computes
+/// identical integers.
+struct SweepKernels {
+  AddColumnFn add_column = AddColumnScalar;
+  MinCapAccumFn min_cap_accum = MinCapAccumScalar;
+  BitmapAccumFn bitmap_accum = BitmapAccumScalar;
+  SparseScatterFn sparse_scatter = SparseScatterScalar;
+  FusedSideBFn fused_side_b = FusedSideBScalar;
+};
+
+SweepKernels SweepKernelsFor(KernelLevel level) {
+  SweepKernels k;
+  k.add_column = AddColumnFor(level);
+  k.min_cap_accum = MinCapAccumFor(level);
+  switch (level) {
+#if defined(EDR_HISTOGRAM_AVX512)
+    case KernelLevel::kAvx512:
+      k.bitmap_accum = BitmapAccumAvx512;
+      k.sparse_scatter = SparseScatterAvx512;
+      k.fused_side_b = FusedSideBAvx512;
+      break;
+#endif
+#if defined(EDR_HISTOGRAM_AVX2)
+    case KernelLevel::kAvx2:
+      k.bitmap_accum = BitmapAccumAvx2;
+      k.fused_side_b = FusedSideBAvx2;
+      break;
+#endif
+#if defined(EDR_HISTOGRAM_SIMD)
+    case KernelLevel::kSse2:
+      k.fused_side_b = FusedSideBSse2;
+      break;
+#endif
+#if defined(EDR_HISTOGRAM_NEON)
+    case KernelLevel::kNeon:
+      k.fused_side_b = FusedSideBNeon;
+      break;
+#endif
+    default:
+      break;
+  }
+  return k;
 }
 
 }  // namespace
@@ -1003,26 +1282,19 @@ namespace {
 /// accumulator is bit-identical across layouts.
 inline void AddColumnBlock(const HistogramTable::FlatHistograms& f,
                            size_t bin, size_t i0, size_t len, int32_t* acc,
-                           AddColumnFn add_column) {
+                           const SweepKernels& kernels) {
   switch (f.col_layout[bin]) {
     case kColDense:
-      add_column(f.dense.data() + static_cast<size_t>(f.col_slot[bin]) * f.n +
-                     i0,
-                 acc, len);
+      kernels.add_column(
+          f.dense.data() + static_cast<size_t>(f.col_slot[bin]) * f.n + i0,
+          acc, len);
       break;
     case kColBitmap: {
       const uint64_t* words =
           f.bits.data() + static_cast<size_t>(f.col_slot[bin]) *
                               WordsPerColumn(f.n) +
           i0 / 64;
-      const size_t word_count = (len + 63) / 64;
-      for (size_t w = 0; w < word_count; ++w) {
-        uint64_t bits = words[w];
-        while (bits != 0) {
-          acc[w * 64 + static_cast<size_t>(__builtin_ctzll(bits))] += 1;
-          bits &= bits - 1;
-        }
-      }
+      kernels.bitmap_accum(words, (len + 63) / 64, acc);
       break;
     }
     case kColSparse: {
@@ -1030,9 +1302,8 @@ inline void AddColumnBlock(const HistogramTable::FlatHistograms& f,
       const size_t block = i0 / kSweepBlock;
       const uint32_t* bo =
           f.sp_block_offsets.data() + slot * (f.num_blocks + 1);
-      for (uint32_t p = bo[block]; p < bo[block + 1]; ++p) {
-        acc[f.sp_local_ids[p]] += f.sp_counts[p];
-      }
+      kernels.sparse_scatter(f.sp_local_ids.data(), f.sp_counts.data(),
+                             bo[block], bo[block + 1], acc);
       break;
     }
     default:
@@ -1047,8 +1318,8 @@ inline void AddColumnBlock(const HistogramTable::FlatHistograms& f,
 /// id-major slices.
 void TransportBlock(const HistogramTable::FlatHistograms& f,
                     const std::vector<std::pair<int, int>>& q_sparse,
-                    const std::vector<int32_t>& qnbr, AddColumnFn add_column,
-                    MinCapAccumFn min_cap_accum, size_t i0, size_t len,
+                    const std::vector<int32_t>& qnbr,
+                    const SweepKernels& kernels, size_t i0, size_t len,
                     int32_t* out) {
   const int nx = f.nx;
   const int ny = f.ny;
@@ -1078,10 +1349,10 @@ void TransportBlock(const HistogramTable::FlatHistograms& f,
     for (int y = y_lo; y <= y_hi; ++y) {
       for (int x = x_lo; x <= x_hi; ++x) {
         AddColumnBlock(f, static_cast<size_t>(y * nx + x), i0, len, acc,
-                       add_column);
+                       kernels);
       }
     }
-    min_cap_accum(qcount, acc, side_a, len);
+    kernels.min_cap_accum(qcount, acc, side_a, len);
   }
   for (size_t j = 0; j < len; ++j) {
     const size_t id = i0 + j;
@@ -1095,6 +1366,160 @@ void TransportBlock(const HistogramTable::FlatHistograms& f,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Fused sweep plumbing. A fusion group's queries are merged into one
+// ascending list of *distinct* bins, so each bin's neighborhood columns are
+// accumulated once per block and clamped into every member that occupies
+// the bin. Per query, the clamp sequence visits exactly its own bins in
+// ascending order — the same subsequence, in the same order, as the
+// single-query sweep — and both sides of the bound are int32 sums, so the
+// fused pass is bit-identical to F independent sweeps.
+// ---------------------------------------------------------------------------
+
+/// One distinct bin of a fusion group. qcount[f] == 0 marks members that
+/// do not occupy the bin. `any` caches the (block-independent)
+/// empty-neighborhood test.
+struct FusedBinEntry {
+  int32_t bin = 0;
+  bool any = false;
+  int32_t qcount[kMaxFusionGroup] = {};
+};
+
+/// The per-dimension plan of one fused sweep, built once and shared
+/// read-only by every block shard.
+struct FusedPlan {
+  size_t group = 0;
+  std::vector<FusedBinEntry> bins;
+  /// Query-major interleaved neighborhood sums
+  /// (`fused_nbr[bin * kMaxFusionGroup + f]`, zero-padded past the group),
+  /// feeding the register-blocked side-B kernels. Left empty — falling
+  /// back to per-query lookups — when the grid has more bins than the
+  /// table has postings, where the O(bins * group) transpose would cost
+  /// more than the walk it accelerates.
+  std::vector<int32_t> fused_nbr;
+  const std::vector<int32_t>* nbr[kMaxFusionGroup] = {};
+};
+
+void BuildFusedPlan(
+    const HistogramTable::FlatHistograms& f,
+    const std::vector<const std::vector<std::pair<int, int>>*>& sparse,
+    const std::vector<const std::vector<int32_t>*>& nbr, FusedPlan* plan) {
+  const size_t group = sparse.size();
+  plan->group = group;
+  plan->bins.clear();
+  struct Item {
+    int32_t bin;
+    uint32_t f;
+    int32_t count;
+  };
+  std::vector<Item> items;
+  for (uint32_t fq = 0; fq < group; ++fq) {
+    plan->nbr[fq] = nbr[fq];
+    for (const auto& [bin, count] : *sparse[fq]) {
+      items.push_back({bin, fq, count});
+    }
+  }
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    return a.bin != b.bin ? a.bin < b.bin : a.f < b.f;
+  });
+  const int nx = f.nx;
+  const int ny = f.ny;
+  for (size_t i = 0; i < items.size();) {
+    FusedBinEntry e;
+    e.bin = items[i].bin;
+    while (i < items.size() && items[i].bin == e.bin) {
+      e.qcount[items[i].f] = items[i].count;
+      ++i;
+    }
+    const int bx = e.bin % nx;
+    const int by = e.bin / nx;
+    const int y_lo = by > 0 ? by - 1 : 0;
+    const int y_hi = by < ny - 1 ? by + 1 : ny - 1;
+    const int x_lo = bx > 0 ? bx - 1 : 0;
+    const int x_hi = bx < nx - 1 ? bx + 1 : nx - 1;
+    for (int y = y_lo; y <= y_hi && !e.any; ++y) {
+      for (int x = x_lo; x <= x_hi; ++x) {
+        if (f.col_layout[static_cast<size_t>(y * nx + x)] != kColEmpty) {
+          e.any = true;
+          break;
+        }
+      }
+    }
+    plan->bins.push_back(e);
+  }
+  const size_t num_bins = f.col_layout.size();
+  plan->fused_nbr.clear();
+  if (num_bins <= f.sparse_bins.size()) {
+    plan->fused_nbr.assign(num_bins * kMaxFusionGroup, 0);
+    for (uint32_t fq = 0; fq < group; ++fq) {
+      const std::vector<int32_t>& src = *nbr[fq];
+      for (size_t b = 0; b < num_bins; ++b) {
+        plan->fused_nbr[b * kMaxFusionGroup + fq] = src[b];
+      }
+    }
+  }
+}
+
+/// TransportBlock for a fusion group: out[f][j] holds member f's
+/// min(side A, side B) for id i0 + j.
+void TransportBlockFused(const HistogramTable::FlatHistograms& f,
+                         const FusedPlan& plan, const SweepKernels& kernels,
+                         size_t i0, size_t len,
+                         int32_t (*out)[kSweepBlock]) {
+  const size_t group = plan.group;
+  const int nx = f.nx;
+  const int ny = f.ny;
+  alignas(64) int32_t acc[kSweepBlock];
+  for (size_t fq = 0; fq < group; ++fq) {
+    std::fill_n(out[fq], len, 0);
+  }
+  for (const FusedBinEntry& e : plan.bins) {
+    if (!e.any) continue;
+    const int bx = e.bin % nx;
+    const int by = e.bin / nx;
+    const int y_lo = by > 0 ? by - 1 : 0;
+    const int y_hi = by < ny - 1 ? by + 1 : ny - 1;
+    const int x_lo = bx > 0 ? bx - 1 : 0;
+    const int x_hi = bx < nx - 1 ? bx + 1 : nx - 1;
+    std::fill_n(acc, len, 0);
+    for (int y = y_lo; y <= y_hi; ++y) {
+      for (int x = x_lo; x <= x_hi; ++x) {
+        AddColumnBlock(f, static_cast<size_t>(y * nx + x), i0, len, acc,
+                       kernels);
+      }
+    }
+    // The bin's neighborhood mass is accumulated once; every member that
+    // occupies it pays only its own clamp — the fused sweep's side-A
+    // saving over F independent sweeps.
+    for (size_t fq = 0; fq < group; ++fq) {
+      if (e.qcount[fq] > 0) {
+        kernels.min_cap_accum(e.qcount[fq], acc, out[fq], len);
+      }
+    }
+  }
+  for (size_t j = 0; j < len; ++j) {
+    const size_t id = i0 + j;
+    alignas(32) int32_t sb[kMaxFusionGroup] = {};
+    if (!plan.fused_nbr.empty()) {
+      kernels.fused_side_b(f.sparse_bins.data(), f.sparse_counts.data(),
+                           f.sparse_offsets[id], f.sparse_offsets[id + 1],
+                           plan.fused_nbr.data(), sb);
+    } else {
+      for (uint32_t e = f.sparse_offsets[id]; e < f.sparse_offsets[id + 1];
+           ++e) {
+        const size_t bin = static_cast<size_t>(f.sparse_bins[e]);
+        const int32_t c = f.sparse_counts[e];
+        for (size_t fq = 0; fq < group; ++fq) {
+          sb[fq] += std::min(c, (*plan.nbr[fq])[bin]);
+        }
+      }
+    }
+    for (size_t fq = 0; fq < group; ++fq) {
+      out[fq][j] = std::min(out[fq][j], sb[fq]);
+    }
+  }
+}
+
 }  // namespace
 
 void HistogramTable::SweepBlocks(const QueryHistogram& query,
@@ -1102,17 +1527,16 @@ void HistogramTable::SweepBlocks(const QueryHistogram& query,
                                  size_t block_end,
                                  std::vector<int>* out) const {
   const size_t n = totals_.size();
-  // Lane kernels for the dense columns, resolved once per call so the
-  // active level (EDR_FORCE_KERNEL / test pins) is honored dynamically.
-  const AddColumnFn add_column = AddColumnFor(level);
-  const MinCapAccumFn min_cap_accum = MinCapAccumFor(level);
+  // Lane kernels, resolved once per call so the active level
+  // (EDR_FORCE_KERNEL / test pins) is honored dynamically.
+  const SweepKernels kernels = SweepKernelsFor(level);
   for (size_t block = block_begin; block < block_end; ++block) {
     const size_t i0 = block * kSweepBlock;
     const size_t len = std::min(kSweepBlock, n - i0);
     if (kind_ == Kind::k2D) {
       alignas(64) int32_t t[kSweepBlock];
-      TransportBlock(flat_2d_, query.sparse_2d, query.nbr_2d, add_column,
-                     min_cap_accum, i0, len, t);
+      TransportBlock(flat_2d_, query.sparse_2d, query.nbr_2d, kernels, i0,
+                     len, t);
       for (size_t j = 0; j < len; ++j) {
         const int longer =
             std::max(query.total, static_cast<int>(totals_[i0 + j]));
@@ -1121,10 +1545,10 @@ void HistogramTable::SweepBlocks(const QueryHistogram& query,
     } else {
       alignas(64) int32_t tx[kSweepBlock];
       alignas(64) int32_t ty[kSweepBlock];
-      TransportBlock(flat_x_, query.sparse_x, query.nbr_x, add_column,
-                     min_cap_accum, i0, len, tx);
-      TransportBlock(flat_y_, query.sparse_y, query.nbr_y, add_column,
-                     min_cap_accum, i0, len, ty);
+      TransportBlock(flat_x_, query.sparse_x, query.nbr_x, kernels, i0, len,
+                     tx);
+      TransportBlock(flat_y_, query.sparse_y, query.nbr_y, kernels, i0, len,
+                     ty);
       for (size_t j = 0; j < len; ++j) {
         const int longer =
             std::max(query.total, static_cast<int>(totals_[i0 + j]));
@@ -1176,6 +1600,130 @@ void HistogramTable::FastLowerBoundSweepParallel(
 void HistogramTable::FastLowerBoundSweepScalar(const QueryHistogram& query,
                                                std::vector<int>* out) const {
   SweepImpl(query, KernelLevel::kScalar, out);
+}
+
+void HistogramTable::SweepFusedChunk(
+    const std::vector<const QueryHistogram*>& queries,
+    const std::vector<std::vector<int>*>& outs,
+    const KnnOptions* options) const {
+  const size_t group = queries.size();
+  const size_t n = totals_.size();
+  const size_t num_blocks = (n + kSweepBlock - 1) / kSweepBlock;
+  // Resolve the level once so every shard of this sweep runs one kernel.
+  const KernelLevel level = ActiveKernelLevel();
+  for (std::vector<int>* out : outs) out->resize(n);
+
+  FusedPlan plan_2d;
+  FusedPlan plan_x;
+  FusedPlan plan_y;
+  {
+    std::vector<const std::vector<std::pair<int, int>>*> sparse(group);
+    std::vector<const std::vector<int32_t>*> nbr(group);
+    if (kind_ == Kind::k2D) {
+      for (size_t fq = 0; fq < group; ++fq) {
+        sparse[fq] = &queries[fq]->sparse_2d;
+        nbr[fq] = &queries[fq]->nbr_2d;
+      }
+      BuildFusedPlan(flat_2d_, sparse, nbr, &plan_2d);
+    } else {
+      for (size_t fq = 0; fq < group; ++fq) {
+        sparse[fq] = &queries[fq]->sparse_x;
+        nbr[fq] = &queries[fq]->nbr_x;
+      }
+      BuildFusedPlan(flat_x_, sparse, nbr, &plan_x);
+      for (size_t fq = 0; fq < group; ++fq) {
+        sparse[fq] = &queries[fq]->sparse_y;
+        nbr[fq] = &queries[fq]->nbr_y;
+      }
+      BuildFusedPlan(flat_y_, sparse, nbr, &plan_y);
+    }
+  }
+
+  const SweepKernels kernels = SweepKernelsFor(level);
+  const auto sweep_range = [&](size_t block_begin, size_t block_end) {
+    for (size_t block = block_begin; block < block_end; ++block) {
+      const size_t i0 = block * kSweepBlock;
+      const size_t len = std::min(kSweepBlock, n - i0);
+      if (kind_ == Kind::k2D) {
+        alignas(64) int32_t t[kMaxFusionGroup][kSweepBlock];
+        TransportBlockFused(flat_2d_, plan_2d, kernels, i0, len, t);
+        for (size_t fq = 0; fq < group; ++fq) {
+          std::vector<int>& out = *outs[fq];
+          const int total = queries[fq]->total;
+          for (size_t j = 0; j < len; ++j) {
+            const int longer =
+                std::max(total, static_cast<int>(totals_[i0 + j]));
+            out[i0 + j] = longer - t[fq][j];
+          }
+        }
+      } else {
+        alignas(64) int32_t tx[kMaxFusionGroup][kSweepBlock];
+        alignas(64) int32_t ty[kMaxFusionGroup][kSweepBlock];
+        TransportBlockFused(flat_x_, plan_x, kernels, i0, len, tx);
+        TransportBlockFused(flat_y_, plan_y, kernels, i0, len, ty);
+        for (size_t fq = 0; fq < group; ++fq) {
+          std::vector<int>& out = *outs[fq];
+          const int total = queries[fq]->total;
+          for (size_t j = 0; j < len; ++j) {
+            const int longer =
+                std::max(total, static_cast<int>(totals_[i0 + j]));
+            out[i0 + j] =
+                std::max(longer - tx[fq][j], longer - ty[fq][j]);
+          }
+        }
+      }
+    }
+  };
+
+  const unsigned workers =
+      options != nullptr ? ResolveIntraQueryWorkers(*options) : 1;
+  if (workers <= 1 || num_blocks <= 1) {
+    sweep_range(0, num_blocks);
+    return;
+  }
+  // Contiguous block ranges exactly like FastLowerBoundSweepParallel:
+  // every worker serves the whole group over its own kSweepBlock-aligned
+  // output slices, so any worker count is bit-identical.
+  const size_t ranges = std::min<size_t>(workers, num_blocks);
+  IntraQueryPool(*options).ParallelFor(
+      ranges,
+      [&](size_t r) {
+        sweep_range(r * num_blocks / ranges, (r + 1) * num_blocks / ranges);
+      },
+      static_cast<unsigned>(ranges));
+}
+
+void HistogramTable::FastLowerBoundSweepFused(
+    const std::vector<const QueryHistogram*>& queries,
+    const std::vector<std::vector<int>*>& outs) const {
+  for (size_t begin = 0; begin < queries.size();
+       begin += kMaxFusionGroup) {
+    const size_t end =
+        std::min(queries.size(), begin + kMaxFusionGroup);
+    SweepFusedChunk(
+        std::vector<const QueryHistogram*>(queries.begin() + begin,
+                                           queries.begin() + end),
+        std::vector<std::vector<int>*>(outs.begin() + begin,
+                                       outs.begin() + end),
+        nullptr);
+  }
+}
+
+void HistogramTable::FastLowerBoundSweepFusedParallel(
+    const std::vector<const QueryHistogram*>& queries,
+    const std::vector<std::vector<int>*>& outs,
+    const KnnOptions& options) const {
+  for (size_t begin = 0; begin < queries.size();
+       begin += kMaxFusionGroup) {
+    const size_t end =
+        std::min(queries.size(), begin + kMaxFusionGroup);
+    SweepFusedChunk(
+        std::vector<const QueryHistogram*>(queries.begin() + begin,
+                                           queries.begin() + end),
+        std::vector<std::vector<int>*>(outs.begin() + begin,
+                                       outs.begin() + end),
+        &options);
+  }
 }
 
 int HistogramTable::LowerBound(const Trajectory& query, uint32_t id) const {

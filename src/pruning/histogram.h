@@ -215,6 +215,29 @@ class HistogramTable {
   void FastLowerBoundSweepScalar(const QueryHistogram& query,
                                  std::vector<int>* out) const;
 
+  /// FastLowerBoundSweep for a *fusion group* of queries in one
+  /// cache-blocked database pass: `(*outs[f])[id]` is bit-identical to what
+  /// FastLowerBoundSweep(*queries[f], ...) writes, for every group size.
+  /// The group shares each sweep block while it is cache-hot: the column
+  /// ("side A") neighborhoods are accumulated once per *distinct* bin of
+  /// the group and clamped into every member's accumulator (int32 addition
+  /// commutes, so the per-query sums are exact), and the id-major posting
+  /// walk ("side B") feeds all members through a query-major
+  /// register-blocked min-add kernel (AVX-512/AVX2/SSE2/NEON behind
+  /// ActiveKernelLevel()). Groups larger than kMaxFusionGroup are chunked.
+  void FastLowerBoundSweepFused(
+      const std::vector<const QueryHistogram*>& queries,
+      const std::vector<std::vector<int>*>& outs) const;
+
+  /// FastLowerBoundSweepFused with its cache blocks sharded over the
+  /// intra-query pool, exactly like FastLowerBoundSweepParallel; every
+  /// worker serves the whole fusion group over its own block range, so the
+  /// result stays bit-identical for any worker count.
+  void FastLowerBoundSweepFusedParallel(
+      const std::vector<const QueryHistogram*>& queries,
+      const std::vector<std::vector<int>*>& outs,
+      const KnnOptions& options) const;
+
   Kind kind() const { return kind_; }
   int delta() const { return delta_; }
   HistogramLayout layout() const { return layout_; }
@@ -278,6 +301,11 @@ class HistogramTable {
   void SweepBlocks(const QueryHistogram& query, KernelLevel level,
                    size_t block_begin, size_t block_end,
                    std::vector<int>* out) const;
+  /// One fused chunk (group size <= kMaxFusionGroup) over an optional
+  /// worker count; both fused entry points funnel through here.
+  void SweepFusedChunk(const std::vector<const QueryHistogram*>& queries,
+                       const std::vector<std::vector<int>*>& outs,
+                       const KnnOptions* options) const;
 
   Kind kind_;
   int delta_;

@@ -41,7 +41,6 @@ KnnResult HistogramKnnSearcher::Knn(const Trajectory& query, size_t k,
           options.feature_cache, table_.feature_key(), query,
           [&] { return table_.MakeQueryHistogram(query); });
   const HistogramTable::QueryHistogram& qh = *qh_ptr;
-  const EdrKernel kernel = DefaultEdrKernel();
 
   // Both scans consume the whole bound array anyway, so it is produced by
   // one vectorized sweep over the flat tables instead of n per-row calls.
@@ -51,8 +50,71 @@ KnnResult HistogramKnnSearcher::Knn(const Trajectory& query, size_t k,
   std::vector<int> bounds;
   table_.FastLowerBoundSweepParallel(qh, &bounds, options);
   sweep_span.End();
-  const auto filter_done = std::chrono::steady_clock::now();
+  const double filter_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return RefineWithBounds(query, k, options, bounds, std::move(trace),
+                          filter_seconds);
+}
 
+std::vector<KnnResult> HistogramKnnSearcher::KnnFused(
+    const std::vector<const Trajectory*>& queries, size_t k,
+    const KnnOptions& options) const {
+  const auto start = std::chrono::steady_clock::now();
+  const size_t group = queries.size();
+  std::vector<KnnResult> results(group);
+  if (group == 0) return results;
+  if (k == 0) {
+    for (KnnResult& r : results) {
+      r.stats.db_size = db_.size();
+      r.stats.stages.FinalizeNotVisited(db_.size());
+    }
+    return results;
+  }
+
+  // Per-member features go through the same cache keys as the single-query
+  // path; each member's trace records the shared database pass as a
+  // "fused_sweep" span (all members pay — and amortize — the one sweep).
+  std::vector<std::shared_ptr<QueryTrace>> traces(group);
+  std::vector<int32_t> span_ids(group, -1);
+  std::vector<std::shared_ptr<const HistogramTable::QueryHistogram>> features(
+      group);
+  std::vector<const HistogramTable::QueryHistogram*> qhs(group);
+  std::vector<std::vector<int>> bounds(group);
+  std::vector<std::vector<int>*> outs(group);
+  for (size_t f = 0; f < group; ++f) {
+    traces[f] = MakeQueryTrace();
+    RecordSchedBudget(traces[f].get(), options);
+    if (traces[f] != nullptr) span_ids[f] = traces[f]->Begin("fused_sweep");
+    features[f] = GetOrBuildFeature<HistogramTable::QueryHistogram>(
+        options.feature_cache, table_.feature_key(), *queries[f],
+        [&] { return table_.MakeQueryHistogram(*queries[f]); });
+    qhs[f] = features[f].get();
+    outs[f] = &bounds[f];
+  }
+  table_.FastLowerBoundSweepFusedParallel(qhs, outs, options);
+  for (size_t f = 0; f < group; ++f) {
+    if (traces[f] != nullptr) traces[f]->End(span_ids[f]);
+  }
+  const double filter_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  for (size_t f = 0; f < group; ++f) {
+    results[f] = RefineWithBounds(*queries[f], k, options, bounds[f],
+                                  std::move(traces[f]), filter_seconds);
+  }
+  return results;
+}
+
+KnnResult HistogramKnnSearcher::RefineWithBounds(
+    const Trajectory& query, size_t k, const KnnOptions& options,
+    const std::vector<int>& bounds, std::shared_ptr<QueryTrace> trace,
+    double filter_seconds) const {
+  const auto refine_start = std::chrono::steady_clock::now();
+  KnnResult out;
+  out.stats.db_size = db_.size();
+  const EdrKernel kernel = DefaultEdrKernel();
   const unsigned slots = ResolveIntraQueryWorkers(options);
   std::vector<size_t> computed(slots, 0);
   std::vector<StageCounters> slot_stages(slots);
@@ -106,12 +168,11 @@ KnnResult HistogramKnnSearcher::Knn(const Trajectory& query, size_t k,
   for (const StageCounters& st : slot_stages) out.stats.stages.Add(st);
   out.stats.stages.FinalizeNotVisited(db_.size());
   out.trace = std::move(trace);
-  out.stats.elapsed_seconds =
-      std::chrono::duration<double>(stop_time - start).count();
-  out.stats.filter_seconds =
-      std::chrono::duration<double>(filter_done - start).count();
+  out.stats.filter_seconds = filter_seconds;
   out.stats.refine_seconds =
-      std::chrono::duration<double>(stop_time - filter_done).count();
+      std::chrono::duration<double>(stop_time - refine_start).count();
+  out.stats.elapsed_seconds =
+      out.stats.filter_seconds + out.stats.refine_seconds;
   RecordQueryMetrics(out.stats);
   return out;
 }

@@ -40,6 +40,17 @@ class HistogramKnnSearcher {
   KnnResult Knn(const Trajectory& query, size_t k,
                 const KnnOptions& options = {}) const;
 
+  /// Answers a fusion group of queries with one cache-blocked pass over
+  /// the histogram table: the fused sweep streams every column block once
+  /// and evaluates all members' transport bounds against it, then each
+  /// member runs the unchanged per-query refinement. `results[i]` is
+  /// bit-identical to `Knn(*queries[i], k, options)` for every group size
+  /// and worker count — fusing changes only how often the table is
+  /// streamed, never any member's bound sequence.
+  std::vector<KnnResult> KnnFused(
+      const std::vector<const Trajectory*>& queries, size_t k,
+      const KnnOptions& options = {}) const;
+
   /// Range query: prunes every candidate whose histogram lower bound
   /// exceeds `radius`, computes EDR for the rest. Lossless.
   KnnResult Range(const Trajectory& query, int radius) const;
@@ -48,6 +59,15 @@ class HistogramKnnSearcher {
   std::string name() const;
 
  private:
+  /// The refinement phase shared by Knn and KnnFused: scans candidates
+  /// against precomputed lower bounds (HSE database order or HSR sorted
+  /// order), fills in stats/trace, and records query metrics.
+  KnnResult RefineWithBounds(const Trajectory& query, size_t k,
+                             const KnnOptions& options,
+                             const std::vector<int>& bounds,
+                             std::shared_ptr<QueryTrace> trace,
+                             double filter_seconds) const;
+
   const TrajectoryDataset& db_;
   double epsilon_;
   HistogramScan scan_;

@@ -12,6 +12,18 @@
 #include "query/topk.h"
 
 namespace edr {
+namespace {
+
+/// Distance lower bound from an upper bound `score_cap` on LCSS(Q, S) for
+/// lengths m (query) and n (candidate).
+double LcssDistanceBoundFromCap(size_t m, size_t n, long score_cap) {
+  const double denom = static_cast<double>(std::min(m, n));
+  if (denom == 0.0) return 1.0;
+  const double capped = std::min(static_cast<double>(score_cap), denom);
+  return 1.0 - capped / denom;
+}
+
+}  // namespace
 
 LcssKnnSearcher::LcssKnnSearcher(const TrajectoryDataset& db, double epsilon,
                                  LcssFilter filter, HistogramLayout layout)
@@ -65,15 +77,6 @@ KnnResult LcssKnnSearcher::Knn(const Trajectory& query, size_t k,
   }
   const std::vector<Point2>& query_means = *means_ptr;
 
-  // Distance lower bound from an upper bound `score_cap` on LCSS(Q, S).
-  const auto distance_bound = [m](size_t n, long score_cap) {
-    const double denom = static_cast<double>(std::min(m, n));
-    if (denom == 0.0) return 1.0;
-    const double capped =
-        std::min(static_cast<double>(score_cap), denom);
-    return 1.0 - capped / denom;
-  };
-
   // Distance lower bounds from the histogram sweep (sharded over the
   // pool); candidates are later visited in ascending-bound (HSR) order.
   std::vector<double> bounds;
@@ -84,15 +87,120 @@ KnnResult LcssKnnSearcher::Knn(const Trajectory& query, size_t k,
     for (size_t i = 0; i < db_.size(); ++i) {
       const size_t n = db_[i].size();
       // The sweep returns max(m, n) - U with U >= T* >= LCSS; recover
-      // the score cap U (clamped to min(m, n) inside distance_bound).
+      // the score cap U (clamped to min(m, n) inside the bound).
       const long total = static_cast<long>(std::max(m, n));
       const long transport_cap = total - edr_bounds[i];
-      bounds[i] = distance_bound(n, transport_cap);
+      bounds[i] = LcssDistanceBoundFromCap(m, n, transport_cap);
     }
   }
   sweep_span.End();
-  const auto filter_done = std::chrono::steady_clock::now();
+  const double filter_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return RefineWithBounds(query, k, options, bounds, query_means,
+                          std::move(trace), filter_seconds);
+}
 
+std::vector<KnnResult> LcssKnnSearcher::KnnFused(
+    const std::vector<const Trajectory*>& queries, size_t k,
+    const KnnOptions& options) const {
+  const auto start = std::chrono::steady_clock::now();
+  const size_t group = queries.size();
+  std::vector<KnnResult> results(group);
+  if (group == 0) return results;
+  if (k == 0) {
+    for (KnnResult& r : results) {
+      r.stats.db_size = db_.size();
+      r.stats.stages.FinalizeNotVisited(db_.size());
+    }
+    return results;
+  }
+  const bool use_histogram =
+      filter_ == LcssFilter::kHistogram || filter_ == LcssFilter::kBoth;
+  const bool use_qgram =
+      filter_ == LcssFilter::kQgram || filter_ == LcssFilter::kBoth;
+
+  std::vector<std::shared_ptr<QueryTrace>> traces(group);
+  std::vector<int32_t> span_ids(group, -1);
+  std::vector<std::shared_ptr<const HistogramTable::QueryHistogram>> features(
+      group);
+  std::vector<std::shared_ptr<const std::vector<Point2>>> mean_features(
+      group);
+  for (size_t f = 0; f < group; ++f) {
+    traces[f] = MakeQueryTrace();
+    RecordSchedBudget(traces[f].get(), options);
+    if (traces[f] != nullptr) span_ids[f] = traces[f]->Begin("fused_sweep");
+    if (use_histogram) {
+      features[f] = GetOrBuildFeature<HistogramTable::QueryHistogram>(
+          options.feature_cache, histograms_.feature_key(), *queries[f],
+          [&] { return histograms_.MakeQueryHistogram(*queries[f]); });
+    }
+    if (use_qgram) {
+      mean_features[f] = GetOrBuildFeature<std::vector<Point2>>(
+          options.feature_cache, "qgram.means2d.sorted/q=1", *queries[f],
+          [&] {
+            std::vector<Point2> m = MeanValueQgrams(*queries[f], 1);
+            SortMeans(m);
+            return m;
+          });
+    } else {
+      mean_features[f] = std::make_shared<const std::vector<Point2>>();
+    }
+  }
+
+  // The histogram bound sweep is the only whole-database filter pass;
+  // fuse it. The per-member cap -> distance mapping below is the same
+  // arithmetic the single-query path applies to its own sweep output.
+  std::vector<std::vector<double>> bounds(group);
+  if (use_histogram) {
+    std::vector<const HistogramTable::QueryHistogram*> qhs(group);
+    std::vector<std::vector<int>> edr_bounds(group);
+    std::vector<std::vector<int>*> outs(group);
+    for (size_t f = 0; f < group; ++f) {
+      qhs[f] = features[f].get();
+      outs[f] = &edr_bounds[f];
+    }
+    histograms_.FastLowerBoundSweepFusedParallel(qhs, outs, options);
+    for (size_t f = 0; f < group; ++f) {
+      const size_t m = queries[f]->size();
+      bounds[f].resize(db_.size());
+      for (size_t i = 0; i < db_.size(); ++i) {
+        const size_t n = db_[i].size();
+        const long total = static_cast<long>(std::max(m, n));
+        const long transport_cap = total - edr_bounds[f][i];
+        bounds[f][i] = LcssDistanceBoundFromCap(m, n, transport_cap);
+      }
+    }
+  }
+  for (size_t f = 0; f < group; ++f) {
+    if (traces[f] != nullptr) traces[f]->End(span_ids[f]);
+  }
+  const double filter_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  for (size_t f = 0; f < group; ++f) {
+    results[f] =
+        RefineWithBounds(*queries[f], k, options, bounds[f],
+                         *mean_features[f], std::move(traces[f]),
+                         filter_seconds);
+  }
+  return results;
+}
+
+KnnResult LcssKnnSearcher::RefineWithBounds(
+    const Trajectory& query, size_t k, const KnnOptions& options,
+    const std::vector<double>& bounds,
+    const std::vector<Point2>& query_means, std::shared_ptr<QueryTrace> trace,
+    double filter_seconds) const {
+  const auto refine_start = std::chrono::steady_clock::now();
+  KnnResult out;
+  out.stats.db_size = db_.size();
+  const size_t m = query.size();
+  const bool use_histogram =
+      filter_ == LcssFilter::kHistogram || filter_ == LcssFilter::kBoth;
+  const bool use_qgram =
+      filter_ == LcssFilter::kQgram || filter_ == LcssFilter::kBoth;
   const unsigned slots = ResolveIntraQueryWorkers(options);
   std::vector<size_t> computed(slots, 0);
   std::vector<StageCounters> slot_stages(slots);
@@ -106,7 +214,7 @@ KnnResult LcssKnnSearcher::Knn(const Trajectory& query, size_t k,
     if (use_qgram) {
       const long count = static_cast<long>(
           qgram_means_.CountMatches2D(query_means, epsilon_, id));
-      if (distance_bound(s.size(), count) > threshold) {
+      if (LcssDistanceBoundFromCap(m, s.size(), count) > threshold) {
         // The score-cap filter is the Q-gram count bound specialized to
         // LCSS, so it shares the qgram_pruned bucket.
         st.Bump(&StageCounters::qgram_pruned);
@@ -141,12 +249,11 @@ KnnResult LcssKnnSearcher::Knn(const Trajectory& query, size_t k,
   for (const size_t c : computed) out.stats.edr_computed += c;
   for (const StageCounters& st : slot_stages) out.stats.stages.Add(st);
   out.stats.stages.FinalizeNotVisited(db_.size());
-  out.stats.elapsed_seconds =
-      std::chrono::duration<double>(stop_time - start).count();
-  out.stats.filter_seconds =
-      std::chrono::duration<double>(filter_done - start).count();
+  out.stats.filter_seconds = filter_seconds;
   out.stats.refine_seconds =
-      std::chrono::duration<double>(stop_time - filter_done).count();
+      std::chrono::duration<double>(stop_time - refine_start).count();
+  out.stats.elapsed_seconds =
+      out.stats.filter_seconds + out.stats.refine_seconds;
   out.trace = std::move(trace);
   RecordQueryMetrics(out.stats);
   return out;

@@ -48,9 +48,27 @@ class LcssKnnSearcher {
   KnnResult Knn(const Trajectory& query, size_t k,
                 const KnnOptions& options = {}) const;
 
+  /// Answers a fusion group of queries; when the histogram filter is
+  /// active its whole-database bound sweep is fused into one cache-blocked
+  /// table pass serving every member. `results[i]` is bit-identical to
+  /// `Knn(*queries[i], k, options)` for every filter configuration.
+  std::vector<KnnResult> KnnFused(
+      const std::vector<const Trajectory*>& queries, size_t k,
+      const KnnOptions& options = {}) const;
+
   std::string name() const;
 
  private:
+  /// Per-query tail shared by Knn and KnnFused: the count filter plus
+  /// exact-LCSS refinement over precomputed distance bounds (`bounds`
+  /// empty when the histogram filter is off).
+  KnnResult RefineWithBounds(const Trajectory& query, size_t k,
+                             const KnnOptions& options,
+                             const std::vector<double>& bounds,
+                             const std::vector<Point2>& query_means,
+                             std::shared_ptr<QueryTrace> trace,
+                             double filter_seconds) const;
+
   const TrajectoryDataset& db_;
   double epsilon_;
   LcssFilter filter_;

@@ -335,4 +335,45 @@ size_t QgramMeansTable::CountMatches1D(const std::vector<double>& query_means,
   return count;
 }
 
+void QgramMeansTable::CountMatchesFused2D(
+    const std::vector<const std::vector<Point2>*>& query_means,
+    double epsilon, uint32_t id, size_t* counts) const {
+  const size_t begin = offsets_[id];
+  const size_t end = offsets_[id + 1];
+  // One kernel resolution for the whole group (CountMatches2D resolves
+  // per call; per-member resolutions of the same level are equivalent).
+  const WindowHasMatchFn window_has_match =
+      WindowHasMatchFor(ActiveKernelLevel());
+  for (size_t fq = 0; fq < query_means.size(); ++fq) {
+    size_t count = 0;
+    size_t window_start = begin;
+    for (const Point2& qm : *query_means[fq]) {
+      window_start =
+          GallopLowerBound(xs_.data(), window_start, end, qm.x - epsilon);
+      if (window_has_match(xs_.data(), ys_.data(), window_start, end,
+                           qm.x + epsilon, qm.y, epsilon)) {
+        ++count;
+      }
+    }
+    counts[fq] = count;
+  }
+}
+
+void QgramMeansTable::CountMatchesFused1D(
+    const std::vector<const std::vector<double>*>& query_means,
+    double epsilon, uint32_t id, size_t* counts) const {
+  const size_t begin = offsets_[id];
+  const size_t end = offsets_[id + 1];
+  for (size_t fq = 0; fq < query_means.size(); ++fq) {
+    size_t count = 0;
+    size_t window_start = begin;
+    for (const double qm : *query_means[fq]) {
+      window_start =
+          GallopLowerBound(xs_.data(), window_start, end, qm - epsilon);
+      if (window_start < end && xs_[window_start] <= qm + epsilon) ++count;
+    }
+    counts[fq] = count;
+  }
+}
+
 }  // namespace edr

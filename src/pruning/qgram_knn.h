@@ -55,6 +55,18 @@ class QgramKnnSearcher {
   KnnResult Knn(const Trajectory& query, size_t k,
                 const KnnOptions& options = {}) const;
 
+  /// Answers a fusion group of queries with one streaming pass over the
+  /// flat posting arrays: every trajectory's mean slice is visited once
+  /// (cache-hot) and merge-counted against all members, then each member
+  /// runs the unchanged count-ordered refinement. `results[i]` is
+  /// bit-identical to `Knn(*queries[i], k, options)`. Only the merge-join
+  /// variants (PS2/PS1) have a fused counting pass; the tree-probe
+  /// variants fall back to per-member Knn calls (still correct, no
+  /// amortization).
+  std::vector<KnnResult> KnnFused(
+      const std::vector<const Trajectory*>& queries, size_t k,
+      const KnnOptions& options = {}) const;
+
   /// Answers a range query (all S with EDR(query, S) <= radius, ascending
   /// distance order) using the Theorem 1 count filter in its original
   /// range form: S is pruned when its matching-gram count falls below
@@ -76,6 +88,15 @@ class QgramKnnSearcher {
   std::string name() const;
 
  private:
+  /// Everything after the counting pass, shared by Knn and KnnFused:
+  /// descending-count ordering, Theorem-3 pruning, bounded refinement,
+  /// stats/trace fill-in.
+  KnnResult RefineWithCounts(const Trajectory& query, size_t k,
+                             const KnnOptions& options,
+                             const std::vector<size_t>& counts,
+                             std::shared_ptr<QueryTrace> trace,
+                             double filter_seconds) const;
+
   const TrajectoryDataset& db_;
   double epsilon_;
   int q_;

@@ -1,5 +1,6 @@
 #include "query/engine.h"
 
+#include <cstdint>
 #include <tuple>
 
 #include "query/scheduler.h"
@@ -128,6 +129,20 @@ const CombinedKnnSearcher& QueryEngine::Combined(
   return *it->second;
 }
 
+const LcssKnnSearcher& QueryEngine::Lcss(LcssFilter filter,
+                                         HistogramLayout layout) {
+  const auto key =
+      std::make_pair(static_cast<int>(filter), static_cast<int>(layout));
+  auto it = lcss_.find(key);
+  if (it == lcss_.end()) {
+    it = lcss_
+             .emplace(key, std::make_unique<LcssKnnSearcher>(db_, epsilon_,
+                                                             filter, layout))
+             .first;
+  }
+  return *it->second;
+}
+
 namespace {
 
 /// The bound Make*-time options overlaid with what the scheduler grants
@@ -146,7 +161,11 @@ KnnOptions MergeScheduled(const KnnOptions& bound,
 }
 
 /// Builds the NamedSearcher pair of entry points over any searcher with a
-/// Knn(query, k, options) method.
+/// Knn(query, k, options) method. Searchers that additionally expose
+/// KnnFused(queries, k, options) get the fused entry point and a fusion
+/// key — the display name (which encodes the full filter configuration)
+/// plus the searcher instance, so handles over the same cached searcher
+/// fuse together and handles over different datasets or configs never do.
 template <typename Searcher>
 NamedSearcher MakeNamed(const Searcher& searcher,
                         const KnnOptions& options) {
@@ -159,6 +178,19 @@ NamedSearcher MakeNamed(const Searcher& searcher,
                                            const KnnOptions& per_call) {
     return searcher.Knn(q, k, MergeScheduled(options, per_call));
   };
+  if constexpr (requires(const std::vector<const Trajectory*>& group) {
+                  searcher.KnnFused(group, size_t{1}, KnnOptions{});
+                }) {
+    named.fusion_key =
+        named.name + "#" +
+        std::to_string(reinterpret_cast<uintptr_t>(&searcher));
+    named.search_fused =
+        [&searcher, options](const std::vector<const Trajectory*>& group,
+                             size_t k, const KnnOptions& per_call) {
+          return searcher.KnnFused(group, k,
+                                   MergeScheduled(options, per_call));
+        };
+  }
   return named;
 }
 
@@ -182,7 +214,15 @@ NamedSearcher QueryEngine::MakeSeqScan(bool early_abandon) const {
 
 NamedSearcher QueryEngine::MakeQgram(QgramVariant variant, int q,
                                      const KnnOptions& options) {
-  return MakeNamed(Qgram(variant, q), options);
+  NamedSearcher named = MakeNamed(Qgram(variant, q), options);
+  if (variant == QgramVariant::kRtree2D || variant == QgramVariant::kBtree1D) {
+    // Tree probes mutate shared per-query state (the last_gram dedup
+    // array) and have no fused counting pass — keep the handle unfusable
+    // so the scheduler never groups queries for it.
+    named.fusion_key.clear();
+    named.search_fused = nullptr;
+  }
+  return named;
 }
 
 NamedSearcher QueryEngine::MakeHistogram(HistogramTable::Kind kind, int delta,
@@ -205,6 +245,12 @@ NamedSearcher QueryEngine::MakeCse(size_t max_triangle,
 NamedSearcher QueryEngine::MakeCombined(const CombinedOptions& options,
                                         const KnnOptions& knn_options) {
   return MakeNamed(Combined(options), knn_options);
+}
+
+NamedSearcher QueryEngine::MakeLcss(LcssFilter filter,
+                                    const KnnOptions& options,
+                                    HistogramLayout layout) {
+  return MakeNamed(Lcss(filter, layout), options);
 }
 
 }  // namespace edr

@@ -13,6 +13,7 @@
 #include "pruning/combined.h"
 #include "pruning/cse.h"
 #include "pruning/histogram_knn.h"
+#include "pruning/lcss_knn.h"
 #include "pruning/near_triangle.h"
 #include "pruning/qgram_knn.h"
 #include "query/knn.h"
@@ -34,6 +35,20 @@ struct NamedSearcher {
   /// the budget. Results are identical either way.
   std::function<KnnResult(const Trajectory&, size_t, const KnnOptions&)>
       search_with;
+  /// Semantic configuration key for fused multi-query sweeps. Non-empty iff
+  /// the searcher can answer a group of queries with one database pass
+  /// (`search_fused`); queries going through handles with equal keys see
+  /// the same filter structures and may be fused into one sweep. Empty for
+  /// searchers whose filter passes mutate shared per-query state (tree
+  /// probes) or have no whole-database filter pass at all.
+  std::string fusion_key;
+  /// Fused batch entry point: answers all queries of one fusion group with
+  /// a single cache-blocked pass over the filter tables. `results[i]` is
+  /// bit-identical to `search_with(*queries[i], k, options)` — fusion is a
+  /// pure throughput knob. Set iff `fusion_key` is non-empty.
+  std::function<std::vector<KnnResult>(
+      const std::vector<const Trajectory*>&, size_t, const KnnOptions&)>
+      search_fused;
 };
 
 /// Facade over every retrieval method in the library for one dataset and
@@ -98,6 +113,12 @@ class QueryEngine {
   /// Combined searcher (Section 4.4), cached per configuration.
   const CombinedKnnSearcher& Combined(const CombinedOptions& options);
 
+  /// LCSS searcher (the paper's "details omitted" transfer of the pruning
+  /// techniques to LCSS), cached per (filter, layout).
+  const LcssKnnSearcher& Lcss(
+      LcssFilter filter,
+      HistogramLayout layout = HistogramLayout::kAdaptive);
+
   /// Convenience wrappers producing NamedSearcher handles. The bound
   /// `options` configure intra-query parallelism for every call made
   /// through the handle; the default is the sequential single-worker path.
@@ -114,6 +135,8 @@ class QueryEngine {
                         const KnnOptions& options = {});
   NamedSearcher MakeCombined(const CombinedOptions& options,
                              const KnnOptions& knn_options = {});
+  NamedSearcher MakeLcss(LcssFilter filter, const KnnOptions& options = {},
+                         HistogramLayout layout = HistogramLayout::kAdaptive);
 
  private:
   /// Reference-column matrix shared by NTR / CSE / combined searchers.
@@ -130,6 +153,7 @@ class QueryEngine {
   std::map<size_t, std::unique_ptr<NearTriangleSearcher>> near_triangles_;
   std::map<size_t, std::unique_ptr<CseSearcher>> cses_;
   std::map<std::string, std::unique_ptr<CombinedKnnSearcher>> combined_;
+  std::map<std::pair<int, int>, std::unique_ptr<LcssKnnSearcher>> lcss_;
 };
 
 }  // namespace edr

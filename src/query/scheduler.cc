@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <utility>
+#include <vector>
 
+#include "core/cpu.h"
 #include "obs/registry.h"
 #include "query/feature_cache.h"
 #include "query/thread_pool.h"
@@ -60,6 +62,21 @@ void RecordSchedStep(uint64_t waves, uint64_t wave_queries, uint64_t widened,
   }
 }
 
+/// Fusion counters, one (groups, queries) increment per fused dispatch.
+void RecordSchedFused(uint64_t groups, uint64_t queries) {
+  if constexpr (kObsEnabled) {
+    static ObsCounter& groups_counter =
+        MetricsRegistry::Global().Counter("sched.fused_groups");
+    static ObsCounter& queries_counter =
+        MetricsRegistry::Global().Counter("sched.fused_queries");
+    groups_counter.Inc(groups);
+    queries_counter.Inc(queries);
+  } else {
+    (void)groups;
+    (void)queries;
+  }
+}
+
 }  // namespace
 
 AdaptiveScheduler::AdaptiveScheduler(const NamedSearcher& searcher, size_t k,
@@ -109,6 +126,14 @@ size_t AdaptiveScheduler::WidenPending() const {
   return std::max<size_t>(1, Capacity() / 2);
 }
 
+size_t AdaptiveScheduler::MaxFusion() const {
+  // budget_override schedules are strictly per-query (the adversarial
+  // test harness); searchers without a fused entry point cannot fuse.
+  if (policy_.budget_override) return 1;
+  if (searcher_.fusion_key.empty() || !searcher_.search_fused) return 1;
+  return policy_.max_fusion != 0 ? policy_.max_fusion : kMaxFusionGroup;
+}
+
 KnnResult AdaptiveScheduler::Call(const Trajectory& query, unsigned budget) {
   if (searcher_.search_with) {
     KnnOptions per_call;
@@ -134,6 +159,40 @@ size_t AdaptiveScheduler::Step(
     const std::function<const Trajectory&(size_t)>& query_at,
     const std::function<void(size_t, KnnResult&&)>& emit) {
   if (pending == 0) return 0;
+
+  // Fusable searcher with a backlog: answer up to MaxFusion() queries with
+  // one fused database sweep on the calling thread. Groups run one after
+  // another, each granted the whole free capacity as intra-query budget,
+  // so the pool is filled by the sweep's own sharding instead of by
+  // inter-query waves — the table is streamed once per group instead of
+  // once per query.
+  const size_t max_fusion = MaxFusion();
+  if (pending > 1 && max_fusion > 1) {
+    const size_t group = std::min(pending, max_fusion);
+    const unsigned budget = GrantBudget(1);
+    std::vector<const Trajectory*> members(group);
+    for (size_t j = 0; j < group; ++j) members[j] = &query_at(next + j);
+    KnnOptions per_call;
+    per_call.intra_query_workers = budget;
+    per_call.pool = pool_;
+    per_call.feature_cache = cache_;
+    std::vector<KnnResult> results =
+        searcher_.search_fused(members, k_, per_call);
+    for (size_t j = 0; j < group; ++j) {
+      emit(next + j, std::move(results[j]));
+    }
+    // One grant covers the whole group: the members share a single call's
+    // budget rather than receiving one each.
+    stats_.queries += group;
+    stats_.budget_granted += budget;
+    stats_.max_budget = std::max(stats_.max_budget, budget);
+    ++stats_.fused_groups;
+    stats_.fused_queries += group;
+    RecordSchedStep(/*waves=*/0, /*wave_queries=*/0, /*widened=*/0, budget);
+    RecordSchedFused(/*groups=*/1, group);
+    return group;
+  }
+
   const unsigned budget = GrantBudget(pending);
 
   // Deep backlog and no test override: ride a wave. Everything except the

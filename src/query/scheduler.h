@@ -36,6 +36,14 @@ struct SchedulerPolicy {
   /// Backlog level at or below which queries widen instead of riding a
   /// wave (0 = auto: half the capacity, at least 1).
   size_t widen_pending = 0;
+  /// Cap on the fusion-group size for searchers with a fused entry point
+  /// (NamedSearcher::search_fused): up to this many backlog queries are
+  /// answered by one fused database sweep, the group running on the
+  /// calling thread with the whole free capacity as intra-query budget.
+  /// 0 = auto (kMaxFusionGroup, the kernels' register-blocking width);
+  /// 1 disables fusion. Ignored — fusion off — under budget_override,
+  /// whose schedules are strictly per-query.
+  size_t max_fusion = 0;
   /// Test hook: when set, every query runs solo (no waves) with budget
   /// `budget_override(pending, capacity)` clamped to [1, capacity] —
   /// this is how scheduler_test drives fixed, oscillating, and
@@ -51,21 +59,24 @@ struct SchedulerStats {
   size_t waves = 0;            ///< inter-query ParallelFor dispatches
   size_t wave_queries = 0;     ///< queries that ran inside a wave (budget 1)
   size_t widened_queries = 0;  ///< solo queries granted a budget > 1
-  uint64_t budget_granted = 0; ///< summed per-query budgets
-  unsigned max_budget = 0;     ///< largest budget any query received
+  size_t fused_groups = 0;     ///< fused multi-query sweep dispatches
+  size_t fused_queries = 0;    ///< queries answered inside a fused group
+  uint64_t budget_granted = 0; ///< summed per-call budgets
+  unsigned max_budget = 0;     ///< largest budget any call received
 };
 
 /// The decision engine shared by KnnBatch and QuerySession. One instance
 /// drives one run; it is not thread-safe (Step is called from the
 /// owning thread, which then fans out internally).
 ///
-/// Determinism: every schedule — any partition of the queries into waves
-/// and solo calls, under any budget assignment — produces bit-identical
-/// KnnResults, because (a) each query's result is budget-invariant
-/// (the PR 3 guarantee, certified by intra_query_test), (b) queries never
-/// share mutable state, and (c) results are written by query index.
-/// scheduler_test re-certifies this end to end against adversarial
-/// schedules.
+/// Determinism: every schedule — any partition of the queries into fused
+/// groups, waves, and solo calls, under any budget assignment — produces
+/// bit-identical KnnResults, because (a) each query's result is
+/// budget-invariant (the PR 3 guarantee, certified by intra_query_test),
+/// (b) queries never share mutable state, (c) results are written by query
+/// index, and (d) a fused group's results are bit-identical to member-wise
+/// calls (certified by fused_sweep_test). scheduler_test re-certifies this
+/// end to end against adversarial schedules.
 class AdaptiveScheduler {
  public:
   /// `searcher` and `policy` are borrowed for the scheduler's lifetime.
@@ -96,11 +107,17 @@ class AdaptiveScheduler {
   /// policy's auto setting).
   size_t WidenPending() const;
 
+  /// Largest fusion group one Step may form: policy.max_fusion resolved
+  /// (0 = kMaxFusionGroup), or 1 when the searcher has no fused entry
+  /// point or a budget override is active.
+  size_t MaxFusion() const;
+
   /// Executes one scheduling decision over the `pending` queries starting
-  /// at index `next`: either one wave (budget-1 queries fanned inter-query
-  /// across the pool) or one solo query with a wider budget on the calling
-  /// thread. Emits every completed result via `emit(index, result)` and
-  /// returns how many queries completed (>= 1).
+  /// at index `next`: one fused group (a single multi-query sweep on the
+  /// calling thread, for fusable searchers), one wave (budget-1 queries
+  /// fanned inter-query across the pool), or one solo query with a wider
+  /// budget on the calling thread. Emits every completed result via
+  /// `emit(index, result)` and returns how many queries completed (>= 1).
   size_t Step(size_t next, size_t pending,
               const std::function<const Trajectory&(size_t)>& query_at,
               const std::function<void(size_t, KnnResult&&)>& emit);

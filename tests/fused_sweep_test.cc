@@ -1,0 +1,379 @@
+// Certifies the fused multi-query filter sweeps bit-identical to the
+// single-query paths at every level of the stack: the histogram table's
+// fused bound sweep (all four adaptive column layouts, both table kinds),
+// the Q-gram means table's fused merge-count, every fused-capable
+// searcher's KnnFused, and the adaptive scheduler's fusion-group
+// formation. Fusing amortizes database streaming across a query group —
+// it must never change any member's answer.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cpu.h"
+#include "core/rng.h"
+#include "pruning/combined.h"
+#include "pruning/histogram.h"
+#include "pruning/histogram_knn.h"
+#include "pruning/lcss_knn.h"
+#include "pruning/qgram.h"
+#include "pruning/qgram_knn.h"
+#include "query/engine.h"
+#include "query/scheduler.h"
+#include "query/thread_pool.h"
+#include "test_util.h"
+
+namespace edr {
+namespace {
+
+constexpr double kEps = 0.25;
+
+const TrajectoryDataset& Db() {
+  static const TrajectoryDataset db = testutil::SmallDataset(1201, 160, 8, 48);
+  return db;
+}
+
+const std::vector<Trajectory>& Queries() {
+  static const std::vector<Trajectory> queries =
+      testutil::MakeQueries(Db(), 1202, 8);
+  return queries;
+}
+
+/// A dataset whose adaptive histogram table holds all four column layouts
+/// at once (at epsilon 0.05): 220 single-point trajectories in a tight
+/// cluster fill a few bins with all-ones counts at high occupancy
+/// (bitmap), 150 repeated-point trajectories in a second tight cluster
+/// drive counts above one at >25% occupancy (dense), random walks far
+/// from both clusters leave low-occupancy postings (blocked-sparse), and
+/// the space in between stays untouched (empty).
+TrajectoryDataset MixedLayoutDataset() {
+  Rng rng(1301);
+  TrajectoryDataset db("mixed-layouts");
+  for (int i = 0; i < 220; ++i) {
+    Trajectory t;
+    t.Append({rng.Gaussian(0.0, 0.02), rng.Gaussian(0.0, 0.02)});
+    db.Add(t);
+  }
+  for (int i = 0; i < 150; ++i) {
+    Trajectory t;
+    for (int j = 0; j < 4; ++j) {
+      t.Append({rng.Gaussian(0.9, 0.005), rng.Gaussian(0.9, 0.005)});
+    }
+    db.Add(t);
+  }
+  for (int i = 0; i < 40; ++i) {
+    Trajectory w = testutil::RandomWalk(rng, 24);
+    for (size_t j = 0; j < w.size(); ++j) {
+      w[j].x += 10.0;
+      w[j].y += 10.0;
+    }
+    db.Add(w);
+  }
+  return db;
+}
+
+/// Group sizes the certification sweeps: singleton, partial, the kernels'
+/// register-blocking width, and one past it (exercises chunking).
+std::vector<size_t> GroupSizes() {
+  return {1, 2, kMaxFusionGroup, kMaxFusionGroup + 3};
+}
+
+void ExpectFusedSweepMatches(const HistogramTable& table,
+                             const std::vector<Trajectory>& queries,
+                             const KnnOptions* options,
+                             const std::string& context) {
+  std::vector<HistogramTable::QueryHistogram> qhs;
+  qhs.reserve(queries.size());
+  for (const Trajectory& q : queries) qhs.push_back(table.MakeQueryHistogram(q));
+
+  std::vector<std::vector<int>> expected(qhs.size());
+  for (size_t i = 0; i < qhs.size(); ++i) {
+    table.FastLowerBoundSweep(qhs[i], &expected[i]);
+  }
+
+  for (const size_t g : GroupSizes()) {
+    std::vector<const HistogramTable::QueryHistogram*> group(g);
+    std::vector<std::vector<int>> fused(g);
+    std::vector<std::vector<int>*> outs(g);
+    for (size_t i = 0; i < g; ++i) {
+      group[i] = &qhs[i % qhs.size()];
+      outs[i] = &fused[i];
+    }
+    if (options != nullptr) {
+      table.FastLowerBoundSweepFusedParallel(group, outs, *options);
+    } else {
+      table.FastLowerBoundSweepFused(group, outs);
+    }
+    for (size_t i = 0; i < g; ++i) {
+      EXPECT_EQ(fused[i], expected[i % qhs.size()])
+          << context << " group=" << g << " member=" << i;
+    }
+  }
+}
+
+// The core tentpole guarantee at the table level: fused bounds are bit
+// for bit the single-sweep bounds for every group size, both table kinds,
+// both layout policies, sequential and sharded over 4 workers.
+TEST(FusedSweepTest, TableBoundsBitIdenticalAllKindsAndLayouts) {
+  static ThreadPool pool(4);
+  KnnOptions parallel;
+  parallel.intra_query_workers = 4;
+  parallel.pool = &pool;
+  const auto queries = testutil::MakeQueries(Db(), 1203, 8);
+  for (const HistogramTable::Kind kind :
+       {HistogramTable::Kind::k2D, HistogramTable::Kind::k1D}) {
+    for (const HistogramLayout layout :
+         {HistogramLayout::kAdaptive, HistogramLayout::kDense}) {
+      const HistogramTable table(Db(), kEps, kind, 1, layout);
+      const std::string context =
+          std::string(kind == HistogramTable::Kind::k2D ? "2d/" : "1d/") +
+          HistogramLayoutName(layout);
+      ExpectFusedSweepMatches(table, queries, nullptr, context + "/seq");
+      ExpectFusedSweepMatches(table, queries, &parallel, context + "/par4");
+    }
+  }
+}
+
+// Same guarantee on a table that provably holds all four adaptive column
+// layouts at once, so the fused block kernels cross every dispatch path
+// (dense min-cap, bitmap accumulate, blocked-sparse scatter, empty skip)
+// within a single sweep.
+TEST(FusedSweepTest, AllFourColumnLayoutsInOneFusedSweep) {
+  const TrajectoryDataset db = MixedLayoutDataset();
+  const HistogramTable table(db, 0.05, HistogramTable::Kind::k2D, 1,
+                             HistogramLayout::kAdaptive);
+  const HistogramStorageStats stats = table.storage_stats();
+  ASSERT_GT(stats.dense_columns, 0u) << "dataset no longer drives dense";
+  ASSERT_GT(stats.bitmap_columns, 0u) << "dataset no longer drives bitmap";
+  ASSERT_GT(stats.sparse_columns, 0u) << "dataset no longer drives sparse";
+  ASSERT_GT(stats.empty_columns, 0u) << "dataset no longer drives empty";
+
+  // Queries drawn from every region (bitmap cluster, dense cluster,
+  // walks), so the fused plan's distinct bins span all layouts.
+  std::vector<Trajectory> queries;
+  for (const size_t i : {0, 60, 120, 230, 280, 340, 375, 400}) {
+    queries.push_back(db[i]);
+  }
+  ExpectFusedSweepMatches(table, queries, nullptr, "mixed");
+}
+
+// Fused merge-counts off the flat Q-gram posting arrays match the
+// per-query counts for every trajectory and group size, 2-D and 1-D.
+TEST(FusedSweepTest, QgramFusedCountsBitIdentical) {
+  const auto queries = testutil::MakeQueries(Db(), 1204, 8);
+
+  const QgramMeansTable table2d(Db(), /*q=*/1, /*dims=*/2);
+  std::vector<std::vector<Point2>> means2d;
+  for (const Trajectory& q : queries) {
+    std::vector<Point2> m = MeanValueQgrams(q, 1);
+    SortMeans(m);
+    means2d.push_back(std::move(m));
+  }
+  for (const size_t g : GroupSizes()) {
+    std::vector<const std::vector<Point2>*> group(g);
+    for (size_t i = 0; i < g; ++i) group[i] = &means2d[i % means2d.size()];
+    std::vector<size_t> counts(g);
+    for (uint32_t id = 0; id < table2d.size(); ++id) {
+      table2d.CountMatchesFused2D(group, kEps, id, counts.data());
+      for (size_t i = 0; i < g; ++i) {
+        ASSERT_EQ(counts[i], table2d.CountMatches2D(*group[i], kEps, id))
+            << "2d id=" << id << " group=" << g << " member=" << i;
+      }
+    }
+  }
+
+  const QgramMeansTable table1d(Db(), /*q=*/1, /*dims=*/1);
+  std::vector<std::vector<double>> means1d;
+  for (const Trajectory& q : queries) {
+    std::vector<double> m = MeanValueQgrams1D(q, 1, /*use_x=*/true);
+    std::sort(m.begin(), m.end());
+    means1d.push_back(std::move(m));
+  }
+  for (const size_t g : GroupSizes()) {
+    std::vector<const std::vector<double>*> group(g);
+    for (size_t i = 0; i < g; ++i) group[i] = &means1d[i % means1d.size()];
+    std::vector<size_t> counts(g);
+    for (uint32_t id = 0; id < table1d.size(); ++id) {
+      table1d.CountMatchesFused1D(group, kEps, id, counts.data());
+      for (size_t i = 0; i < g; ++i) {
+        ASSERT_EQ(counts[i], table1d.CountMatches1D(*group[i], kEps, id))
+            << "1d id=" << id << " group=" << g << " member=" << i;
+      }
+    }
+  }
+}
+
+void ExpectSameNeighbors(const KnnResult& expected, const KnnResult& actual,
+                         const std::string& context) {
+  ASSERT_EQ(expected.neighbors.size(), actual.neighbors.size()) << context;
+  for (size_t j = 0; j < expected.neighbors.size(); ++j) {
+    EXPECT_EQ(expected.neighbors[j].id, actual.neighbors[j].id)
+        << context << " rank " << j;
+    EXPECT_EQ(expected.neighbors[j].distance, actual.neighbors[j].distance)
+        << context << " rank " << j;
+  }
+}
+
+template <typename Searcher>
+void ExpectKnnFusedMatches(const Searcher& searcher, const std::string& name,
+                           size_t k, const KnnOptions& options) {
+  const std::vector<Trajectory>& queries = Queries();
+  for (const size_t g : GroupSizes()) {
+    std::vector<const Trajectory*> group(g);
+    for (size_t i = 0; i < g; ++i) group[i] = &queries[i % queries.size()];
+    const std::vector<KnnResult> fused = searcher.KnnFused(group, k, options);
+    ASSERT_EQ(fused.size(), g) << name;
+    for (size_t i = 0; i < g; ++i) {
+      const KnnResult expected = searcher.Knn(*group[i], k, options);
+      const std::string context = name + "/group=" + std::to_string(g) +
+                                  "/member=" + std::to_string(i);
+      ExpectSameNeighbors(expected, fused[i], context);
+      // At one worker the refinement is fully sequential, so the identical
+      // helper over identical bounds must even compute the same EDR count.
+      // (With more workers the count is schedule-dependent — the shared
+      // k-th-distance threshold races benignly — so only the neighbor set
+      // is comparable there.)
+      if (options.intra_query_workers == 1) {
+        EXPECT_EQ(expected.stats.edr_computed, fused[i].stats.edr_computed)
+            << context;
+      }
+    }
+  }
+}
+
+// Every fused-capable searcher returns bit-identical kNN answers through
+// KnnFused for every group size, at 1 and 4 intra-query workers.
+TEST(FusedSweepTest, SearchersBitIdenticalAtOneAndFourWorkers) {
+  static ThreadPool pool(4);
+  const HistogramKnnSearcher hse(Db(), kEps, HistogramTable::Kind::k2D, 1,
+                                 HistogramScan::kSequential);
+  const HistogramKnnSearcher hsr(Db(), kEps, HistogramTable::Kind::k2D, 1,
+                                 HistogramScan::kSorted);
+  const QgramKnnSearcher ps2(Db(), kEps, 1, QgramVariant::kMerge2D);
+  const QgramKnnSearcher ps1(Db(), kEps, 1, QgramVariant::kMerge1D);
+  CombinedOptions copt;
+  copt.max_triangle = 30;
+  const CombinedKnnSearcher combined(Db(), kEps, copt);
+  const LcssKnnSearcher lcss(Db(), kEps, LcssFilter::kBoth);
+
+  for (const unsigned workers : {1u, 4u}) {
+    KnnOptions options;
+    options.intra_query_workers = workers;
+    options.pool = &pool;
+    const std::string suffix = "/workers=" + std::to_string(workers);
+    ExpectKnnFusedMatches(hse, "HSE" + suffix, 6, options);
+    ExpectKnnFusedMatches(hsr, "HSR" + suffix, 6, options);
+    ExpectKnnFusedMatches(ps2, "PS2" + suffix, 6, options);
+    ExpectKnnFusedMatches(ps1, "PS1" + suffix, 6, options);
+    ExpectKnnFusedMatches(combined, "2HPN" + suffix, 6, options);
+    ExpectKnnFusedMatches(lcss, "LCSS" + suffix, 6, options);
+  }
+}
+
+// Degenerate groups: empty, k = 0, and the tree-probe fallback.
+TEST(FusedSweepTest, DegenerateGroups) {
+  const HistogramKnnSearcher hsr(Db(), kEps, HistogramTable::Kind::k2D, 1,
+                                 HistogramScan::kSorted);
+  EXPECT_TRUE(hsr.KnnFused({}, 5).empty());
+  const std::vector<const Trajectory*> group = {&Queries()[0], &Queries()[1]};
+  const std::vector<KnnResult> zero_k = hsr.KnnFused(group, 0);
+  ASSERT_EQ(zero_k.size(), 2u);
+  for (const KnnResult& r : zero_k) {
+    EXPECT_TRUE(r.neighbors.empty());
+    EXPECT_EQ(r.stats.db_size, Db().size());
+  }
+
+  // PR has no fused counting pass; the per-member fallback must still
+  // answer every member exactly.
+  const QgramKnnSearcher pr(Db(), kEps, 1, QgramVariant::kRtree2D);
+  const std::vector<KnnResult> fused = pr.KnnFused(group, 4);
+  ASSERT_EQ(fused.size(), 2u);
+  for (size_t i = 0; i < group.size(); ++i) {
+    ExpectSameNeighbors(pr.Knn(*group[i], 4), fused[i], "PR fallback");
+  }
+}
+
+// The scheduler forms fusion groups for fusable handles by default, the
+// results stay bit-identical to the sequential path, and the stats /
+// handle metadata describe the fused schedule.
+TEST(FusedSweepTest, SchedulerFormsFusionGroups) {
+  static ThreadPool pool(8);
+  QueryEngine engine(Db(), kEps);
+  KnnOptions bound;
+  bound.pool = &pool;
+  NamedSearcher searcher = engine.MakeHistogram(
+      HistogramTable::Kind::k2D, 1, HistogramScan::kSorted, bound);
+  ASSERT_FALSE(searcher.fusion_key.empty());
+  ASSERT_TRUE(static_cast<bool>(searcher.search_fused));
+
+  std::vector<KnnResult> expected;
+  for (const Trajectory& q : Queries()) expected.push_back(searcher.search(q, 5));
+
+  SchedulerPolicy policy;
+  SchedulerStats stats;
+  const std::vector<KnnResult> fused =
+      RunScheduled(searcher, Queries(), 5, policy, &pool, nullptr, &stats);
+  ASSERT_EQ(fused.size(), Queries().size());
+  EXPECT_EQ(stats.queries, Queries().size());
+  EXPECT_GT(stats.fused_groups, 0u);
+  // 8 queries, group width 8: one fused dispatch covers the whole batch.
+  EXPECT_EQ(stats.fused_queries, Queries().size());
+  for (size_t i = 0; i < Queries().size(); ++i) {
+    ExpectSameNeighbors(expected[i], fused[i],
+                        "scheduled query " + std::to_string(i));
+  }
+
+  // max_fusion = 1 switches fusion off; the batch rides waves again.
+  SchedulerPolicy unfused_policy;
+  unfused_policy.max_fusion = 1;
+  SchedulerStats unfused_stats;
+  const std::vector<KnnResult> unfused = RunScheduled(
+      searcher, Queries(), 5, unfused_policy, &pool, nullptr, &unfused_stats);
+  EXPECT_EQ(unfused_stats.fused_groups, 0u);
+  EXPECT_GT(unfused_stats.waves, 0u);
+  for (size_t i = 0; i < Queries().size(); ++i) {
+    ExpectSameNeighbors(expected[i], unfused[i],
+                        "unfused query " + std::to_string(i));
+  }
+
+  // Tree-probe handles advertise no fusion key and never fuse.
+  NamedSearcher pr = engine.MakeQgram(QgramVariant::kRtree2D, 1, bound);
+  EXPECT_TRUE(pr.fusion_key.empty());
+  EXPECT_FALSE(static_cast<bool>(pr.search_fused));
+  SchedulerStats pr_stats;
+  RunScheduled(pr, Queries(), 5, SchedulerPolicy{}, &pool, nullptr, &pr_stats);
+  EXPECT_EQ(pr_stats.fused_groups, 0u);
+}
+
+// The streaming QuerySession drives the same fused path from its backlog.
+TEST(FusedSweepTest, QuerySessionFusesBacklog) {
+  static ThreadPool pool(8);
+  QueryEngine engine(Db(), kEps);
+  KnnOptions bound;
+  bound.pool = &pool;
+  NamedSearcher searcher = engine.MakeLcss(LcssFilter::kBoth, bound);
+  ASSERT_FALSE(searcher.fusion_key.empty());
+
+  std::vector<KnnResult> expected;
+  for (const Trajectory& q : Queries()) expected.push_back(searcher.search(q, 4));
+
+  QuerySession::Options options;
+  options.k = 4;
+  options.pool = &pool;
+  QuerySession session(searcher, options);
+  std::vector<QuerySession::Ticket> tickets;
+  for (const Trajectory& q : Queries()) tickets.push_back(session.Submit(q));
+  session.Drain();
+  EXPECT_GT(session.stats().fused_queries, 0u);
+  EXPECT_EQ(session.stats().queries, Queries().size());
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    ExpectSameNeighbors(expected[i], session.Result(tickets[i]),
+                        "session query " + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace edr

@@ -8,6 +8,7 @@
 
 #include "obs/json.h"
 #include "obs/obs.h"
+#include "obs/trace_agg.h"
 
 namespace edr {
 namespace {
@@ -195,6 +196,108 @@ TEST(ObsTraceTest, JsonIsValidAcceptsAndRejects) {
   EXPECT_FALSE(JsonIsValid("{} trailing"));
   EXPECT_FALSE(JsonIsValid("{'a': 1}"));
   EXPECT_FALSE(JsonIsValid("[1,]"));
+}
+
+// --- TraceAggregate (batch trace aggregation) ---
+
+TEST(ObsTraceTest, TraceAggregateMergesByNamePath) {
+  QueryTrace a;
+  const int32_t a_filter = a.Begin("filter");
+  a.End(a_filter);
+  const int32_t a_refine = a.Begin("refine");
+  const int32_t a_worker = a.Begin("refine_worker", a_refine);
+  a.End(a_worker);
+  a.End(a_refine);
+
+  QueryTrace b;
+  const int32_t b_filter = b.Begin("filter");
+  b.End(b_filter);
+  const int32_t b_refine = b.Begin("refine");
+  const int32_t b_w1 = b.Begin("refine_worker", b_refine);
+  b.End(b_w1);
+  const int32_t b_w2 = b.Begin("refine_worker", b_refine);
+  b.End(b_w2);
+  b.End(b_refine);
+
+  TraceAggregate agg;
+  agg.Add(&a);
+  agg.Add(&b);
+  agg.Add(nullptr);  // convenience no-op
+  EXPECT_EQ(agg.traces(), 2u);
+
+  // filter, refine, refine_worker: one aggregate node each, regardless of
+  // how many spans merged into them.
+  ASSERT_EQ(agg.nodes().size(), 3u);
+  const auto& nodes = agg.nodes();
+  EXPECT_EQ(nodes[0].name, "filter");
+  EXPECT_EQ(nodes[0].parent, -1);
+  EXPECT_EQ(nodes[0].spans, 2u);
+  EXPECT_EQ(nodes[1].name, "refine");
+  EXPECT_EQ(nodes[1].parent, -1);
+  EXPECT_EQ(nodes[1].spans, 2u);
+  EXPECT_EQ(nodes[2].name, "refine_worker");
+  EXPECT_EQ(nodes[2].parent, 1);
+  EXPECT_EQ(nodes[2].spans, 3u);  // 1 from a + 2 from b
+  ASSERT_EQ(nodes[1].children.size(), 1u);
+  EXPECT_EQ(nodes[1].children[0], 2);
+
+  // Aggregate phase time is the sum over the merged traces.
+  const double expected =
+      a.PhaseSeconds("refine_worker") + b.PhaseSeconds("refine_worker");
+  EXPECT_DOUBLE_EQ(agg.PhaseSeconds("refine_worker"), expected);
+}
+
+TEST(ObsTraceTest, TraceAggregateSameNameDifferentParentsStaySeparate) {
+  QueryTrace t;
+  const int32_t filter = t.Begin("filter");
+  const int32_t s1 = t.Begin("sweep", filter);
+  t.End(s1);
+  t.End(filter);
+  const int32_t refine = t.Begin("refine");
+  const int32_t s2 = t.Begin("sweep", refine);
+  t.End(s2);
+  t.End(refine);
+
+  TraceAggregate agg;
+  agg.Add(&t);
+  // Two distinct "sweep" nodes: same name, different parents.
+  size_t sweeps = 0;
+  for (const auto& node : agg.nodes()) {
+    if (node.name == "sweep") ++sweeps;
+  }
+  EXPECT_EQ(sweeps, 2u);
+}
+
+TEST(ObsTraceTest, TraceAggregateAccumulatesCounts) {
+  QueryTrace t;
+  t.AddAggregate("dp", 0.5, 10);
+  QueryTrace u;
+  u.AddAggregate("dp", 0.25, 7);
+  TraceAggregate agg;
+  agg.Add(&t);
+  agg.Add(&u);
+  ASSERT_EQ(agg.nodes().size(), 1u);
+  EXPECT_EQ(agg.nodes()[0].count, 17u);
+  EXPECT_EQ(agg.nodes()[0].spans, 2u);
+  EXPECT_DOUBLE_EQ(agg.nodes()[0].seconds, 0.75);
+}
+
+TEST(ObsTraceTest, TraceAggregateToJsonIsValid) {
+  TraceAggregate empty;
+  EXPECT_TRUE(JsonIsValid(empty.ToJson()));
+
+  QueryTrace t;
+  const int32_t refine = t.Begin("refine");
+  const int32_t worker = t.Begin("refine_worker", refine);
+  t.End(worker);
+  t.End(refine);
+  TraceAggregate agg;
+  agg.Add(&t);
+  const std::string json = agg.ToJson();
+  EXPECT_TRUE(JsonIsValid(json)) << json;
+  EXPECT_NE(json.find("\"refine_worker\""), std::string::npos);
+  EXPECT_NE(json.find("\"traces\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"avg_ms\""), std::string::npos);
 }
 
 }  // namespace

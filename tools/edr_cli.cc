@@ -21,20 +21,30 @@
 // scheduler and cache statistics.
 //
 // Observability flags (any command, position-independent):
-//   --trace-json=FILE    write the per-query phase trace of a `knn` query
-//   --metrics-json=FILE  write the process-wide metrics registry snapshot
-//   --metrics-reset      make --metrics-json a delta scrape: export, then
-//                        atomically zero the registry (reset-on-scrape)
-// Both files hold "{}"-style JSON; in an EDR_DISABLE_OBS build the trace
-// file is not written (a note goes to stderr) and the metrics snapshot is
-// empty.
+//   --trace-json=FILE       write the per-query phase trace of a `knn` query
+//   --metrics-json=FILE     write the process-wide metrics registry snapshot
+//   --metrics-reset         make --metrics-json a delta scrape: export, then
+//                           atomically zero the registry (reset-on-scrape)
+//   --metrics-interval=SEC  while a `batch` session drains, dump a
+//                           SnapshotAndReset delta every SEC seconds (one
+//                           JSON line each) to stderr, or to
+//                           --metrics-interval-log=FILE when given (appended)
+//   --trace-agg-json=FILE   after a `batch`, merge every query's phase trace
+//                           into one aggregate profile and write it as JSON
+// The files hold "{}"-style JSON; in an EDR_DISABLE_OBS build the trace
+// files are not written (a note goes to stderr) and the metrics snapshots
+// are empty.
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "data/generators.h"
 #include "data/io.h"
@@ -42,6 +52,7 @@
 #include "eval/epsilon.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "obs/trace_agg.h"
 #include "query/engine.h"
 #include "query/feature_cache.h"
 #include "query/scheduler.h"
@@ -51,8 +62,11 @@ namespace {
 std::string g_trace_json_path;
 std::string g_metrics_json_path;
 bool g_metrics_reset = false;
+double g_metrics_interval_seconds = 0.0;
+std::string g_metrics_interval_log_path;
+std::string g_trace_agg_json_path;
 
-/// Removes --trace-json=/--metrics-json=/--metrics-reset from argv
+/// Removes the --trace-json=/--metrics-*/--trace-agg-json= flags from argv
 /// (recording their values) so the positional command parsing below stays
 /// untouched. Returns the new argc.
 int StripObsFlags(int argc, char** argv) {
@@ -65,12 +79,86 @@ int StripObsFlags(int argc, char** argv) {
       g_metrics_json_path = arg + 15;
     } else if (std::strcmp(arg, "--metrics-reset") == 0) {
       g_metrics_reset = true;
+    } else if (std::strncmp(arg, "--metrics-interval=", 19) == 0) {
+      g_metrics_interval_seconds = std::atof(arg + 19);
+    } else if (std::strncmp(arg, "--metrics-interval-log=", 23) == 0) {
+      g_metrics_interval_log_path = arg + 23;
+    } else if (std::strncmp(arg, "--trace-agg-json=", 17) == 0) {
+      g_trace_agg_json_path = arg + 17;
     } else {
       argv[out++] = argv[i];
     }
   }
   return out;
 }
+
+/// Background scraper honoring --metrics-interval: every interval it takes
+/// a SnapshotAndReset delta of the global registry and writes it as one
+/// JSON line ({"t_ms": ..., ...snapshot...}) to stderr, or appends it to
+/// --metrics-interval-log when given. The final partial interval is
+/// flushed on Stop so no activity is lost between the last tick and the
+/// session end.
+class PeriodicMetricsDumper {
+ public:
+  explicit PeriodicMetricsDumper(double interval_seconds)
+      : interval_seconds_(interval_seconds),
+        start_(std::chrono::steady_clock::now()) {
+    if (interval_seconds_ > 0.0) {
+      thread_ = std::thread([this] { Run(); });
+    }
+  }
+
+  ~PeriodicMetricsDumper() { Stop(); }
+
+  void Stop() {
+    if (!thread_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    Dump();  // final partial-interval delta
+  }
+
+ private:
+  void Run() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      const auto interval = std::chrono::duration<double>(interval_seconds_);
+      if (cv_.wait_for(lock, interval, [this] { return stop_; })) break;
+      lock.unlock();
+      Dump();
+      lock.lock();
+    }
+  }
+
+  void Dump() {
+    const std::string json =
+        edr::MetricsRegistry::Global().SnapshotAndReset().ToJson();
+    const double t_ms =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count() *
+        1e3;
+    std::FILE* out = stderr;
+    std::FILE* log = nullptr;
+    if (!g_metrics_interval_log_path.empty()) {
+      log = std::fopen(g_metrics_interval_log_path.c_str(), "a");
+      if (log != nullptr) out = log;
+    }
+    std::fprintf(out, "{\"t_ms\": %.1f, \"metrics\": %s}\n", t_ms,
+                 json.c_str());
+    if (log != nullptr) std::fclose(log);
+  }
+
+  double interval_seconds_;
+  std::chrono::steady_clock::time_point start_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
 
 bool WriteTextFile(const std::string& path, const std::string& content) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -148,10 +236,14 @@ int Usage() {
       "  edr_cli batch <file> <num-queries> <k> [method] [repeats] "
       "[epsilon]\n"
       "flags (any command):\n"
-      "  --trace-json=FILE    per-query phase trace (knn only)\n"
-      "  --metrics-json=FILE  process-wide metrics snapshot\n"
-      "  --metrics-reset      snapshot is a delta scrape (reset after "
-      "export)\n");
+      "  --trace-json=FILE       per-query phase trace (knn only)\n"
+      "  --metrics-json=FILE     process-wide metrics snapshot\n"
+      "  --metrics-reset         snapshot is a delta scrape (reset after "
+      "export)\n"
+      "  --metrics-interval=SEC  periodic delta dumps while a batch drains\n"
+      "  --metrics-interval-log=FILE  append interval dumps here instead of "
+      "stderr\n"
+      "  --trace-agg-json=FILE   aggregate phase profile of a batch\n");
   return 2;
 }
 
@@ -332,6 +424,8 @@ int Batch(int argc, char** argv) {
 
   std::printf("streaming %zu queries x%zu through %s (eps=%.3f, k=%zu)\n",
               num_queries, repeats, searcher.name.c_str(), epsilon, k);
+  PeriodicMetricsDumper dumper(g_metrics_interval_seconds);
+  edr::TraceAggregate trace_agg;
   edr::SchedulerStats last_stats;
   for (size_t pass = 0; pass < repeats; ++pass) {
     edr::QuerySession::Options options;
@@ -339,22 +433,48 @@ int Batch(int argc, char** argv) {
     options.feature_cache = &cache;
     edr::QuerySession session(searcher, options);
     const auto start = std::chrono::steady_clock::now();
-    for (size_t i = 0; i < num_queries; ++i) session.Submit(db[i]);
+    std::vector<edr::QuerySession::Ticket> tickets;
+    tickets.reserve(num_queries);
+    for (size_t i = 0; i < num_queries; ++i) {
+      tickets.push_back(session.Submit(db[i]));
+    }
     session.Drain();
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();
+    if (!g_trace_agg_json_path.empty()) {
+      for (const edr::QuerySession::Ticket t : tickets) {
+        trace_agg.Add(session.Result(t).trace.get());
+      }
+    }
     last_stats = session.stats();
     std::printf("  pass %zu: %.1f ms total, %.3f ms/query%s\n", pass + 1,
                 seconds * 1e3,
                 seconds * 1e3 / static_cast<double>(num_queries),
                 pass == 0 ? " (cold cache)" : " (warm cache)");
   }
-  std::printf("scheduler: %zu queries, %zu waves (%zu queries), "
-              "%zu widened, max budget %u\n",
-              last_stats.queries, last_stats.waves, last_stats.wave_queries,
-              last_stats.widened_queries, last_stats.max_budget);
+  dumper.Stop();
+  std::printf("scheduler: %zu queries, %zu fused groups (%zu queries), "
+              "%zu waves (%zu queries), %zu widened, max budget %u\n",
+              last_stats.queries, last_stats.fused_groups,
+              last_stats.fused_queries, last_stats.waves,
+              last_stats.wave_queries, last_stats.widened_queries,
+              last_stats.max_budget);
+  if (!g_trace_agg_json_path.empty()) {
+    if (trace_agg.traces() == 0) {
+      std::fprintf(stderr,
+                   "note: no traces recorded (EDR_DISABLE_OBS build?); "
+                   "%s not written\n",
+                   g_trace_agg_json_path.c_str());
+    } else if (!WriteTextFile(g_trace_agg_json_path, trace_agg.ToJson())) {
+      std::fprintf(stderr, "warning: could not write %s\n",
+                   g_trace_agg_json_path.c_str());
+    } else {
+      std::printf("aggregate trace (%zu queries) written to %s\n",
+                  trace_agg.traces(), g_trace_agg_json_path.c_str());
+    }
+  }
   const edr::FeatureCache::Stats cs = cache.stats();
   std::printf("feature cache: %llu hits, %llu misses, %llu evictions, "
               "%zu entries\n",
