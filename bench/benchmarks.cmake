@@ -14,6 +14,7 @@ set(EDR_PAPER_BENCHES
   bench_filter.cc
   bench_intra_query.cc
   bench_scheduler.cc
+  bench_obs.cc
 )
 
 foreach(src ${EDR_PAPER_BENCHES})

@@ -1,0 +1,96 @@
+#include "obs/periodic_dumper.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "obs/registry.h"
+
+namespace edr {
+
+bool PeriodicMetricsDumper::ValidInterval(double seconds, std::string* error) {
+  if (std::isfinite(seconds) && seconds > 0.0) return true;
+  if (error != nullptr) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "metrics interval must be a positive number of seconds "
+                  "(got %g)",
+                  seconds);
+    *error = buf;
+  }
+  return false;
+}
+
+PeriodicMetricsDumper::PeriodicMetricsDumper(const Options& options)
+    : options_(options), start_(std::chrono::steady_clock::now()) {
+  if (!options_.sink) {
+    options_.sink = [](const std::string& line) {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    };
+  }
+}
+
+PeriodicMetricsDumper::~PeriodicMetricsDumper() { Stop(); }
+
+bool PeriodicMetricsDumper::Start() {
+  if (!ValidInterval(options_.interval_seconds)) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (thread_.joinable()) return true;  // already running
+  stop_ = false;
+  start_ = std::chrono::steady_clock::now();
+  thread_ = std::thread([this] { Run(); });
+  return true;
+}
+
+void PeriodicMetricsDumper::Stop() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!thread_.joinable()) return;
+    stop_ = true;
+    to_join = std::move(thread_);
+  }
+  cv_.notify_all();
+  to_join.join();
+  Dump();  // final partial-interval delta
+}
+
+bool PeriodicMetricsDumper::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return thread_.joinable();
+}
+
+size_t PeriodicMetricsDumper::dumps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dumps_;
+}
+
+void PeriodicMetricsDumper::Run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    const auto interval =
+        std::chrono::duration<double>(options_.interval_seconds);
+    if (cv_.wait_for(lock, interval, [this] { return stop_; })) break;
+    lock.unlock();
+    Dump();
+    lock.lock();
+  }
+}
+
+void PeriodicMetricsDumper::Dump() {
+  const std::string json =
+      MetricsRegistry::Global().SnapshotAndReset().ToJson();
+  const double t_ms =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count() *
+      1e3;
+  char head[64];
+  std::snprintf(head, sizeof(head), "{\"t_ms\": %.1f, \"metrics\": ", t_ms);
+  std::string line = head;
+  line += json;
+  line += "}";
+  options_.sink(line);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++dumps_;
+}
+
+}  // namespace edr

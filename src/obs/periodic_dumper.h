@@ -1,0 +1,75 @@
+#ifndef EDR_OBS_PERIODIC_DUMPER_H_
+#define EDR_OBS_PERIODIC_DUMPER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/obs.h"
+
+namespace edr {
+
+/// Background scraper behind `--metrics-interval`: every interval it takes
+/// a SnapshotAndReset delta of the global registry and hands one JSON line
+/// ({"t_ms": ..., "metrics": {...snapshot...}}) to the sink. The final
+/// partial interval is flushed exactly once on Stop so no activity is lost
+/// between the last tick and session end. Lived inside edr_cli before;
+/// promoted to the library so the HTTP endpoint, tests, and future serve
+/// frontends share one implementation with an injectable sink.
+class PeriodicMetricsDumper {
+ public:
+  /// Receives each dump as one complete JSON line (no trailing newline).
+  using Sink = std::function<void(const std::string& line)>;
+
+  struct Options {
+    double interval_seconds = 0.0;
+    /// Where dump lines go; default writes "line\n" to stderr.
+    Sink sink;
+  };
+
+  /// True iff `seconds` is a usable dump interval (finite and > 0).
+  /// Callers parsing user flags should reject invalid values with
+  /// `*error` instead of silently not dumping — a typo'd `--metrics-
+  /// interval=0` used to disable dumping without a word.
+  static bool ValidInterval(double seconds, std::string* error = nullptr);
+
+  explicit PeriodicMetricsDumper(const Options& options);
+  ~PeriodicMetricsDumper();
+
+  PeriodicMetricsDumper(const PeriodicMetricsDumper&) = delete;
+  PeriodicMetricsDumper& operator=(const PeriodicMetricsDumper&) = delete;
+
+  /// Spawns the dump thread; false (no thread, no dumps) when the
+  /// interval is invalid. Idempotent while running.
+  bool Start();
+
+  /// Stops the thread and flushes the final partial-interval delta
+  /// through the sink. Idempotent: later calls (and the destructor)
+  /// do not dump again.
+  void Stop();
+
+  bool running() const;
+
+  /// Dumps delivered to the sink so far (including the final flush).
+  size_t dumps() const;
+
+ private:
+  void Run();
+  void Dump();
+
+  Options options_;
+  std::chrono::steady_clock::time_point start_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+  size_t dumps_ = 0;
+};
+
+}  // namespace edr
+
+#endif  // EDR_OBS_PERIODIC_DUMPER_H_

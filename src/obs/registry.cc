@@ -121,6 +121,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     row.p50_seconds = histogram->PercentileSeconds(0.50);
     row.p95_seconds = histogram->PercentileSeconds(0.95);
     row.p99_seconds = histogram->PercentileSeconds(0.99);
+    row.buckets = histogram->BucketCounts();
     snapshot.histograms.push_back(std::move(row));
   }
   return snapshot;
@@ -143,9 +144,27 @@ MetricsSnapshot MetricsRegistry::SnapshotAndReset() {
     row.p50_seconds = LatencyHistogram::PercentileFromBuckets(d.buckets, 0.50);
     row.p95_seconds = LatencyHistogram::PercentileFromBuckets(d.buckets, 0.95);
     row.p99_seconds = LatencyHistogram::PercentileFromBuckets(d.buckets, 0.99);
+    row.buckets = d.buckets;
     snapshot.histograms.push_back(std::move(row));
   }
   return snapshot;
+}
+
+void RegisterStandardMetrics() {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  static const char* const kCounters[] = {
+      "query.count",          "query.dp_total",
+      "query.dp_cells",       "query.candidates_pruned",
+      "query.candidates_total", "batch.count",
+      "batch.queries",        "sched.waves",
+      "sched.wave_queries",   "sched.widened_queries",
+      "sched.budget_granted", "sched.fused_groups",
+      "sched.fused_queries",  "feature_cache.hits",
+      "feature_cache.misses", "feature_cache.evictions",
+  };
+  for (const char* name : kCounters) registry.Counter(name);
+  registry.Histogram("query.seconds");
+  registry.Histogram("batch.seconds");
 }
 
 void MetricsRegistry::ResetForTest() {

@@ -1,6 +1,7 @@
 #ifndef EDR_OBS_REGISTRY_H_
 #define EDR_OBS_REGISTRY_H_
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstdint>
@@ -85,6 +86,13 @@ class LatencyHistogram {
   static double PercentileFromBuckets(
       const std::array<uint64_t, kBuckets>& counts, double q);
 
+  /// The bucket a sample of `seconds` lands in — public so the
+  /// OpenMetrics exemplar pass can map a flight-recorder latency back to
+  /// its histogram bucket.
+  static size_t BucketIndex(double seconds) {
+    return std::min(BucketOf(seconds), kBuckets - 1);
+  }
+
  private:
   static size_t BucketOf(double seconds);
 
@@ -107,6 +115,10 @@ struct MetricsSnapshot {
     double p50_seconds = 0.0;
     double p95_seconds = 0.0;
     double p99_seconds = 0.0;
+    /// Raw per-bucket counts (non-cumulative; bucket b covers
+    /// [2^(b-1), 2^b) ns). The OpenMetrics exposition derives its
+    /// cumulative `le` series from these.
+    std::array<uint64_t, LatencyHistogram::kBuckets> buckets = {};
   };
 
   std::vector<CounterRow> counters;
@@ -120,6 +132,21 @@ struct MetricsSnapshot {
   /// count / total / p50 / p95 / p99 columns.
   std::string ToTable() const;
 };
+
+/// Upper edge, in seconds, of log bucket `b` — the histogram's `le`
+/// boundary for OpenMetrics exposition (bucket 0 is the sub-ns bucket).
+inline double LatencyBucketUpperSeconds(size_t b) {
+  return static_cast<double>(uint64_t{1} << (b == 0 ? 0 : b)) * 1e-9;
+}
+
+/// Registers (without incrementing) every metric name the library emits —
+/// query.*, batch.*, sched.* (including the fused-sweep counters), and
+/// feature_cache.* — so snapshots, the --metrics-json table export, and
+/// the OpenMetrics exposition always list them, zero-valued when idle.
+/// Without this, lazily-registered counters (e.g. sched.fused_groups)
+/// only appear after the first event of their kind, which made them easy
+/// to miss in exports. Idempotent; safe in every build.
+void RegisterStandardMetrics();
 
 /// Name-addressed registry of process-wide counters and histograms.
 /// Lookup takes a mutex and is meant for setup (resolve once, keep the

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/cpu.h"
+#include "obs/flight_recorder.h"
 #include "obs/registry.h"
 #include "query/feature_cache.h"
 #include "query/thread_pool.h"
@@ -74,6 +75,44 @@ void RecordSchedFused(uint64_t groups, uint64_t queries) {
   } else {
     (void)groups;
     (void)queries;
+  }
+}
+
+/// Sends one completed scheduled query to the global flight recorder with
+/// its schedule context attached. The enabled() pre-check keeps the
+/// disabled path to one relaxed load — no record is even built — and the
+/// whole call compiles away under EDR_DISABLE_OBS. Safe from pool workers
+/// (wave emits run concurrently); results are never touched, only copied
+/// from, so publication cannot perturb answers.
+void PublishScheduledFlight(const std::string& searcher_name,
+                            const KnnResult& result, unsigned budget,
+                            size_t fusion_group, FeatureCache* cache) {
+  if constexpr (kObsEnabled) {
+    FlightRecorder& recorder = FlightRecorder::Global();
+    if (!recorder.enabled()) return;
+    FlightRecord record;
+    record.searcher = searcher_name;
+    record.latency_seconds = result.stats.elapsed_seconds;
+    record.filter_seconds = result.stats.filter_seconds;
+    record.refine_seconds = result.stats.refine_seconds;
+    record.db_size = result.stats.db_size;
+    record.edr_computed = result.stats.edr_computed;
+    record.stages = result.stats.stages;
+    record.sched_budget = budget;
+    record.fusion_group = fusion_group;
+    if (cache != nullptr) {
+      const FeatureCache::Stats cs = cache->stats();
+      record.cache_hits = cs.hits;
+      record.cache_misses = cs.misses;
+    }
+    record.trace = result.trace;
+    recorder.Publish(std::move(record));
+  } else {
+    (void)searcher_name;
+    (void)result;
+    (void)budget;
+    (void)fusion_group;
+    (void)cache;
   }
 }
 
@@ -179,6 +218,8 @@ size_t AdaptiveScheduler::Step(
     std::vector<KnnResult> results =
         searcher_.search_fused(members, k_, per_call);
     for (size_t j = 0; j < group; ++j) {
+      PublishScheduledFlight(searcher_.name, results[j], budget, group,
+                             cache_);
       emit(next + j, std::move(results[j]));
     }
     // One grant covers the whole group: the members share a single call's
@@ -205,7 +246,10 @@ size_t AdaptiveScheduler::Step(
     ResolvePool(pool_).ParallelFor(
         wave,
         [&](size_t j) {
-          emit(next + j, Call(query_at(next + j), /*budget=*/1));
+          KnnResult result = Call(query_at(next + j), /*budget=*/1);
+          PublishScheduledFlight(searcher_.name, result, /*budget=*/1,
+                                 /*fusion_group=*/1, cache_);
+          emit(next + j, std::move(result));
         },
         Capacity());
     ++stats_.waves;
@@ -217,7 +261,12 @@ size_t AdaptiveScheduler::Step(
 
   // Solo query on the calling thread; a budget > 1 fans out *inside* the
   // query (the pool is free — waves and solo calls never overlap).
-  emit(next, Call(query_at(next), budget));
+  {
+    KnnResult result = Call(query_at(next), budget);
+    PublishScheduledFlight(searcher_.name, result, budget,
+                           /*fusion_group=*/1, cache_);
+    emit(next, std::move(result));
+  }
   RecordGrant(budget);
   RecordSchedStep(/*waves=*/0, /*wave_queries=*/0, budget > 1 ? 1 : 0, budget);
   return 1;
@@ -263,6 +312,7 @@ QuerySession::Ticket QuerySession::Submit(Trajectory query) {
   const Ticket ticket = queries_.size();
   queries_.push_back(std::move(query));
   results_.emplace_back();
+  pending_relaxed_.store(pending(), std::memory_order_relaxed);
   // A sustained stream must not buffer unboundedly behind a caller that
   // never asks for results: past the watermark, execute eagerly. The
   // scheduler sees the full backlog, so eager admission runs in wave mode.
@@ -284,6 +334,7 @@ void QuerySession::StepOnce() {
       completed_, pending(),
       [this](size_t i) -> const Trajectory& { return queries_[i]; },
       [this](size_t i, KnnResult&& r) { results_[i] = std::move(r); });
+  pending_relaxed_.store(pending(), std::memory_order_relaxed);
 }
 
 }  // namespace edr

@@ -1,6 +1,7 @@
 #ifndef EDR_QUERY_SCHEDULER_H_
 #define EDR_QUERY_SCHEDULER_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -191,6 +192,14 @@ class QuerySession {
 
   /// Queries admitted but not yet executed.
   size_t pending() const { return queries_.size() - completed_; }
+
+  /// Relaxed-atomic mirror of pending(), safe to read from any thread —
+  /// the probe the utilization timeline sampler polls while the owning
+  /// thread drives the session. Eventually consistent; never blocks.
+  size_t PendingRelaxed() const {
+    return pending_relaxed_.load(std::memory_order_relaxed);
+  }
+
   size_t submitted() const { return queries_.size(); }
   const SchedulerStats& stats() const { return scheduler_.stats(); }
 
@@ -206,6 +215,7 @@ class QuerySession {
   std::deque<Trajectory> queries_;
   std::deque<KnnResult> results_;
   size_t completed_ = 0;  ///< tickets < completed_ are done (in order)
+  std::atomic<size_t> pending_relaxed_{0};  ///< see PendingRelaxed()
 };
 
 }  // namespace edr

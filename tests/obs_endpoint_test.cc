@@ -1,0 +1,204 @@
+#include "obs/http_endpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "obs/flight_recorder.h"
+#include "obs/json.h"
+#include "obs/obs.h"
+#include "obs/openmetrics.h"
+#include "obs/registry.h"
+#include "obs/timeline.h"
+
+namespace edr {
+namespace {
+
+/// Minimal raw-socket HTTP client: sends one request verbatim and reads
+/// until the server closes (the endpoint is Connection: close).
+std::string RawRequest(uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return "";
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                             0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Get(uint16_t port, const std::string& path) {
+  return RawRequest(port, "GET " + path +
+                              " HTTP/1.1\r\nHost: localhost\r\n"
+                              "Connection: close\r\n\r\n");
+}
+
+std::string BodyOf(const std::string& response) {
+  const size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+TEST(ObsEndpointTest, StartIsRefusedWhenObsCompiledOut) {
+  if constexpr (kObsEnabled) return;
+  MetricsHttpEndpoint endpoint;
+  std::string error;
+  EXPECT_FALSE(endpoint.Start(&error));
+  EXPECT_FALSE(endpoint.running());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ObsEndpointTest, ServesHealthz) {
+  if constexpr (!kObsEnabled) return;
+  MetricsHttpEndpoint endpoint;
+  std::string error;
+  ASSERT_TRUE(endpoint.Start(&error)) << error;
+  ASSERT_NE(endpoint.port(), 0u);  // Ephemeral port was resolved.
+  const std::string response = Get(endpoint.port(), "/healthz");
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos) << response;
+  EXPECT_EQ(BodyOf(response), "ok\n");
+  EXPECT_GE(endpoint.requests(), 1u);
+  endpoint.Stop();
+  EXPECT_FALSE(endpoint.running());
+}
+
+TEST(ObsEndpointTest, MetricsRouteServesValidOpenMetrics) {
+  if constexpr (!kObsEnabled) return;
+  RegisterStandardMetrics();
+  MetricsRegistry::Global().Counter("query.count").Inc(3);
+  MetricsRegistry::Global().Histogram("query.seconds").Record(1e-3);
+  MetricsHttpEndpoint endpoint;
+  ASSERT_TRUE(endpoint.Start());
+  const std::string response = Get(endpoint.port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(response.find("application/openmetrics-text"),
+            std::string::npos);
+  const std::string body = BodyOf(response);
+  std::string om_error;
+  EXPECT_TRUE(OpenMetricsIsValid(body, &om_error)) << om_error;
+  EXPECT_NE(body.find("edr_query_count_total"), std::string::npos);
+  endpoint.Stop();
+}
+
+TEST(ObsEndpointTest, MetricsExemplarsResolveToFlightEntries) {
+  if constexpr (!kObsEnabled) return;
+  FlightRecorder recorder;
+  FlightRecord slow;
+  slow.searcher = "test";
+  slow.latency_seconds = 0.125;
+  recorder.Publish(std::move(slow));
+  LatencyHistogram& h = MetricsRegistry::Global().Histogram("query.seconds");
+  h.Reset();
+  h.Record(0.125);
+
+  MetricsHttpEndpoint::Options options;
+  options.flight = &recorder;
+  MetricsHttpEndpoint endpoint(options);
+  ASSERT_TRUE(endpoint.Start());
+  const std::string metrics = BodyOf(Get(endpoint.port(), "/metrics"));
+  // The scraped tail bucket carries the exemplar, and the referenced
+  // entry is retrievable from the same server's /flight dump.
+  EXPECT_NE(metrics.find("# {entry_id=\"1\"}"), std::string::npos) << metrics;
+  const std::string flight = BodyOf(Get(endpoint.port(), "/flight"));
+  EXPECT_TRUE(JsonIsValid(flight));
+  EXPECT_NE(flight.find("\"id\": 1"), std::string::npos);
+  endpoint.Stop();
+  h.Reset();
+}
+
+TEST(ObsEndpointTest, FlightAndTimelineRoutesServeJson) {
+  if constexpr (!kObsEnabled) return;
+  TimelineSampler timeline;
+  MetricsHttpEndpoint::Options options;
+  options.timeline = &timeline;
+  MetricsHttpEndpoint endpoint(options);
+  ASSERT_TRUE(endpoint.Start());
+  const std::string flight = Get(endpoint.port(), "/flight");
+  EXPECT_NE(flight.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_TRUE(JsonIsValid(BodyOf(flight)));
+  const std::string tl = Get(endpoint.port(), "/timeline");
+  EXPECT_NE(tl.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_TRUE(JsonIsValid(BodyOf(tl)));
+  endpoint.Stop();
+}
+
+TEST(ObsEndpointTest, TimelineRouteIs404WithoutASampler) {
+  if constexpr (!kObsEnabled) return;
+  MetricsHttpEndpoint endpoint;  // No timeline attached.
+  ASSERT_TRUE(endpoint.Start());
+  EXPECT_NE(Get(endpoint.port(), "/timeline").find("HTTP/1.1 404"),
+            std::string::npos);
+  EXPECT_NE(Get(endpoint.port(), "/nope").find("HTTP/1.1 404"),
+            std::string::npos);
+  endpoint.Stop();
+}
+
+TEST(ObsEndpointTest, NonGetIsRejected) {
+  if constexpr (!kObsEnabled) return;
+  MetricsHttpEndpoint endpoint;
+  ASSERT_TRUE(endpoint.Start());
+  const std::string response = RawRequest(
+      endpoint.port(),
+      "POST /metrics HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 405"), std::string::npos) << response;
+  endpoint.Stop();
+}
+
+TEST(ObsEndpointTest, StopIsIdempotentAndRestartable) {
+  if constexpr (!kObsEnabled) return;
+  MetricsHttpEndpoint endpoint;
+  endpoint.Stop();  // Never started: no-op.
+  ASSERT_TRUE(endpoint.Start());
+  const uint16_t first_port = endpoint.port();
+  EXPECT_NE(first_port, 0u);
+  endpoint.Stop();
+  endpoint.Stop();
+  EXPECT_EQ(endpoint.port(), 0u);
+  ASSERT_TRUE(endpoint.Start());  // A fresh ephemeral port each run.
+  EXPECT_NE(endpoint.port(), 0u);
+  EXPECT_EQ(BodyOf(Get(endpoint.port(), "/healthz")), "ok\n");
+  endpoint.Stop();
+}
+
+TEST(ObsEndpointTest, ConcurrentScrapesAreServedCompletely) {
+  if constexpr (!kObsEnabled) return;
+  RegisterStandardMetrics();
+  MetricsHttpEndpoint endpoint;
+  ASSERT_TRUE(endpoint.Start());
+  // The accept loop serves one connection at a time; back-to-back scrapes
+  // must each see a complete, valid exposition.
+  for (int i = 0; i < 8; ++i) {
+    const std::string body = BodyOf(Get(endpoint.port(), "/metrics"));
+    std::string error;
+    EXPECT_TRUE(OpenMetricsIsValid(body, &error)) << error;
+  }
+  EXPECT_GE(endpoint.requests(), 8u);
+  endpoint.Stop();
+}
+
+}  // namespace
+}  // namespace edr

@@ -2,11 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
+#include <limits>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "obs/json.h"
 #include "obs/obs.h"
+#include "obs/periodic_dumper.h"
 #include "query/thread_pool.h"
 
 namespace edr {
@@ -284,6 +290,141 @@ TEST(ObsRegistryTest, PoolInlinePathIsNotCountedAsJob) {
 TEST(ObsRegistryTest, PaddingKeepsCountersOnOwnCacheLines) {
   static_assert(sizeof(ObsCounter) == 64, "one line per counter");
   static_assert(alignof(ObsCounter) == 64, "line-aligned");
+}
+
+TEST(ObsRegistryTest, RegisterStandardMetricsPreRegistersAllFamilies) {
+  RegisterStandardMetrics();
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  const auto has_counter = [&snap](const std::string& name) {
+    for (const MetricsSnapshot::CounterRow& row : snap.counters) {
+      if (row.name == name) return true;
+    }
+    return false;
+  };
+  const auto has_histogram = [&snap](const std::string& name) {
+    for (const MetricsSnapshot::HistogramRow& row : snap.histograms) {
+      if (row.name == name) return true;
+    }
+    return false;
+  };
+  // The fused-sweep and feature-cache families used to appear only after
+  // the first event of their kind; pre-registration makes every export
+  // list them, zero-valued when idle.
+  for (const char* name :
+       {"query.count", "query.dp_total", "query.dp_cells",
+        "query.candidates_pruned", "query.candidates_total", "batch.count",
+        "batch.queries", "sched.waves", "sched.wave_queries",
+        "sched.widened_queries", "sched.budget_granted", "sched.fused_groups",
+        "sched.fused_queries", "feature_cache.hits", "feature_cache.misses",
+        "feature_cache.evictions"}) {
+    EXPECT_TRUE(has_counter(name)) << name;
+  }
+  EXPECT_TRUE(has_histogram("query.seconds"));
+  EXPECT_TRUE(has_histogram("batch.seconds"));
+  // Idempotent: a second call registers nothing new.
+  const size_t counters = snap.counters.size();
+  RegisterStandardMetrics();
+  EXPECT_EQ(MetricsRegistry::Global().Snapshot().counters.size(), counters);
+}
+
+TEST(ObsRegistryTest, SnapshotCarriesRawBucketCounts) {
+  LatencyHistogram& h =
+      MetricsRegistry::Global().Histogram("test_registry.buckets.seconds");
+  h.Reset();
+  h.Record(1e-3);
+  h.Record(1e-3);
+  h.Record(0.25);
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  for (const MetricsSnapshot::HistogramRow& row : snap.histograms) {
+    if (row.name != "test_registry.buckets.seconds") continue;
+    uint64_t sum = 0;
+    for (const uint64_t b : row.buckets) sum += b;
+    EXPECT_EQ(sum, row.count);  // Buckets conserve the sample count.
+    EXPECT_EQ(sum, kObsEnabled ? 3u : 0u);
+  }
+  h.Reset();
+}
+
+TEST(ObsPeriodicDumperTest, RejectsNonPositiveIntervals) {
+  std::string error;
+  EXPECT_FALSE(PeriodicMetricsDumper::ValidInterval(0.0, &error));
+  EXPECT_NE(error.find("positive"), std::string::npos) << error;
+  EXPECT_FALSE(PeriodicMetricsDumper::ValidInterval(-2.5, &error));
+  EXPECT_FALSE(PeriodicMetricsDumper::ValidInterval(
+      std::numeric_limits<double>::quiet_NaN(), &error));
+  EXPECT_FALSE(PeriodicMetricsDumper::ValidInterval(
+      std::numeric_limits<double>::infinity(), &error));
+  EXPECT_TRUE(PeriodicMetricsDumper::ValidInterval(0.001));
+
+  // A dumper built on an invalid interval refuses to start: no thread,
+  // no dumps — and says so instead of silently disabling itself.
+  PeriodicMetricsDumper::Options options;
+  options.interval_seconds = 0.0;
+  options.sink = [](const std::string&) { ADD_FAILURE() << "dumped"; };
+  PeriodicMetricsDumper dumper(options);
+  EXPECT_FALSE(dumper.Start());
+  EXPECT_FALSE(dumper.running());
+  dumper.Stop();
+  EXPECT_EQ(dumper.dumps(), 0u);
+}
+
+TEST(ObsPeriodicDumperTest, StopFlushesTheFinalPartialIntervalOnce) {
+  ObsCounter& c =
+      MetricsRegistry::Global().Counter("test_registry.dumper.count");
+  c.Reset();
+
+  std::mutex mu;
+  std::vector<std::string> lines;
+  PeriodicMetricsDumper::Options options;
+  // Far longer than the test: the only dump must be the final flush.
+  options.interval_seconds = 1000.0;
+  options.sink = [&mu, &lines](const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu);
+    lines.push_back(line);
+  };
+  PeriodicMetricsDumper dumper(options);
+  ASSERT_TRUE(dumper.Start());
+  EXPECT_TRUE(dumper.running());
+  c.Inc(9);
+  dumper.Stop();
+  EXPECT_FALSE(dumper.running());
+
+  // Exactly one line — the final flush — and it is one valid JSON object
+  // carrying the activity from the partial interval.
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(dumper.dumps(), 1u);
+  EXPECT_TRUE(JsonIsValid(lines[0])) << lines[0];
+  EXPECT_NE(lines[0].find("\"t_ms\""), std::string::npos);
+  EXPECT_NE(lines[0].find("test_registry.dumper.count"), std::string::npos);
+
+  // Stop is idempotent: no second flush.
+  dumper.Stop();
+  EXPECT_EQ(lines.size(), 1u);
+
+  // The flush was a SnapshotAndReset delta: the counter is zeroed.
+  EXPECT_EQ(c.Load(), 0u);
+}
+
+TEST(ObsPeriodicDumperTest, PeriodicTicksDeliverDeltas) {
+  if constexpr (!kObsEnabled) return;
+  std::mutex mu;
+  std::vector<std::string> lines;
+  PeriodicMetricsDumper::Options options;
+  options.interval_seconds = 0.002;
+  options.sink = [&mu, &lines](const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu);
+    lines.push_back(line);
+  };
+  PeriodicMetricsDumper dumper(options);
+  ASSERT_TRUE(dumper.Start());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  dumper.Stop();
+  // Several periodic ticks plus the final flush, each one valid JSON.
+  EXPECT_GE(lines.size(), 2u);
+  EXPECT_EQ(dumper.dumps(), lines.size());
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(JsonIsValid(line)) << line;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,122 @@
+#include "obs/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "obs/json.h"
+#include "obs/obs.h"
+#include "query/thread_pool.h"
+
+namespace edr {
+namespace {
+
+TEST(ObsTimelineTest, StartRejectsNonPositiveInterval) {
+  TimelineSampler::Options options;
+  options.interval_seconds = 0.0;
+  TimelineSampler zero(options);
+  EXPECT_FALSE(zero.Start());
+  EXPECT_FALSE(zero.running());
+  options.interval_seconds = -1.0;
+  TimelineSampler negative(options);
+  EXPECT_FALSE(negative.Start());
+}
+
+TEST(ObsTimelineTest, StartIsNoOpWhenObsCompiledOut) {
+  TimelineSampler sampler;  // Default 20 ms interval.
+  EXPECT_EQ(sampler.Start(), kObsEnabled);
+  sampler.Stop();
+  if constexpr (!kObsEnabled) {
+    EXPECT_TRUE(sampler.Samples().empty());
+  }
+}
+
+TEST(ObsTimelineTest, CapturesSamplesWithProbes) {
+  if constexpr (!kObsEnabled) return;
+  ThreadPool pool(2);
+  std::atomic<size_t> cache_entries{5};
+  TimelineSampler::Options options;
+  options.interval_seconds = 0.002;
+  options.pool = &pool;
+  options.backlog = [] { return static_cast<size_t>(3); };
+  options.cache_entries = [&cache_entries] { return cache_entries.load(); };
+  TimelineSampler sampler(options);
+  ASSERT_TRUE(sampler.Start());
+  EXPECT_TRUE(sampler.running());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  sampler.Stop();
+  EXPECT_FALSE(sampler.running());
+
+  const std::vector<UtilizationSample> samples = sampler.Samples();
+  ASSERT_GE(samples.size(), 2u);  // Periodic ticks + the final sample.
+  for (size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(samples[i].capacity, 3u);  // 2 workers + caller.
+    EXPECT_LE(samples[i].busy_workers, samples[i].capacity);
+    EXPECT_EQ(samples[i].backlog, 3u);
+    EXPECT_EQ(samples[i].cache_entries, 5u);
+    if (i > 0) {
+      EXPECT_GE(samples[i].t_seconds, samples[i - 1].t_seconds);
+    }
+  }
+
+  const UtilizationSummary summary = sampler.Summarize();
+  EXPECT_EQ(summary.samples, samples.size());
+  EXPECT_DOUBLE_EQ(summary.mean_backlog, 3.0);
+  EXPECT_EQ(summary.max_backlog, 3u);
+  EXPECT_LE(summary.occupancy_p50, summary.occupancy_p95);
+  EXPECT_LE(summary.occupancy_p95, summary.occupancy_max);
+  EXPECT_LE(summary.occupancy_max, 1.0);
+}
+
+TEST(ObsTimelineTest, RingBoundsMemoryAndCountsDropped) {
+  if constexpr (!kObsEnabled) return;
+  TimelineSampler::Options options;
+  options.interval_seconds = 0.001;
+  options.capacity = 4;
+  TimelineSampler sampler(options);
+  ASSERT_TRUE(sampler.Start());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  sampler.Stop();
+  const std::vector<UtilizationSample> samples = sampler.Samples();
+  EXPECT_LE(samples.size(), 4u);
+  const UtilizationSummary summary = sampler.Summarize();
+  EXPECT_GT(summary.dropped, 0u);  // 30 ms at 1 ms >> 4 slots.
+  // The retained window is the newest samples, oldest to newest.
+  for (size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i].t_seconds, samples[i - 1].t_seconds);
+  }
+}
+
+TEST(ObsTimelineTest, ToJsonIsValidInEveryBuild) {
+  TimelineSampler sampler;
+  EXPECT_TRUE(JsonIsValid(sampler.ToJson())) << sampler.ToJson();
+  if constexpr (kObsEnabled) {
+    TimelineSampler::Options options;
+    options.interval_seconds = 0.001;
+    TimelineSampler running(options);
+    ASSERT_TRUE(running.Start());
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    running.Stop();
+    const std::string json = running.ToJson();
+    EXPECT_TRUE(JsonIsValid(json)) << json;
+    EXPECT_NE(json.find("\"summary\""), std::string::npos);
+    EXPECT_NE(json.find("\"samples\""), std::string::npos);
+  }
+}
+
+TEST(ObsTimelineTest, StopIsIdempotentAndRestartable) {
+  TimelineSampler::Options options;
+  options.interval_seconds = 0.001;
+  TimelineSampler sampler(options);
+  sampler.Stop();  // Never started: no-op.
+  EXPECT_EQ(sampler.Start(), kObsEnabled);
+  sampler.Stop();
+  sampler.Stop();  // Second stop: no-op, no second final sample thread.
+  EXPECT_EQ(sampler.Start(), kObsEnabled);  // Restart keeps working.
+  sampler.Stop();
+}
+
+}  // namespace
+}  // namespace edr

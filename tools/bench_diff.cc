@@ -1,0 +1,293 @@
+// Bench baseline diff: compares a freshly produced bench JSON (usually a
+// `--smoke` run in CI) against a committed BENCH_*.json baseline.
+//
+//   ./tools/bench_diff BENCH_obs.json fresh_obs.json [--max-drift 50]
+//
+// Schema drift is a hard failure (exit 1): every key path present in the
+// baseline must exist in the fresh output with the same JSON type, so a
+// renamed or dropped field is caught the moment a bench changes shape.
+// Value drift is warn-only (exit 0): smoke runs use reduced scales and
+// shared CI hosts time noisily, so numeric deltas — including throughput
+// — are reported to stderr (beyond --max-drift percent for numbers,
+// every boolean flip) but never fail the build. New keys that exist only
+// in the fresh output are reported as informational additions.
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+namespace {
+
+/// One flattened JSON leaf: path is dotted with [i] array indices
+/// ("recorder_overhead[0].off_ms_total"); objects and arrays themselves
+/// flatten to a structural entry so empty containers still count.
+struct Leaf {
+  std::string type;  ///< "number", "string", "bool", "null", "object", "array"
+  double number = 0.0;
+  std::string text;  ///< the raw token, for messages
+};
+
+using FlatDoc = std::map<std::string, Leaf>;
+
+class Flattener {
+ public:
+  explicit Flattener(const std::string& text) : text_(text) {}
+
+  bool Run(FlatDoc* out) {
+    out_ = out;
+    pos_ = 0;
+    const bool ok = Value("");
+    SkipSpace();
+    return ok && pos_ == text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        if (pos_ + 1 >= text_.size()) return false;
+        out->push_back(text_[pos_ + 1]);
+        pos_ += 2;
+      } else {
+        out->push_back(text_[pos_]);
+        ++pos_;
+      }
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // Closing quote.
+    return true;
+  }
+
+  bool Value(const std::string& path) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return Object(path);
+    if (c == '[') return Array(path);
+    if (c == '"') {
+      Leaf leaf;
+      leaf.type = "string";
+      if (!ParseString(&leaf.text)) return false;
+      (*out_)[path] = std::move(leaf);
+      return true;
+    }
+    if (std::strncmp(text_.c_str() + pos_, "true", 4) == 0) {
+      (*out_)[path] = Leaf{"bool", 1.0, "true"};
+      pos_ += 4;
+      return true;
+    }
+    if (std::strncmp(text_.c_str() + pos_, "false", 5) == 0) {
+      (*out_)[path] = Leaf{"bool", 0.0, "false"};
+      pos_ += 5;
+      return true;
+    }
+    if (std::strncmp(text_.c_str() + pos_, "null", 4) == 0) {
+      (*out_)[path] = Leaf{"null", 0.0, "null"};
+      pos_ += 4;
+      return true;
+    }
+    // Number.
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            std::strchr("+-.eE", text_[pos_]) != nullptr)) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    Leaf leaf;
+    leaf.type = "number";
+    leaf.text = text_.substr(start, pos_ - start);
+    leaf.number = std::strtod(leaf.text.c_str(), nullptr);
+    (*out_)[path] = std::move(leaf);
+    return true;
+  }
+
+  bool Object(const std::string& path) {
+    (*out_)[path.empty() ? "." : path] = Leaf{"object", 0.0, "{}"};
+    ++pos_;  // '{'
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (pos_ < text_.size()) {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      if (!Value(path.empty() ? key : path + "." + key)) return false;
+      SkipSpace();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+    return false;
+  }
+
+  bool Array(const std::string& path) {
+    (*out_)[path.empty() ? "." : path] = Leaf{"array", 0.0, "[]"};
+    ++pos_;  // '['
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    size_t index = 0;
+    while (pos_ < text_.size()) {
+      char suffix[32];
+      std::snprintf(suffix, sizeof(suffix), "[%zu]", index);
+      if (!Value(path + suffix)) return false;
+      ++index;
+      SkipSpace();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+    return false;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  FlatDoc* out_ = nullptr;
+};
+
+bool LoadFlat(const char* path, FlatDoc* out, std::string* raw) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_diff: cannot open %s\n", path);
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *raw = buffer.str();
+  if (!edr::JsonIsValid(*raw)) {
+    std::fprintf(stderr, "bench_diff: %s is not valid JSON\n", path);
+    return false;
+  }
+  Flattener flattener(*raw);
+  if (!flattener.Run(out)) {
+    std::fprintf(stderr, "bench_diff: failed to flatten %s\n", path);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* baseline_path = nullptr;
+  const char* fresh_path = nullptr;
+  double max_drift_percent = 50.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-drift") == 0 && i + 1 < argc) {
+      max_drift_percent = std::atof(argv[++i]);
+    } else if (baseline_path == nullptr) {
+      baseline_path = argv[i];
+    } else if (fresh_path == nullptr) {
+      fresh_path = argv[i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_diff <baseline.json> <fresh.json> "
+                   "[--max-drift PCT]\n");
+      return 2;
+    }
+  }
+  if (baseline_path == nullptr || fresh_path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: bench_diff <baseline.json> <fresh.json> "
+                 "[--max-drift PCT]\n");
+    return 2;
+  }
+
+  FlatDoc baseline;
+  FlatDoc fresh;
+  std::string baseline_raw;
+  std::string fresh_raw;
+  if (!LoadFlat(baseline_path, &baseline, &baseline_raw)) return 1;
+  if (!LoadFlat(fresh_path, &fresh, &fresh_raw)) return 1;
+
+  size_t missing = 0;
+  size_t type_changed = 0;
+  size_t warnings = 0;
+  for (const auto& [path, base] : baseline) {
+    const auto it = fresh.find(path);
+    if (it == fresh.end()) {
+      std::fprintf(stderr, "SCHEMA DRIFT: \"%s\" (%s) missing from %s\n",
+                   path.c_str(), base.type.c_str(), fresh_path);
+      ++missing;
+      continue;
+    }
+    const Leaf& now = it->second;
+    if (now.type != base.type) {
+      std::fprintf(stderr, "SCHEMA DRIFT: \"%s\" was %s, now %s\n",
+                   path.c_str(), base.type.c_str(), now.type.c_str());
+      ++type_changed;
+      continue;
+    }
+    if (base.type == "number") {
+      const double drift =
+          base.number != 0.0
+              ? std::fabs(now.number - base.number) / std::fabs(base.number) *
+                    100.0
+              : (now.number != 0.0 ? 100.0 : 0.0);
+      if (drift > max_drift_percent) {
+        std::fprintf(stderr, "warn: \"%s\" drifted %.1f%% (%s -> %s)\n",
+                     path.c_str(), drift, base.text.c_str(),
+                     now.text.c_str());
+        ++warnings;
+      }
+    } else if (base.type == "bool" && base.text != now.text) {
+      std::fprintf(stderr, "warn: \"%s\" flipped %s -> %s\n", path.c_str(),
+                   base.text.c_str(), now.text.c_str());
+      ++warnings;
+    }
+  }
+  size_t added = 0;
+  for (const auto& [path, leaf] : fresh) {
+    if (baseline.find(path) == baseline.end()) {
+      std::fprintf(stderr, "note: new key \"%s\" (%s) not in baseline\n",
+                   path.c_str(), leaf.type.c_str());
+      ++added;
+    }
+  }
+
+  std::printf(
+      "bench_diff: %zu baseline keys, %zu missing, %zu type-changed, "
+      "%zu value warnings, %zu additions -> %s\n",
+      baseline.size(), missing, type_changed, warnings, added,
+      missing + type_changed == 0 ? "OK" : "SCHEMA DRIFT");
+  return missing + type_changed == 0 ? 0 : 1;
+}

@@ -8,6 +8,8 @@
 //   edr_cli knn <file> <query-index> <k> [method] [epsilon]
 //   edr_cli range <file> <query-index> <radius> [epsilon]
 //   edr_cli batch <file> <num-queries> <k> [method] [repeats] [epsilon]
+//   edr_cli serve-metrics [--port=N] [--duration=SEC] [--warm=N] [--count=N]
+//   edr_cli check-openmetrics <file>
 //
 // Files ending in .csv use the text format; anything else the binary
 // format. Methods: scan, ea, ps2, ps1, pr, pb, ntr, hsr2, hsr1, 2hpn,
@@ -31,9 +33,29 @@
 //                           --metrics-interval-log=FILE when given (appended)
 //   --trace-agg-json=FILE   after a `batch`, merge every query's phase trace
 //                           into one aggregate profile and write it as JSON
+//   --metrics-table         print the aligned metrics table (counters +
+//                           latency percentiles) after the command
+//   --flight-json=FILE      dump the slow-query flight recorder (top slowest
+//                           + reservoir sample + recent ring) as JSON
+//   --timeline-json=FILE    while a `batch` runs, sample pool occupancy /
+//                           backlog / cache occupancy on a background
+//                           timeline and write it as JSON
+//   --listen[=PORT]         while a `batch` runs, serve /metrics (OpenMetrics
+//                           text), /healthz, /flight, and /timeline over
+//                           HTTP on 127.0.0.1 (default: an ephemeral port,
+//                           printed on startup)
+//   --listen-hold=SEC       keep the --listen endpoint up SEC seconds after
+//                           the batch drains (default 0)
 // The files hold "{}"-style JSON; in an EDR_DISABLE_OBS build the trace
-// files are not written (a note goes to stderr) and the metrics snapshots
-// are empty.
+// files are not written (a note goes to stderr), the metrics snapshots are
+// empty, and --listen refuses to start.
+//
+// `serve-metrics` is the self-contained scrape target the CI uses: it
+// generates an in-memory dataset, runs a warm batch so every metric and the
+// flight recorder are populated, then serves the observability routes for
+// --duration seconds (default 5). `check-openmetrics` validates a scraped
+// exposition file (syntax, histogram bucket monotonicity, +Inf == _count)
+// and exits non-zero on violations.
 
 #include <algorithm>
 #include <chrono>
@@ -50,7 +72,12 @@
 #include "data/io.h"
 #include "data/simplify.h"
 #include "eval/epsilon.h"
+#include "obs/flight_recorder.h"
+#include "obs/http_endpoint.h"
+#include "obs/openmetrics.h"
+#include "obs/periodic_dumper.h"
 #include "obs/registry.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "obs/trace_agg.h"
 #include "query/engine.h"
@@ -62,9 +89,16 @@ namespace {
 std::string g_trace_json_path;
 std::string g_metrics_json_path;
 bool g_metrics_reset = false;
+bool g_metrics_interval_given = false;
 double g_metrics_interval_seconds = 0.0;
 std::string g_metrics_interval_log_path;
 std::string g_trace_agg_json_path;
+bool g_metrics_table = false;
+std::string g_flight_json_path;
+std::string g_timeline_json_path;
+bool g_listen = false;
+int g_listen_port = 0;
+double g_listen_hold_seconds = 0.0;
 
 /// Removes the --trace-json=/--metrics-*/--trace-agg-json= flags from argv
 /// (recording their values) so the positional command parsing below stays
@@ -80,11 +114,25 @@ int StripObsFlags(int argc, char** argv) {
     } else if (std::strcmp(arg, "--metrics-reset") == 0) {
       g_metrics_reset = true;
     } else if (std::strncmp(arg, "--metrics-interval=", 19) == 0) {
+      g_metrics_interval_given = true;
       g_metrics_interval_seconds = std::atof(arg + 19);
     } else if (std::strncmp(arg, "--metrics-interval-log=", 23) == 0) {
       g_metrics_interval_log_path = arg + 23;
     } else if (std::strncmp(arg, "--trace-agg-json=", 17) == 0) {
       g_trace_agg_json_path = arg + 17;
+    } else if (std::strcmp(arg, "--metrics-table") == 0) {
+      g_metrics_table = true;
+    } else if (std::strncmp(arg, "--flight-json=", 14) == 0) {
+      g_flight_json_path = arg + 14;
+    } else if (std::strncmp(arg, "--timeline-json=", 16) == 0) {
+      g_timeline_json_path = arg + 16;
+    } else if (std::strcmp(arg, "--listen") == 0) {
+      g_listen = true;
+    } else if (std::strncmp(arg, "--listen=", 9) == 0) {
+      g_listen = true;
+      g_listen_port = std::atoi(arg + 9);
+    } else if (std::strncmp(arg, "--listen-hold=", 14) == 0) {
+      g_listen_hold_seconds = std::atof(arg + 14);
     } else {
       argv[out++] = argv[i];
     }
@@ -92,73 +140,24 @@ int StripObsFlags(int argc, char** argv) {
   return out;
 }
 
-/// Background scraper honoring --metrics-interval: every interval it takes
-/// a SnapshotAndReset delta of the global registry and writes it as one
-/// JSON line ({"t_ms": ..., ...snapshot...}) to stderr, or appends it to
-/// --metrics-interval-log when given. The final partial interval is
-/// flushed on Stop so no activity is lost between the last tick and the
-/// session end.
-class PeriodicMetricsDumper {
- public:
-  explicit PeriodicMetricsDumper(double interval_seconds)
-      : interval_seconds_(interval_seconds),
-        start_(std::chrono::steady_clock::now()) {
-    if (interval_seconds_ > 0.0) {
-      thread_ = std::thread([this] { Run(); });
-    }
-  }
-
-  ~PeriodicMetricsDumper() { Stop(); }
-
-  void Stop() {
-    if (!thread_.joinable()) return;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      stop_ = true;
-    }
-    cv_.notify_all();
-    thread_.join();
-    Dump();  // final partial-interval delta
-  }
-
- private:
-  void Run() {
-    std::unique_lock<std::mutex> lock(mu_);
-    while (!stop_) {
-      const auto interval = std::chrono::duration<double>(interval_seconds_);
-      if (cv_.wait_for(lock, interval, [this] { return stop_; })) break;
-      lock.unlock();
-      Dump();
-      lock.lock();
-    }
-  }
-
-  void Dump() {
-    const std::string json =
-        edr::MetricsRegistry::Global().SnapshotAndReset().ToJson();
-    const double t_ms =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start_)
-            .count() *
-        1e3;
+/// Builds the --metrics-interval dumper (obs/periodic_dumper.h) with the
+/// CLI's sink: one JSON line per delta to stderr, or appended to
+/// --metrics-interval-log when given.
+edr::PeriodicMetricsDumper::Options IntervalDumperOptions() {
+  edr::PeriodicMetricsDumper::Options options;
+  options.interval_seconds = g_metrics_interval_seconds;
+  options.sink = [](const std::string& line) {
     std::FILE* out = stderr;
     std::FILE* log = nullptr;
     if (!g_metrics_interval_log_path.empty()) {
       log = std::fopen(g_metrics_interval_log_path.c_str(), "a");
       if (log != nullptr) out = log;
     }
-    std::fprintf(out, "{\"t_ms\": %.1f, \"metrics\": %s}\n", t_ms,
-                 json.c_str());
+    std::fprintf(out, "%s\n", line.c_str());
     if (log != nullptr) std::fclose(log);
-  }
-
-  double interval_seconds_;
-  std::chrono::steady_clock::time_point start_;
-  std::thread thread_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
-};
+  };
+  return options;
+}
 
 bool WriteTextFile(const std::string& path, const std::string& content) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -183,6 +182,42 @@ void MaybeExportMetrics() {
   } else {
     std::printf("metrics written to %s\n", g_metrics_json_path.c_str());
   }
+}
+
+/// Honors --metrics-table: the aligned counter/latency table on stdout.
+void MaybeExportMetricsTable() {
+  if (!g_metrics_table) return;
+  std::printf("%s",
+              edr::MetricsRegistry::Global().Snapshot().ToTable().c_str());
+}
+
+/// Honors --flight-json after a query command ran.
+void MaybeExportFlight() {
+  if (g_flight_json_path.empty()) return;
+  const std::string json = edr::FlightRecorder::Global().ToJson();
+  if (!WriteTextFile(g_flight_json_path, json)) {
+    std::fprintf(stderr, "warning: could not write %s\n",
+                 g_flight_json_path.c_str());
+  } else {
+    std::printf("flight recorder written to %s\n", g_flight_json_path.c_str());
+  }
+}
+
+/// Sends one solo (unscheduled) CLI query to the flight recorder, so
+/// `knn --flight-json=...` shows the query it just ran. sched_budget and
+/// fusion_group stay 0: the query never went through the scheduler.
+void PublishCliQuery(const std::string& searcher_name,
+                     const edr::KnnResult& result) {
+  edr::FlightRecord record;
+  record.searcher = searcher_name;
+  record.latency_seconds = result.stats.elapsed_seconds;
+  record.filter_seconds = result.stats.filter_seconds;
+  record.refine_seconds = result.stats.refine_seconds;
+  record.db_size = result.stats.db_size;
+  record.edr_computed = result.stats.edr_computed;
+  record.stages = result.stats.stages;
+  record.trace = result.trace;
+  edr::FlightRecorder::Global().Publish(std::move(record));
 }
 
 /// Honors --trace-json for the query that produced `result`.
@@ -235,15 +270,26 @@ int Usage() {
       "  edr_cli range <file> <query-index> <radius> [epsilon]\n"
       "  edr_cli batch <file> <num-queries> <k> [method] [repeats] "
       "[epsilon]\n"
+      "  edr_cli serve-metrics [--port=N] [--duration=SEC] [--warm=N] "
+      "[--count=N]\n"
+      "  edr_cli check-openmetrics <file>\n"
       "flags (any command):\n"
       "  --trace-json=FILE       per-query phase trace (knn only)\n"
       "  --metrics-json=FILE     process-wide metrics snapshot\n"
       "  --metrics-reset         snapshot is a delta scrape (reset after "
       "export)\n"
-      "  --metrics-interval=SEC  periodic delta dumps while a batch drains\n"
+      "  --metrics-interval=SEC  periodic delta dumps while a batch drains "
+      "(SEC > 0)\n"
       "  --metrics-interval-log=FILE  append interval dumps here instead of "
       "stderr\n"
-      "  --trace-agg-json=FILE   aggregate phase profile of a batch\n");
+      "  --trace-agg-json=FILE   aggregate phase profile of a batch\n"
+      "  --metrics-table         print the aligned metrics table\n"
+      "  --flight-json=FILE      slow-query flight recorder dump\n"
+      "  --timeline-json=FILE    utilization timeline of a batch\n"
+      "  --listen[=PORT]         serve /metrics /healthz /flight /timeline "
+      "during a batch\n"
+      "  --listen-hold=SEC       keep the endpoint up after the batch "
+      "drains\n");
   return 2;
 }
 
@@ -394,8 +440,11 @@ int Knn(int argc, char** argv) {
               result.stats.edr_computed, result.stats.db_size,
               result.stats.PruningPower(),
               result.stats.elapsed_seconds * 1e3);
+  PublishCliQuery(searcher.name, result);
   MaybeExportTrace(result);
   MaybeExportMetrics();
+  MaybeExportMetricsTable();
+  MaybeExportFlight();
   return 0;
 }
 
@@ -421,10 +470,42 @@ int Batch(int argc, char** argv) {
   edr::QueryEngine engine(db, epsilon);
   const edr::NamedSearcher searcher = PickMethod(engine, method);
   edr::FeatureCache cache(/*capacity=*/2 * num_queries);
+  edr::RegisterStandardMetrics();
 
   std::printf("streaming %zu queries x%zu through %s (eps=%.3f, k=%zu)\n",
               num_queries, repeats, searcher.name.c_str(), epsilon, k);
-  PeriodicMetricsDumper dumper(g_metrics_interval_seconds);
+  edr::PeriodicMetricsDumper dumper(IntervalDumperOptions());
+  if (g_metrics_interval_given) dumper.Start();
+
+  // The sessions below are per-pass; the timeline sampler outlives them
+  // and probes the live one through this mutex-guarded pointer.
+  std::mutex session_mu;
+  edr::QuerySession* live_session = nullptr;
+
+  edr::TimelineSampler::Options timeline_options;
+  timeline_options.backlog = [&session_mu, &live_session]() -> size_t {
+    std::lock_guard<std::mutex> lock(session_mu);
+    return live_session != nullptr ? live_session->PendingRelaxed() : 0;
+  };
+  timeline_options.cache_entries = [&cache]() {
+    return cache.stats().entries;
+  };
+  edr::TimelineSampler timeline(timeline_options);
+  if (!g_timeline_json_path.empty() || g_listen) timeline.Start();
+
+  edr::MetricsHttpEndpoint::Options endpoint_options;
+  endpoint_options.port = static_cast<uint16_t>(g_listen_port);
+  endpoint_options.timeline = &timeline;
+  edr::MetricsHttpEndpoint endpoint(endpoint_options);
+  if (g_listen) {
+    std::string error;
+    if (!endpoint.Start(&error)) return Fail("--listen: " + error);
+    std::printf("serving /metrics /healthz /flight /timeline on "
+                "127.0.0.1:%u\n",
+                static_cast<unsigned>(endpoint.port()));
+    std::fflush(stdout);
+  }
+
   edr::TraceAggregate trace_agg;
   edr::SchedulerStats last_stats;
   for (size_t pass = 0; pass < repeats; ++pass) {
@@ -432,6 +513,10 @@ int Batch(int argc, char** argv) {
     options.k = k;
     options.feature_cache = &cache;
     edr::QuerySession session(searcher, options);
+    {
+      std::lock_guard<std::mutex> lock(session_mu);
+      live_session = &session;
+    }
     const auto start = std::chrono::steady_clock::now();
     std::vector<edr::QuerySession::Ticket> tickets;
     tickets.reserve(num_queries);
@@ -449,6 +534,10 @@ int Batch(int argc, char** argv) {
       }
     }
     last_stats = session.stats();
+    {
+      std::lock_guard<std::mutex> lock(session_mu);
+      live_session = nullptr;
+    }
     std::printf("  pass %zu: %.1f ms total, %.3f ms/query%s\n", pass + 1,
                 seconds * 1e3,
                 seconds * 1e3 / static_cast<double>(num_queries),
@@ -481,7 +570,117 @@ int Batch(int argc, char** argv) {
               static_cast<unsigned long long>(cs.hits),
               static_cast<unsigned long long>(cs.misses),
               static_cast<unsigned long long>(cs.evictions), cs.entries);
+  if (g_listen && g_listen_hold_seconds > 0.0) {
+    std::printf("holding the endpoint for %.1f s (ctrl-c to stop early)\n",
+                g_listen_hold_seconds);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(g_listen_hold_seconds));
+  }
+  endpoint.Stop();
+  timeline.Stop();
+  if (!g_timeline_json_path.empty()) {
+    if (!WriteTextFile(g_timeline_json_path, timeline.ToJson())) {
+      std::fprintf(stderr, "warning: could not write %s\n",
+                   g_timeline_json_path.c_str());
+    } else {
+      std::printf("timeline written to %s\n", g_timeline_json_path.c_str());
+    }
+  }
   MaybeExportMetrics();
+  MaybeExportMetricsTable();
+  MaybeExportFlight();
+  return 0;
+}
+
+/// `serve-metrics` — the self-contained scrape target: generate a dataset,
+/// run a warm scheduled batch so metrics / flight records / the timeline
+/// are populated, then serve the observability routes for a fixed window.
+int ServeMetrics(int argc, char** argv) {
+  int port = 0;
+  double duration = 5.0;
+  size_t warm = 32;
+  size_t count = 256;
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--port=", 7) == 0) {
+      port = std::atoi(arg + 7);
+    } else if (std::strncmp(arg, "--duration=", 11) == 0) {
+      duration = std::atof(arg + 11);
+    } else if (std::strncmp(arg, "--warm=", 7) == 0) {
+      warm = static_cast<size_t>(std::atoll(arg + 7));
+    } else if (std::strncmp(arg, "--count=", 8) == 0) {
+      count = static_cast<size_t>(std::atoll(arg + 8));
+    } else {
+      return Fail(std::string("serve-metrics: unknown flag ") + arg);
+    }
+  }
+  if (count < 2) return Fail("serve-metrics: --count must be >= 2");
+  warm = std::min(warm, count);
+
+  edr::RegisterStandardMetrics();
+  edr::TrajectoryDataset db = edr::GenMixedLike(count, 40, 200, /*seed=*/7);
+  db.NormalizeAll();
+  const double epsilon = db.SuggestedEpsilon();
+  edr::QueryEngine engine(db, epsilon);
+  const edr::NamedSearcher searcher = PickMethod(engine, "2hpn");
+  edr::FeatureCache cache(/*capacity=*/2 * warm);
+
+  edr::TimelineSampler::Options timeline_options;
+  timeline_options.cache_entries = [&cache]() {
+    return cache.stats().entries;
+  };
+  edr::TimelineSampler timeline(timeline_options);
+  timeline.Start();
+
+  if (warm > 0) {
+    edr::QuerySession::Options options;
+    options.k = 5;
+    options.feature_cache = &cache;
+    edr::QuerySession session(searcher, options);
+    for (size_t i = 0; i < warm; ++i) session.Submit(db[i]);
+    session.Drain();
+    std::printf("warmed %zu queries over %zu trajectories (eps=%.3f)\n",
+                warm, db.size(), epsilon);
+  }
+
+  edr::MetricsHttpEndpoint::Options endpoint_options;
+  endpoint_options.port = static_cast<uint16_t>(port);
+  endpoint_options.timeline = &timeline;
+  edr::MetricsHttpEndpoint endpoint(endpoint_options);
+  std::string error;
+  if (!endpoint.Start(&error)) return Fail("serve-metrics: " + error);
+  std::printf("serving /metrics /healthz /flight /timeline on "
+              "127.0.0.1:%u for %.1f s\n",
+              static_cast<unsigned>(endpoint.port()), duration);
+  std::fflush(stdout);
+  std::this_thread::sleep_for(std::chrono::duration<double>(duration));
+  endpoint.Stop();
+  timeline.Stop();
+  std::printf("served %llu requests\n",
+              static_cast<unsigned long long>(endpoint.requests()));
+  MaybeExportMetrics();
+  MaybeExportMetricsTable();
+  MaybeExportFlight();
+  return 0;
+}
+
+/// `check-openmetrics <file>` — validate a scraped exposition.
+int CheckOpenMetrics(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::FILE* f = std::fopen(argv[2], "rb");
+  if (f == nullptr) return Fail(std::string("cannot open ") + argv[2]);
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  std::string error;
+  if (!edr::OpenMetricsIsValid(text, &error)) {
+    return Fail(std::string(argv[2]) + ": " + error);
+  }
+  std::printf("%s: valid OpenMetrics exposition (%zu bytes)\n", argv[2],
+              text.size());
   return 0;
 }
 
@@ -509,8 +708,11 @@ int RangeQuery(int argc, char** argv) {
   for (const edr::Neighbor& n : result.neighbors) {
     std::printf("  id=%-6u EDR=%.0f\n", n.id, n.distance);
   }
+  PublishCliQuery("range", result);
   MaybeExportTrace(result);
   MaybeExportMetrics();
+  MaybeExportMetricsTable();
+  MaybeExportFlight();
   return 0;
 }
 
@@ -518,6 +720,13 @@ int RangeQuery(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   argc = StripObsFlags(argc, argv);
+  if (g_metrics_interval_given) {
+    std::string error;
+    if (!edr::PeriodicMetricsDumper::ValidInterval(g_metrics_interval_seconds,
+                                                   &error)) {
+      return Fail("--metrics-interval: " + error);
+    }
+  }
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   if (command == "generate") return Generate(argc, argv);
@@ -528,5 +737,7 @@ int main(int argc, char** argv) {
   if (command == "knn") return Knn(argc, argv);
   if (command == "range") return RangeQuery(argc, argv);
   if (command == "batch") return Batch(argc, argv);
+  if (command == "serve-metrics") return ServeMetrics(argc, argv);
+  if (command == "check-openmetrics") return CheckOpenMetrics(argc, argv);
   return Usage();
 }
