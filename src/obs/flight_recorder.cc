@@ -25,18 +25,25 @@ uint64_t ReservoirDraw(uint64_t bound) {
 
 void AppendRecordJson(std::string* out, const FlightRecord& r,
                       bool include_trace) {
-  char buf[512];
+  // The searcher name is caller-controlled and unbounded, so it is
+  // appended as a std::string between two fixed-size numeric chunks —
+  // a single snprintf into a stack buffer could truncate mid-escape and
+  // emit malformed JSON.
+  char buf[384];
+  std::snprintf(buf, sizeof(buf), "{\"id\": %llu, \"t_ms\": %.3f, "
+                "\"searcher\": \"",
+                static_cast<unsigned long long>(r.id), r.t_seconds * 1e3);
+  *out += buf;
+  *out += JsonEscape(r.searcher);
   std::snprintf(buf, sizeof(buf),
-                "{\"id\": %llu, \"t_ms\": %.3f, \"searcher\": \"%s\", "
-                "\"ms\": %.6f, \"filter_ms\": %.6f, \"refine_ms\": %.6f, "
+                "\", \"ms\": %.6f, \"filter_ms\": %.6f, \"refine_ms\": %.6f, "
                 "\"db_size\": %zu, \"edr_computed\": %zu, "
                 "\"sched_budget\": %u, \"fusion_group\": %zu, "
                 "\"cache_hits\": %llu, \"cache_misses\": %llu, "
                 "\"stages\": ",
-                static_cast<unsigned long long>(r.id), r.t_seconds * 1e3,
-                JsonEscape(r.searcher).c_str(), r.latency_seconds * 1e3,
-                r.filter_seconds * 1e3, r.refine_seconds * 1e3, r.db_size,
-                r.edr_computed, r.sched_budget, r.fusion_group,
+                r.latency_seconds * 1e3, r.filter_seconds * 1e3,
+                r.refine_seconds * 1e3, r.db_size, r.edr_computed,
+                r.sched_budget, r.fusion_group,
                 static_cast<unsigned long long>(r.cache_hits),
                 static_cast<unsigned long long>(r.cache_misses));
   *out += buf;

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -23,13 +24,22 @@ constexpr const char kContentTypeOpenMetrics[] =
 constexpr const char kContentTypeJson[] = "application/json";
 constexpr const char kContentTypeText[] = "text/plain; charset=utf-8";
 
+// MSG_NOSIGNAL: a scraper that disconnects mid-response must surface as
+// EPIPE, not deliver SIGPIPE (whose default action would kill the whole
+// process — including a batch run that merely offered --listen).
+#ifdef MSG_NOSIGNAL
+constexpr int kSendFlags = MSG_NOSIGNAL;
+#else
+constexpr int kSendFlags = 0;
+#endif
+
 void WriteAll(int fd, const char* data, size_t size) {
   size_t sent = 0;
   while (sent < size) {
-    const ssize_t n = ::send(fd, data + sent, size - sent, 0);
+    const ssize_t n = ::send(fd, data + sent, size - sent, kSendFlags);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
-      return;  // peer went away; nothing sensible to do
+      return;  // peer went away (EPIPE/timeout); nothing sensible to do
     }
     sent += static_cast<size_t>(n);
   }
@@ -138,6 +148,13 @@ void MetricsHttpEndpoint::Stop() {
   // shutdown unblocks the accept() in flight; close releases the port.
   ::shutdown(fd, SHUT_RDWR);
   ::close(fd);
+  {
+    // Unblock a connection mid-recv/send so the join below can't wait on
+    // a client that never speaks. Safe under the lock: the accept loop
+    // only close()s a connection after clearing conn_fd_ here.
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (conn_fd_ >= 0) ::shutdown(conn_fd_, SHUT_RDWR);
+  }
   if (thread_.joinable()) thread_.join();
   port_.store(0);
 }
@@ -151,7 +168,32 @@ void MetricsHttpEndpoint::AcceptLoop() {
       if (errno == EINTR) continue;
       return;  // listener closed by Stop
     }
+    // Bound each recv/send so one silent client can't stall the serial
+    // accept loop (or a Stop racing this accept) indefinitely.
+    if (options_.io_timeout_ms > 0) {
+      timeval tv;
+      tv.tv_sec = options_.io_timeout_ms / 1000;
+      tv.tv_usec = (options_.io_timeout_ms % 1000) * 1000;
+      ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      conn_fd_ = conn;
+    }
+    if (listen_fd_.load() < 0) {
+      // Stop ran between accept and registration; its shutdown may have
+      // missed this connection, so bail out instead of serving it.
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      conn_fd_ = -1;
+      ::close(conn);
+      return;
+    }
     ServeConnection(conn);
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      conn_fd_ = -1;
+    }
     ::close(conn);
   }
 }

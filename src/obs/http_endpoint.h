@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <thread>
 
@@ -38,6 +39,11 @@ class MetricsHttpEndpoint {
     const TimelineSampler* timeline = nullptr;
     /// OpenMetrics metric-family prefix.
     std::string prefix = "edr_";
+    /// Per-recv/send socket timeout on accepted connections. The accept
+    /// loop serves serially, so this bounds how long one silent client
+    /// can stall other scrapers (and how long Stop() waits on a
+    /// connection accepted in the instant before shutdown).
+    int io_timeout_ms = 5000;
   };
 
   MetricsHttpEndpoint();
@@ -73,6 +79,12 @@ class MetricsHttpEndpoint {
   std::atomic<uint16_t> port_{0};
   std::atomic<uint64_t> requests_{0};
   std::thread thread_;
+  /// The connection currently being served (-1 between requests), so
+  /// Stop() can shutdown() a mid-recv client instead of waiting on it.
+  /// Guarded by conn_mu_: the accept loop clears it before close(), so a
+  /// shutdown() under the lock can never hit a recycled descriptor.
+  std::mutex conn_mu_;
+  int conn_fd_ = -1;
 };
 
 }  // namespace edr

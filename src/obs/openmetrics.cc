@@ -94,8 +94,12 @@ std::string RenderOpenMetrics(const MetricsSnapshot& snapshot,
     if (options.exemplars != nullptr && h.name == "query.seconds") {
       top = options.exemplars->TopSlowest();
       for (const FlightRecord& r : top) {
-        exemplars.emplace(LatencyHistogram::BucketIndex(r.latency_seconds),
-                          &r);
+        const size_t b = LatencyHistogram::BucketIndex(r.latency_seconds);
+        // A latency clamped into the overflow bucket exceeds that
+        // bucket's le bound; OpenMetrics requires a bucket exemplar's
+        // value to lie within the bucket, so skip it.
+        if (r.latency_seconds > LatencyBucketUpperSeconds(b)) continue;
+        exemplars.emplace(b, &r);
       }
     }
 
@@ -329,13 +333,21 @@ class OmChecker {
     }
     if (!ParseNumber(value_part, &value)) return Fail("bad sample value");
     if (exemplar_at != std::string_view::npos) {
-      if (!CheckExemplar(tail.substr(exemplar_at + 3))) return false;
+      // A bucket sample's exemplar must lie within the bucket: its value
+      // may not exceed the le bound. Samples without a parseable le
+      // (counters, malformed le caught later) get an unbounded check.
+      double le_bound = std::numeric_limits<double>::infinity();
+      double le_value = 0.0;
+      if (has_le && ParseNumber(le, &le_value)) le_bound = le_value;
+      if (!CheckExemplar(tail.substr(exemplar_at + 3), le_bound)) {
+        return false;
+      }
     }
 
     return CheckFamilyRules(name, has_le, le, value);
   }
 
-  bool CheckExemplar(std::string_view exemplar) {
+  bool CheckExemplar(std::string_view exemplar, double le_bound) {
     if (exemplar.empty() || exemplar[0] != '{') {
       return Fail("exemplar missing label set");
     }
@@ -357,6 +369,7 @@ class OmChecker {
       rest = rest.substr(0, split);
     }
     if (!ParseNumber(rest, &value)) return Fail("bad exemplar value");
+    if (value > le_bound) return Fail("exemplar value exceeds bucket le");
     return true;
   }
 

@@ -184,6 +184,78 @@ TEST(ObsEndpointTest, StopIsIdempotentAndRestartable) {
   endpoint.Stop();
 }
 
+TEST(ObsEndpointTest, SurvivesClientDisconnectMidResponse) {
+  if constexpr (!kObsEnabled) return;
+  RegisterStandardMetrics();
+  MetricsHttpEndpoint endpoint;
+  ASSERT_TRUE(endpoint.Start());
+  // Scrapers that hang up mid-request (RST via SO_LINGER 0, so the
+  // server sees a hard reset rather than a buffered FIN). The partial
+  // request head forces the server back into recv(), which consumes the
+  // reset — its response send() then lands on a dead socket.
+  // Historically that raised SIGPIPE and killed the process; the
+  // endpoint must shrug it off and keep serving.
+  for (int i = 0; i < 8; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(endpoint.port());
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    const char partial[] = "GET /metrics HTTP/1.1\r\nHost: x\r\n";
+    (void)::send(fd, partial, sizeof(partial) - 1, 0);
+    linger hard_reset;
+    hard_reset.l_onoff = 1;
+    hard_reset.l_linger = 0;
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard_reset, sizeof(hard_reset));
+    ::close(fd);
+  }
+  // Still alive and still serving complete expositions.
+  const std::string body = BodyOf(Get(endpoint.port(), "/metrics"));
+  std::string error;
+  EXPECT_TRUE(OpenMetricsIsValid(body, &error)) << error;
+  endpoint.Stop();
+}
+
+TEST(ObsEndpointTest, SilentClientNeitherStallsScrapesNorHangsStop) {
+  if constexpr (!kObsEnabled) return;
+  MetricsHttpEndpoint::Options options;
+  options.io_timeout_ms = 200;
+  MetricsHttpEndpoint endpoint(options);
+  ASSERT_TRUE(endpoint.Start());
+
+  // A client that connects and never sends a byte. The recv timeout must
+  // release the serial accept loop so the next scrape still succeeds.
+  const int silent = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(silent, 0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(endpoint.port());
+  ASSERT_EQ(::connect(silent, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  EXPECT_EQ(BodyOf(Get(endpoint.port(), "/healthz")), "ok\n");
+
+  // And a second silent connection held open across Stop: the shutdown
+  // of the active connection (plus the timeout backstop) must let Stop
+  // join the accept thread instead of hanging forever.
+  const int silent2 = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(silent2, 0);
+  ASSERT_EQ(::connect(silent2, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  endpoint.Stop();
+  EXPECT_FALSE(endpoint.running());
+  ::close(silent);
+  ::close(silent2);
+}
+
 TEST(ObsEndpointTest, ConcurrentScrapesAreServedCompletely) {
   if constexpr (!kObsEnabled) return;
   RegisterStandardMetrics();

@@ -146,6 +146,17 @@ TEST(ObsFlightTest, ToJsonIsValidInEveryBuild) {
     EXPECT_NE(json.find("\"reservoir\""), std::string::npos);
     EXPECT_NE(json.find("\"recent\""), std::string::npos);
   }
+  // A searcher name far beyond any fixed formatting buffer (and whose
+  // escaped form inflates further) must still round-trip as valid JSON
+  // with the name intact — no mid-string truncation.
+  FlightRecord longname = MakeRecord(3e-3);
+  longname.searcher = std::string(2048, 'x') + "\"\\\n";
+  recorder.Publish(std::move(longname));
+  const std::string long_json = recorder.ToJson();
+  EXPECT_TRUE(JsonIsValid(long_json));
+  if constexpr (kObsEnabled) {
+    EXPECT_NE(long_json.find(std::string(2048, 'x')), std::string::npos);
+  }
 }
 
 TEST(ObsFlightTest, ConcurrentPublishersLoseNothing) {

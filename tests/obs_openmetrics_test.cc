@@ -151,6 +151,34 @@ TEST(ObsOpenMetricsTest, ExemplarsResolveToFlightRecorderIds) {
   h.Reset();
 }
 
+TEST(ObsOpenMetricsTest, OverflowBucketLatencySkipsItsExemplar) {
+  if constexpr (!kObsEnabled) return;
+  FlightRecorder recorder;
+  LatencyHistogram& h = MetricsRegistry::Global().Histogram("query.seconds");
+  h.Reset();
+  // A latency beyond the last finite bucket edge is clamped into the
+  // overflow bucket, whose le bound it exceeds — attaching it as that
+  // bucket's exemplar would violate value <= le, so the renderer must
+  // drop it rather than emit an out-of-bucket exemplar.
+  const double clamped = LatencyBucketUpperSeconds(
+                             LatencyHistogram::kBuckets - 1) *
+                         4.0;
+  FlightRecord r;
+  r.searcher = "test";
+  r.latency_seconds = clamped;
+  recorder.Publish(std::move(r));
+  h.Record(clamped);
+
+  OpenMetricsOptions options;
+  options.exemplars = &recorder;
+  const std::string text =
+      RenderOpenMetrics(MetricsRegistry::Global().Snapshot(), options);
+  std::string error;
+  EXPECT_TRUE(OpenMetricsIsValid(text, &error)) << error;
+  EXPECT_EQ(text.find("entry_id"), std::string::npos) << text;
+  h.Reset();
+}
+
 TEST(ObsOpenMetricsTest, ValidatorRejectsStructuralViolations) {
   std::string error;
   EXPECT_FALSE(OpenMetricsIsValid("", &error));
@@ -202,6 +230,14 @@ TEST(ObsOpenMetricsTest, ValidatorRejectsStructuralViolations) {
   // Bad escape in a label value.
   EXPECT_FALSE(OpenMetricsIsValid(
       "# TYPE g gauge\ng{x=\"a\\q\"} 1\n# EOF\n", &error));
+
+  // Bucket exemplar whose value lies outside the bucket (value > le).
+  EXPECT_FALSE(OpenMetricsIsValid(
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 1 # {entry_id=\"3\"} 2.5\n"
+      "h_bucket{le=\"+Inf\"} 1\nh_count 1\nh_sum 2.5\n# EOF\n",
+      &error));
+  EXPECT_NE(error.find("exceeds bucket le"), std::string::npos);
 
   // Missing final newline.
   EXPECT_FALSE(OpenMetricsIsValid("# EOF", &error));
