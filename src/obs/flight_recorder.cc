@@ -29,7 +29,7 @@ void AppendRecordJson(std::string* out, const FlightRecord& r,
   // appended as a std::string between two fixed-size numeric chunks —
   // a single snprintf into a stack buffer could truncate mid-escape and
   // emit malformed JSON.
-  char buf[384];
+  char buf[512];
   std::snprintf(buf, sizeof(buf), "{\"id\": %llu, \"t_ms\": %.3f, "
                 "\"searcher\": \"",
                 static_cast<unsigned long long>(r.id), r.t_seconds * 1e3);
@@ -40,12 +40,17 @@ void AppendRecordJson(std::string* out, const FlightRecord& r,
                 "\"db_size\": %zu, \"edr_computed\": %zu, "
                 "\"sched_budget\": %u, \"fusion_group\": %zu, "
                 "\"cache_hits\": %llu, \"cache_misses\": %llu, "
+                "\"group_shared_fraction\": %.6f, "
+                "\"plan_cache_hits\": %llu, \"plan_cache_misses\": %llu, "
                 "\"stages\": ",
                 r.latency_seconds * 1e3, r.filter_seconds * 1e3,
                 r.refine_seconds * 1e3, r.db_size, r.edr_computed,
                 r.sched_budget, r.fusion_group,
                 static_cast<unsigned long long>(r.cache_hits),
-                static_cast<unsigned long long>(r.cache_misses));
+                static_cast<unsigned long long>(r.cache_misses),
+                r.group_shared_fraction,
+                static_cast<unsigned long long>(r.plan_cache_hits),
+                static_cast<unsigned long long>(r.plan_cache_misses));
   *out += buf;
   *out += r.stages.ToJson();
   if (include_trace) {

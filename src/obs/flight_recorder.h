@@ -46,6 +46,16 @@ struct FlightRecord {
   /// consecutive records difference into per-step activity).
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  /// Achieved shared-bin fraction of the fused group this query ran in:
+  /// 1 - popcount(union of member signatures) / sum of member popcounts,
+  /// estimated from the grouper's query fingerprints (0 when the query
+  /// ran solo or the searcher has no fingerprint hook).
+  double group_shared_fraction = 0.0;
+  /// Fused-plan-cache cumulative totals at completion, same whole-lifetime
+  /// convention as cache_hits/cache_misses (0 when no plan cache was
+  /// attached).
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
   /// The per-query phase tree; shared with the KnnResult, so retaining a
   /// record costs a refcount, not a copy. Null in EDR_DISABLE_OBS builds.
   std::shared_ptr<const QueryTrace> trace;

@@ -98,6 +98,13 @@ ObsCounter& MetricsRegistry::Counter(const std::string& name) {
   return *slot;
 }
 
+ObsGauge& MetricsRegistry::Gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<ObsGauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<ObsGauge>();
+  return *slot;
+}
+
 LatencyHistogram& MetricsRegistry::Histogram(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   std::unique_ptr<LatencyHistogram>& slot = histograms_[name];
@@ -111,6 +118,10 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   snapshot.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
     snapshot.counters.push_back({name, counter->Load()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back({name, gauge->Load()});
   }
   snapshot.histograms.reserve(histograms_.size());
   for (const auto& [name, histogram] : histograms_) {
@@ -133,6 +144,12 @@ MetricsSnapshot MetricsRegistry::SnapshotAndReset() {
   snapshot.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
     snapshot.counters.push_back({name, counter->Drain()});
+  }
+  // Gauges are levels, not accumulations: a delta scrape reports the
+  // current level and leaves it standing.
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back({name, gauge->Load()});
   }
   snapshot.histograms.reserve(histograms_.size());
   for (const auto& [name, histogram] : histograms_) {
@@ -159,10 +176,15 @@ void RegisterStandardMetrics() {
       "batch.queries",        "sched.waves",
       "sched.wave_queries",   "sched.widened_queries",
       "sched.budget_granted", "sched.fused_groups",
-      "sched.fused_queries",  "feature_cache.hits",
-      "feature_cache.misses", "feature_cache.evictions",
+      "sched.fused_queries",  "sched.group_similarity",
+      "sched.group_fifo",     "sched.group_forced",
+      "feature_cache.hits",   "feature_cache.misses",
+      "feature_cache.evictions", "plan_cache.hits",
+      "plan_cache.misses",    "plan_cache.evictions",
+      "plan_cache.collisions",
   };
   for (const char* name : kCounters) registry.Counter(name);
+  registry.Gauge("sched.group_shared_bin_fraction");
   registry.Histogram("query.seconds");
   registry.Histogram("batch.seconds");
 }
@@ -170,6 +192,7 @@ void RegisterStandardMetrics() {
 void MetricsRegistry::ResetForTest() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
 }
 
@@ -180,6 +203,12 @@ std::string MetricsSnapshot::ToJson() const {
     std::snprintf(buf, sizeof(buf), "%s\"%s\": %llu",
                   i > 0 ? ", " : "", JsonEscape(counters[i].name).c_str(),
                   static_cast<unsigned long long>(counters[i].value));
+    out += buf;
+  }
+  out += "}, \"gauges\": {";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s\"%s\": %.9g", i > 0 ? ", " : "",
+                  JsonEscape(gauges[i].name).c_str(), gauges[i].value);
     out += buf;
   }
   out += "}, \"histograms\": [";
@@ -208,6 +237,15 @@ std::string MetricsSnapshot::ToTable() const {
     for (const CounterRow& c : counters) {
       std::snprintf(buf, sizeof(buf), "%-32s %14llu\n", c.name.c_str(),
                     static_cast<unsigned long long>(c.value));
+      out += buf;
+    }
+  }
+  if (!gauges.empty()) {
+    std::snprintf(buf, sizeof(buf), "%-32s %14s\n", "gauge", "value");
+    out += buf;
+    for (const GaugeRow& g : gauges) {
+      std::snprintf(buf, sizeof(buf), "%-32s %14.6f\n", g.name.c_str(),
+                    g.value);
       out += buf;
     }
   }

@@ -41,6 +41,28 @@ struct alignas(64) ObsCounter {
 static_assert(sizeof(ObsCounter) == 64 && alignof(ObsCounter) == 64,
               "counters must own their cache line");
 
+/// A process-wide gauge: a level that is *set*, not accumulated — e.g.
+/// the shared-bin fraction of the most recent fusion group. Same cache
+/// line padding and relaxed-atomic discipline as ObsCounter. Gauges are
+/// levels, so delta scrapes (SnapshotAndReset) report them unchanged
+/// instead of zeroing them.
+struct alignas(64) ObsGauge {
+  std::atomic<double> value{0.0};
+
+  void Set(double v) {
+    if constexpr (kObsEnabled) {
+      value.store(v, std::memory_order_relaxed);
+    } else {
+      (void)v;
+    }
+  }
+  double Load() const { return value.load(std::memory_order_relaxed); }
+  void Reset() { value.store(0.0, std::memory_order_relaxed); }
+};
+
+static_assert(sizeof(ObsGauge) == 64 && alignof(ObsGauge) == 64,
+              "gauges must own their cache line");
+
 /// A log-bucketed latency histogram: bucket b counts samples in
 /// [2^(b-1), 2^b) nanoseconds (bucket 0 is [0, 1ns)), covering ~1ns to
 /// ~78 minutes in 52 buckets. Recording is one relaxed fetch_add — cheap
@@ -108,6 +130,10 @@ struct MetricsSnapshot {
     std::string name;
     uint64_t value = 0;
   };
+  struct GaugeRow {
+    std::string name;
+    double value = 0.0;
+  };
   struct HistogramRow {
     std::string name;
     uint64_t count = 0;
@@ -122,9 +148,11 @@ struct MetricsSnapshot {
   };
 
   std::vector<CounterRow> counters;
+  std::vector<GaugeRow> gauges;
   std::vector<HistogramRow> histograms;
 
-  /// {"counters": {...}, "histograms": [{...}]} — machine-readable export.
+  /// {"counters": {...}, "gauges": {...}, "histograms": [{...}]} —
+  /// machine-readable export.
   std::string ToJson() const;
 
   /// The aligned-table format the workload reports use: one
@@ -140,9 +168,11 @@ inline double LatencyBucketUpperSeconds(size_t b) {
 }
 
 /// Registers (without incrementing) every metric name the library emits —
-/// query.*, batch.*, sched.* (including the fused-sweep counters), and
-/// feature_cache.* — so snapshots, the --metrics-json table export, and
-/// the OpenMetrics exposition always list them, zero-valued when idle.
+/// query.*, batch.*, sched.* (including the fused-sweep and
+/// fusion-grouping counters plus the shared-bin-fraction gauge),
+/// feature_cache.*, and plan_cache.* — so snapshots, the --metrics-json
+/// table export, and the OpenMetrics exposition always list them,
+/// zero-valued when idle.
 /// Without this, lazily-registered counters (e.g. sched.fused_groups)
 /// only appear after the first event of their kind, which made them easy
 /// to miss in exports. Idempotent; safe in every build.
@@ -160,6 +190,7 @@ class MetricsRegistry {
   static MetricsRegistry& Global();
 
   ObsCounter& Counter(const std::string& name);
+  ObsGauge& Gauge(const std::string& name);
   LatencyHistogram& Histogram(const std::string& name);
 
   MetricsSnapshot Snapshot() const;
@@ -177,6 +208,7 @@ class MetricsRegistry {
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<ObsCounter>> counters_;
+  std::map<std::string, std::unique_ptr<ObsGauge>> gauges_;
   std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
 };
 

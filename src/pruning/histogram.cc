@@ -5,11 +5,14 @@
 #include <cstdio>
 #include <functional>
 #include <limits>
+#include <memory>
+#include <numeric>
 #include <queue>
 #include <unordered_map>
 
 #include "core/cpu.h"
 #include "query/intra_query.h"
+#include "query/plan_cache.h"
 #include "query/thread_pool.h"
 
 #if defined(__SSE2__) && !defined(EDR_DISABLE_SIMD)
@@ -1385,9 +1388,11 @@ struct FusedBinEntry {
   int32_t qcount[kMaxFusionGroup] = {};
 };
 
-/// The per-dimension plan of one fused sweep, built once and shared
-/// read-only by every block shard.
-struct FusedPlan {
+/// The cacheable part of one dimension's fused-sweep plan: a pure
+/// function of the members' sparse histograms (in order) and the table
+/// configuration, so the FusedPlanCache can share it across sweeps that
+/// re-fuse the same queries. Immutable once built.
+struct FusedPlanData {
   size_t group = 0;
   std::vector<FusedBinEntry> bins;
   /// Query-major interleaved neighborhood sums
@@ -1397,16 +1402,23 @@ struct FusedPlan {
   /// table has postings, where the O(bins * group) transpose would cost
   /// more than the walk it accelerates.
   std::vector<int32_t> fused_nbr;
+};
+
+/// The per-dimension plan of one fused sweep, shared read-only by every
+/// block shard: the cached (or freshly built) data plus this call's
+/// per-member neighborhood-sum pointers for the transpose-less fallback.
+struct FusedPlan {
+  std::shared_ptr<const FusedPlanData> data;
   const std::vector<int32_t>* nbr[kMaxFusionGroup] = {};
 };
 
-void BuildFusedPlan(
+FusedPlanData BuildFusedPlanData(
     const HistogramTable::FlatHistograms& f,
     const std::vector<const std::vector<std::pair<int, int>>*>& sparse,
-    const std::vector<const std::vector<int32_t>*>& nbr, FusedPlan* plan) {
+    const std::vector<const std::vector<int32_t>*>& nbr) {
+  FusedPlanData plan;
   const size_t group = sparse.size();
-  plan->group = group;
-  plan->bins.clear();
+  plan.group = group;
   struct Item {
     int32_t bin;
     uint32_t f;
@@ -1414,7 +1426,6 @@ void BuildFusedPlan(
   };
   std::vector<Item> items;
   for (uint32_t fq = 0; fq < group; ++fq) {
-    plan->nbr[fq] = nbr[fq];
     for (const auto& [bin, count] : *sparse[fq]) {
       items.push_back({bin, fq, count});
     }
@@ -1445,19 +1456,19 @@ void BuildFusedPlan(
         }
       }
     }
-    plan->bins.push_back(e);
+    plan.bins.push_back(e);
   }
   const size_t num_bins = f.col_layout.size();
-  plan->fused_nbr.clear();
   if (num_bins <= f.sparse_bins.size()) {
-    plan->fused_nbr.assign(num_bins * kMaxFusionGroup, 0);
+    plan.fused_nbr.assign(num_bins * kMaxFusionGroup, 0);
     for (uint32_t fq = 0; fq < group; ++fq) {
       const std::vector<int32_t>& src = *nbr[fq];
       for (size_t b = 0; b < num_bins; ++b) {
-        plan->fused_nbr[b * kMaxFusionGroup + fq] = src[b];
+        plan.fused_nbr[b * kMaxFusionGroup + fq] = src[b];
       }
     }
   }
+  return plan;
 }
 
 /// TransportBlock for a fusion group: out[f][j] holds member f's
@@ -1466,14 +1477,15 @@ void TransportBlockFused(const HistogramTable::FlatHistograms& f,
                          const FusedPlan& plan, const SweepKernels& kernels,
                          size_t i0, size_t len,
                          int32_t (*out)[kSweepBlock]) {
-  const size_t group = plan.group;
+  const FusedPlanData& data = *plan.data;
+  const size_t group = data.group;
   const int nx = f.nx;
   const int ny = f.ny;
   alignas(64) int32_t acc[kSweepBlock];
   for (size_t fq = 0; fq < group; ++fq) {
     std::fill_n(out[fq], len, 0);
   }
-  for (const FusedBinEntry& e : plan.bins) {
+  for (const FusedBinEntry& e : data.bins) {
     if (!e.any) continue;
     const int bx = e.bin % nx;
     const int by = e.bin / nx;
@@ -1500,10 +1512,10 @@ void TransportBlockFused(const HistogramTable::FlatHistograms& f,
   for (size_t j = 0; j < len; ++j) {
     const size_t id = i0 + j;
     alignas(32) int32_t sb[kMaxFusionGroup] = {};
-    if (!plan.fused_nbr.empty()) {
+    if (!data.fused_nbr.empty()) {
       kernels.fused_side_b(f.sparse_bins.data(), f.sparse_counts.data(),
                            f.sparse_offsets[id], f.sparse_offsets[id + 1],
-                           plan.fused_nbr.data(), sb);
+                           data.fused_nbr.data(), sb);
     } else {
       for (uint32_t e = f.sparse_offsets[id]; e < f.sparse_offsets[id + 1];
            ++e) {
@@ -1613,29 +1625,82 @@ void HistogramTable::SweepFusedChunk(
   const KernelLevel level = ActiveKernelLevel();
   for (std::vector<int>* out : outs) out->resize(n);
 
+  FusedPlanCache* plan_cache =
+      options != nullptr ? options->plan_cache : nullptr;
+
+  // Local member views, canonically ordered when a plan cache is attached:
+  // members are stably sorted by sparse-histogram fingerprint so every
+  // arrival permutation of the same group maps to one cache key. Each
+  // member's bounds are independent of its slot (side-A clamps and side-B
+  // sums are per-member), so permuting is bit-identical — certified by
+  // fused_sweep_test and plan_cache_test.
+  std::vector<const QueryHistogram*> qs(queries);
+  std::vector<std::vector<int>*> os(outs);
+  if (plan_cache != nullptr && group > 1) {
+    std::vector<uint64_t> fp(group);
+    for (size_t fq = 0; fq < group; ++fq) {
+      if (kind_ == Kind::k2D) {
+        fp[fq] = SparseHistogramFingerprint(qs[fq]->sparse_2d);
+      } else {
+        // Combine the per-dimension fingerprints order-sensitively.
+        fp[fq] = SparseHistogramFingerprint(qs[fq]->sparse_x) ^
+                 (SparseHistogramFingerprint(qs[fq]->sparse_y) *
+                  0x9e3779b97f4a7c15ull);
+      }
+    }
+    std::vector<size_t> order(group);
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&fp](size_t a, size_t b) { return fp[a] < fp[b]; });
+    for (size_t i = 0; i < group; ++i) {
+      qs[i] = queries[order[i]];
+      os[i] = outs[order[i]];
+    }
+  }
+
   FusedPlan plan_2d;
   FusedPlan plan_x;
   FusedPlan plan_y;
   {
+    // The built plan data is a pure function of the member sparse lists
+    // (in canonical order) and the table configuration named by
+    // feature_key_ + the plan-kind suffix, which is exactly the plan
+    // cache's contract; a cache hit therefore yields a bit-identical plan.
+    const auto make_plan = [&](const FlatHistograms& flat,
+                               const std::vector<const std::vector<
+                                   std::pair<int, int>>*>& sparse,
+                               const std::vector<const std::vector<
+                                   int32_t>*>& nbr,
+                               const char* suffix, FusedPlan* plan) {
+      for (size_t fq = 0; fq < group; ++fq) plan->nbr[fq] = nbr[fq];
+      if (plan_cache != nullptr) {
+        plan->data = plan_cache->GetOrBuild<FusedPlanData>(
+            feature_key_ + suffix, sparse,
+            [&] { return BuildFusedPlanData(flat, sparse, nbr); });
+      } else {
+        plan->data = std::make_shared<const FusedPlanData>(
+            BuildFusedPlanData(flat, sparse, nbr));
+      }
+    };
     std::vector<const std::vector<std::pair<int, int>>*> sparse(group);
     std::vector<const std::vector<int32_t>*> nbr(group);
     if (kind_ == Kind::k2D) {
       for (size_t fq = 0; fq < group; ++fq) {
-        sparse[fq] = &queries[fq]->sparse_2d;
-        nbr[fq] = &queries[fq]->nbr_2d;
+        sparse[fq] = &qs[fq]->sparse_2d;
+        nbr[fq] = &qs[fq]->nbr_2d;
       }
-      BuildFusedPlan(flat_2d_, sparse, nbr, &plan_2d);
+      make_plan(flat_2d_, sparse, nbr, "#f2d", &plan_2d);
     } else {
       for (size_t fq = 0; fq < group; ++fq) {
-        sparse[fq] = &queries[fq]->sparse_x;
-        nbr[fq] = &queries[fq]->nbr_x;
+        sparse[fq] = &qs[fq]->sparse_x;
+        nbr[fq] = &qs[fq]->nbr_x;
       }
-      BuildFusedPlan(flat_x_, sparse, nbr, &plan_x);
+      make_plan(flat_x_, sparse, nbr, "#fx", &plan_x);
       for (size_t fq = 0; fq < group; ++fq) {
-        sparse[fq] = &queries[fq]->sparse_y;
-        nbr[fq] = &queries[fq]->nbr_y;
+        sparse[fq] = &qs[fq]->sparse_y;
+        nbr[fq] = &qs[fq]->nbr_y;
       }
-      BuildFusedPlan(flat_y_, sparse, nbr, &plan_y);
+      make_plan(flat_y_, sparse, nbr, "#fy", &plan_y);
     }
   }
 
@@ -1648,8 +1713,8 @@ void HistogramTable::SweepFusedChunk(
         alignas(64) int32_t t[kMaxFusionGroup][kSweepBlock];
         TransportBlockFused(flat_2d_, plan_2d, kernels, i0, len, t);
         for (size_t fq = 0; fq < group; ++fq) {
-          std::vector<int>& out = *outs[fq];
-          const int total = queries[fq]->total;
+          std::vector<int>& out = *os[fq];
+          const int total = qs[fq]->total;
           for (size_t j = 0; j < len; ++j) {
             const int longer =
                 std::max(total, static_cast<int>(totals_[i0 + j]));
@@ -1662,8 +1727,8 @@ void HistogramTable::SweepFusedChunk(
         TransportBlockFused(flat_x_, plan_x, kernels, i0, len, tx);
         TransportBlockFused(flat_y_, plan_y, kernels, i0, len, ty);
         for (size_t fq = 0; fq < group; ++fq) {
-          std::vector<int>& out = *outs[fq];
-          const int total = queries[fq]->total;
+          std::vector<int>& out = *os[fq];
+          const int total = qs[fq]->total;
           for (size_t j = 0; j < len; ++j) {
             const int longer =
                 std::max(total, static_cast<int>(totals_[i0 + j]));
@@ -1724,6 +1789,32 @@ void HistogramTable::FastLowerBoundSweepFusedParallel(
                                        outs.begin() + end),
         &options);
   }
+}
+
+uint64_t HistogramTable::QueryBinSignature(const Trajectory& query) const {
+  // splitmix64-style finalizer; the top six bits pick the mask bit, so
+  // adjacent bin indices land on uncorrelated bits.
+  const auto mix_bit = [](uint64_t v) -> uint64_t {
+    v *= 0x9e3779b97f4a7c15ull;
+    v ^= v >> 29;
+    v *= 0xbf58476d1ce4e5b9ull;
+    return 1ull << (v >> 58);
+  };
+  uint64_t sig = 0;
+  for (const Point2& p : query) {
+    if (kind_ == Kind::k2D) {
+      const uint64_t bin =
+          static_cast<uint64_t>(grid_.BinY(p.y)) *
+              static_cast<uint64_t>(grid_.nx) +
+          static_cast<uint64_t>(grid_.BinX(p.x));
+      sig |= mix_bit(bin);
+    } else {
+      // Disjoint hash namespaces for the x and y subrange bins.
+      sig |= mix_bit(static_cast<uint64_t>(grid_.BinX(p.x)) * 2u);
+      sig |= mix_bit(static_cast<uint64_t>(grid_.BinY(p.y)) * 2u + 1u);
+    }
+  }
+  return sig;
 }
 
 int HistogramTable::LowerBound(const Trajectory& query, uint32_t id) const {

@@ -183,6 +183,16 @@ class HistogramTable {
   QueryHistogram MakeQueryHistogram(const Trajectory& query) const;
   int LowerBound(const QueryHistogram& query, uint32_t id) const;
 
+  /// 64-bit occupancy signature of the query's histogram bins: each point
+  /// maps to its grid bin (both the x and y subrange bins for Kind::k1D,
+  /// in disjoint hash namespaces) and sets one mixed bit of the mask.
+  /// Queries whose trajectories occupy overlapping bins get overlapping
+  /// signatures, so popcount arithmetic on signatures estimates the
+  /// shared-bin fraction `s` of a prospective fusion group — the quantity
+  /// the similarity-aware grouper maximizes. Purely advisory: signatures
+  /// influence which queries share a sweep, never any bound or answer.
+  uint64_t QueryBinSignature(const Trajectory& query) const;
+
   /// Linear-time relaxation of LowerBound (never larger, still a valid
   /// EDR lower bound); used as a first-stage filter by the searchers.
   int FastLowerBound(const QueryHistogram& query, uint32_t id) const;

@@ -179,14 +179,6 @@ std::vector<KnnResult> QgramKnnSearcher::KnnFused(
   const size_t group = queries.size();
   std::vector<KnnResult> results(group);
   if (group == 0) return results;
-  if (means_ == nullptr) {
-    // PR/PB probe shared tree state per query gram; there is no fused
-    // counting pass for them, so the group degenerates to member calls.
-    for (size_t f = 0; f < group; ++f) {
-      results[f] = Knn(*queries[f], k, options);
-    }
-    return results;
-  }
   const auto start = std::chrono::steady_clock::now();
   if (k == 0) {
     for (KnnResult& r : results) {
@@ -204,13 +196,98 @@ std::vector<KnnResult> QgramKnnSearcher::KnnFused(
     if (traces[f] != nullptr) span_ids[f] = traces[f]->Begin("fused_sweep");
   }
 
-  // One streaming pass over the flat posting arrays per id-shard: each
-  // trajectory's slice is merge-counted against every member while it is
-  // cache-hot. Members are chunked to the kernel group width; each chunk
-  // is still a single pass over the table.
+  // Merge variants: one streaming pass over the flat posting arrays per
+  // id-shard — each trajectory's slice is merge-counted against every
+  // member while it is cache-hot, members chunked to the kernel group
+  // width. Tree variants: one probe pass over the shared read-only index —
+  // every member's grams are probed with private (per-member) dedup and
+  // count state, the whole group's probes sorted by coordinate so
+  // neighboring probes descend warm tree paths.
   std::vector<std::vector<size_t>> counts(
       group, std::vector<size_t>(db_.size(), 0));
-  if (variant_ == QgramVariant::kMerge2D) {
+  if (variant_ == QgramVariant::kRtree2D) {
+    std::vector<std::shared_ptr<const std::vector<Point2>>> features(group);
+    for (size_t f = 0; f < group; ++f) {
+      features[f] = GetOrBuildFeature<std::vector<Point2>>(
+          options.feature_cache, feature_key_, *queries[f],
+          [&] { return MeanValueQgrams(*queries[f], q_); });
+    }
+    // Per-member probe state keeps the shared tree re-entrant: a gram of
+    // member f deduplicates only against f's own last-gram array, exactly
+    // as f's solo MatchCounts pass would.
+    std::vector<std::vector<size_t>> last_gram(
+        group, std::vector<size_t>(db_.size(), static_cast<size_t>(-1)));
+    struct Probe {
+      double key;
+      uint32_t f;
+      uint32_t g;
+    };
+    std::vector<Probe> probes;
+    for (uint32_t f = 0; f < group; ++f) {
+      const std::vector<Point2>& means = *features[f];
+      for (uint32_t g = 0; g < means.size(); ++g) {
+        probes.push_back({means[g].x, f, g});
+      }
+    }
+    // Deterministic coordinate order; each (member, gram) appears exactly
+    // once, so any probe order yields the same counts.
+    std::sort(probes.begin(), probes.end(),
+              [](const Probe& a, const Probe& b) {
+                if (a.key != b.key) return a.key < b.key;
+                return a.f != b.f ? a.f < b.f : a.g < b.g;
+              });
+    for (const Probe& p : probes) {
+      const Point2& mean = (*features[p.f])[p.g];
+      std::vector<size_t>& lg = last_gram[p.f];
+      std::vector<size_t>& cnt = counts[p.f];
+      const size_t g = p.g;
+      rtree_->SearchRange(Rect::Around(mean, epsilon_), [&](uint32_t id) {
+        if (lg[id] != g) {
+          lg[id] = g;
+          ++cnt[id];
+        }
+      });
+    }
+  } else if (variant_ == QgramVariant::kBtree1D) {
+    std::vector<std::shared_ptr<const std::vector<double>>> features(group);
+    for (size_t f = 0; f < group; ++f) {
+      features[f] = GetOrBuildFeature<std::vector<double>>(
+          options.feature_cache, feature_key_, *queries[f], [&] {
+            return MeanValueQgrams1D(*queries[f], q_, /*use_x=*/true);
+          });
+    }
+    std::vector<std::vector<size_t>> last_gram(
+        group, std::vector<size_t>(db_.size(), static_cast<size_t>(-1)));
+    struct Probe {
+      double key;
+      uint32_t f;
+      uint32_t g;
+    };
+    std::vector<Probe> probes;
+    for (uint32_t f = 0; f < group; ++f) {
+      const std::vector<double>& means = *features[f];
+      for (uint32_t g = 0; g < means.size(); ++g) {
+        probes.push_back({means[g], f, g});
+      }
+    }
+    std::sort(probes.begin(), probes.end(),
+              [](const Probe& a, const Probe& b) {
+                if (a.key != b.key) return a.key < b.key;
+                return a.f != b.f ? a.f < b.f : a.g < b.g;
+              });
+    for (const Probe& p : probes) {
+      std::vector<size_t>& lg = last_gram[p.f];
+      std::vector<size_t>& cnt = counts[p.f];
+      const size_t g = p.g;
+      btree_->SearchRange(p.key - epsilon_, p.key + epsilon_,
+                          [&](double, uint32_t id) {
+                            if (lg[id] != g) {
+                              lg[id] = g;
+                              ++cnt[id];
+                            }
+                          });
+    }
+  } else if (variant_ == QgramVariant::kMerge2D) {
     std::vector<std::shared_ptr<const std::vector<Point2>>> features(group);
     for (size_t f = 0; f < group; ++f) {
       features[f] = GetOrBuildFeature<std::vector<Point2>>(
@@ -358,6 +435,33 @@ KnnResult QgramKnnSearcher::RefineWithCounts(
 std::string QgramKnnSearcher::name() const {
   return std::string(QgramVariantName(variant_)) + "(q=" +
          std::to_string(q_) + ")";
+}
+
+uint64_t QgramKnnSearcher::FusionFingerprint(const Trajectory& query) const {
+  // splitmix64-style finalizer; the top six bits pick the mask bit.
+  const auto mix_bit = [](uint64_t v) -> uint64_t {
+    v *= 0x9e3779b97f4a7c15ull;
+    v ^= v >> 29;
+    v *= 0xbf58476d1ce4e5b9ull;
+    return 1ull << (v >> 58);
+  };
+  const double cell = epsilon_ > 0.0 ? epsilon_ : 1.0;
+  const auto quantize = [cell](double v) -> uint64_t {
+    return static_cast<uint64_t>(
+        static_cast<int64_t>(std::floor(v / cell)));
+  };
+  uint64_t sig = 0;
+  if (variant_ == QgramVariant::kRtree2D ||
+      variant_ == QgramVariant::kMerge2D) {
+    for (const Point2& m : MeanValueQgrams(query, q_)) {
+      sig |= mix_bit(quantize(m.x) * 0x100000001b3ull + quantize(m.y));
+    }
+  } else {
+    for (const double m : MeanValueQgrams1D(query, q_, /*use_x=*/true)) {
+      sig |= mix_bit(quantize(m));
+    }
+  }
+  return sig;
 }
 
 

@@ -55,17 +55,29 @@ class QgramKnnSearcher {
   KnnResult Knn(const Trajectory& query, size_t k,
                 const KnnOptions& options = {}) const;
 
-  /// Answers a fusion group of queries with one streaming pass over the
-  /// flat posting arrays: every trajectory's mean slice is visited once
-  /// (cache-hot) and merge-counted against all members, then each member
-  /// runs the unchanged count-ordered refinement. `results[i]` is
-  /// bit-identical to `Knn(*queries[i], k, options)`. Only the merge-join
-  /// variants (PS2/PS1) have a fused counting pass; the tree-probe
-  /// variants fall back to per-member Knn calls (still correct, no
-  /// amortization).
+  /// Answers a fusion group of queries with one fused counting pass, then
+  /// each member runs the unchanged count-ordered refinement; `results[i]`
+  /// is bit-identical to `Knn(*queries[i], k, options)`. The merge-join
+  /// variants (PS2/PS1) stream the flat posting arrays once, merge-counting
+  /// every trajectory's cache-hot mean slice against all members. The
+  /// tree-probe variants (PR/PB) fuse too: probe state (`last_gram` dedup +
+  /// counts) is per member, making the shared tree's read-only range
+  /// probes re-entrant, and the whole group's probes run in one pass
+  /// ordered by probe coordinate so neighboring probes share tree paths.
+  /// Counts are probe-order invariant — each (member, gram) is probed
+  /// exactly once and deduped against that member's own state — which is
+  /// what makes the fused tree pass bit-identical to member-wise calls.
   std::vector<KnnResult> KnnFused(
       const std::vector<const Trajectory*>& queries, size_t k,
       const KnnOptions& options = {}) const;
+
+  /// 64-bit gram-posting signature for the similarity-aware fusion
+  /// grouper: each Q-gram mean, quantized to its epsilon-sized cell, sets
+  /// one mixed bit. Queries whose grams probe overlapping tree/posting
+  /// regions get overlapping signatures. Purely advisory — signatures
+  /// influence which queries share a fused pass, never any count or
+  /// answer.
+  uint64_t FusionFingerprint(const Trajectory& query) const;
 
   /// Answers a range query (all S with EDR(query, S) <= radius, ascending
   /// distance order) using the Theorem 1 count filter in its original

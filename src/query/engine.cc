@@ -1,5 +1,6 @@
 #include "query/engine.h"
 
+#include <concepts>
 #include <cstdint>
 #include <tuple>
 
@@ -157,6 +158,9 @@ KnnOptions MergeScheduled(const KnnOptions& bound,
   if (per_call.feature_cache != nullptr) {
     merged.feature_cache = per_call.feature_cache;
   }
+  if (per_call.plan_cache != nullptr) {
+    merged.plan_cache = per_call.plan_cache;
+  }
   return merged;
 }
 
@@ -191,6 +195,13 @@ NamedSearcher MakeNamed(const Searcher& searcher,
                                    MergeScheduled(options, per_call));
         };
   }
+  if constexpr (requires(const Trajectory& q) {
+                  { searcher.FusionFingerprint(q) } -> std::same_as<uint64_t>;
+                }) {
+    named.fingerprint = [&searcher](const Trajectory& q) {
+      return searcher.FusionFingerprint(q);
+    };
+  }
   return named;
 }
 
@@ -214,15 +225,7 @@ NamedSearcher QueryEngine::MakeSeqScan(bool early_abandon) const {
 
 NamedSearcher QueryEngine::MakeQgram(QgramVariant variant, int q,
                                      const KnnOptions& options) {
-  NamedSearcher named = MakeNamed(Qgram(variant, q), options);
-  if (variant == QgramVariant::kRtree2D || variant == QgramVariant::kBtree1D) {
-    // Tree probes mutate shared per-query state (the last_gram dedup
-    // array) and have no fused counting pass — keep the handle unfusable
-    // so the scheduler never groups queries for it.
-    named.fusion_key.clear();
-    named.search_fused = nullptr;
-  }
-  return named;
+  return MakeNamed(Qgram(variant, q), options);
 }
 
 NamedSearcher QueryEngine::MakeHistogram(HistogramTable::Kind kind, int delta,

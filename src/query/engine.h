@@ -1,6 +1,7 @@
 #ifndef EDR_QUERY_ENGINE_H_
 #define EDR_QUERY_ENGINE_H_
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -38,9 +39,10 @@ struct NamedSearcher {
   /// Semantic configuration key for fused multi-query sweeps. Non-empty iff
   /// the searcher can answer a group of queries with one database pass
   /// (`search_fused`); queries going through handles with equal keys see
-  /// the same filter structures and may be fused into one sweep. Empty for
-  /// searchers whose filter passes mutate shared per-query state (tree
-  /// probes) or have no whole-database filter pass at all.
+  /// the same filter structures and may be fused into one sweep. Empty only
+  /// for searchers with no whole-database filter pass at all (sequential
+  /// scan) — the tree-probing Q-gram variants fuse too, via per-member
+  /// probe state that keeps the shared tree's range probes re-entrant.
   std::string fusion_key;
   /// Fused batch entry point: answers all queries of one fusion group with
   /// a single cache-blocked pass over the filter tables. `results[i]` is
@@ -49,6 +51,14 @@ struct NamedSearcher {
   std::function<std::vector<KnnResult>(
       const std::vector<const Trajectory*>&, size_t, const KnnOptions&)>
       search_fused;
+  /// Cheap 64-bit query-feature signature (occupied-bin / gram-posting
+  /// bitmask) for the scheduler's similarity-aware fusion grouper. Queries
+  /// with overlapping signatures share filter-table regions, so grouping
+  /// them raises the fused sweep's shared-bin fraction. Optional and purely
+  /// advisory: the signature influences which queries share a sweep, never
+  /// any bound or answer. Null for searchers without a fingerprint hook,
+  /// which fall back to FIFO grouping.
+  std::function<uint64_t(const Trajectory&)> fingerprint;
 };
 
 /// Facade over every retrieval method in the library for one dataset and

@@ -16,6 +16,7 @@ namespace edr {
 class ThreadPool;
 class QueryTrace;
 class FeatureCache;
+class FusedPlanCache;
 
 /// Execution options accepted by every searcher's three-argument Knn
 /// overload. The default (one worker) is the fully sequential path; any
@@ -35,6 +36,12 @@ struct KnnOptions {
   /// features fresh every call. Cached features are bit-identical to
   /// freshly built ones, so attaching a cache never changes results.
   FeatureCache* feature_cache = nullptr;
+  /// Optional memo of fused sweep plans (the merged distinct-bin walk +
+  /// side-B transpose a fusion group's sweep derives from its members);
+  /// nullptr = rebuild the plan every fused call. Cached plans are
+  /// bit-identical to freshly built ones, so attaching a cache never
+  /// changes results. Ignored by single-query calls.
+  FusedPlanCache* plan_cache = nullptr;
 };
 
 /// One k-NN answer: a dataset trajectory id and its EDR distance to the

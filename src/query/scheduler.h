@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/trajectory.h"
@@ -15,6 +17,7 @@
 namespace edr {
 
 class FeatureCache;
+class FusedPlanCache;
 class ThreadPool;
 
 /// Tuning knobs for the adaptive batch scheduler.
@@ -41,16 +44,43 @@ struct SchedulerPolicy {
   /// (NamedSearcher::search_fused): up to this many backlog queries are
   /// answered by one fused database sweep, the group running on the
   /// calling thread with the whole free capacity as intra-query budget.
-  /// 0 = auto (kMaxFusionGroup, the kernels' register-blocking width);
-  /// 1 disables fusion. Ignored — fusion off — under budget_override,
-  /// whose schedules are strictly per-query.
+  /// The 0-vs-1 semantics are resolved in exactly one place,
+  /// AdaptiveScheduler::MaxFusion(): 0 = auto (kMaxFusionGroup, the
+  /// kernels' register-blocking width); 1 disables fusion; values above
+  /// kMaxFusionGroup are honored (the sweeps chunk internally). Setting
+  /// both a budget_override and max_fusion > 1 is contradictory —
+  /// override schedules are strictly per-query — and is rejected by
+  /// SchedulerPolicyError rather than silently clamped.
   size_t max_fusion = 0;
+  /// Pick fusion-group members by query-feature similarity instead of
+  /// arrival order: the scheduler fingerprints each backlog query through
+  /// NamedSearcher::fingerprint (a 64-bit occupied-bin / gram-posting
+  /// signature) and greedily packs the group that maximizes the estimated
+  /// shared-bin fraction over a bounded window of the backlog. Falls back
+  /// to FIFO when the searcher has no fingerprint hook or no two window
+  /// queries overlap. Grouping only changes WHICH queries share a sweep —
+  /// results stay bit-identical to FIFO grouping and to unfused calls.
+  bool similarity_grouping = true;
+  /// How many backlog queries the similarity grouper considers per group
+  /// (0 = auto: max(16, 4 * resolved max_fusion)). Larger windows find
+  /// better-matched groups at higher per-step cost.
+  size_t group_window = 0;
+  /// Starvation guard: a pending query passed over by this many
+  /// similarity-formed groups is force-scheduled in the next group FIFO
+  /// from the backlog front, however poorly it matches (0 = auto: 8).
+  size_t group_age_watermark = 0;
   /// Test hook: when set, every query runs solo (no waves) with budget
   /// `budget_override(pending, capacity)` clamped to [1, capacity] —
   /// this is how scheduler_test drives fixed, oscillating, and
   /// adversarial budget schedules through the exact production call path.
   std::function<unsigned(size_t pending, unsigned capacity)> budget_override;
 };
+
+/// Validates a policy; returns "" when it is consistent, else a
+/// human-readable description of the contradiction. QuerySession rejects
+/// invalid policies with std::invalid_argument instead of silently
+/// clamping; batch callers may consult it directly.
+std::string SchedulerPolicyError(const SchedulerPolicy& policy);
 
 /// What the scheduler decided over one run — exposed on the session /
 /// batch entry points and mirrored into the metrics registry under
@@ -62,6 +92,13 @@ struct SchedulerStats {
   size_t widened_queries = 0;  ///< solo queries granted a budget > 1
   size_t fused_groups = 0;     ///< fused multi-query sweep dispatches
   size_t fused_queries = 0;    ///< queries answered inside a fused group
+  size_t group_similarity = 0; ///< groups formed by the similarity grouper
+  size_t group_fifo = 0;       ///< groups formed FIFO (fallback or opt-out)
+  size_t group_forced = 0;     ///< groups forced FIFO by the age watermark
+  /// Summed estimated shared-bin fraction over fused groups (0 per group
+  /// when no fingerprints were available); divide by fused_groups for the
+  /// run's average.
+  double shared_fraction_sum = 0.0;
   uint64_t budget_granted = 0; ///< summed per-call budgets
   unsigned max_budget = 0;     ///< largest budget any call received
 };
@@ -82,12 +119,14 @@ class AdaptiveScheduler {
  public:
   /// `searcher` and `policy` are borrowed for the scheduler's lifetime.
   /// `pool` = nullptr uses ThreadPool::Global(); `cache` = nullptr runs
-  /// uncached. The per-call KnnOptions hand both to the searcher, so a
-  /// bound-in pool on the NamedSearcher is overridden only when `pool`
-  /// is explicit.
+  /// uncached; `plan_cache` = nullptr rebuilds fused plans per sweep. The
+  /// per-call KnnOptions hand all three to the searcher, so a bound-in
+  /// pool on the NamedSearcher is overridden only when `pool` is
+  /// explicit.
   AdaptiveScheduler(const NamedSearcher& searcher, size_t k,
                     const SchedulerPolicy& policy, ThreadPool* pool,
-                    FeatureCache* cache);
+                    FeatureCache* cache,
+                    FusedPlanCache* plan_cache = nullptr);
 
   /// Total parallelism available to this run: pool workers + the caller,
   /// clamped by policy.max_threads. At least 1.
@@ -113,28 +152,58 @@ class AdaptiveScheduler {
   /// point or a budget override is active.
   size_t MaxFusion() const;
 
-  /// Executes one scheduling decision over the `pending` queries starting
-  /// at index `next`: one fused group (a single multi-query sweep on the
-  /// calling thread, for fusable searchers), one wave (budget-1 queries
-  /// fanned inter-query across the pool), or one solo query with a wider
-  /// budget on the calling thread. Emits every completed result via
-  /// `emit(index, result)` and returns how many queries completed (>= 1).
-  size_t Step(size_t next, size_t pending,
+  /// Executes one scheduling decision over the backlog in `*pending` (a
+  /// deque of query ids in arrival order): one fused group (a single
+  /// multi-query sweep on the calling thread — members picked by the
+  /// similarity grouper or FIFO, not necessarily from the front), one
+  /// wave (budget-1 queries fanned inter-query across the pool), or one
+  /// solo query with a wider budget on the calling thread. Completed ids
+  /// are removed from `*pending`; waves and solo calls always take from
+  /// the front, so arrival order is preserved outside fusion. Emits every
+  /// completed result via `emit(id, result)` and returns how many queries
+  /// completed (>= 1 unless the backlog was empty).
+  size_t Step(std::deque<size_t>* pending,
               const std::function<const Trajectory&(size_t)>& query_at,
               const std::function<void(size_t, KnnResult&&)>& emit);
 
   const SchedulerStats& stats() const { return stats_; }
 
  private:
+  /// One fusion group picked from `*pending` (members removed), plus how
+  /// it was formed and its estimated shared-bin fraction.
+  struct GroupDecision {
+    enum class Kind { kSimilarity, kFifo, kForced };
+    std::vector<size_t> ids;
+    Kind kind = Kind::kFifo;
+    double shared_fraction = 0.0;
+  };
+
   KnnResult Call(const Trajectory& query, unsigned budget);
   void RecordGrant(unsigned budget);
+  /// Removes up to MaxFusion() members from `*pending` — similarity-
+  /// packed over the group window when enabled and fingerprints exist,
+  /// FIFO otherwise, FIFO-forced when the backlog head has been passed
+  /// over group_age_watermark times.
+  GroupDecision FormGroup(
+      std::deque<size_t>* pending,
+      const std::function<const Trajectory&(size_t)>& query_at);
+  /// Memoized NamedSearcher::fingerprint for query id (the query must
+  /// still be pending).
+  uint64_t FingerprintOf(
+      size_t id, const std::function<const Trajectory&(size_t)>& query_at);
+  size_t GroupWindow() const;
+  size_t AgeWatermark() const;
 
   const NamedSearcher& searcher_;
   size_t k_;
   const SchedulerPolicy& policy_;
   ThreadPool* pool_;  ///< explicit pool or nullptr (= Global)
   FeatureCache* cache_;
+  FusedPlanCache* plan_cache_;
   SchedulerStats stats_;
+  /// Similarity-grouping bookkeeping, erased as ids complete.
+  std::unordered_map<size_t, uint64_t> fingerprints_;
+  std::unordered_map<size_t, size_t> skip_counts_;
 };
 
 /// Schedules a whole batch adaptively and returns results in query order —
@@ -146,7 +215,8 @@ std::vector<KnnResult> RunScheduled(const NamedSearcher& searcher,
                                     size_t k, const SchedulerPolicy& policy,
                                     ThreadPool* pool = nullptr,
                                     FeatureCache* cache = nullptr,
-                                    SchedulerStats* stats_out = nullptr);
+                                    SchedulerStats* stats_out = nullptr,
+                                    FusedPlanCache* plan_cache = nullptr);
 
 /// A streaming query session: queries are admitted as they arrive
 /// (Submit), not at a batch barrier, and the scheduler decides execution
@@ -168,6 +238,10 @@ class QuerySession {
     /// Feature cache shared by every query of the session (and, if the
     /// caller passes the same cache to several sessions, across them).
     FeatureCache* feature_cache = nullptr;
+    /// Fused-plan cache shared by every fusion group of the session, so a
+    /// recurring group composition reuses its built sweep plan instead of
+    /// rebuilding it (nullptr = rebuild per sweep).
+    FusedPlanCache* plan_cache = nullptr;
     /// Backlog size that triggers eager execution inside Submit, so a
     /// sustained stream makes progress without anyone asking for results
     /// (0 = auto: twice the capacity).
@@ -176,7 +250,10 @@ class QuerySession {
 
   using Ticket = size_t;
 
-  /// `searcher` and the pool/cache in `options` must outlive the session.
+  /// `searcher` and the pool/caches in `options` must outlive the
+  /// session. Throws std::invalid_argument when the policy is
+  /// contradictory (see SchedulerPolicyError) — the session surfaces the
+  /// mistake instead of silently clamping it away.
   QuerySession(const NamedSearcher& searcher, const Options& options);
 
   /// Admits a query; returns the ticket Result() takes. May execute
@@ -185,13 +262,16 @@ class QuerySession {
   Ticket Submit(Trajectory query);
 
   /// The answer for `ticket`, running the schedule forward as needed.
+  /// Completion is no longer strictly in ticket order — the similarity
+  /// grouper may answer a well-matched later ticket before an earlier
+  /// one — so readiness is tracked per ticket.
   const KnnResult& Result(Ticket ticket);
 
   /// Runs every admitted query to completion.
   void Drain();
 
   /// Queries admitted but not yet executed.
-  size_t pending() const { return queries_.size() - completed_; }
+  size_t pending() const { return pending_ids_.size(); }
 
   /// Relaxed-atomic mirror of pending(), safe to read from any thread —
   /// the probe the utilization timeline sampler polls while the owning
@@ -210,11 +290,15 @@ class QuerySession {
   AdaptiveScheduler scheduler_;
   size_t admit_watermark_;
   /// Deques for pointer stability: a wave's workers write distinct,
-  /// already-constructed elements of results_ concurrently, which is safe
-  /// exactly because push_back never relocates existing deque elements.
+  /// already-constructed elements of results_ (and the matching done_
+  /// bytes) concurrently, which is safe exactly because push_back never
+  /// relocates existing deque elements; the wave's join publishes the
+  /// writes to the owning thread.
   std::deque<Trajectory> queries_;
   std::deque<KnnResult> results_;
-  size_t completed_ = 0;  ///< tickets < completed_ are done (in order)
+  std::deque<uint8_t> done_;  ///< per-ticket readiness (out-of-order safe)
+  std::deque<size_t> pending_ids_;  ///< unexecuted tickets, arrival order
+  size_t completed_count_ = 0;
   std::atomic<size_t> pending_relaxed_{0};  ///< see PendingRelaxed()
 };
 

@@ -22,6 +22,7 @@
 #include "pruning/qgram.h"
 #include "pruning/qgram_knn.h"
 #include "query/engine.h"
+#include "query/plan_cache.h"
 #include "query/scheduler.h"
 #include "query/thread_pool.h"
 #include "test_util.h"
@@ -286,13 +287,31 @@ TEST(FusedSweepTest, DegenerateGroups) {
     EXPECT_EQ(r.stats.db_size, Db().size());
   }
 
-  // PR has no fused counting pass; the per-member fallback must still
-  // answer every member exactly.
+  // PR's fused counting pass keeps probe state per member; a two-member
+  // group must answer every member exactly.
   const QgramKnnSearcher pr(Db(), kEps, 1, QgramVariant::kRtree2D);
   const std::vector<KnnResult> fused = pr.KnnFused(group, 4);
   ASSERT_EQ(fused.size(), 2u);
   for (size_t i = 0; i < group.size(); ++i) {
-    ExpectSameNeighbors(pr.Knn(*group[i], 4), fused[i], "PR fallback");
+    ExpectSameNeighbors(pr.Knn(*group[i], 4), fused[i], "PR fused pair");
+  }
+}
+
+// The tree-probing Q-gram variants (PR/PB) fuse via per-member probe
+// state over the shared read-only index; the coordinate-sorted probe
+// schedule must stay bit-identical to member-wise calls for every group
+// size and worker count.
+TEST(FusedSweepTest, TreeSearchersBitIdenticalThroughKnnFused) {
+  static ThreadPool pool(4);
+  const QgramKnnSearcher pr(Db(), kEps, 1, QgramVariant::kRtree2D);
+  const QgramKnnSearcher pb(Db(), kEps, 1, QgramVariant::kBtree1D);
+  for (const unsigned workers : {1u, 4u}) {
+    KnnOptions options;
+    options.intra_query_workers = workers;
+    options.pool = &pool;
+    const std::string suffix = "/workers=" + std::to_string(workers);
+    ExpectKnnFusedMatches(pr, "PR" + suffix, 6, options);
+    ExpectKnnFusedMatches(pb, "PB" + suffix, 6, options);
   }
 }
 
@@ -339,13 +358,175 @@ TEST(FusedSweepTest, SchedulerFormsFusionGroups) {
                         "unfused query " + std::to_string(i));
   }
 
-  // Tree-probe handles advertise no fusion key and never fuse.
+  // Tree-probe handles advertise a fusion key and fuse like everyone
+  // else, bit-identically to the per-query path.
   NamedSearcher pr = engine.MakeQgram(QgramVariant::kRtree2D, 1, bound);
-  EXPECT_TRUE(pr.fusion_key.empty());
-  EXPECT_FALSE(static_cast<bool>(pr.search_fused));
+  EXPECT_FALSE(pr.fusion_key.empty());
+  EXPECT_TRUE(static_cast<bool>(pr.search_fused));
+  std::vector<KnnResult> pr_expected;
+  for (const Trajectory& q : Queries()) pr_expected.push_back(pr.search(q, 5));
   SchedulerStats pr_stats;
-  RunScheduled(pr, Queries(), 5, SchedulerPolicy{}, &pool, nullptr, &pr_stats);
-  EXPECT_EQ(pr_stats.fused_groups, 0u);
+  const std::vector<KnnResult> pr_fused = RunScheduled(
+      pr, Queries(), 5, SchedulerPolicy{}, &pool, nullptr, &pr_stats);
+  EXPECT_GT(pr_stats.fused_groups, 0u);
+  for (size_t i = 0; i < Queries().size(); ++i) {
+    ExpectSameNeighbors(pr_expected[i], pr_fused[i],
+                        "scheduled PR query " + std::to_string(i));
+  }
+}
+
+/// Clustered workload for the grouping tests: `clusters` near-duplicate
+/// families of `per_cluster` jittered copies each, interleaved round-robin
+/// so FIFO groups mix clusters while the similarity grouper can reunite
+/// them.
+std::vector<Trajectory> ClusteredQueries(size_t clusters,
+                                         size_t per_cluster) {
+  const std::vector<Trajectory> bases =
+      testutil::MakeQueries(Db(), 1205, clusters);
+  std::vector<Trajectory> out;
+  out.reserve(clusters * per_cluster);
+  for (size_t j = 0; j < per_cluster; ++j) {
+    for (size_t c = 0; c < clusters; ++c) {
+      Trajectory t = bases[c];
+      for (size_t p = 0; p < t.size(); ++p) {
+        t[p].x += 1e-4 * static_cast<double>((c * 31 + j * 7 + p) % 5);
+        t[p].y += 1e-4 * static_cast<double>((c * 17 + j * 13 + p) % 7);
+      }
+      out.push_back(std::move(t));
+    }
+  }
+  return out;
+}
+
+// The tentpole certification: similarity-grouped, FIFO-grouped, and
+// unfused schedules return bit-identical answers for every fused-capable
+// searcher (all six plus both tree variants) — grouping only changes
+// WHICH queries share a sweep, never any member's answer.
+TEST(FusedSweepTest, GroupingBitIdenticalAcrossAllSearchers) {
+  static ThreadPool pool(8);
+  QueryEngine engine(Db(), kEps);
+  KnnOptions bound;
+  bound.pool = &pool;
+  CombinedOptions copt;
+  copt.max_triangle = 30;
+  const std::vector<NamedSearcher> searchers = {
+      engine.MakeHistogram(HistogramTable::Kind::k2D, 1,
+                           HistogramScan::kSequential, bound),
+      engine.MakeHistogram(HistogramTable::Kind::k2D, 1,
+                           HistogramScan::kSorted, bound),
+      engine.MakeQgram(QgramVariant::kMerge2D, 1, bound),
+      engine.MakeQgram(QgramVariant::kMerge1D, 1, bound),
+      engine.MakeQgram(QgramVariant::kRtree2D, 1, bound),
+      engine.MakeQgram(QgramVariant::kBtree1D, 1, bound),
+      engine.MakeCombined(copt, bound),
+      engine.MakeLcss(LcssFilter::kBoth, bound),
+  };
+  const std::vector<Trajectory> queries = ClusteredQueries(4, 6);
+
+  for (const NamedSearcher& searcher : searchers) {
+    ASSERT_FALSE(searcher.fusion_key.empty()) << searcher.name;
+    ASSERT_TRUE(static_cast<bool>(searcher.fingerprint)) << searcher.name;
+    std::vector<KnnResult> expected;
+    for (const Trajectory& q : queries) expected.push_back(searcher.search(q, 5));
+
+    SchedulerPolicy similarity;  // default: similarity grouping on
+    SchedulerPolicy fifo;
+    fifo.similarity_grouping = false;
+    SchedulerPolicy unfused;
+    unfused.max_fusion = 1;
+
+    SchedulerStats sim_stats, fifo_stats;
+    const std::vector<KnnResult> sim = RunScheduled(
+        searcher, queries, 5, similarity, &pool, nullptr, &sim_stats);
+    const std::vector<KnnResult> fif = RunScheduled(
+        searcher, queries, 5, fifo, &pool, nullptr, &fifo_stats);
+    const std::vector<KnnResult> unf =
+        RunScheduled(searcher, queries, 5, unfused, &pool, nullptr, nullptr);
+    EXPECT_GT(sim_stats.group_similarity, 0u) << searcher.name;
+    EXPECT_EQ(fifo_stats.group_similarity, 0u) << searcher.name;
+    EXPECT_GT(fifo_stats.group_fifo, 0u) << searcher.name;
+    // On the clustered workload, reuniting the interleaved families must
+    // raise the estimated shared-bin fraction over arrival order.
+    EXPECT_GT(sim_stats.shared_fraction_sum, fifo_stats.shared_fraction_sum)
+        << searcher.name;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const std::string at = searcher.name + " query " + std::to_string(i);
+      ExpectSameNeighbors(expected[i], sim[i], "similarity " + at);
+      ExpectSameNeighbors(expected[i], fif[i], "fifo " + at);
+      ExpectSameNeighbors(expected[i], unf[i], "unfused " + at);
+    }
+  }
+}
+
+// The age watermark force-schedules a starved head: a front query whose
+// signature matches nothing still runs after at most `watermark` groups
+// pass it over, and the forced schedule stays bit-identical.
+TEST(FusedSweepTest, StarvationWatermarkSchedulesMismatchedHead) {
+  static ThreadPool pool(8);
+  QueryEngine engine(Db(), kEps);
+  KnnOptions bound;
+  bound.pool = &pool;
+  NamedSearcher searcher = engine.MakeHistogram(
+      HistogramTable::Kind::k2D, 1, HistogramScan::kSorted, bound);
+
+  // Head outlier far from every cluster, then three interleaved
+  // near-duplicate families — the grouper always prefers the families.
+  std::vector<Trajectory> queries;
+  {
+    Trajectory outlier;
+    for (int p = 0; p < 8; ++p) {
+      outlier.Append({50.0 + 0.1 * p, 50.0 - 0.1 * p});
+    }
+    queries.push_back(std::move(outlier));
+    for (const Trajectory& q : ClusteredQueries(3, 5)) queries.push_back(q);
+  }
+
+  std::vector<KnnResult> expected;
+  for (const Trajectory& q : queries) expected.push_back(searcher.search(q, 5));
+
+  SchedulerPolicy policy;
+  policy.max_fusion = 4;
+  policy.group_age_watermark = 1;
+  SchedulerStats stats;
+  const std::vector<KnnResult> got =
+      RunScheduled(searcher, queries, 5, policy, &pool, nullptr, &stats);
+  EXPECT_GT(stats.group_forced, 0u);
+  EXPECT_EQ(stats.queries, queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ExpectSameNeighbors(expected[i], got[i],
+                        "watermark query " + std::to_string(i));
+  }
+}
+
+// A shared FusedPlanCache turns repeat group compositions into plan hits,
+// and cached plans answer bit-identically to freshly built ones.
+TEST(FusedSweepTest, PlanCacheWarmHitsStayBitIdentical) {
+  static ThreadPool pool(8);
+  QueryEngine engine(Db(), kEps);
+  KnnOptions bound;
+  bound.pool = &pool;
+  NamedSearcher searcher = engine.MakeHistogram(
+      HistogramTable::Kind::k2D, 1, HistogramScan::kSorted, bound);
+  const std::vector<Trajectory> queries = ClusteredQueries(2, 8);
+
+  std::vector<KnnResult> expected;
+  for (const Trajectory& q : queries) expected.push_back(searcher.search(q, 5));
+
+  FusedPlanCache plan_cache(32);
+  SchedulerPolicy policy;
+  const std::vector<KnnResult> cold = RunScheduled(
+      searcher, queries, 5, policy, &pool, nullptr, nullptr, &plan_cache);
+  const FusedPlanCache::Stats after_cold = plan_cache.stats();
+  EXPECT_GT(after_cold.misses, 0u);
+  const std::vector<KnnResult> warm = RunScheduled(
+      searcher, queries, 5, policy, &pool, nullptr, nullptr, &plan_cache);
+  const FusedPlanCache::Stats after_warm = plan_cache.stats();
+  EXPECT_GT(after_warm.hits, after_cold.hits);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const std::string at = " query " + std::to_string(i);
+    ExpectSameNeighbors(expected[i], cold[i], "cold" + at);
+    ExpectSameNeighbors(expected[i], warm[i], "warm" + at);
+  }
 }
 
 // The streaming QuerySession drives the same fused path from its backlog.

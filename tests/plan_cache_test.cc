@@ -1,0 +1,179 @@
+// Unit tests for the fused-plan cache: LRU hit/eviction behavior, the
+// collision re-verification guard (forced through the test fingerprint
+// hook — genuine 64-bit FNV collisions are impractical), counter
+// semantics across Clear, and the type-erased GetOrBuild round trip.
+
+#include "query/plan_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace edr {
+namespace {
+
+using SparseList = FusedPlanCache::SparseList;
+
+struct FakePlan {
+  std::vector<int> bins;
+};
+
+SparseList MakeSparse(int seed) {
+  SparseList out;
+  for (int i = 0; i < 4; ++i) out.emplace_back(seed * 10 + i, i + 1);
+  return out;
+}
+
+FakePlan BuildPlan(const std::vector<const SparseList*>& members) {
+  FakePlan plan;
+  for (const SparseList* m : members) {
+    for (const auto& [bin, count] : *m) plan.bins.push_back(bin * count);
+  }
+  return plan;
+}
+
+TEST(PlanCacheTest, FingerprintSeparatesDistinctLists) {
+  const SparseList a = MakeSparse(1);
+  const SparseList b = MakeSparse(2);
+  SparseList a_copy = a;
+  EXPECT_EQ(SparseHistogramFingerprint(a), SparseHistogramFingerprint(a_copy));
+  EXPECT_NE(SparseHistogramFingerprint(a), SparseHistogramFingerprint(b));
+  // Same multiset, different order: positions are semantic for a plan
+  // (the canonical member order is the caller's job), so the hash is
+  // order-sensitive.
+  SparseList reversed(a.rbegin(), a.rend());
+  EXPECT_NE(SparseHistogramFingerprint(a),
+            SparseHistogramFingerprint(reversed));
+}
+
+TEST(PlanCacheTest, HitReturnsSameplanAndCountsOnce) {
+  FusedPlanCache cache(4);
+  const SparseList a = MakeSparse(1);
+  const SparseList b = MakeSparse(2);
+  const std::vector<const SparseList*> members = {&a, &b};
+
+  int builds = 0;
+  const auto build = [&] {
+    ++builds;
+    return BuildPlan(members);
+  };
+  const std::shared_ptr<const FakePlan> first =
+      cache.GetOrBuild<FakePlan>("cfg#f2d", members, build);
+  const std::shared_ptr<const FakePlan> second =
+      cache.GetOrBuild<FakePlan>("cfg#f2d", members, build);
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(first.get(), second.get());  // the very same cached object
+
+  const FusedPlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.collisions, 0u);
+}
+
+TEST(PlanCacheTest, ConfigKeyAndMemberOrderPartitionEntries) {
+  FusedPlanCache cache(8);
+  const SparseList a = MakeSparse(1);
+  const SparseList b = MakeSparse(2);
+  const std::vector<const SparseList*> ab = {&a, &b};
+  const std::vector<const SparseList*> ba = {&b, &a};
+
+  int builds = 0;
+  const auto count_build = [&] {
+    ++builds;
+    return FakePlan{};
+  };
+  cache.GetOrBuild<FakePlan>("cfg#f2d", ab, count_build);
+  // Different config key (layout/kernel change): must miss.
+  cache.GetOrBuild<FakePlan>("cfg#fx", ab, count_build);
+  // Different member order: a different plan (side-B slots move), so the
+  // key must differ too — canonicalization happens in the caller.
+  cache.GetOrBuild<FakePlan>("cfg#f2d", ba, count_build);
+  EXPECT_EQ(builds, 3);
+  EXPECT_EQ(cache.stats().misses, 3u);
+  EXPECT_EQ(cache.stats().entries, 3u);
+}
+
+TEST(PlanCacheTest, LruEvictionDropsOldestFirst) {
+  FusedPlanCache cache(2);
+  const SparseList s1 = MakeSparse(1);
+  const SparseList s2 = MakeSparse(2);
+  const SparseList s3 = MakeSparse(3);
+  const auto build = [] { return FakePlan{}; };
+
+  cache.GetOrBuild<FakePlan>("cfg", {&s1}, build);
+  cache.GetOrBuild<FakePlan>("cfg", {&s2}, build);
+  // Touch s1 so s2 becomes the LRU victim.
+  cache.GetOrBuild<FakePlan>("cfg", {&s1}, build);
+  cache.GetOrBuild<FakePlan>("cfg", {&s3}, build);  // evicts s2
+
+  FusedPlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+
+  cache.GetOrBuild<FakePlan>("cfg", {&s1}, build);  // still resident
+  EXPECT_EQ(cache.stats().hits, 2u);
+  cache.GetOrBuild<FakePlan>("cfg", {&s2}, build);  // evicted: rebuilds
+  EXPECT_EQ(cache.stats().misses, 4u);
+}
+
+TEST(PlanCacheTest, CollisionReVerificationServesMiss) {
+  FusedPlanCache cache(4);
+  // Force every member list onto one fingerprint: any two groups of equal
+  // arity now collide, and only the stored-list verification tells them
+  // apart.
+  cache.SetFingerprintFunctionForTest([](const SparseList&) {
+    return uint64_t{42};
+  });
+  const SparseList a = MakeSparse(1);
+  const SparseList b = MakeSparse(2);
+
+  int builds = 0;
+  const auto build_a = [&] {
+    ++builds;
+    return FakePlan{{1}};
+  };
+  const auto build_b = [&] {
+    ++builds;
+    return FakePlan{{2}};
+  };
+  cache.GetOrBuild<FakePlan>("cfg", {&a}, build_a);
+  const std::shared_ptr<const FakePlan> got =
+      cache.GetOrBuild<FakePlan>("cfg", {&b}, build_b);
+  EXPECT_EQ(builds, 2);  // the collision did NOT serve a's plan for b
+  ASSERT_EQ(got->bins.size(), 1u);
+  EXPECT_EQ(got->bins[0], 2);
+  EXPECT_GE(cache.stats().collisions, 1u);
+
+  // b's insert displaced a under the shared key (one entry per key), so a
+  // repeat of `a` re-verifies, detects the mismatch again, and rebuilds —
+  // a collision costs throughput, never correctness.
+  const std::shared_ptr<const FakePlan> again =
+      cache.GetOrBuild<FakePlan>("cfg", {&a}, build_a);
+  EXPECT_EQ(builds, 3);
+  ASSERT_EQ(again->bins.size(), 1u);
+  EXPECT_EQ(again->bins[0], 1);
+  EXPECT_GE(cache.stats().collisions, 2u);
+}
+
+TEST(PlanCacheTest, ClearDropsEntriesKeepsCounters) {
+  FusedPlanCache cache(4);
+  const SparseList a = MakeSparse(1);
+  const auto build = [] { return FakePlan{}; };
+  cache.GetOrBuild<FakePlan>("cfg", {&a}, build);
+  cache.GetOrBuild<FakePlan>("cfg", {&a}, build);
+  ASSERT_EQ(cache.stats().hits, 1u);
+
+  cache.Clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().hits, 1u);    // counters survive
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  cache.GetOrBuild<FakePlan>("cfg", {&a}, build);  // cold again
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+}  // namespace
+}  // namespace edr

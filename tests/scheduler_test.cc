@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -254,6 +255,36 @@ TEST_F(SchedulerTest, EmptyBatchAndZeroK) {
   const std::vector<KnnResult> zero_k =
       RunScheduled(searcher, queries_, 0, policy, &pool_);
   for (const KnnResult& r : zero_k) EXPECT_TRUE(r.neighbors.empty());
+}
+
+TEST_F(SchedulerTest, PolicyValidationRejectsContradictions) {
+  // Consistent policies pass, including every default.
+  EXPECT_EQ(SchedulerPolicyError(SchedulerPolicy{}), "");
+  {
+    SchedulerPolicy p;
+    p.budget_override = [](size_t, unsigned) { return 2u; };
+    EXPECT_EQ(SchedulerPolicyError(p), "");  // max_fusion default stays auto-off
+  }
+
+  // budget_override forces per-query schedules; asking for fusion on top
+  // is a contradiction, not a preference.
+  SchedulerPolicy fused_override;
+  fused_override.budget_override = [](size_t, unsigned) { return 2u; };
+  fused_override.max_fusion = 4;
+  EXPECT_NE(SchedulerPolicyError(fused_override), "");
+
+  // An intra-query budget the thread cap can never grant.
+  SchedulerPolicy narrow;
+  narrow.max_intra_workers = 8;
+  narrow.max_threads = 2;
+  EXPECT_NE(SchedulerPolicyError(narrow), "");
+
+  // QuerySession surfaces the mistake instead of silently clamping.
+  const NamedSearcher searcher = engine_.MakeSeqScan();
+  QuerySession::Options options;
+  options.policy = narrow;
+  options.pool = &pool_;
+  EXPECT_THROW(QuerySession(searcher, options), std::invalid_argument);
 }
 
 }  // namespace
